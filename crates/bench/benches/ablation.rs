@@ -1,0 +1,45 @@
+//! Ablation benches: UGF vs two-regular-GF tightness/cost, split
+//! strategies, truncation. The corresponding accuracy tables come from
+//! `experiments ablation`.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use udb_bench::experiments::ablation;
+use udb_bench::Scale;
+use udb_genfunc::{two_gf_bounds, Ugf};
+
+fn bench_ablation(c: &mut Criterion) {
+    // cost comparison on the same bound vectors
+    let n = 32;
+    let lb: Vec<f64> = (0..n).map(|i| (i % 5) as f64 / 10.0).collect();
+    let ub: Vec<f64> = lb.iter().map(|l| (l + 0.4).min(1.0)).collect();
+
+    let mut g = c.benchmark_group("bounding_scheme_cost");
+    g.bench_function("ugf", |bench| {
+        bench.iter(|| {
+            let mut f = Ugf::new(None);
+            for (l, u) in lb.iter().zip(ub.iter()) {
+                f.multiply(*l, *u);
+            }
+            black_box(f.count_bounds(n + 1))
+        })
+    });
+    g.bench_function("two_gf", |bench| {
+        bench.iter(|| black_box(two_gf_bounds(&lb, &ub)))
+    });
+    g.finish();
+
+    // end-to-end accuracy tables (timed as a whole so regressions in the
+    // experiment harness surface)
+    let mut g = c.benchmark_group("ablation_tables");
+    g.sample_size(10);
+    g.bench_function("ugf_vs_two_gf_table", |bench| {
+        bench.iter(|| black_box(ablation::ugf_vs_two_gf(&Scale::smoke())))
+    });
+    g.bench_function("split_strategy_table", |bench| {
+        bench.iter(|| black_box(ablation::split_strategy(&Scale::smoke())))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Generating-function microbenchmarks: Poisson-binomial recurrence,
+//! classic GF, full and truncated UGF (the §VI `O(k²·N)` claim).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use udb_genfunc::{poisson_binomial, two_gf_bounds, ClassicGf, Ugf};
+
+fn probs(n: usize) -> (Vec<f64>, Vec<f64>) {
+    let lb: Vec<f64> = (0..n).map(|i| (i % 7) as f64 / 14.0).collect();
+    let ub: Vec<f64> = lb.iter().map(|l| (l + 0.3).min(1.0)).collect();
+    (lb, ub)
+}
+
+fn bench_genfunc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("poisson_binomial");
+    for n in [16usize, 64, 256] {
+        let (lb, _) = probs(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &lb, |bench, lb| {
+            bench.iter(|| black_box(poisson_binomial(black_box(lb), None)))
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("classic_gf_truncated_k5");
+    for n in [64usize, 256] {
+        let (lb, _) = probs(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &lb, |bench, lb| {
+            bench.iter(|| {
+                let mut gf = ClassicGf::new(Some(5));
+                for &p in lb {
+                    gf.multiply(p);
+                }
+                black_box(gf.cdf(5))
+            })
+        });
+    }
+    g.finish();
+
+    // full UGF is O(N^3): keep N modest
+    let mut g = c.benchmark_group("ugf_full");
+    for n in [8usize, 16, 32] {
+        let pair = probs(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &pair, |bench, (lb, ub)| {
+            bench.iter(|| {
+                let mut f = Ugf::new(None);
+                for (l, u) in lb.iter().zip(ub.iter()) {
+                    f.multiply(*l, *u);
+                }
+                black_box(f.total())
+            })
+        });
+    }
+    g.finish();
+
+    // truncated UGF is O(k^2 N): N can grow
+    let mut g = c.benchmark_group("ugf_truncated_k5");
+    for n in [32usize, 128, 512] {
+        let pair = probs(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &pair, |bench, (lb, ub)| {
+            bench.iter(|| {
+                let mut f = Ugf::new(Some(5));
+                for (l, u) in lb.iter().zip(ub.iter()) {
+                    f.multiply(*l, *u);
+                }
+                black_box(f.cdf_bounds(5))
+            })
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("two_gf_bounds");
+    for n in [16usize, 64] {
+        let pair = probs(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &pair, |bench, (lb, ub)| {
+            bench.iter(|| black_box(two_gf_bounds(black_box(lb), black_box(ub))))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_genfunc);
+criterion_main!(benches);

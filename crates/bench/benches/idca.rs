@@ -1,0 +1,52 @@
+//! Figures 6(b)/7 analog: IDCA refinement cost per iteration depth.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use udb_bench::Scale;
+use udb_core::{IdcaConfig, ObjRef, Predicate, Refiner};
+
+fn bench_idca(c: &mut Criterion) {
+    let scale = Scale::smoke();
+    let (db, cfg) = scale.synthetic_db();
+    let qs = scale.query_set(&db, &cfg);
+    let (r, b) = (qs.references[0].clone(), qs.targets[0]);
+
+    let mut g = c.benchmark_group("idca_refine_to_depth");
+    g.sample_size(20);
+    for depth in [1usize, 2, 3, 4] {
+        g.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |bench, &d| {
+            bench.iter(|| {
+                let mut refiner = Refiner::new(
+                    &db,
+                    ObjRef::Db(b),
+                    ObjRef::External(&r),
+                    IdcaConfig {
+                        max_iterations: d,
+                        uncertainty_target: 0.0,
+                        ..Default::default()
+                    },
+                    Predicate::FullPdf,
+                );
+                black_box(refiner.run())
+            })
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("idca_filter_only");
+    g.bench_function("snapshot_iteration0", |bench| {
+        bench.iter(|| {
+            let refiner = Refiner::new(
+                &db,
+                ObjRef::Db(b),
+                ObjRef::External(&r),
+                IdcaConfig::default(),
+                Predicate::FullPdf,
+            );
+            black_box(refiner.snapshot())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_idca);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! R-tree substrate benchmarks: bulk load, incremental insertion and kNN.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use udb_bench::Scale;
+use udb_geometry::{LpNorm, Point, Rect};
+use udb_index::RTree;
+
+fn items(n: usize) -> Vec<(Rect, u32)> {
+    let cfg = udb_workload::SyntheticConfig {
+        n,
+        ..Default::default()
+    };
+    cfg.generate()
+        .iter()
+        .map(|(id, o)| (o.mbr().clone(), id.0))
+        .collect()
+}
+
+fn bench_index(c: &mut Criterion) {
+    let scale = Scale::smoke();
+    let _ = scale;
+
+    let mut g = c.benchmark_group("rtree_bulk_load");
+    g.sample_size(20);
+    for n in [1_000usize, 10_000] {
+        let data = items(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &data, |bench, data| {
+            bench.iter(|| black_box(RTree::bulk_load(data.clone(), 16)))
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("rtree_insert_all");
+    g.sample_size(10);
+    for n in [1_000usize, 5_000] {
+        let data = items(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &data, |bench, data| {
+            bench.iter(|| {
+                let mut t = RTree::new(16);
+                for (r, p) in data.iter() {
+                    t.insert(r.clone(), *p);
+                }
+                black_box(t.len())
+            })
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("rtree_knn10");
+    let data = items(10_000);
+    let tree = RTree::bulk_load(data, 16);
+    let q = Rect::from_point(&Point::from([0.5, 0.5]));
+    g.bench_function("bulk_10k", |bench| {
+        bench.iter(|| black_box(tree.knn(&q, 10, LpNorm::L2)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_index);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Figure 5 analog: Monte-Carlo baseline runtime vs sample size.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use udb_bench::Scale;
+use udb_mc::MonteCarlo;
+
+fn bench_mc(c: &mut Criterion) {
+    let scale = Scale::smoke();
+    let (db, cfg) = scale.synthetic_db();
+    let qs = scale.query_set(&db, &cfg);
+    let (r, b) = (qs.references[0].clone(), qs.targets[0]);
+
+    let mut g = c.benchmark_group("mc_domination_count");
+    g.sample_size(10);
+    for samples in [25usize, 50, 100, 200] {
+        let mc = MonteCarlo {
+            samples,
+            ..Default::default()
+        };
+        g.bench_with_input(BenchmarkId::from_parameter(samples), &mc, |bench, mc| {
+            bench.iter(|| {
+                let mut rng = StdRng::seed_from_u64(1);
+                black_box(mc.domination_count(&db, b, &r, &mut rng))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_mc);
+criterion_main!(benches);

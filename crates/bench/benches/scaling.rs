@@ -1,0 +1,76 @@
+//! Figure 9 analog: refinement cost vs database size and influence-object
+//! count.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use udb_core::{IdcaConfig, ObjRef, Predicate, Refiner};
+use udb_geometry::LpNorm;
+use udb_workload::{QuerySet, SyntheticConfig};
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("refine_vs_db_size");
+    g.sample_size(10);
+    for n in [500usize, 1_000, 2_000] {
+        let cfg = SyntheticConfig {
+            n,
+            max_extent: 0.002,
+            ..Default::default()
+        };
+        let db = cfg.generate();
+        let qs = QuerySet::generate(&db, &cfg, 1, 10, LpNorm::L2, 0xBE);
+        let (r, b) = (qs.references[0].clone(), qs.targets[0]);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| {
+                black_box(
+                    Refiner::new(
+                        &db,
+                        ObjRef::Db(b),
+                        ObjRef::External(&r),
+                        IdcaConfig {
+                            max_iterations: 3,
+                            uncertainty_target: 0.0,
+                            ..Default::default()
+                        },
+                        Predicate::FullPdf,
+                    )
+                    .run(),
+                )
+            })
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("refine_vs_target_rank");
+    g.sample_size(10);
+    let cfg = SyntheticConfig {
+        n: 1_000,
+        max_extent: 0.002,
+        ..Default::default()
+    };
+    let db = cfg.generate();
+    for rank in [10usize, 50, 150] {
+        let qs = QuerySet::generate(&db, &cfg, 1, rank, LpNorm::L2, 0xBF);
+        let (r, b) = (qs.references[0].clone(), qs.targets[0]);
+        g.bench_with_input(BenchmarkId::from_parameter(rank), &rank, |bench, _| {
+            bench.iter(|| {
+                black_box(
+                    Refiner::new(
+                        &db,
+                        ObjRef::Db(b),
+                        ObjRef::External(&r),
+                        IdcaConfig {
+                            max_iterations: 3,
+                            uncertainty_target: 0.0,
+                            ..Default::default()
+                        },
+                        Predicate::FullPdf,
+                    )
+                    .run(),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

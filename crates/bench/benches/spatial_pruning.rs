@@ -1,0 +1,65 @@
+//! Microbenchmarks of the spatial domination criteria (Figure 6a's
+//! machinery): per-call cost of the optimal vs MinMax test and the full
+//! filter step over a database.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use udb_bench::Scale;
+use udb_core::{IdcaConfig, ObjRef, Predicate, Refiner};
+use udb_domination::{dominates_minmax, dominates_optimal, DominationCriterion};
+use udb_geometry::LpNorm;
+
+fn criteria(c: &mut Criterion) {
+    let scale = Scale::smoke();
+    let (db, cfg) = scale.synthetic_db();
+    let qs = scale.query_set(&db, &cfg);
+    let (r, b) = (qs.references[0].clone(), qs.targets[0]);
+    let b_mbr = db.get(b).mbr().clone();
+    let a_mbr = db.get(udb_object::ObjectId(0)).mbr().clone();
+
+    let mut g = c.benchmark_group("spatial_criterion");
+    g.bench_function("optimal", |bench| {
+        bench.iter(|| {
+            black_box(dominates_optimal(
+                black_box(&a_mbr),
+                black_box(&b_mbr),
+                black_box(r.mbr()),
+                LpNorm::L2,
+            ))
+        })
+    });
+    g.bench_function("minmax", |bench| {
+        bench.iter(|| {
+            black_box(dominates_minmax(
+                black_box(&a_mbr),
+                black_box(&b_mbr),
+                black_box(r.mbr()),
+                LpNorm::L2,
+            ))
+        })
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("filter_step");
+    g.sample_size(20);
+    for crit in [DominationCriterion::Optimal, DominationCriterion::MinMax] {
+        g.bench_function(format!("{crit:?}"), |bench| {
+            bench.iter(|| {
+                let refiner = Refiner::new(
+                    &db,
+                    ObjRef::Db(b),
+                    ObjRef::External(&r),
+                    IdcaConfig {
+                        criterion: crit,
+                        ..Default::default()
+                    },
+                    Predicate::FullPdf,
+                );
+                black_box(refiner.influence_ids().len())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, criteria);
+criterion_main!(benches);

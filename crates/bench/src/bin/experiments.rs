@@ -1,0 +1,62 @@
+//! Regenerates the paper's figures as CSV (and optional JSON) tables.
+//!
+//! ```text
+//! experiments [--paper|--ci|--smoke] [--json] [fig5 fig6a ... | all]
+//! ```
+//!
+//! Defaults to `--ci` scale and `all` experiments. Paper scale reproduces
+//! §VII's parameters (10k objects, 100 queries, S = 1000) and can run for
+//! hours — exactly like the original evaluation.
+
+use std::io::Write;
+
+use udb_bench::experiments::{all_ids, run_by_id};
+use udb_bench::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::ci();
+    let mut json = false;
+    let mut ids: Vec<String> = Vec::new();
+    for a in &args {
+        match a.as_str() {
+            "--paper" => scale = Scale::paper(),
+            "--ci" => scale = Scale::ci(),
+            "--smoke" => scale = Scale::smoke(),
+            "--json" => json = true,
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: experiments [--paper|--ci|--smoke] [--json] [{} | all]",
+                    all_ids().join(" ")
+                );
+                return;
+            }
+            other => ids.push(other.to_string()),
+        }
+    }
+    if ids.is_empty() || ids.iter().any(|i| i == "all") {
+        ids = all_ids().iter().map(|s| s.to_string()).collect();
+    }
+
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    writeln!(out, "# scale: {scale:?}").unwrap();
+    for id in &ids {
+        match run_by_id(id, &scale) {
+            Some(tables) => {
+                for t in tables {
+                    writeln!(out, "\n## {} — {}", t.id, t.title).unwrap();
+                    if json {
+                        writeln!(out, "{}", serde_json::to_string_pretty(&t).unwrap()).unwrap();
+                    } else {
+                        write!(out, "{}", t.to_csv()).unwrap();
+                    }
+                }
+            }
+            None => {
+                eprintln!("unknown experiment id: {id} (known: {})", all_ids().join(", "));
+                std::process::exit(2);
+            }
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Figure 6: optimal vs MinMax decision criterion.
+//!
+//! (a) objects remaining after the spatial filter step, for growing object
+//! extents — the paper reports ≈ 20 % more pruning for the optimal
+//! criterion; (b) accumulated uncertainty of the result per refinement
+//! iteration — the optimal criterion stays below MinMax at every
+//! iteration and both converge toward zero.
+
+use udb_core::{IdcaConfig, ObjRef, Predicate, Refiner};
+use udb_domination::DominationCriterion;
+
+use crate::harness::{Scale, Table};
+
+/// Extent sweep of Figure 6(a) (the paper plots 0..0.01).
+pub const EXTENTS: [f64; 5] = [0.002, 0.004, 0.006, 0.008, 0.01];
+
+fn config(criterion: DominationCriterion, scale: &Scale) -> IdcaConfig {
+    IdcaConfig {
+        criterion,
+        max_iterations: scale.max_iterations,
+        uncertainty_target: 0.0,
+        ..Default::default()
+    }
+}
+
+/// Figure 6(a): candidates (influence objects) after the filter step.
+pub fn run_candidates(scale: &Scale) -> Table {
+    let mut table = Table::new(
+        "fig6a",
+        "Candidates after spatial pruning: Optimal vs MinMax",
+        "max_extent",
+        vec!["optimal".into(), "minmax".into()],
+    );
+    for extent in EXTENTS {
+        let cfg = scale.synthetic_config(extent);
+        let db = cfg.generate();
+        let qs = scale.query_set(&db, &cfg);
+        let mut counts = [0.0f64; 2];
+        for (r, b) in qs.iter() {
+            for (slot, crit) in [
+                DominationCriterion::Optimal,
+                DominationCriterion::MinMax,
+            ]
+            .iter()
+            .enumerate()
+            {
+                let refiner = Refiner::new(
+                    &db,
+                    ObjRef::Db(b),
+                    ObjRef::External(r),
+                    config(*crit, scale),
+                    Predicate::FullPdf,
+                );
+                counts[slot] += refiner.influence_ids().len() as f64;
+            }
+        }
+        let n = qs.len() as f64;
+        table.push(extent, vec![counts[0] / n, counts[1] / n]);
+    }
+    table
+}
+
+/// Figure 6(b): accumulated uncertainty per iteration.
+pub fn run_uncertainty(scale: &Scale) -> Table {
+    let (db, cfg) = scale.synthetic_db();
+    let qs = scale.query_set(&db, &cfg);
+    let iters = scale.max_iterations;
+    let mut sums = vec![[0.0f64; 2]; iters + 1];
+    for (r, b) in qs.iter() {
+        for (slot, crit) in [DominationCriterion::Optimal, DominationCriterion::MinMax]
+            .iter()
+            .enumerate()
+        {
+            let mut refiner = Refiner::new(
+                &db,
+                ObjRef::Db(b),
+                ObjRef::External(r),
+                config(*crit, scale),
+                Predicate::FullPdf,
+            );
+            sums[0][slot] += refiner.snapshot().uncertainty();
+            for it in 1..=iters {
+                refiner.step();
+                sums[it][slot] += refiner.snapshot().uncertainty();
+            }
+        }
+    }
+    let n = qs.len() as f64;
+    let mut table = Table::new(
+        "fig6b",
+        "Accumulated uncertainty per iteration: Optimal vs MinMax",
+        "iteration",
+        vec!["optimal".into(), "minmax".into()],
+    );
+    for (it, s) in sums.iter().enumerate() {
+        table.push(it as f64, vec![s[0] / n, s[1] / n]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn optimal_prunes_at_least_as_much() {
+        let t = run_candidates(&Scale::smoke());
+        for (x, vals) in &t.rows {
+            assert!(
+                vals[0] <= vals[1] + 1e-9,
+                "optimal {} > minmax {} at extent {x}",
+                vals[0],
+                vals[1]
+            );
+        }
+    }
+
+    #[test]
+    fn uncertainty_decreases_with_iterations() {
+        let t = run_uncertainty(&Scale::smoke());
+        let first = t.rows.first().unwrap().1.clone();
+        let last = t.rows.last().unwrap().1.clone();
+        assert!(last[0] <= first[0] + 1e-9);
+        assert!(last[1] <= first[1] + 1e-9);
+        // optimal at least as tight as minmax everywhere
+        for (_, vals) in &t.rows {
+            assert!(vals[0] <= vals[1] + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Figure 7: IDCA approximation quality vs the fraction of MC runtime,
+//! for several MC sample sizes, on synthetic and (simulated) iceberg
+//! data.
+//!
+//! Paper shape: the average per-influence-object uncertainty drops
+//! rapidly within the first iterations, at a small fraction of the MC
+//! runtime; squeezing out the last uncertainty costs disproportionally
+//! more.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use udb_core::{IdcaConfig, ObjRef, Predicate, Refiner};
+use udb_geometry::LpNorm;
+use udb_mc::MonteCarlo;
+use udb_object::{Database, ObjectId, UncertainObject};
+use udb_workload::target_by_min_dist_rank;
+
+use crate::harness::{time, Scale, Table};
+
+/// Sample-size multipliers relative to `scale.mc_samples` (the paper uses
+/// absolute 100 / 500 / 1000 with a 1000 default).
+pub const SAMPLE_FRACTIONS: [f64; 3] = [0.1, 0.5, 1.0];
+
+fn run_on(
+    id: &str,
+    title: &str,
+    db: &Database,
+    queries: &[(UncertainObject, ObjectId)],
+    scale: &Scale,
+) -> Table {
+    let iters = scale.max_iterations;
+    let mut columns = Vec::new();
+    for f in SAMPLE_FRACTIONS {
+        let s = ((scale.mc_samples as f64 * f) as usize).max(10);
+        columns.push(format!("frac_of_mc_s{s}"));
+        columns.push(format!("avg_uncertainty_s{s}"));
+    }
+    let mut table = Table::new(id, title, "iteration", columns);
+
+    // per iteration: cumulative IDCA runtime and avg uncertainty
+    let mut idca_time = vec![0.0f64; iters + 1];
+    let mut idca_unc = vec![0.0f64; iters + 1];
+    for (qi, (r, b)) in queries.iter().enumerate() {
+        let _ = qi;
+        let mut refiner = Refiner::new(
+            db,
+            ObjRef::Db(*b),
+            ObjRef::External(r),
+            IdcaConfig {
+                max_iterations: iters,
+                uncertainty_target: 0.0,
+                ..Default::default()
+            },
+            Predicate::FullPdf,
+        );
+        let (t0, snap0) = time(|| refiner.snapshot());
+        let n_inf = snap0.influence_count.max(1) as f64;
+        let mut cum = t0;
+        idca_time[0] += cum;
+        idca_unc[0] += snap0.uncertainty() / n_inf;
+        for it in 1..=iters {
+            let (t, snap) = time(|| {
+                refiner.step();
+                refiner.snapshot()
+            });
+            cum += t;
+            idca_time[it] += cum;
+            idca_unc[it] += snap.uncertainty() / n_inf;
+        }
+    }
+
+    // MC reference runtimes per sample size
+    let nq = queries.len() as f64;
+    let mut mc_times = Vec::new();
+    for f in SAMPLE_FRACTIONS {
+        let s = ((scale.mc_samples as f64 * f) as usize).max(10);
+        let mc = MonteCarlo {
+            samples: s,
+            ..Default::default()
+        };
+        let mut total = 0.0;
+        for (i, (r, b)) in queries.iter().enumerate() {
+            let mut rng = StdRng::seed_from_u64(700 + i as u64);
+            let (secs, _) = time(|| mc.domination_count(db, *b, r, &mut rng));
+            total += secs;
+        }
+        mc_times.push(total / nq);
+    }
+
+    for it in 0..=iters {
+        let mut vals = Vec::new();
+        for &mc_t in &mc_times {
+            vals.push((idca_time[it] / nq) / mc_t.max(1e-12));
+            vals.push(idca_unc[it] / nq);
+        }
+        table.push(it as f64, vals);
+    }
+    table
+}
+
+/// Figure 7(a): synthetic data.
+pub fn run_synthetic(scale: &Scale) -> Table {
+    let (db, cfg) = scale.synthetic_db();
+    let qs = scale.query_set(&db, &cfg);
+    let queries: Vec<(UncertainObject, ObjectId)> = qs
+        .iter()
+        .map(|(r, b)| (r.clone(), b))
+        .collect();
+    run_on(
+        "fig7a",
+        "Uncertainty of IDCA w.r.t. relative runtime to MC (synthetic)",
+        &db,
+        &queries,
+        scale,
+    )
+}
+
+/// Figure 7(b): simulated iceberg data. Reference objects are database
+/// objects themselves (the paper queries the real dataset); the target is
+/// the rank-11 MinDist object, which excludes the reference itself (rank
+/// 1 at distance 0) and matches the synthetic rank-10 protocol.
+pub fn run_iceberg(scale: &Scale) -> Table {
+    let db = scale.iceberg_db();
+    let step = (db.len() / scale.queries.max(1)).max(1);
+    let queries: Vec<(UncertainObject, ObjectId)> = (0..scale.queries)
+        .map(|i| {
+            let rid = ObjectId(((i * step) % db.len()) as u32);
+            let r = db.get(rid).clone();
+            let b = target_by_min_dist_rank(&db, &r, 11, LpNorm::L2)
+                .expect("iceberg db has > 11 objects");
+            (r, b)
+        })
+        .collect();
+    run_on(
+        "fig7b",
+        "Uncertainty of IDCA w.r.t. relative runtime to MC (iceberg)",
+        &db,
+        &queries,
+        scale,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_uncertainty_drops_fast() {
+        let t = run_synthetic(&Scale::smoke());
+        // uncertainty columns are the odd indices; must be non-increasing
+        let first = &t.rows.first().unwrap().1;
+        let last = &t.rows.last().unwrap().1;
+        for i in (1..first.len()).step_by(2) {
+            assert!(last[i] <= first[i] + 1e-9, "column {i}");
+        }
+    }
+
+    #[test]
+    fn iceberg_runs() {
+        let t = run_iceberg(&Scale::smoke());
+        assert_eq!(t.rows.len(), Scale::smoke().max_iterations + 1);
+    }
+}

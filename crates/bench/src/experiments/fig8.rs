@@ -1,0 +1,95 @@
+//! Figure 8: runtimes of IDCA and MC for threshold predicates
+//! `P(B ∈ kNN(Q)) > τ` with τ ∈ {0.25, 0.5, 0.75} over varying `k`.
+//!
+//! Paper shape: with a predicate, IDCA terminates the refinement early in
+//! most cases and runs orders of magnitude below MC for every setting;
+//! MC's runtime is flat in `k` (it always computes the full PDF).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use udb_core::{IdcaConfig, ObjRef, Predicate, Refiner};
+use udb_mc::MonteCarlo;
+
+use crate::harness::{time, Scale, Table};
+
+/// The probability thresholds of the figure.
+pub const TAUS: [f64; 3] = [0.25, 0.5, 0.75];
+
+/// The k sweep (paper: 1..25).
+pub const KS: [usize; 5] = [1, 5, 10, 17, 25];
+
+/// Runs the experiment.
+pub fn run(scale: &Scale) -> Table {
+    let (db, cfg) = scale.synthetic_db();
+    let qs = scale.query_set(&db, &cfg);
+    let nq = qs.len() as f64;
+    let mut table = Table::new(
+        "fig8",
+        "Runtimes of IDCA and MC for query predicates (k, tau)",
+        "k",
+        vec![
+            "idca_tau_0.25_sec".into(),
+            "idca_tau_0.50_sec".into(),
+            "idca_tau_0.75_sec".into(),
+            "mc_sec".into(),
+        ],
+    );
+    let mc = MonteCarlo {
+        samples: scale.mc_samples,
+        ..Default::default()
+    };
+    for &k in &KS {
+        let mut vals = Vec::with_capacity(4);
+        for &tau in &TAUS {
+            let mut total = 0.0;
+            for (r, b) in qs.iter() {
+                let (secs, _snap) = time(|| {
+                    Refiner::new(
+                        &db,
+                        ObjRef::Db(b),
+                        ObjRef::External(r),
+                        IdcaConfig {
+                            max_iterations: scale.max_iterations,
+                            uncertainty_target: 0.0,
+                            ..Default::default()
+                        },
+                        Predicate::Threshold { k, tau },
+                    )
+                    .run()
+                });
+                total += secs;
+            }
+            vals.push(total / nq);
+        }
+        // MC computes the full PDF regardless of the predicate
+        let mut total = 0.0;
+        for (i, (r, b)) in qs.iter().enumerate() {
+            let mut rng = StdRng::seed_from_u64(900 + i as u64);
+            let (secs, _) = time(|| mc.domination_count(&db, b, r, &mut rng));
+            total += secs;
+        }
+        vals.push(total / nq);
+        table.push(k as f64, vals);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idca_beats_mc_on_average() {
+        let t = run(&Scale::smoke());
+        let mut idca_total = 0.0;
+        let mut mc_total = 0.0;
+        for (_, vals) in &t.rows {
+            idca_total += (vals[0] + vals[1] + vals[2]) / 3.0;
+            mc_total += vals[3];
+        }
+        assert!(
+            idca_total < mc_total,
+            "IDCA {idca_total} should undercut MC {mc_total}"
+        );
+    }
+}

@@ -1,0 +1,38 @@
+//! One module per figure of the paper's evaluation, plus ablations.
+
+#![allow(clippy::needless_range_loop)]
+pub mod ablation;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+
+use crate::harness::{Scale, Table};
+
+/// Runs an experiment by id; `None` for unknown ids.
+pub fn run_by_id(id: &str, scale: &Scale) -> Option<Vec<Table>> {
+    Some(match id {
+        "fig5" => vec![fig5::run(scale)],
+        "fig6a" => vec![fig6::run_candidates(scale)],
+        "fig6b" => vec![fig6::run_uncertainty(scale)],
+        "fig7a" => vec![fig7::run_synthetic(scale)],
+        "fig7b" => vec![fig7::run_iceberg(scale)],
+        "fig8" => vec![fig8::run(scale)],
+        "fig9a" => vec![fig9::run_influence(scale)],
+        "fig9b" => vec![fig9::run_dbsize(scale)],
+        "ablation" => vec![
+            ablation::ugf_vs_two_gf(scale),
+            ablation::split_strategy(scale),
+            ablation::truncation(scale),
+        ],
+        _ => return None,
+    })
+}
+
+/// All experiment ids in paper order.
+pub fn all_ids() -> &'static [&'static str] {
+    &[
+        "fig5", "fig6a", "fig6b", "fig7a", "fig7b", "fig8", "fig9a", "fig9b", "ablation",
+    ]
+}

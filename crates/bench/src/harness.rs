@@ -1,0 +1,206 @@
+//! Shared experiment infrastructure: scales, datasets, timing, tables.
+
+use std::time::Instant;
+
+use serde::Serialize;
+use udb_geometry::LpNorm;
+use udb_object::Database;
+use udb_workload::{IcebergConfig, QuerySet, SyntheticConfig};
+
+/// Experiment scale: `paper` reproduces the §VII parameters; `ci` shrinks
+/// datasets and query counts so the whole suite finishes in minutes on a
+/// laptop. Trends/shapes are preserved at either scale.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct Scale {
+    /// Synthetic database size (paper: 10,000).
+    pub synthetic_n: usize,
+    /// Iceberg database size (paper: 6,216).
+    pub iceberg_n: usize,
+    /// Queries per measurement point (paper: 100).
+    pub queries: usize,
+    /// Default Monte-Carlo samples per object (paper: 1,000).
+    pub mc_samples: usize,
+    /// IDCA iteration cap (the kd-tree height `h`).
+    pub max_iterations: usize,
+}
+
+impl Scale {
+    /// The paper's §VII parameters.
+    pub fn paper() -> Self {
+        Scale {
+            synthetic_n: 10_000,
+            iceberg_n: 6_216,
+            queries: 100,
+            mc_samples: 1_000,
+            max_iterations: 8,
+        }
+    }
+
+    /// A laptop/CI-friendly scale.
+    pub fn ci() -> Self {
+        Scale {
+            synthetic_n: 2_000,
+            iceberg_n: 1_500,
+            queries: 8,
+            mc_samples: 150,
+            max_iterations: 6,
+        }
+    }
+
+    /// An even smaller smoke scale for unit tests of the harness itself.
+    pub fn smoke() -> Self {
+        Scale {
+            synthetic_n: 300,
+            iceberg_n: 200,
+            queries: 2,
+            mc_samples: 40,
+            max_iterations: 4,
+        }
+    }
+
+    /// Synthetic workload config at this scale.
+    pub fn synthetic_config(&self, max_extent: f64) -> SyntheticConfig {
+        SyntheticConfig {
+            n: self.synthetic_n,
+            max_extent,
+            ..Default::default()
+        }
+    }
+
+    /// The default synthetic database (max extent 0.004).
+    pub fn synthetic_db(&self) -> (Database, SyntheticConfig) {
+        let cfg = self.synthetic_config(0.004);
+        (cfg.generate(), cfg)
+    }
+
+    /// The simulated iceberg database.
+    pub fn iceberg_db(&self) -> Database {
+        IcebergConfig {
+            n: self.iceberg_n,
+            ..Default::default()
+        }
+        .generate()
+    }
+
+    /// The paper's query protocol at this scale: `queries` pairs with
+    /// target rank 10.
+    pub fn query_set(&self, db: &Database, cfg: &SyntheticConfig) -> QuerySet {
+        QuerySet::generate(db, cfg, self.queries, 10, LpNorm::L2, 0xCAFE)
+    }
+}
+
+/// One regenerated figure/table: an x column plus named series.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table {
+    /// Experiment id, e.g. `fig6a`.
+    pub id: String,
+    /// Human-readable title.
+    pub title: String,
+    /// Label of the x column.
+    pub x_label: String,
+    /// Series names (the curves of the paper's plot).
+    pub columns: Vec<String>,
+    /// Rows: `(x, series values aligned with columns)`.
+    pub rows: Vec<(f64, Vec<f64>)>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        columns: Vec<String>,
+    ) -> Self {
+        Table {
+            id: id.into(),
+            title: title.into(),
+            x_label: x_label.into(),
+            columns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics if the value count does not match the column count.
+    pub fn push(&mut self, x: f64, values: Vec<f64>) {
+        assert_eq!(values.len(), self.columns.len(), "row arity mismatch");
+        self.rows.push((x, values));
+    }
+
+    /// Renders as CSV (header + rows).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.x_label);
+        for c in &self.columns {
+            out.push(',');
+            out.push_str(c);
+        }
+        out.push('\n');
+        for (x, vals) in &self.rows {
+            out.push_str(&format!("{x}"));
+            for v in vals {
+                out.push_str(&format!(",{v:.6}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Times a closure, returning `(seconds, result)`.
+pub fn time<T>(f: impl FnOnce() -> T) -> (f64, T) {
+    let start = Instant::now();
+    let out = f();
+    (start.elapsed().as_secs_f64(), out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_have_paper_defaults() {
+        let p = Scale::paper();
+        assert_eq!(p.synthetic_n, 10_000);
+        assert_eq!(p.iceberg_n, 6_216);
+        assert_eq!(p.queries, 100);
+        assert_eq!(p.mc_samples, 1_000);
+    }
+
+    #[test]
+    fn table_round_trip() {
+        let mut t = Table::new("figX", "Test", "k", vec!["a".into(), "b".into()]);
+        t.push(1.0, vec![0.5, 0.25]);
+        t.push(2.0, vec![0.1, 0.2]);
+        let csv = t.to_csv();
+        assert!(csv.starts_with("k,a,b\n"));
+        assert_eq!(csv.lines().count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn table_rejects_bad_rows() {
+        let mut t = Table::new("x", "t", "x", vec!["a".into()]);
+        t.push(0.0, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn smoke_scale_generates() {
+        let s = Scale::smoke();
+        let (db, cfg) = s.synthetic_db();
+        assert_eq!(db.len(), 300);
+        let qs = s.query_set(&db, &cfg);
+        assert_eq!(qs.len(), 2);
+        assert_eq!(s.iceberg_db().len(), 200);
+    }
+
+    #[test]
+    fn timing_returns_result() {
+        let (secs, v) = time(|| 21 * 2);
+        assert_eq!(v, 42);
+        assert!(secs >= 0.0);
+    }
+}

@@ -1,0 +1,13 @@
+//! Experiment harness regenerating every figure of the paper's evaluation
+//! (§VII) plus the ablations called out in DESIGN.md.
+//!
+//! Each `fig*` function returns a [`Table`] with the same series the paper
+//! plots; the `experiments` binary prints them as CSV/JSON, and
+//! EXPERIMENTS.md records paper-vs-measured shapes. All experiments accept
+//! a [`Scale`] so CI runs shrink the datasets while `--paper` reproduces
+//! the full parameters.
+
+pub mod experiments;
+pub mod harness;
+
+pub use harness::{Scale, Table};

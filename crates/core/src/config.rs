@@ -1,0 +1,142 @@
+//! Configuration types for the IDCA engine.
+
+use udb_domination::DominationCriterion;
+use udb_geometry::LpNorm;
+use udb_object::{Database, ObjectId, SplitStrategy, UncertainObject};
+
+/// Tuning knobs of the iterative refinement (Algorithm 1).
+#[derive(Debug, Clone)]
+pub struct IdcaConfig {
+    /// Distance norm (paper: Euclidean).
+    pub norm: LpNorm,
+    /// Spatial decision criterion (paper default: the optimal criterion;
+    /// MinMax is the Figure 6 baseline).
+    pub criterion: DominationCriterion,
+    /// kd-tree split-axis strategy for object decomposition.
+    pub split_strategy: SplitStrategy,
+    /// Hard cap on refinement iterations (the kd-tree height `h` of §V;
+    /// state grows exponentially with it).
+    pub max_iterations: usize,
+    /// Stop once the accumulated uncertainty
+    /// `Σ_k (DomCountUB_k − DomCountLB_k)` falls below this value.
+    pub uncertainty_target: f64,
+}
+
+impl Default for IdcaConfig {
+    fn default() -> Self {
+        IdcaConfig {
+            norm: LpNorm::L2,
+            criterion: DominationCriterion::Optimal,
+            split_strategy: SplitStrategy::LongestExtent,
+            max_iterations: 8,
+            uncertainty_target: 1e-3,
+        }
+    }
+}
+
+/// A query predicate that lets the refiner terminate early (§VI).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Predicate {
+    /// Refine the full domination-count PDF (inverse ranking, expected
+    /// rank).
+    FullPdf,
+    /// Only `P(DomCount < k)` matters (kNN / RkNN without a threshold):
+    /// enables the `O(k²·|Cand|)` UGF truncation.
+    CountBelow {
+        /// The `k` of the query.
+        k: usize,
+    },
+    /// Decide `P(DomCount < k) > τ` (threshold kNN / RkNN): truncation
+    /// *and* early termination as soon as the bounds separate from `τ`.
+    Threshold {
+        /// The `k` of the query.
+        k: usize,
+        /// The probability threshold `τ`.
+        tau: f64,
+    },
+}
+
+impl Predicate {
+    /// The truncation point, if the predicate allows one.
+    pub fn k(&self) -> Option<usize> {
+        match self {
+            Predicate::FullPdf => None,
+            Predicate::CountBelow { k } | Predicate::Threshold { k, .. } => Some(*k),
+        }
+    }
+}
+
+/// A reference to either a database object or an external (ad-hoc) query
+/// object. The paper's queries need both: kNN targets are database
+/// objects while the query `Q` is ad-hoc, and RkNN reverses the roles.
+#[derive(Debug, Clone, Copy)]
+pub enum ObjRef<'a> {
+    /// An object stored in the database (excluded from its own
+    /// domination count).
+    Db(ObjectId),
+    /// An external object.
+    External(&'a UncertainObject),
+}
+
+impl<'a> ObjRef<'a> {
+    /// Resolves to the underlying object.
+    pub fn resolve(&self, db: &'a Database) -> &'a UncertainObject {
+        match self {
+            ObjRef::Db(id) => db.get(*id),
+            ObjRef::External(o) => o,
+        }
+    }
+
+    /// The database id, when the reference points into the database.
+    pub fn id(&self) -> Option<ObjectId> {
+        match self {
+            ObjRef::Db(id) => Some(*id),
+            ObjRef::External(_) => None,
+        }
+    }
+}
+
+impl From<ObjectId> for ObjRef<'_> {
+    fn from(id: ObjectId) -> Self {
+        ObjRef::Db(id)
+    }
+}
+
+impl<'a> From<&'a UncertainObject> for ObjRef<'a> {
+    fn from(o: &'a UncertainObject) -> Self {
+        ObjRef::External(o)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use udb_geometry::Point;
+
+    #[test]
+    fn defaults_are_paper_settings() {
+        let c = IdcaConfig::default();
+        assert_eq!(c.norm, LpNorm::L2);
+        assert_eq!(c.criterion, DominationCriterion::Optimal);
+        assert_eq!(c.max_iterations, 8);
+    }
+
+    #[test]
+    fn predicate_k() {
+        assert_eq!(Predicate::FullPdf.k(), None);
+        assert_eq!(Predicate::CountBelow { k: 5 }.k(), Some(5));
+        assert_eq!(Predicate::Threshold { k: 3, tau: 0.5 }.k(), Some(3));
+    }
+
+    #[test]
+    fn objref_resolution() {
+        let db = Database::from_objects(vec![UncertainObject::certain(Point::from([1.0, 2.0]))]);
+        let r: ObjRef = ObjectId(0).into();
+        assert_eq!(r.id(), Some(ObjectId(0)));
+        assert_eq!(r.resolve(&db).mean(), Point::from([1.0, 2.0]));
+        let ext = UncertainObject::certain(Point::from([5.0, 5.0]));
+        let e: ObjRef = (&ext).into();
+        assert_eq!(e.id(), None);
+        assert_eq!(e.resolve(&db).mean(), Point::from([5.0, 5.0]));
+    }
+}

@@ -1,0 +1,362 @@
+//! Index-supported candidate generation (the paper's §VIII future-work
+//! item: "we will integrate our concepts into existing index supported
+//! kNN- and RkNN-query algorithms").
+//!
+//! An [`IndexedEngine`] wraps a [`QueryEngine`] with an R-tree over the
+//! object MBRs. Candidate generation for kNN queries then uses the
+//! best-first MinDist stream instead of a full scan:
+//!
+//! * stream objects in MinDist order, maintaining the `k` smallest
+//!   *MaxDist* values seen;
+//! * once the stream's next MinDist exceeds the current `k`-th smallest
+//!   MaxDist `d_k`, no unseen object can beat the `k` certain dominators
+//!   — every remaining object is dominated by at least `k` objects in
+//!   every possible world and is pruned soundly;
+//! * the streamed objects with `MinDist ≤ d_k` are the candidates.
+
+use udb_geometry::Rect;
+use udb_index::{NodeDecision, RTree};
+use udb_object::{Database, ObjectId, UncertainObject};
+
+use crate::config::{IdcaConfig, ObjRef, Predicate};
+use crate::queries::{QueryEngine, ThresholdResult};
+use crate::refiner::Refiner;
+
+/// A query engine with an R-tree accelerating spatial candidate
+/// generation.
+#[derive(Debug)]
+pub struct IndexedEngine<'a> {
+    engine: QueryEngine<'a>,
+    tree: RTree<ObjectId>,
+}
+
+impl<'a> IndexedEngine<'a> {
+    /// Builds the index (STR bulk load) over the database MBRs.
+    pub fn new(db: &'a Database) -> Self {
+        IndexedEngine::with_config(db, IdcaConfig::default())
+    }
+
+    /// Builds with an explicit configuration.
+    pub fn with_config(db: &'a Database, cfg: IdcaConfig) -> Self {
+        let tree = RTree::bulk_load(
+            db.mbrs().map(|(id, r)| (r.clone(), id)).collect(),
+            16,
+        );
+        IndexedEngine {
+            engine: QueryEngine::with_config(db, cfg),
+            tree,
+        }
+    }
+
+    /// The wrapped scan-based engine.
+    pub fn engine(&self) -> &QueryEngine<'a> {
+        &self.engine
+    }
+
+    /// The underlying R-tree.
+    pub fn tree(&self) -> &RTree<ObjectId> {
+        &self.tree
+    }
+
+    /// Index-accelerated domination-count refiner: the complete-domination
+    /// filter of Algorithm 1 applied to whole R-tree subtrees instead of a
+    /// linear scan. Sound because both criteria are monotone under MBR
+    /// containment: shrinking an object's rectangle only decreases its
+    /// MaxDist and increases its MinDist terms, so a subtree-level
+    /// `dominates` / `never_dominates` verdict holds for every object
+    /// below. Existentially uncertain objects accepted at subtree level
+    /// are demoted to influence objects (they are never *certain*
+    /// dominators).
+    pub fn refiner<'b>(
+        &'b self,
+        target: ObjRef<'b>,
+        reference: ObjRef<'b>,
+        predicate: Predicate,
+    ) -> Refiner<'b>
+    where
+        'a: 'b,
+    {
+        let db = self.engine.db();
+        let cfg = self.engine.config();
+        let target_obj = target.resolve(db);
+        let reference_obj = reference.resolve(db);
+        let (b_mbr, r_mbr) = (target_obj.mbr(), reference_obj.mbr());
+        let excluded = [target.id(), reference.id()];
+
+        let outcome = self.tree.classify_entries(|mbr| {
+            if cfg.criterion.never_dominates(mbr, b_mbr, r_mbr, cfg.norm) {
+                NodeDecision::DropAll
+            } else if cfg.criterion.dominates(mbr, b_mbr, r_mbr, cfg.norm) {
+                NodeDecision::TakeAll
+            } else {
+                NodeDecision::Descend
+            }
+        });
+        let mut complete = 0usize;
+        let mut influence = Vec::with_capacity(outcome.undecided.len());
+        for id in outcome.taken {
+            if excluded.contains(&Some(id)) {
+                continue;
+            }
+            if db.get(id).existence() >= 1.0 {
+                complete += 1;
+            } else {
+                influence.push(id);
+            }
+        }
+        influence.extend(
+            outcome
+                .undecided
+                .into_iter()
+                .filter(|id| !excluded.contains(&Some(*id))),
+        );
+        influence.sort_unstable();
+        Refiner::with_filter_result(
+            db,
+            target,
+            reference,
+            cfg.clone(),
+            predicate,
+            complete,
+            influence,
+        )
+    }
+
+    /// Index-driven spatial kNN candidate set: all objects that are *not*
+    /// certainly dominated by at least `k` others w.r.t. `q` under the
+    /// MinDist/MaxDist filter. Sound superset of every object with
+    /// non-zero kNN probability.
+    pub fn knn_candidates(&self, q: &Rect, k: usize) -> Vec<ObjectId> {
+        assert!(k >= 1);
+        let norm = self.engine.config().norm;
+        let mut seen: Vec<(ObjectId, f64)> = Vec::new(); // (id, max_dist)
+        let mut kth_max = f64::INFINITY;
+        let mut k_smallest: Vec<f64> = Vec::with_capacity(k + 1);
+        let db = self.engine.db();
+        for n in self.tree.knn_iter(q, norm) {
+            if n.dist > kth_max {
+                break; // every further object has MinDist > d_k
+            }
+            let max_d = db.get(n.payload).mbr().max_dist_rect(q, norm);
+            seen.push((n.payload, n.dist));
+            // maintain the k smallest MaxDist values
+            let pos = k_smallest
+                .binary_search_by(|d| d.partial_cmp(&max_d).expect("NaN"))
+                .unwrap_or_else(|p| p);
+            if pos < k {
+                k_smallest.insert(pos, max_d);
+                k_smallest.truncate(k);
+                if k_smallest.len() == k {
+                    kth_max = k_smallest[k - 1];
+                }
+            }
+        }
+        seen.into_iter()
+            .filter(|(_, min_d)| *min_d <= kth_max)
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Probabilistic threshold kNN with index-driven candidates;
+    /// semantics identical to [`QueryEngine::knn_threshold`].
+    pub fn knn_threshold(
+        &self,
+        q: &'a UncertainObject,
+        k: usize,
+        tau: f64,
+    ) -> Vec<ThresholdResult> {
+        assert!(k >= 1, "k must be positive");
+        assert!((0.0..1.0).contains(&tau), "tau must be in [0, 1)");
+        let mut out = Vec::new();
+        for id in self.knn_candidates(q.mbr(), k) {
+            let mut refiner = self.engine.refiner(
+                ObjRef::Db(id),
+                ObjRef::External(q),
+                Predicate::Threshold { k, tau },
+            );
+            let snap = refiner.run();
+            let (lo, hi) = snap.predicate_cdf.expect("threshold predicate produces CDF");
+            if hi <= 0.0 {
+                continue;
+            }
+            out.push(ThresholdResult {
+                id,
+                prob_lower: lo,
+                prob_upper: hi,
+                iterations: snap.iteration,
+            });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use udb_geometry::{LpNorm, Point};
+    use udb_pdf::Pdf;
+    use udb_workload::{QuerySet, SyntheticConfig};
+
+    fn synthetic(n: usize) -> (Database, SyntheticConfig) {
+        let cfg = SyntheticConfig {
+            n,
+            max_extent: 0.01,
+            ..Default::default()
+        };
+        (cfg.generate(), cfg)
+    }
+
+    #[test]
+    fn indexed_filter_matches_scan_filter() {
+        let (db, cfg) = synthetic(600);
+        let qs = QuerySet::generate(&db, &cfg, 5, 10, LpNorm::L2, 79);
+        let indexed = IndexedEngine::new(&db);
+        let scan = QueryEngine::new(&db);
+        for (r, b) in qs.iter() {
+            let via_index =
+                indexed.refiner(ObjRef::Db(b), ObjRef::External(r), Predicate::FullPdf);
+            let via_scan = scan.refiner(ObjRef::Db(b), ObjRef::External(r), Predicate::FullPdf);
+            assert_eq!(via_index.complete_count(), via_scan.complete_count());
+            let mut a = via_index.influence_ids();
+            let mut s = via_scan.influence_ids();
+            a.sort_unstable();
+            s.sort_unstable();
+            assert_eq!(a, s);
+        }
+    }
+
+    #[test]
+    fn indexed_refiner_produces_identical_bounds() {
+        let (db, cfg) = synthetic(300);
+        let qs = QuerySet::generate(&db, &cfg, 2, 10, LpNorm::L2, 80);
+        let idca = IdcaConfig {
+            max_iterations: 4,
+            uncertainty_target: 0.0,
+            ..Default::default()
+        };
+        let indexed = IndexedEngine::with_config(&db, idca.clone());
+        let scan = QueryEngine::with_config(&db, idca);
+        for (r, b) in qs.iter() {
+            let snap_a = indexed
+                .refiner(ObjRef::Db(b), ObjRef::External(r), Predicate::FullPdf)
+                .run();
+            let snap_b = scan
+                .refiner(ObjRef::Db(b), ObjRef::External(r), Predicate::FullPdf)
+                .run();
+            assert_eq!(snap_a.bounds.len(), snap_b.bounds.len());
+            for k in 0..snap_a.bounds.len() {
+                assert!((snap_a.bounds.lower(k) - snap_b.bounds.lower(k)).abs() < 1e-12);
+                assert!((snap_a.bounds.upper(k) - snap_b.bounds.upper(k)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn indexed_filter_demotes_existential_dominators() {
+        // a certain dominator with existence 0.5 must land in the
+        // influence set, not the complete count
+        let dominator = UncertainObject::with_existence(
+            Pdf::uniform(Rect::from_point(&Point::from([1.0, 0.0]))),
+            0.5,
+        );
+        let target = UncertainObject::certain(Point::from([3.0, 0.0]));
+        let db = Database::from_objects(vec![dominator, target]);
+        let indexed = IndexedEngine::new(&db);
+        let q = UncertainObject::certain(Point::from([0.0, 0.0]));
+        let refiner = indexed.refiner(
+            ObjRef::Db(ObjectId(1)),
+            ObjRef::External(&q),
+            Predicate::FullPdf,
+        );
+        assert_eq!(refiner.complete_count(), 0);
+        assert_eq!(refiner.influence_ids(), vec![ObjectId(0)]);
+    }
+
+    #[test]
+    fn indexed_candidates_match_scan_filter() {
+        let (db, cfg) = synthetic(500);
+        let qs = QuerySet::generate(&db, &cfg, 4, 10, LpNorm::L2, 77);
+        let indexed = IndexedEngine::new(&db);
+        let scan = QueryEngine::new(&db);
+        for (r, _) in qs.iter() {
+            for k in [1usize, 5, 10] {
+                let mut a = indexed.knn_candidates(r.mbr(), k);
+                // scan-based candidates via the threshold query at tau = 0
+                let mut b: Vec<ObjectId> = scan
+                    .knn_threshold(r, k, 0.0)
+                    .into_iter()
+                    .map(|res| res.id)
+                    .collect();
+                a.sort_unstable();
+                b.sort_unstable();
+                // indexed candidate set must cover the scan-based one (it
+                // is computed from the identical MinDist/MaxDist rule, so
+                // it must actually be a superset of the surviving objects)
+                for id in &b {
+                    assert!(a.contains(id), "k={k}: {id} missing from indexed candidates");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn indexed_knn_threshold_matches_scan() {
+        let (db, cfg) = synthetic(400);
+        let qs = QuerySet::generate(&db, &cfg, 3, 10, LpNorm::L2, 78);
+        let indexed = IndexedEngine::new(&db);
+        let scan = QueryEngine::new(&db);
+        for (r, _) in qs.iter() {
+            let mut a = indexed.knn_threshold(r, 3, 0.5);
+            let mut b = scan.knn_threshold(r, 3, 0.5);
+            a.sort_by_key(|x| x.id);
+            b.sort_by_key(|x| x.id);
+            let a_hits: Vec<ObjectId> =
+                a.iter().filter(|x| x.is_hit(0.5)).map(|x| x.id).collect();
+            let b_hits: Vec<ObjectId> =
+                b.iter().filter(|x| x.is_hit(0.5)).map(|x| x.id).collect();
+            assert_eq!(a_hits, b_hits);
+        }
+    }
+
+    #[test]
+    fn candidate_stream_terminates_early() {
+        // a dense cluster near the query and a huge far-away bulk: the
+        // index must not touch the far objects
+        let mut objects = Vec::new();
+        for i in 0..5 {
+            objects.push(UncertainObject::certain(Point::from([
+                i as f64 * 0.01,
+                0.0,
+            ])));
+        }
+        for i in 0..200 {
+            objects.push(UncertainObject::certain(Point::from([
+                100.0 + i as f64,
+                100.0,
+            ])));
+        }
+        let db = Database::from_objects(objects);
+        let indexed = IndexedEngine::new(&db);
+        let q = Rect::from_point(&Point::from([0.0, 0.0]));
+        let cands = indexed.knn_candidates(&q, 2);
+        assert!(cands.len() <= 5, "far bulk leaked in: {}", cands.len());
+    }
+
+    #[test]
+    fn works_with_uncertain_query_region() {
+        let db = Database::from_objects(vec![
+            UncertainObject::new(Pdf::uniform(Rect::centered(
+                &Point::from([1.0, 0.0]),
+                &[0.3, 0.3],
+            ))),
+            UncertainObject::certain(Point::from([5.0, 0.0])),
+        ]);
+        let indexed = IndexedEngine::new(&db);
+        let q = UncertainObject::new(Pdf::uniform(Rect::centered(
+            &Point::from([0.0, 0.0]),
+            &[0.5, 0.5],
+        )));
+        let res = indexed.knn_threshold(&q, 1, 0.5);
+        assert!(res.iter().any(|r| r.id == ObjectId(0) && r.is_hit(0.5)));
+    }
+}

@@ -1,0 +1,36 @@
+//! IDCA — Iterative Domination Count Approximation — and the probabilistic
+//! similarity query layer built on it (§V and §VI of the paper).
+//!
+//! The central object is the [`Refiner`], a faithful implementation of the
+//! paper's Algorithm 1:
+//!
+//! 1. **Complete-domination filter** — every database object is classified
+//!    against the target `B` and reference `R` with the optimal spatial
+//!    criterion: certain dominators increment a counter, certainly
+//!    dominated objects are dropped, and the rest form the
+//!    *influence-object* set.
+//! 2. **Iterative refinement** — each iteration deepens the kd-tree
+//!    decomposition of `B`, `R` and all influence objects by one level;
+//!    for every partition pair `(B', R')` the per-object domination bounds
+//!    (independent by Lemma 5) feed an uncertain generating function, and
+//!    the per-pair count bounds aggregate weighted by `P(B')·P(R')`
+//!    (§IV-E).
+//! 3. **Stop criterion** — iteration/uncertainty limits or, for threshold
+//!    predicates, the moment the probability bounds decide the predicate.
+//!
+//! The [`queries`] module maps the domination-count machinery onto the
+//! query types of §VI: probabilistic inverse ranking (Corollary 3),
+//! probabilistic threshold kNN (Corollary 4), threshold RkNN (Corollary 5)
+//! and expected-rank ranking (Corollary 6).
+
+pub mod config;
+pub mod indexed;
+pub mod parallel;
+pub mod queries;
+pub mod refiner;
+
+pub use config::{IdcaConfig, ObjRef, Predicate};
+pub use indexed::IndexedEngine;
+pub use parallel::par_knn_threshold;
+pub use queries::{ExpectedRankEntry, QueryEngine, RankDistribution, ThresholdResult};
+pub use refiner::{DomCountSnapshot, Refiner};

@@ -1,0 +1,725 @@
+//! The iterative domination-count refiner (Algorithm 1 of the paper).
+
+use udb_domination::{pdom_bounds_vs_fixed, PDomBounds};
+use udb_genfunc::{CountDistributionBounds, Ugf};
+use udb_object::{Database, Decomposition, ObjectId, Partition, UncertainObject};
+
+use crate::config::{IdcaConfig, ObjRef, Predicate};
+
+/// One influence object: its id, existence probability and current
+/// decomposition state.
+struct Influence {
+    id: ObjectId,
+    existence: f64,
+    dec: Decomposition,
+    parts: Vec<Partition>,
+}
+
+/// The bounds state after an IDCA iteration.
+#[derive(Debug, Clone)]
+pub struct DomCountSnapshot {
+    /// Bounds on `P(DomCount = k)` over the *total* count (already shifted
+    /// by the complete-domination count). Under a truncating predicate the
+    /// vector covers only the counts the predicate needs.
+    pub bounds: CountDistributionBounds,
+    /// Bounds on `P(DomCount < k)` when the predicate fixes a `k`.
+    pub predicate_cdf: Option<(f64, f64)>,
+    /// Number of objects that certainly dominate the target.
+    pub complete_count: usize,
+    /// Number of influence objects.
+    pub influence_count: usize,
+    /// Iterations of refinement performed (0 = filter only).
+    pub iteration: usize,
+}
+
+impl DomCountSnapshot {
+    /// The paper's accumulated uncertainty
+    /// `Σ_k (DomCountUB_k − DomCountLB_k)`.
+    pub fn uncertainty(&self) -> f64 {
+        self.bounds.uncertainty()
+    }
+
+    /// For a threshold predicate: `Some(true)` once
+    /// `P(DomCount < k) > τ` is certain, `Some(false)` once it is certainly
+    /// `≤ τ`, `None` while undecided.
+    pub fn decided(&self, tau: f64) -> Option<bool> {
+        let (lo, hi) = self.predicate_cdf?;
+        if lo > tau {
+            Some(true)
+        } else if hi <= tau {
+            Some(false)
+        } else {
+            None
+        }
+    }
+}
+
+/// Iteratively refines the domination count of a target object w.r.t. a
+/// reference object over a database (Algorithm 1).
+///
+/// ```
+/// use udb_core::{IdcaConfig, ObjRef, Predicate, Refiner};
+/// use udb_geometry::Point;
+/// use udb_object::{Database, ObjectId, UncertainObject};
+///
+/// // reference at 0, a certain dominator at 1, the target at 2
+/// let db = Database::from_objects(vec![
+///     UncertainObject::certain(Point::from([1.0, 0.0])),
+///     UncertainObject::certain(Point::from([2.0, 0.0])),
+/// ]);
+/// let q = UncertainObject::certain(Point::from([0.0, 0.0]));
+/// let mut refiner = Refiner::new(
+///     &db,
+///     ObjRef::Db(ObjectId(1)),
+///     ObjRef::External(&q),
+///     IdcaConfig::default(),
+///     Predicate::FullPdf,
+/// );
+/// let snapshot = refiner.run();
+/// // exactly one object dominates the target in every world
+/// assert_eq!(snapshot.bounds.lower(1), 1.0);
+/// ```
+pub struct Refiner<'a> {
+    db: &'a Database,
+    cfg: IdcaConfig,
+    predicate: Predicate,
+    target: &'a UncertainObject,
+    reference: &'a UncertainObject,
+    complete_count: usize,
+    influence: Vec<Influence>,
+    b_dec: Decomposition,
+    b_parts: Vec<Partition>,
+    r_dec: Decomposition,
+    r_parts: Vec<Partition>,
+    iteration: usize,
+}
+
+impl<'a> Refiner<'a> {
+    /// Runs the complete-domination filter (lines 3–10 of Algorithm 1) and
+    /// prepares the refinement state.
+    pub fn new(
+        db: &'a Database,
+        target: ObjRef<'a>,
+        reference: ObjRef<'a>,
+        cfg: IdcaConfig,
+        predicate: Predicate,
+    ) -> Self {
+        let target_obj = target.resolve(db);
+        let reference_obj = reference.resolve(db);
+        let excluded = [target.id(), reference.id()];
+
+        let mut complete_count = 0usize;
+        let mut influence = Vec::new();
+        for (id, a) in db.iter() {
+            if excluded.contains(&Some(id)) {
+                continue;
+            }
+            // certainly never dominates the target: no influence on the
+            // count (weak test — ties count as non-domination because Dom
+            // is strict)
+            if cfg
+                .criterion
+                .never_dominates(a.mbr(), target_obj.mbr(), reference_obj.mbr(), cfg.norm)
+            {
+                continue;
+            }
+            // certain dominator (only if it certainly exists)
+            if a.existence() >= 1.0
+                && cfg
+                    .criterion
+                    .dominates(a.mbr(), target_obj.mbr(), reference_obj.mbr(), cfg.norm)
+            {
+                complete_count += 1;
+                continue;
+            }
+            let dec = Decomposition::with_strategy(a.pdf(), cfg.split_strategy);
+            let parts = dec.partitions();
+            influence.push(Influence {
+                id,
+                existence: a.existence(),
+                dec,
+                parts,
+            });
+        }
+
+        let b_dec = Decomposition::with_strategy(target_obj.pdf(), cfg.split_strategy);
+        let b_parts = b_dec.partitions();
+        let r_dec = Decomposition::with_strategy(reference_obj.pdf(), cfg.split_strategy);
+        let r_parts = r_dec.partitions();
+
+        Refiner {
+            db,
+            cfg,
+            predicate,
+            target: target_obj,
+            reference: reference_obj,
+            complete_count,
+            influence,
+            b_dec,
+            b_parts,
+            r_dec,
+            r_parts,
+            iteration: 0,
+        }
+    }
+
+    /// Builds a refiner from a *precomputed* filter result: `complete_count`
+    /// certain dominators and `influence_ids` undecided objects. The caller
+    /// is responsible for soundness of the classification (used by the
+    /// index-accelerated filter, whose subtree tests apply the same
+    /// criterion as [`Refiner::new`]).
+    pub fn with_filter_result(
+        db: &'a Database,
+        target: ObjRef<'a>,
+        reference: ObjRef<'a>,
+        cfg: IdcaConfig,
+        predicate: Predicate,
+        complete_count: usize,
+        influence_ids: Vec<ObjectId>,
+    ) -> Self {
+        let target_obj = target.resolve(db);
+        let reference_obj = reference.resolve(db);
+        let influence = influence_ids
+            .into_iter()
+            .map(|id| {
+                let a = db.get(id);
+                let dec = Decomposition::with_strategy(a.pdf(), cfg.split_strategy);
+                let parts = dec.partitions();
+                Influence {
+                    id,
+                    existence: a.existence(),
+                    dec,
+                    parts,
+                }
+            })
+            .collect();
+        let b_dec = Decomposition::with_strategy(target_obj.pdf(), cfg.split_strategy);
+        let b_parts = b_dec.partitions();
+        let r_dec = Decomposition::with_strategy(reference_obj.pdf(), cfg.split_strategy);
+        let r_parts = r_dec.partitions();
+        Refiner {
+            db,
+            cfg,
+            predicate,
+            target: target_obj,
+            reference: reference_obj,
+            complete_count,
+            influence,
+            b_dec,
+            b_parts,
+            r_dec,
+            r_parts,
+            iteration: 0,
+        }
+    }
+
+    /// The database this refiner runs against.
+    pub fn db(&self) -> &Database {
+        self.db
+    }
+
+    /// Number of certain dominators found by the filter step.
+    pub fn complete_count(&self) -> usize {
+        self.complete_count
+    }
+
+    /// Ids of the influence objects (the `influenceObjects` set of
+    /// Algorithm 1).
+    pub fn influence_ids(&self) -> Vec<ObjectId> {
+        self.influence.iter().map(|i| i.id).collect()
+    }
+
+    /// Iterations performed so far.
+    pub fn iteration(&self) -> usize {
+        self.iteration
+    }
+
+    /// Effective truncation for the UGFs: the predicate's `k` minus the
+    /// certain dominators. `Some(0)` means the predicate is already
+    /// decided negatively by the filter alone.
+    fn effective_k(&self) -> Option<usize> {
+        self.predicate
+            .k()
+            .map(|k| k.saturating_sub(self.complete_count))
+    }
+
+    /// One refinement iteration (lines 15 of Algorithm 1): deepens every
+    /// decomposition by one level. Returns `false` when nothing could be
+    /// split further (exact bounds reached for discrete models).
+    pub fn step(&mut self) -> bool {
+        let mut progress = false;
+        if self.b_dec.expand(self.target.pdf()) {
+            self.b_parts = self.b_dec.partitions();
+            progress = true;
+        }
+        if self.r_dec.expand(self.reference.pdf()) {
+            self.r_parts = self.r_dec.partitions();
+            progress = true;
+        }
+        for inf in &mut self.influence {
+            if inf.dec.expand(self.db.get(inf.id).pdf()) {
+                inf.parts = inf.dec.partitions();
+                progress = true;
+            }
+        }
+        if progress {
+            self.iteration += 1;
+        }
+        progress
+    }
+
+    /// Evaluates the current bounds (lines 16–36 of Algorithm 1): one UGF
+    /// per partition pair `(B', R')`, aggregated by pair probability and
+    /// shifted by the complete-domination count.
+    pub fn snapshot(&self) -> DomCountSnapshot {
+        let n_inf = self.influence.len();
+        let k_eff = self.effective_k();
+
+        // predicate already decided negatively by the filter?
+        if k_eff == Some(0) {
+            let mut bounds = CountDistributionBounds::zero(0);
+            bounds.shift_right(self.complete_count);
+            return DomCountSnapshot {
+                bounds,
+                predicate_cdf: Some((0.0, 0.0)),
+                complete_count: self.complete_count,
+                influence_count: n_inf,
+                iteration: self.iteration,
+            };
+        }
+
+        let len = match k_eff {
+            Some(k) => (n_inf + 1).min(k),
+            None => n_inf + 1,
+        };
+        let truncate = k_eff;
+
+        let mut agg = CountDistributionBounds::zero(len);
+        let mut cdf_acc = k_eff.map(|_| (0.0f64, 0.0f64));
+
+        for bp in &self.b_parts {
+            for rp in &self.r_parts {
+                let w = bp.mass * rp.mass;
+                if w <= 0.0 {
+                    continue;
+                }
+                let mut ugf = Ugf::new(truncate);
+                for inf in &self.influence {
+                    let PDomBounds { lower, upper } = pdom_bounds_vs_fixed(
+                        &inf.parts,
+                        &bp.mbr,
+                        &rp.mbr,
+                        self.cfg.norm,
+                        self.cfg.criterion,
+                    )
+                    .scale_by_existence(inf.existence);
+                    ugf.multiply(lower, upper);
+                }
+                agg.add_weighted(&ugf.count_bounds(len), w);
+                if let (Some(k), Some(acc)) = (k_eff, cdf_acc.as_mut()) {
+                    let (lo, hi) = ugf.cdf_bounds(k.min(n_inf + 1));
+                    // counts can never reach k when k > n_inf: cdf = 1
+                    let (lo, hi) = if k > n_inf { (1.0, 1.0) } else { (lo, hi) };
+                    acc.0 += w * lo;
+                    acc.1 += w * hi;
+                }
+            }
+        }
+        agg.normalize();
+        agg.shift_right(self.complete_count);
+
+        DomCountSnapshot {
+            bounds: agg,
+            predicate_cdf: cdf_acc.map(|(lo, hi)| (lo.clamp(0.0, 1.0), hi.clamp(0.0, 1.0))),
+            complete_count: self.complete_count,
+            influence_count: n_inf,
+            iteration: self.iteration,
+        }
+    }
+
+    /// Whether the stop criterion of Algorithm 1 is met for `snap`.
+    fn should_stop(&self, snap: &DomCountSnapshot) -> bool {
+        if self.iteration >= self.cfg.max_iterations {
+            return true;
+        }
+        if let Predicate::Threshold { tau, .. } = self.predicate {
+            if snap.decided(tau).is_some() {
+                return true;
+            }
+        }
+        snap.uncertainty() <= self.cfg.uncertainty_target
+    }
+
+    /// Runs filter + iterations until the stop criterion fires; returns
+    /// the final snapshot.
+    pub fn run(&mut self) -> DomCountSnapshot {
+        let mut snap = self.snapshot();
+        while !self.should_stop(&snap) {
+            if !self.step() {
+                break; // decompositions exhausted: bounds are final
+            }
+            snap = self.snapshot();
+        }
+        snap
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)]
+mod tests {
+    use super::*;
+    use udb_geometry::{Interval, Point, Rect};
+    use udb_pdf::Pdf;
+
+    fn certain(x: f64) -> UncertainObject {
+        UncertainObject::certain(Point::from([x, 0.0]))
+    }
+
+    fn uniform_seg(lo: f64, hi: f64) -> UncertainObject {
+        UncertainObject::new(Pdf::uniform(Rect::new(vec![
+            Interval::new(lo, hi),
+            Interval::point(0.0),
+        ])))
+    }
+
+    #[test]
+    fn certain_world_is_exact_at_iteration_zero() {
+        // R at 0; dominators at 1 and 2; target at 3; dominated at 4
+        let db = Database::from_objects(vec![
+            certain(1.0),
+            certain(2.0),
+            certain(3.0),
+            certain(4.0),
+        ]);
+        let r = certain(0.0);
+        let mut refiner = Refiner::new(
+            &db,
+            ObjRef::Db(ObjectId(2)),
+            ObjRef::External(&r),
+            IdcaConfig::default(),
+            Predicate::FullPdf,
+        );
+        assert_eq!(refiner.complete_count(), 2);
+        assert!(refiner.influence_ids().is_empty());
+        let snap = refiner.run();
+        assert_eq!(snap.iteration, 0);
+        assert!((snap.bounds.lower(2) - 1.0).abs() < 1e-12);
+        assert!((snap.bounds.upper(2) - 1.0).abs() < 1e-12);
+        assert_eq!(snap.uncertainty(), 0.0);
+    }
+
+    #[test]
+    fn figure3_dependency_resolved_correctly() {
+        // Example 1 / Figure 3: two coincident certain dominator
+        // candidates, PDom = 1/2 each, fully correlated through R. The
+        // correct count PDF is {0: 1/2, 1: 0, 2: 1/2}; a naive product
+        // would claim P(count = 2) = 1/4.
+        let db = Database::from_objects(vec![certain(2.0), certain(2.0), certain(0.0)]);
+        let r = uniform_seg(0.0, 2.0);
+        let cfg = IdcaConfig {
+            max_iterations: 10,
+            uncertainty_target: 0.02,
+            ..Default::default()
+        };
+        let mut refiner = Refiner::new(
+            &db,
+            ObjRef::Db(ObjectId(2)),
+            ObjRef::External(&r),
+            cfg,
+            Predicate::FullPdf,
+        );
+        assert_eq!(refiner.influence_ids().len(), 2);
+        let snap = refiner.run();
+        // bounds must bracket the truth {0.5, 0, 0.5}
+        assert!(snap.bounds.lower(0) <= 0.5 + 1e-9 && snap.bounds.upper(0) >= 0.5 - 1e-9);
+        assert!(snap.bounds.lower(2) <= 0.5 + 1e-9 && snap.bounds.upper(2) >= 0.5 - 1e-9);
+        assert!(snap.bounds.lower(1) <= 1e-9);
+        // and converge near them: P(count = 2) must stay well above the
+        // naive 1/4 and P(count = 1) well below the naive 1/2
+        assert!(
+            snap.bounds.lower(2) > 0.4,
+            "lower(2) = {} — dependency was lost",
+            snap.bounds.lower(2)
+        );
+        assert!(
+            snap.bounds.upper(1) < 0.1,
+            "upper(1) = {} — dependency was lost",
+            snap.bounds.upper(1)
+        );
+    }
+
+    #[test]
+    fn uncertainty_is_monotone_in_iterations() {
+        let db = Database::from_objects(vec![
+            uniform_seg(0.5, 2.5),
+            uniform_seg(1.0, 3.0),
+            uniform_seg(2.0, 4.0),
+            certain(2.0),
+        ]);
+        let r = uniform_seg(-0.5, 0.5);
+        let mut refiner = Refiner::new(
+            &db,
+            ObjRef::Db(ObjectId(3)),
+            ObjRef::External(&r),
+            IdcaConfig {
+                max_iterations: 7,
+                uncertainty_target: 0.0,
+                ..Default::default()
+            },
+            Predicate::FullPdf,
+        );
+        let mut prev = refiner.snapshot().uncertainty();
+        while refiner.step() {
+            let cur = refiner.snapshot().uncertainty();
+            assert!(
+                cur <= prev + 1e-9,
+                "uncertainty increased: {prev} -> {cur} at iteration {}",
+                refiner.iteration()
+            );
+            prev = cur;
+            if refiner.iteration() >= 7 {
+                break;
+            }
+        }
+        assert!(prev < 1.0, "refinement should reduce uncertainty: {prev}");
+    }
+
+    #[test]
+    fn predicate_filter_decides_immediately() {
+        // two certain dominators and k = 1: P(DomCount < 1) = 0 after the
+        // filter step alone
+        let db = Database::from_objects(vec![certain(1.0), certain(2.0), certain(5.0)]);
+        let r = certain(0.0);
+        let mut refiner = Refiner::new(
+            &db,
+            ObjRef::Db(ObjectId(2)),
+            ObjRef::External(&r),
+            IdcaConfig::default(),
+            Predicate::Threshold { k: 1, tau: 0.5 },
+        );
+        let snap = refiner.run();
+        assert_eq!(snap.iteration, 0);
+        assert_eq!(snap.predicate_cdf, Some((0.0, 0.0)));
+        assert_eq!(snap.decided(0.5), Some(false));
+    }
+
+    #[test]
+    fn predicate_k_beyond_influence_is_certain_hit() {
+        // no dominators at all and k = 2: P(DomCount < 2) = 1
+        let db = Database::from_objects(vec![certain(5.0), certain(1.0)]);
+        let r = certain(0.0);
+        let mut refiner = Refiner::new(
+            &db,
+            ObjRef::Db(ObjectId(1)),
+            ObjRef::External(&r),
+            IdcaConfig::default(),
+            Predicate::Threshold { k: 2, tau: 0.9 },
+        );
+        let snap = refiner.run();
+        let (lo, hi) = snap.predicate_cdf.unwrap();
+        assert!((lo - 1.0).abs() < 1e-12);
+        assert!((hi - 1.0).abs() < 1e-12);
+        assert_eq!(snap.decided(0.9), Some(true));
+    }
+
+    #[test]
+    fn threshold_early_termination() {
+        // one influence object with a clear decision: refiner should stop
+        // before max_iterations
+        let db = Database::from_objects(vec![uniform_seg(0.8, 1.2), certain(3.0)]);
+        let r = certain(0.0);
+        let mut refiner = Refiner::new(
+            &db,
+            ObjRef::Db(ObjectId(1)),
+            ObjRef::External(&r),
+            IdcaConfig {
+                max_iterations: 20,
+                uncertainty_target: 0.0,
+                ..Default::default()
+            },
+            Predicate::Threshold { k: 2, tau: 0.5 },
+        );
+        let snap = refiner.run();
+        // A surely dominates (its region [0.8, 1.2] is closer to 0 than 3
+        // in every world): DomCount = 1 surely, P(< 2) = 1 > 0.5
+        assert_eq!(snap.decided(0.5), Some(true));
+        assert!(snap.iteration <= 2, "iteration {}", snap.iteration);
+    }
+
+    #[test]
+    fn reference_object_from_database_is_excluded() {
+        // reference is a DB object: it must not count toward domination
+        let db = Database::from_objects(vec![certain(0.0), certain(1.0), certain(3.0)]);
+        let mut refiner = Refiner::new(
+            &db,
+            ObjRef::Db(ObjectId(2)),
+            ObjRef::Db(ObjectId(0)),
+            IdcaConfig::default(),
+            Predicate::FullPdf,
+        );
+        let snap = refiner.run();
+        // only object 1 dominates object 2 w.r.t. object 0
+        assert!((snap.bounds.lower(1) - 1.0).abs() < 1e-12);
+        assert_eq!(snap.complete_count, 1);
+    }
+
+    #[test]
+    fn bounds_bracket_world_sampler() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let db = Database::from_objects(vec![
+            uniform_seg(0.5, 2.0),
+            uniform_seg(1.5, 3.5),
+            uniform_seg(2.5, 4.5),
+            uniform_seg(1.8, 2.6),
+        ]);
+        let r = uniform_seg(-0.5, 0.5);
+        let mut refiner = Refiner::new(
+            &db,
+            ObjRef::Db(ObjectId(3)),
+            ObjRef::External(&r),
+            IdcaConfig {
+                max_iterations: 6,
+                uncertainty_target: 0.0,
+                ..Default::default()
+            },
+            Predicate::FullPdf,
+        );
+        let snap = refiner.run();
+        let mut rng = StdRng::seed_from_u64(99);
+        let truth = udb_mc::estimate_domination_count_pdf(
+            &db,
+            ObjectId(3),
+            &r,
+            udb_geometry::LpNorm::L2,
+            20_000,
+            &mut rng,
+        );
+        for k in 0..snap.bounds.len() {
+            assert!(
+                truth[k] >= snap.bounds.lower(k) - 0.02,
+                "k={k}: truth {} < lower {}",
+                truth[k],
+                snap.bounds.lower(k)
+            );
+            assert!(
+                truth[k] <= snap.bounds.upper(k) + 0.02,
+                "k={k}: truth {} > upper {}",
+                truth[k],
+                snap.bounds.upper(k)
+            );
+        }
+    }
+
+    #[test]
+    fn existential_uncertainty_scales_bounds() {
+        // a certain dominator that exists with probability 0.5: the count
+        // must be 0 or 1 with probability 1/2 each, and the refiner's
+        // bounds must converge to exactly that (the UGF factor becomes
+        // [0.5, 0.5] after the spatial relation is decided)
+        let dominator = UncertainObject::with_existence(
+            Pdf::uniform(Rect::from_point(&Point::from([1.0, 0.0]))),
+            0.5,
+        );
+        let db = Database::from_objects(vec![dominator, certain(3.0)]);
+        let r = certain(0.0);
+        let mut refiner = Refiner::new(
+            &db,
+            ObjRef::Db(ObjectId(1)),
+            ObjRef::External(&r),
+            IdcaConfig::default(),
+            Predicate::FullPdf,
+        );
+        // existential objects are never "complete" dominators
+        assert_eq!(refiner.complete_count(), 0);
+        assert_eq!(refiner.influence_ids(), vec![ObjectId(0)]);
+        let snap = refiner.run();
+        assert!((snap.bounds.lower(0) - 0.5).abs() < 1e-9, "{:?}", snap.bounds);
+        assert!((snap.bounds.upper(0) - 0.5).abs() < 1e-9);
+        assert!((snap.bounds.lower(1) - 0.5).abs() < 1e-9);
+        assert!((snap.bounds.upper(1) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn existential_uncertainty_brackets_world_sampler() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let db = Database::from_objects(vec![
+            UncertainObject::with_existence(
+                Pdf::uniform(Rect::new(vec![
+                    Interval::new(0.5, 1.5),
+                    Interval::point(0.0),
+                ])),
+                0.7,
+            ),
+            uniform_seg(1.0, 3.0),
+            certain(2.5),
+        ]);
+        let r = uniform_seg(-0.5, 0.5);
+        let mut refiner = Refiner::new(
+            &db,
+            ObjRef::Db(ObjectId(2)),
+            ObjRef::External(&r),
+            IdcaConfig {
+                max_iterations: 6,
+                uncertainty_target: 0.0,
+                ..Default::default()
+            },
+            Predicate::FullPdf,
+        );
+        let snap = refiner.run();
+        let mut rng = StdRng::seed_from_u64(2024);
+        let truth = udb_mc::estimate_domination_count_pdf(
+            &db,
+            ObjectId(2),
+            &r,
+            udb_geometry::LpNorm::L2,
+            30_000,
+            &mut rng,
+        );
+        for k in 0..snap.bounds.len() {
+            assert!(truth[k] >= snap.bounds.lower(k) - 0.02, "k={k}");
+            assert!(truth[k] <= snap.bounds.upper(k) + 0.02, "k={k}");
+        }
+    }
+
+    #[test]
+    fn truncated_predicate_matches_full_pdf_cdf() {
+        let db = Database::from_objects(vec![
+            uniform_seg(0.5, 2.0),
+            uniform_seg(1.0, 3.0),
+            uniform_seg(2.0, 4.0),
+            certain(2.5),
+        ]);
+        let r = uniform_seg(-0.5, 0.5);
+        let k = 2;
+        let mk = |pred| {
+            Refiner::new(
+                &db,
+                ObjRef::Db(ObjectId(3)),
+                ObjRef::External(&r),
+                IdcaConfig {
+                    max_iterations: 4,
+                    uncertainty_target: 0.0,
+                    ..Default::default()
+                },
+                pred,
+            )
+        };
+        let mut full = mk(Predicate::FullPdf);
+        let mut trunc = mk(Predicate::CountBelow { k });
+        for _ in 0..4 {
+            full.step();
+            trunc.step();
+        }
+        let fs = full.snapshot();
+        let ts = trunc.snapshot();
+        let (tlo, thi) = ts.predicate_cdf.unwrap();
+        let (flo, fhi) = fs.bounds.cdf_bounds(k);
+        // the truncated direct CDF bounds must be at least as tight as the
+        // ones recovered from the full per-k bounds, and consistent
+        assert!(tlo >= flo - 1e-9, "tlo {tlo} flo {flo}");
+        assert!(thi <= fhi + 1e-9, "thi {thi} fhi {fhi}");
+        assert!(tlo <= thi);
+    }
+}

@@ -1,0 +1,357 @@
+//! Complete (spatial) domination on rectangular uncertainty regions.
+
+use udb_geometry::{LpNorm, Rect};
+
+/// Which decision criterion detects complete domination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DominationCriterion {
+    /// The tight criterion of Corollary 1 (Emrich et al., SIGMOD'10). The
+    /// paper's experiments label this *Optimal*.
+    #[default]
+    Optimal,
+    /// `MaxDist(A, R) < MinDist(B, R)` — correct but not tight, because it
+    /// ignores that both distances depend on the same instantiation of `R`.
+    MinMax,
+}
+
+impl DominationCriterion {
+    /// Whether `a` dominates `b` w.r.t. `r` under this criterion.
+    pub fn dominates(&self, a: &Rect, b: &Rect, r: &Rect, norm: LpNorm) -> bool {
+        match self {
+            DominationCriterion::Optimal => dominates_optimal(a, b, r, norm),
+            DominationCriterion::MinMax => dominates_minmax(a, b, r, norm),
+        }
+    }
+
+    /// Whether `a` can *never* dominate `b` w.r.t. `r`: in every possible
+    /// world `dist(a, r) ≥ dist(b, r)`. This is the weak (non-strict)
+    /// complement used for progressive bounds; it is tie-correct where
+    /// `!dominates(b, a, r)` is not — coincident certain points tie and
+    /// therefore never *strictly* dominate each other.
+    pub fn never_dominates(&self, a: &Rect, b: &Rect, r: &Rect, norm: LpNorm) -> bool {
+        match self {
+            DominationCriterion::Optimal => never_dominates_optimal(a, b, r, norm),
+            DominationCriterion::MinMax => never_dominates_minmax(a, b, r, norm),
+        }
+    }
+}
+
+/// The *optimal* complete-domination test (Corollary 1):
+///
+/// ```text
+/// PDom(A,B,R) = 1  ⇔  Σ_i  max_{r_i ∈ {Rmin_i, Rmax_i}}
+///                     ( MaxDist(A_i, r_i)^p − MinDist(B_i, r_i)^p ) < 0
+/// ```
+///
+/// The per-dimension maximum over the two interval endpoints of `R_i` is
+/// where the criterion gains its tightness: the adversarial placement of
+/// the reference object is resolved dimension-by-dimension instead of
+/// independently for the two distances.
+///
+/// # Panics
+/// Panics for [`LpNorm::LInf`]: the sum decomposition requires a finite
+/// `p`. (The paper states its results for `Lp` norms.)
+pub fn dominates_optimal(a: &Rect, b: &Rect, r: &Rect, norm: LpNorm) -> bool {
+    assert!(
+        !matches!(norm, LpNorm::LInf),
+        "the optimal domination criterion requires a finite Lp norm"
+    );
+    debug_assert_eq!(a.dims(), b.dims());
+    debug_assert_eq!(a.dims(), r.dims());
+    let mut sum = 0.0;
+    for i in 0..a.dims() {
+        let (ai, bi, ri) = (a.dim(i), b.dim(i), r.dim(i));
+        let term = |rp: f64| norm.pow(ai.max_dist(rp)) - norm.pow(bi.min_dist(rp));
+        sum += term(ri.lo()).max(term(ri.hi()));
+    }
+    sum < 0.0
+}
+
+/// The weak complement of [`dominates_optimal`]: `a` is at least as far
+/// from `r` as `b` in every possible world, i.e.
+///
+/// ```text
+/// ∀ worlds: dist(a,r) ≥ dist(b,r)  ⇔  Σ_i max_{r_i ∈ {Rmin_i, Rmax_i}}
+///                     ( MaxDist(B_i, r_i)^p − MinDist(A_i, r_i)^p ) ≤ 0
+/// ```
+///
+/// (the same sum as `dominates_optimal(b, a, r, ·)` but with a non-strict
+/// comparison, so exactly tied configurations are classified as
+/// never-dominating — `Dom` is strict by Definition 2).
+///
+/// # Panics
+/// Panics for [`LpNorm::LInf`].
+pub fn never_dominates_optimal(a: &Rect, b: &Rect, r: &Rect, norm: LpNorm) -> bool {
+    assert!(
+        !matches!(norm, LpNorm::LInf),
+        "the optimal domination criterion requires a finite Lp norm"
+    );
+    debug_assert_eq!(a.dims(), b.dims());
+    debug_assert_eq!(a.dims(), r.dims());
+    let mut sum = 0.0;
+    for i in 0..a.dims() {
+        let (ai, bi, ri) = (a.dim(i), b.dim(i), r.dim(i));
+        let term = |rp: f64| norm.pow(bi.max_dist(rp)) - norm.pow(ai.min_dist(rp));
+        sum += term(ri.lo()).max(term(ri.hi()));
+    }
+    sum <= 0.0
+}
+
+/// Weak complement under the MinMax criterion:
+/// `MaxDist(B, R) ≤ MinDist(A, R)`.
+pub fn never_dominates_minmax(a: &Rect, b: &Rect, r: &Rect, norm: LpNorm) -> bool {
+    let max_br = match norm {
+        LpNorm::LInf => norm.pow(b.max_dist_rect(r, norm)),
+        _ => max_dist_rect_pow(b, r, norm),
+    };
+    let min_ar = match norm {
+        LpNorm::LInf => norm.pow(a.min_dist_rect(r, norm)),
+        _ => min_dist_rect_pow(a, r, norm),
+    };
+    max_br <= min_ar
+}
+
+/// The classical MinDist/MaxDist pruning test:
+/// `MaxDist(A, R) < MinDist(B, R)` on whole rectangles.
+pub fn dominates_minmax(a: &Rect, b: &Rect, r: &Rect, norm: LpNorm) -> bool {
+    debug_assert_eq!(a.dims(), b.dims());
+    debug_assert_eq!(a.dims(), r.dims());
+    let max_ar = match norm {
+        LpNorm::LInf => norm.pow(a.max_dist_rect(r, norm)),
+        _ => max_dist_rect_pow(a, r, norm),
+    };
+    let min_br = match norm {
+        LpNorm::LInf => norm.pow(b.min_dist_rect(r, norm)),
+        _ => min_dist_rect_pow(b, r, norm),
+    };
+    max_ar < min_br
+}
+
+/// `MinDist(X, R)^p` between two boxes (power form, avoids roots).
+fn min_dist_rect_pow(x: &Rect, r: &Rect, norm: LpNorm) -> f64 {
+    norm.aggregate((0..x.dims()).map(|i| {
+        let (xi, ri) = (x.dim(i), r.dim(i));
+        let gap = if xi.hi() < ri.lo() {
+            ri.lo() - xi.hi()
+        } else if ri.hi() < xi.lo() {
+            xi.lo() - ri.hi()
+        } else {
+            0.0
+        };
+        norm.pow(gap)
+    }))
+}
+
+/// `MaxDist(X, R)^p` between two boxes (power form).
+fn max_dist_rect_pow(x: &Rect, r: &Rect, norm: LpNorm) -> f64 {
+    norm.aggregate((0..x.dims()).map(|i| {
+        let (xi, ri) = (x.dim(i), r.dim(i));
+        let d = (xi.hi() - ri.lo()).abs().max((ri.hi() - xi.lo()).abs());
+        norm.pow(d)
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use udb_geometry::{Interval, Point};
+
+    fn rect(xlo: f64, xhi: f64, ylo: f64, yhi: f64) -> Rect {
+        Rect::new(vec![Interval::new(xlo, xhi), Interval::new(ylo, yhi)])
+    }
+
+    fn point_rect(x: f64, y: f64) -> Rect {
+        Rect::from_point(&Point::from([x, y]))
+    }
+
+    /// Monte-Carlo soundness oracle: estimates whether every sampled triple
+    /// satisfies `dist(a,r) < dist(b,r)`.
+    fn mc_all_dominate(a: &Rect, b: &Rect, r: &Rect, norm: LpNorm, rng: &mut StdRng) -> bool {
+        let sample = |rect: &Rect, rng: &mut StdRng| {
+            Point::new(
+                rect.intervals()
+                    .iter()
+                    .map(|iv| {
+                        if iv.is_degenerate() {
+                            iv.lo()
+                        } else {
+                            rng.gen_range(iv.lo()..=iv.hi())
+                        }
+                    })
+                    .collect::<Vec<_>>(),
+            )
+        };
+        for _ in 0..300 {
+            let (pa, pb, pr) = (sample(a, rng), sample(b, rng), sample(r, rng));
+            if norm.dist(&pa, &pr) >= norm.dist(&pb, &pr) {
+                return false;
+            }
+        }
+        true
+    }
+
+    #[test]
+    fn certain_points_reduce_to_distance_comparison() {
+        let r = point_rect(0.0, 0.0);
+        let a = point_rect(1.0, 0.0);
+        let b = point_rect(3.0, 0.0);
+        assert!(dominates_optimal(&a, &b, &r, LpNorm::L2));
+        assert!(!dominates_optimal(&b, &a, &r, LpNorm::L2));
+        assert!(dominates_minmax(&a, &b, &r, LpNorm::L2));
+    }
+
+    #[test]
+    fn equal_distance_is_not_domination() {
+        let r = point_rect(0.0, 0.0);
+        let a = point_rect(1.0, 0.0);
+        let b = point_rect(-1.0, 0.0);
+        assert!(!dominates_optimal(&a, &b, &r, LpNorm::L2));
+        assert!(!dominates_optimal(&b, &a, &r, LpNorm::L2));
+    }
+
+    #[test]
+    fn no_self_domination() {
+        let r = rect(0.0, 1.0, 0.0, 1.0);
+        let a = rect(3.0, 4.0, 3.0, 4.0);
+        assert!(!dominates_optimal(&a, &a, &r, LpNorm::L2));
+        assert!(!dominates_minmax(&a, &a, &r, LpNorm::L2));
+    }
+
+    #[test]
+    fn clear_separation_detected_by_both() {
+        let r = rect(0.0, 1.0, 0.0, 1.0);
+        let a = rect(1.5, 2.0, 0.0, 1.0);
+        let b = rect(10.0, 11.0, 0.0, 1.0);
+        assert!(dominates_minmax(&a, &b, &r, LpNorm::L2));
+        assert!(dominates_optimal(&a, &b, &r, LpNorm::L2));
+    }
+
+    /// The configuration where the optimal criterion is strictly tighter:
+    /// A and B on opposite sides of R, close enough that MaxDist(A,R)
+    /// overlaps MinDist(B,R), yet for every fixed r ∈ R, A stays closer.
+    #[test]
+    fn optimal_strictly_tighter_than_minmax() {
+        // 1-D essence embedded in 2-D: R = [0,2] x {0}, A = {2.5} x {0},
+        // B = {6} x {0}. MaxDist(A,R) = 2.5, MinDist(B,R) = 4 -> minmax
+        // detects it. Move B closer: B = {4.5}. MaxDist(A,R) = 2.5 >
+        // MinDist(B,R) = 2.5 -> minmax fails, but for each r in [0,2]:
+        // dist(a,r) = 2.5 - r < 4.5 - r = dist(b,r) -> optimal succeeds.
+        let r = rect(0.0, 2.0, 0.0, 0.0);
+        let a = point_rect(2.5, 0.0);
+        let b = point_rect(4.5, 0.0);
+        assert!(!dominates_minmax(&a, &b, &r, LpNorm::L2));
+        assert!(dominates_optimal(&a, &b, &r, LpNorm::L2));
+        // soundness of the optimal answer
+        let mut rng = StdRng::seed_from_u64(0xB0);
+        assert!(mc_all_dominate(&a, &b, &r, LpNorm::L2, &mut rng));
+    }
+
+    #[test]
+    fn optimal_works_under_l1() {
+        let r = rect(0.0, 2.0, 0.0, 0.0);
+        let a = point_rect(2.5, 0.0);
+        let b = point_rect(4.5, 0.0);
+        assert!(dominates_optimal(&a, &b, &r, LpNorm::L1));
+    }
+
+    #[test]
+    #[should_panic(expected = "finite Lp norm")]
+    fn optimal_rejects_linf() {
+        let r = rect(0.0, 1.0, 0.0, 1.0);
+        dominates_optimal(&r, &r, &r, LpNorm::LInf);
+    }
+
+    #[test]
+    fn minmax_supports_linf() {
+        let r = rect(0.0, 1.0, 0.0, 1.0);
+        let a = rect(1.5, 2.0, 0.0, 1.0);
+        let b = rect(10.0, 11.0, 0.0, 1.0);
+        assert!(dominates_minmax(&a, &b, &r, LpNorm::LInf));
+    }
+
+    #[test]
+    fn criterion_enum_dispatch() {
+        let r = rect(0.0, 2.0, 0.0, 0.0);
+        let a = point_rect(2.5, 0.0);
+        let b = point_rect(4.5, 0.0);
+        assert!(DominationCriterion::Optimal.dominates(&a, &b, &r, LpNorm::L2));
+        assert!(!DominationCriterion::MinMax.dominates(&a, &b, &r, LpNorm::L2));
+        assert_eq!(DominationCriterion::default(), DominationCriterion::Optimal);
+    }
+
+    fn arb_rect(range: std::ops::Range<f64>) -> impl Strategy<Value = Rect> {
+        (
+            range.clone(),
+            0.0..2.0f64,
+            range,
+            0.0..2.0f64,
+        )
+            .prop_map(|(x, w, y, h)| rect(x, x + w, y, y + h))
+    }
+
+    proptest! {
+        /// Soundness: whenever the optimal criterion claims domination,
+        /// sampled instantiations must agree.
+        #[test]
+        fn prop_optimal_sound(
+            a in arb_rect(-5.0..5.0),
+            b in arb_rect(-5.0..5.0),
+            r in arb_rect(-5.0..5.0),
+            seed in 0u64..1000,
+        ) {
+            if dominates_optimal(&a, &b, &r, LpNorm::L2) {
+                let mut rng = StdRng::seed_from_u64(seed);
+                prop_assert!(mc_all_dominate(&a, &b, &r, LpNorm::L2, &mut rng));
+            }
+        }
+
+        /// Dominance detected by MinMax is always detected by Optimal
+        /// (Optimal is at least as tight).
+        #[test]
+        fn prop_minmax_implies_optimal(
+            a in arb_rect(-5.0..5.0),
+            b in arb_rect(-5.0..5.0),
+            r in arb_rect(-5.0..5.0),
+        ) {
+            for norm in [LpNorm::L1, LpNorm::L2, LpNorm::P(3)] {
+                if dominates_minmax(&a, &b, &r, norm) {
+                    prop_assert!(dominates_optimal(&a, &b, &r, norm));
+                }
+            }
+        }
+
+        /// Antisymmetry: A and B cannot dominate each other simultaneously.
+        #[test]
+        fn prop_domination_antisymmetric(
+            a in arb_rect(-5.0..5.0),
+            b in arb_rect(-5.0..5.0),
+            r in arb_rect(-5.0..5.0),
+        ) {
+            let ab = dominates_optimal(&a, &b, &r, LpNorm::L2);
+            let ba = dominates_optimal(&b, &a, &r, LpNorm::L2);
+            prop_assert!(!(ab && ba));
+        }
+
+        /// For certain points the criterion is exactly the distance
+        /// comparison.
+        #[test]
+        fn prop_certain_points_exact(
+            ax in -5.0..5.0f64, ay in -5.0..5.0f64,
+            bx in -5.0..5.0f64, by in -5.0..5.0f64,
+            rx in -5.0..5.0f64, ry in -5.0..5.0f64,
+        ) {
+            let a = point_rect(ax, ay);
+            let b = point_rect(bx, by);
+            let r = point_rect(rx, ry);
+            let pa = Point::from([ax, ay]);
+            let pb = Point::from([bx, by]);
+            let pr = Point::from([rx, ry]);
+            let expected = LpNorm::L2.dist(&pa, &pr) < LpNorm::L2.dist(&pb, &pr);
+            prop_assert_eq!(dominates_optimal(&a, &b, &r, LpNorm::L2), expected);
+            prop_assert_eq!(dominates_minmax(&a, &b, &r, LpNorm::L2), expected);
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! Classic (univariate) generating functions and the two-regular-GF
+//! bounding scheme.
+//!
+//! `F^N = Π_i (1 − p_i + p_i·x)`: the coefficient of `x^j` is the
+//! probability that exactly `j` of the independent Bernoulli events occur
+//! (§IV-C, following Li/Saha/Deshpande). Incremental multiplication keeps
+//! the cost `O(N)` per factor, and dropping coefficients `x^j, j ≥ k`
+//! reduces the total to `O(k·N)` when only `P(count < k)` is needed.
+
+use crate::bounds::CountDistributionBounds;
+use crate::poisson::poisson_binomial;
+
+/// An incrementally built classic generating function.
+#[derive(Debug, Clone)]
+pub struct ClassicGf {
+    /// `coeffs[j] =` coefficient of `x^j`.
+    coeffs: Vec<f64>,
+    truncate_at: Option<usize>,
+}
+
+impl ClassicGf {
+    /// The empty product `F^0 = 1`. With `truncate_at = Some(k)` only the
+    /// coefficients of `x^0..x^(k−1)` are maintained.
+    pub fn new(truncate_at: Option<usize>) -> Self {
+        ClassicGf {
+            coeffs: vec![1.0],
+            truncate_at,
+        }
+    }
+
+    /// Multiplies by the factor `(1 − p + p·x)`.
+    pub fn multiply(&mut self, p: f64) {
+        debug_assert!((-1e-9..=1.0 + 1e-9).contains(&p), "probability out of range: {p}");
+        let p = p.clamp(0.0, 1.0);
+        let q = 1.0 - p;
+        let keep = self.truncate_at.unwrap_or(usize::MAX);
+        if self.coeffs.len() < keep {
+            self.coeffs.push(0.0);
+        }
+        for j in (0..self.coeffs.len()).rev() {
+            let carry = if j > 0 { p * self.coeffs[j - 1] } else { 0.0 };
+            self.coeffs[j] = q * self.coeffs[j] + carry;
+        }
+    }
+
+    /// The coefficient of `x^j` — `P(count = j)` (0 beyond the kept range).
+    pub fn coefficient(&self, j: usize) -> f64 {
+        self.coeffs.get(j).copied().unwrap_or(0.0)
+    }
+
+    /// All kept coefficients.
+    pub fn coefficients(&self) -> &[f64] {
+        &self.coeffs
+    }
+
+    /// `P(count < k)` (exact when `k` is within the kept range).
+    pub fn cdf(&self, k: usize) -> f64 {
+        self.coeffs[..k.min(self.coeffs.len())].iter().sum()
+    }
+}
+
+/// The *two-regular-GF* approximation of the domination-count PDF the
+/// paper's technical report compares the UGF against: one GF built from
+/// the conservative probabilities `pLB_i`, one from the progressive
+/// `pUB_i`.
+///
+/// `P(count < k)` is monotonically decreasing in every `p_i`, so the
+/// CDF built from the upper probabilities lower-bounds the true CDF and
+/// vice versa; per-`k` bounds follow by differencing:
+///
+/// ```text
+/// P(count = k) ∈ [ max(0, cdfLB(k+1) − cdfUB(k)),
+///                  min(1, cdfUB(k+1) − cdfLB(k)) ]
+/// ```
+///
+/// These bounds are *correct* but provably looser than the UGF's
+/// (benchmarked in `ablation_ugf_vs_two_gf`).
+pub fn two_gf_bounds(p_lb: &[f64], p_ub: &[f64]) -> CountDistributionBounds {
+    assert_eq!(p_lb.len(), p_ub.len(), "bound vectors must align");
+    let n = p_lb.len();
+    let low_dist = poisson_binomial(p_lb, None); // stochastically smallest count
+    let high_dist = poisson_binomial(p_ub, None); // stochastically largest count
+    // prefix CDFs: cdf_low_probs(k) = P(count < k) when every p_i = pLB_i
+    let cdf_at = |dist: &[f64], k: usize| -> f64 { dist[..k.min(dist.len())].iter().sum() };
+    let mut lower = Vec::with_capacity(n + 1);
+    let mut upper = Vec::with_capacity(n + 1);
+    for k in 0..=n {
+        // true CDF(k) ∈ [cdf_at(high), cdf_at(low)]
+        let cdf_lb_k = cdf_at(&high_dist, k);
+        let cdf_ub_k = cdf_at(&low_dist, k);
+        let cdf_lb_k1 = cdf_at(&high_dist, k + 1);
+        let cdf_ub_k1 = cdf_at(&low_dist, k + 1);
+        lower.push((cdf_lb_k1 - cdf_ub_k).max(0.0));
+        upper.push((cdf_ub_k1 - cdf_lb_k).clamp(0.0, 1.0));
+    }
+    CountDistributionBounds::new(lower, upper)
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn paper_example2_expansions() {
+        // Example 2 with k = 2: F1, F2, F3 coefficient checks
+        let mut gf = ClassicGf::new(Some(2));
+        gf.multiply(0.2);
+        assert!((gf.coefficient(0) - 0.8).abs() < 1e-12);
+        assert!((gf.coefficient(1) - 0.2).abs() < 1e-12);
+        gf.multiply(0.1);
+        assert!((gf.coefficient(0) - 0.72).abs() < 1e-12);
+        assert!((gf.coefficient(1) - 0.26).abs() < 1e-12);
+        gf.multiply(0.3);
+        assert!((gf.coefficient(0) - 0.504).abs() < 1e-12);
+        // the paper prints 0.418 here; the correct product
+        // 0.26·0.7 + 0.72·0.3 is 0.398 (see poisson::tests for the full
+        // distribution cross-check)
+        assert!((gf.coefficient(1) - 0.398).abs() < 1e-12);
+        assert!((gf.cdf(2) - 0.902).abs() < 1e-12);
+    }
+
+    #[test]
+    fn untruncated_matches_poisson() {
+        let probs = [0.2, 0.5, 0.9, 0.1];
+        let mut gf = ClassicGf::new(None);
+        for &p in &probs {
+            gf.multiply(p);
+        }
+        let pb = poisson_binomial(&probs, None);
+        assert_eq!(gf.coefficients().len(), pb.len());
+        for (a, b) in gf.coefficients().iter().zip(pb.iter()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn two_gf_bounds_collapse_when_tight() {
+        // pLB == pUB: the two GFs coincide and the bounds pin the exact PDF
+        let p = [0.2, 0.7];
+        let b = two_gf_bounds(&p, &p);
+        let exact = poisson_binomial(&p, None);
+        for k in 0..exact.len() {
+            assert!((b.lower(k) - exact[k]).abs() < 1e-9, "k={k}");
+            assert!((b.upper(k) - exact[k]).abs() < 1e-9, "k={k}");
+        }
+    }
+
+    #[test]
+    fn two_gf_bounds_bracket_any_consistent_instance() {
+        let p_lb = [0.2, 0.6];
+        let p_ub = [0.5, 0.8];
+        let b = two_gf_bounds(&p_lb, &p_ub);
+        // any true probabilities inside the per-variable bounds must be
+        // bracketed
+        for &p1 in &[0.2, 0.35, 0.5] {
+            for &p2 in &[0.6, 0.7, 0.8] {
+                let exact = poisson_binomial(&[p1, p2], None);
+                for k in 0..exact.len() {
+                    assert!(
+                        exact[k] >= b.lower(k) - 1e-9 && exact[k] <= b.upper(k) + 1e-9,
+                        "p=({p1},{p2}) k={k} exact={} bounds=[{},{}]",
+                        exact[k],
+                        b.lower(k),
+                        b.upper(k)
+                    );
+                }
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_truncated_is_prefix(
+            probs in proptest::collection::vec(0.0..1.0f64, 1..12),
+            k in 1usize..8,
+        ) {
+            let mut full = ClassicGf::new(None);
+            let mut trunc = ClassicGf::new(Some(k));
+            for &p in &probs {
+                full.multiply(p);
+                trunc.multiply(p);
+            }
+            for j in 0..k {
+                prop_assert!((full.coefficient(j) - trunc.coefficient(j)).abs() < 1e-9);
+            }
+        }
+
+        #[test]
+        fn prop_two_gf_sound(
+            pairs in proptest::collection::vec((0.0..1.0f64, 0.0..1.0f64), 1..8),
+            ts in proptest::collection::vec(0.0..1.0f64, 8),
+        ) {
+            let p_lb: Vec<f64> = pairs.iter().map(|(a, b)| a.min(*b)).collect();
+            let p_ub: Vec<f64> = pairs.iter().map(|(a, b)| a.max(*b)).collect();
+            let bounds = two_gf_bounds(&p_lb, &p_ub);
+            // an arbitrary consistent instantiation
+            let probs: Vec<f64> = p_lb
+                .iter()
+                .zip(p_ub.iter())
+                .zip(ts.iter())
+                .map(|((l, u), t)| l + t * (u - l))
+                .collect();
+            let exact = poisson_binomial(&probs, None);
+            for k in 0..exact.len() {
+                prop_assert!(exact[k] >= bounds.lower(k) - 1e-9);
+                prop_assert!(exact[k] <= bounds.upper(k) + 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Poisson-binomial recurrence.
+//!
+//! The exact distribution of `Σ X_i` for independent Bernoulli variables
+//! with success probabilities `p_i`. Referenced by the paper (§IV-C) as
+//! the `O(N)`-per-step / `O(N²)`-total dynamic program; the Monte-Carlo
+//! baseline uses it with exact per-sample probabilities.
+
+/// Computes `P(Σ X_i = k)` for `k = 0..=n` from success probabilities
+/// `probs` (each in `[0, 1]`).
+///
+/// With `truncate_at = Some(k)`, only `P(Σ = 0..k)` are maintained
+/// (`O(k·N)` instead of `O(N²)`); the returned vector then has length
+/// `min(k, n + 1)` and omits the probability mass at counts `≥ k`.
+pub fn poisson_binomial(probs: &[f64], truncate_at: Option<usize>) -> Vec<f64> {
+    debug_assert!(
+        probs.iter().all(|p| (-1e-9..=1.0 + 1e-9).contains(p)),
+        "probabilities must be in [0, 1]"
+    );
+    let full_len = probs.len() + 1;
+    let keep = truncate_at.map_or(full_len, |k| k.min(full_len));
+    if keep == 0 {
+        return Vec::new();
+    }
+    // dist[k] = P(sum of processed variables = k)
+    let mut dist = Vec::with_capacity(keep);
+    dist.push(1.0f64);
+    for (processed, &p) in probs.iter().enumerate() {
+        let p = p.clamp(0.0, 1.0);
+        let q = 1.0 - p;
+        let cur_len = dist.len();
+        let new_len = (processed + 2).min(keep);
+        if new_len > cur_len {
+            dist.push(0.0);
+        }
+        // in-place back-to-front update: dist[k] = q·dist[k] + p·dist[k−1]
+        for k in (0..dist.len()).rev() {
+            let from_below = if k > 0 { p * dist[k - 1] } else { 0.0 };
+            dist[k] = q * dist[k] + from_below;
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Brute-force oracle: enumerate all 2^n worlds.
+    fn brute_force(probs: &[f64]) -> Vec<f64> {
+        let n = probs.len();
+        let mut dist = vec![0.0; n + 1];
+        for mask in 0u32..(1 << n) {
+            let mut p = 1.0;
+            let mut ones = 0;
+            for (i, &pi) in probs.iter().enumerate() {
+                if mask & (1 << i) != 0 {
+                    p *= pi;
+                    ones += 1;
+                } else {
+                    p *= 1.0 - pi;
+                }
+            }
+            dist[ones] += p;
+        }
+        dist
+    }
+
+    #[test]
+    fn empty_input_is_point_mass_at_zero() {
+        assert_eq!(poisson_binomial(&[], None), vec![1.0]);
+    }
+
+    #[test]
+    fn single_variable() {
+        let d = poisson_binomial(&[0.3], None);
+        assert!((d[0] - 0.7).abs() < 1e-12);
+        assert!((d[1] - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_example2_probabilities() {
+        // Example 2: P(X1)=0.2, P(X2)=0.1, P(X3)=0.3.
+        // The paper prints 0.418x + 0.504 for F3, but 0.26·0.7 + 0.72·0.3
+        // = 0.398 — a typo in the paper's arithmetic (its own x²-dropping
+        // rule is applied correctly; only the x¹ product is off). The
+        // exact distribution is {0.504, 0.398, 0.092, 0.006}.
+        let d = poisson_binomial(&[0.2, 0.1, 0.3], None);
+        assert!((d[0] - 0.504).abs() < 1e-12);
+        assert!((d[1] - 0.398).abs() < 1e-12);
+        assert!((d[2] - 0.092).abs() < 1e-12);
+        assert!((d[3] - 0.006).abs() < 1e-12);
+        // P(count < 2) = 0.902 -> B is a hit for tau <= 90.2%
+        assert!((d[0] + d[1] - 0.902).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_example2_truncated() {
+        let d = poisson_binomial(&[0.2, 0.1, 0.3], Some(2));
+        assert_eq!(d.len(), 2);
+        assert!((d[0] - 0.504).abs() < 1e-12);
+        assert!((d[1] - 0.398).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_variables() {
+        let d = poisson_binomial(&[1.0, 1.0, 0.0], None);
+        assert!((d[2] - 1.0).abs() < 1e-12);
+        assert!(d[0].abs() < 1e-12 && d[1].abs() < 1e-12 && d[3].abs() < 1e-12);
+    }
+
+    #[test]
+    fn identical_halves_are_binomial() {
+        let d = poisson_binomial(&[0.5; 4], None);
+        let expect = [1.0, 4.0, 6.0, 4.0, 1.0].map(|c| c / 16.0);
+        for (a, e) in d.iter().zip(expect.iter()) {
+            assert!((a - e).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn truncate_zero_returns_empty() {
+        assert!(poisson_binomial(&[0.5], Some(0)).is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_matches_brute_force(probs in proptest::collection::vec(0.0..1.0f64, 1..10)) {
+            let fast = poisson_binomial(&probs, None);
+            let slow = brute_force(&probs);
+            prop_assert_eq!(fast.len(), slow.len());
+            for (f, s) in fast.iter().zip(slow.iter()) {
+                prop_assert!((f - s).abs() < 1e-9);
+            }
+        }
+
+        #[test]
+        fn prop_sums_to_one(probs in proptest::collection::vec(0.0..1.0f64, 0..20)) {
+            let d = poisson_binomial(&probs, None);
+            let total: f64 = d.iter().sum();
+            prop_assert!((total - 1.0).abs() < 1e-9);
+        }
+
+        #[test]
+        fn prop_truncation_is_prefix(
+            probs in proptest::collection::vec(0.0..1.0f64, 1..15),
+            k in 1usize..10,
+        ) {
+            let full = poisson_binomial(&probs, None);
+            let trunc = poisson_binomial(&probs, Some(k));
+            prop_assert_eq!(trunc.len(), k.min(full.len()));
+            for (t, f) in trunc.iter().zip(full.iter()) {
+                prop_assert!((t - f).abs() < 1e-9);
+            }
+        }
+    }
+}

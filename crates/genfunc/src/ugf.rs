@@ -1,0 +1,424 @@
+//! Uncertain Generating Functions (§IV-C/D — the paper's novel technique).
+//!
+//! For independent Bernoulli variables known only through probability
+//! bounds `pLB_i ≤ P(X_i = 1) ≤ pUB_i`, the UGF
+//!
+//! ```text
+//! F^N = Π_i ( pLB_i·x  +  (pUB_i − pLB_i)·y  +  (1 − pUB_i) )
+//!     = Σ_{i,j} c_{i,j} x^i y^j
+//! ```
+//!
+//! has coefficients with the semantics: *with probability `c_{i,j}` the sum
+//! is certainly at least `i` and possibly up to `i + j`*. Hence
+//!
+//! * `P(Σ = k) ≥ c_{k,0}` (Lemma 4, lower bound),
+//! * `P(Σ = k) ≤ Σ_{i ≤ k, i+j ≥ k} c_{i,j}` (Lemma 4, upper bound),
+//! * `P(Σ < k) ∈ [ Σ_{i+j < k} c_{i,j}, Σ_{i < k} c_{i,j} ]` — the direct
+//!   CDF bounds used by threshold predicates (tighter than differencing
+//!   the per-`k` bounds).
+//!
+//! (The displayed formula in the paper's §IV-C swaps the `y` and constant
+//! terms; Example 3's expansion `0.12x² + 0.34x + 0.22xy + …` confirms the
+//! §IV-D Equation (1) convention implemented here.)
+//!
+//! With `truncate_at = Some(k)` the paper's §VI optimization applies: all
+//! coefficients with the same `i` and `i + j > k` are merged, and certain
+//! counts beyond `k` are absorbed into row `k`, bounding the state to
+//! `O(k²)` and the total cost to `O(k²·N)` instead of `O(N³)`.
+
+use crate::bounds::CountDistributionBounds;
+
+/// An incrementally built uncertain generating function.
+///
+/// ```
+/// use udb_genfunc::Ugf;
+///
+/// // Example 3 of the paper: bounds [0.2, 0.5] and [0.6, 0.8]
+/// let mut f = Ugf::new(None);
+/// f.multiply(0.2, 0.5);
+/// f.multiply(0.6, 0.8);
+/// // P(Σ = 2) ∈ [12 %, 40 %]
+/// assert!((f.lower_bound(2) - 0.12).abs() < 1e-12);
+/// assert!((f.upper_bound(2) - 0.40).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Ugf {
+    /// `rows[i][j] = c_{i,j}`.
+    rows: Vec<Vec<f64>>,
+    truncate_at: Option<usize>,
+    factors: usize,
+}
+
+impl Ugf {
+    /// The empty product `F^0 = 1·x⁰y⁰`.
+    pub fn new(truncate_at: Option<usize>) -> Self {
+        Ugf {
+            rows: vec![vec![1.0]],
+            truncate_at,
+            factors: 0,
+        }
+    }
+
+    /// Number of factors multiplied so far.
+    pub fn factors(&self) -> usize {
+        self.factors
+    }
+
+    /// Maximal row index currently representable.
+    fn row_cap(&self) -> usize {
+        self.truncate_at.unwrap_or(usize::MAX)
+    }
+
+    /// Maximal column index representable in row `i`.
+    fn col_cap(&self, i: usize) -> usize {
+        match self.truncate_at {
+            Some(k) => (k + 1).saturating_sub(i),
+            None => usize::MAX,
+        }
+    }
+
+    /// Multiplies by `(p_lb·x + (p_ub − p_lb)·y + (1 − p_ub))`.
+    ///
+    /// # Panics
+    /// Panics (debug) unless `0 ≤ p_lb ≤ p_ub ≤ 1`.
+    pub fn multiply(&mut self, p_lb: f64, p_ub: f64) {
+        debug_assert!(
+            (-1e-9..=1.0 + 1e-9).contains(&p_lb)
+                && (-1e-9..=1.0 + 1e-9).contains(&p_ub)
+                && p_lb <= p_ub + 1e-9,
+            "invalid probability bounds [{p_lb}, {p_ub}]"
+        );
+        let p_lb = p_lb.clamp(0.0, 1.0);
+        let p_ub = p_ub.clamp(p_lb, 1.0);
+        let unknown = p_ub - p_lb;
+        let zero = 1.0 - p_ub;
+
+        self.factors += 1;
+        let new_rows = (self.factors + 1).min(self.row_cap().saturating_add(1));
+        let mut next: Vec<Vec<f64>> = (0..new_rows)
+            .map(|i| vec![0.0; (self.factors + 1 - i).min(self.col_cap(i).saturating_add(1))])
+            .collect();
+        let row_cap = self.row_cap();
+        let mut add = |i: usize, j: usize, v: f64| {
+            if v == 0.0 {
+                return;
+            }
+            let i = i.min(row_cap);
+            let jc = next[i].len() - 1;
+            next[i][j.min(jc)] += v;
+        };
+        for (i, row) in self.rows.iter().enumerate() {
+            for (j, &c) in row.iter().enumerate() {
+                if c == 0.0 {
+                    continue;
+                }
+                add(i + 1, j, c * p_lb);
+                add(i, j + 1, c * unknown);
+                add(i, j, c * zero);
+            }
+        }
+        self.rows = next;
+    }
+
+    /// The coefficient `c_{i,j}` (0 outside the stored triangle).
+    pub fn coefficient(&self, i: usize, j: usize) -> f64 {
+        self.rows
+            .get(i)
+            .and_then(|row| row.get(j))
+            .copied()
+            .unwrap_or(0.0)
+    }
+
+    /// Total coefficient mass (always 1 up to rounding — the three factor
+    /// terms partition the probability space).
+    pub fn total(&self) -> f64 {
+        self.rows.iter().flatten().sum()
+    }
+
+    /// Lemma 4 lower bound: `P(Σ = k) ≥ c_{k,0}`.
+    pub fn lower_bound(&self, k: usize) -> f64 {
+        self.coefficient(k, 0)
+    }
+
+    /// Lemma 4 upper bound: `P(Σ = k) ≤ Σ_{i ≤ k, i+j ≥ k} c_{i,j}`.
+    pub fn upper_bound(&self, k: usize) -> f64 {
+        let mut sum = 0.0;
+        for i in 0..=k.min(self.rows.len().saturating_sub(1)) {
+            let row = &self.rows[i];
+            for (j, &c) in row.iter().enumerate() {
+                if i + j >= k {
+                    sum += c;
+                }
+            }
+        }
+        sum.min(1.0)
+    }
+
+    /// Per-`k` bounds for `k = 0..len` as a [`CountDistributionBounds`].
+    ///
+    /// With truncation `Some(t)`, `len` must satisfy `len ≤ t` (counts at
+    /// and beyond the truncation point have been merged).
+    pub fn count_bounds(&self, len: usize) -> CountDistributionBounds {
+        if let Some(t) = self.truncate_at {
+            assert!(
+                len <= t,
+                "cannot extract {len} counts from a UGF truncated at {t}"
+            );
+        }
+        let lower: Vec<f64> = (0..len).map(|k| self.lower_bound(k)).collect();
+        let upper: Vec<f64> = (0..len).map(|k| self.upper_bound(k)).collect();
+        CountDistributionBounds::new(lower, upper)
+    }
+
+    /// Direct bounds on the CDF `P(Σ < k)`:
+    /// `[ Σ_{i+j ≤ k−1} c_{i,j}, Σ_{i ≤ k−1} c_{i,j} ]`.
+    ///
+    /// Valid for `k ≤ truncate_at` (merged coefficients all satisfy
+    /// `i + j > truncate_at` or live in rows `≥ truncate_at`).
+    pub fn cdf_bounds(&self, k: usize) -> (f64, f64) {
+        if let Some(t) = self.truncate_at {
+            assert!(k <= t, "cannot extract CDF at {k} from a UGF truncated at {t}");
+        }
+        let mut lo = 0.0;
+        let mut hi = 0.0;
+        for (i, row) in self.rows.iter().enumerate() {
+            if i >= k {
+                break;
+            }
+            for (j, &c) in row.iter().enumerate() {
+                hi += c;
+                if i + j < k {
+                    lo += c;
+                }
+            }
+        }
+        (lo.clamp(0.0, 1.0), hi.clamp(0.0, 1.0))
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)]
+mod tests {
+    use super::*;
+    use crate::classic::ClassicGf;
+    use crate::poisson::poisson_binomial;
+    use proptest::prelude::*;
+
+    /// Example 3 of the paper: two variables with bounds
+    /// `[0.2, 0.5]` and `[0.6, 0.8]`.
+    fn example3() -> Ugf {
+        let mut f = Ugf::new(None);
+        f.multiply(0.2, 0.5);
+        f.multiply(0.6, 0.8);
+        f
+    }
+
+    #[test]
+    fn paper_example3_coefficients() {
+        let f = example3();
+        // F2 = 0.12x² + 0.22xy + 0.34x + 0.06y² + 0.16y + 0.10
+        assert!((f.coefficient(2, 0) - 0.12).abs() < 1e-12);
+        assert!((f.coefficient(1, 1) - 0.22).abs() < 1e-12);
+        assert!((f.coefficient(1, 0) - 0.34).abs() < 1e-12);
+        assert!((f.coefficient(0, 2) - 0.06).abs() < 1e-12);
+        assert!((f.coefficient(0, 1) - 0.16).abs() < 1e-12);
+        assert!((f.coefficient(0, 0) - 0.10).abs() < 1e-12);
+        assert!((f.total() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_example3_bounds() {
+        let f = example3();
+        // P(Σ = 2) ∈ [12%, 40%]
+        assert!((f.lower_bound(2) - 0.12).abs() < 1e-12);
+        assert!((f.upper_bound(2) - 0.40).abs() < 1e-12);
+        // P(Σ = 1) ∈ [34%, 78%]
+        assert!((f.lower_bound(1) - 0.34).abs() < 1e-12);
+        assert!((f.upper_bound(1) - 0.78).abs() < 1e-12);
+        // P(Σ = 0) ∈ [10%, 32%]
+        assert!((f.lower_bound(0) - 0.10).abs() < 1e-12);
+        assert!((f.upper_bound(0) - 0.32).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_example3_count_bounds_struct() {
+        let b = example3().count_bounds(3);
+        for (got, want) in b.lower_slice().iter().zip([0.10, 0.34, 0.12]) {
+            assert!((got - want).abs() < 1e-12);
+        }
+        assert!((b.upper(0) - 0.32).abs() < 1e-12);
+        assert!((b.upper(1) - 0.78).abs() < 1e-12);
+        assert!((b.upper(2) - 0.40).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_bounds_direct() {
+        let f = example3();
+        // P(Σ < 2): lower = c00 + c10 + c01 = 0.60, upper = rows 0..=1 = 0.88
+        let (lo, hi) = f.cdf_bounds(2);
+        assert!((lo - 0.60).abs() < 1e-12);
+        assert!((hi - 0.88).abs() < 1e-12);
+        // P(Σ < 0) is empty
+        assert_eq!(f.cdf_bounds(0), (0.0, 0.0));
+    }
+
+    #[test]
+    fn tight_probabilities_reduce_to_classic_gf() {
+        let probs = [0.2, 0.1, 0.3];
+        let mut ugf = Ugf::new(None);
+        let mut gf = ClassicGf::new(None);
+        for &p in &probs {
+            ugf.multiply(p, p);
+            gf.multiply(p);
+        }
+        for k in 0..=probs.len() {
+            assert!((ugf.lower_bound(k) - gf.coefficient(k)).abs() < 1e-12);
+            assert!((ugf.upper_bound(k) - gf.coefficient(k)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn truncation_matches_full_for_small_counts() {
+        let pairs = [(0.1, 0.4), (0.3, 0.5), (0.2, 0.9), (0.0, 1.0), (0.6, 0.6)];
+        let mut full = Ugf::new(None);
+        let mut trunc = Ugf::new(Some(2));
+        for &(l, u) in &pairs {
+            full.multiply(l, u);
+            trunc.multiply(l, u);
+        }
+        for k in 0..2 {
+            assert!(
+                (full.lower_bound(k) - trunc.lower_bound(k)).abs() < 1e-12,
+                "lower at {k}"
+            );
+            assert!(
+                (full.upper_bound(k) - trunc.upper_bound(k)).abs() < 1e-12,
+                "upper at {k}"
+            );
+        }
+        let (flo, fhi) = full.cdf_bounds(2);
+        let (tlo, thi) = trunc.cdf_bounds(2);
+        assert!((flo - tlo).abs() < 1e-12);
+        assert!((fhi - thi).abs() < 1e-12);
+        assert!((trunc.total() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn truncated_state_is_bounded() {
+        let mut f = Ugf::new(Some(3));
+        for _ in 0..200 {
+            f.multiply(0.2, 0.7);
+        }
+        // rows 0..=3, row i has at most 3 + 2 − i entries
+        assert!(f.rows.len() <= 4);
+        for (i, row) in f.rows.iter().enumerate() {
+            assert!(row.len() <= 4 + 1 - i);
+        }
+        assert!((f.total() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "truncated at")]
+    fn count_bounds_beyond_truncation_rejected() {
+        let mut f = Ugf::new(Some(2));
+        f.multiply(0.1, 0.5);
+        let _ = f.count_bounds(3);
+    }
+
+    #[test]
+    fn certain_domination_shifts_counts() {
+        let mut f = Ugf::new(None);
+        f.multiply(1.0, 1.0);
+        f.multiply(1.0, 1.0);
+        assert!((f.lower_bound(2) - 1.0).abs() < 1e-12);
+        assert!((f.upper_bound(2) - 1.0).abs() < 1e-12);
+        assert_eq!(f.lower_bound(0), 0.0);
+        assert_eq!(f.upper_bound(1), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_total_mass_one(
+            pairs in proptest::collection::vec((0.0..1.0f64, 0.0..1.0f64), 0..12)
+        ) {
+            let mut f = Ugf::new(None);
+            for (a, b) in &pairs {
+                f.multiply(a.min(*b), a.max(*b));
+            }
+            prop_assert!((f.total() - 1.0).abs() < 1e-9);
+        }
+
+        /// Soundness: for any instantiation of the true probabilities
+        /// inside the per-variable bounds, the exact Poisson-binomial PDF
+        /// lies inside the UGF bounds, and the exact CDF inside the CDF
+        /// bounds.
+        #[test]
+        fn prop_ugf_brackets_exact(
+            pairs in proptest::collection::vec((0.0..1.0f64, 0.0..1.0f64), 1..9),
+            ts in proptest::collection::vec(0.0..1.0f64, 9),
+        ) {
+            let mut f = Ugf::new(None);
+            let mut probs = Vec::new();
+            for ((a, b), t) in pairs.iter().zip(ts.iter()) {
+                let (lo, hi) = (a.min(*b), a.max(*b));
+                f.multiply(lo, hi);
+                probs.push(lo + t * (hi - lo));
+            }
+            let exact = poisson_binomial(&probs, None);
+            for k in 0..exact.len() {
+                prop_assert!(exact[k] >= f.lower_bound(k) - 1e-9,
+                    "k={k} exact={} lb={}", exact[k], f.lower_bound(k));
+                prop_assert!(exact[k] <= f.upper_bound(k) + 1e-9,
+                    "k={k} exact={} ub={}", exact[k], f.upper_bound(k));
+            }
+            for k in 0..=exact.len() {
+                let cdf: f64 = exact[..k].iter().sum();
+                let (lo, hi) = f.cdf_bounds(k);
+                prop_assert!(cdf >= lo - 1e-9);
+                prop_assert!(cdf <= hi + 1e-9);
+            }
+        }
+
+        /// The UGF per-k bounds are never looser than the two-regular-GF
+        /// bounds (the technical-report claim the paper summarizes in
+        /// §IV-D).
+        #[test]
+        fn prop_ugf_at_least_as_tight_as_two_gf(
+            pairs in proptest::collection::vec((0.0..1.0f64, 0.0..1.0f64), 1..8)
+        ) {
+            let p_lb: Vec<f64> = pairs.iter().map(|(a, b)| a.min(*b)).collect();
+            let p_ub: Vec<f64> = pairs.iter().map(|(a, b)| a.max(*b)).collect();
+            let mut f = Ugf::new(None);
+            for (l, u) in p_lb.iter().zip(p_ub.iter()) {
+                f.multiply(*l, *u);
+            }
+            let two = crate::classic::two_gf_bounds(&p_lb, &p_ub);
+            let ugf_b = f.count_bounds(p_lb.len() + 1);
+            let ugf_unc = ugf_b.uncertainty();
+            let two_unc = two.uncertainty();
+            prop_assert!(ugf_unc <= two_unc + 1e-9,
+                "UGF uncertainty {ugf_unc} vs two-GF {two_unc}");
+        }
+
+        #[test]
+        fn prop_truncated_prefix_equivalence(
+            pairs in proptest::collection::vec((0.0..1.0f64, 0.0..1.0f64), 1..10),
+            k in 1usize..6,
+        ) {
+            let mut full = Ugf::new(None);
+            let mut trunc = Ugf::new(Some(k));
+            for (a, b) in &pairs {
+                full.multiply(a.min(*b), a.max(*b));
+                trunc.multiply(a.min(*b), a.max(*b));
+            }
+            for x in 0..k {
+                prop_assert!((full.lower_bound(x) - trunc.lower_bound(x)).abs() < 1e-9);
+                prop_assert!((full.upper_bound(x) - trunc.upper_bound(x)).abs() < 1e-9);
+            }
+            let (flo, fhi) = full.cdf_bounds(k);
+            let (tlo, thi) = trunc.cdf_bounds(k);
+            prop_assert!((flo - tlo).abs() < 1e-9);
+            prop_assert!((fhi - thi).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! `Lp` norms.
+//!
+//! The paper states its techniques for arbitrary `Lp` norms (footnote 1);
+//! Euclidean distance is the default throughout the evaluation. Domination
+//! criteria compare *p-th powers* of per-dimension distances, so the norm
+//! type exposes both the full distance and the `powi`-style per-dimension
+//! contribution used in Corollary 1.
+
+use serde::{Deserialize, Serialize};
+
+use crate::point::Point;
+
+/// An `Lp` norm with integer `p >= 1`, or the Chebyshev (`L∞`) norm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Default)]
+pub enum LpNorm {
+    /// Manhattan distance.
+    L1,
+    /// Euclidean distance (the paper's default).
+    #[default]
+    L2,
+    /// General `Lp` with integer `p >= 1`.
+    P(u32),
+    /// Chebyshev distance (`max` over dimensions).
+    LInf,
+}
+
+
+impl LpNorm {
+    /// The exponent `p` as `f64`; `None` for `L∞`.
+    pub fn exponent(&self) -> Option<f64> {
+        match self {
+            LpNorm::L1 => Some(1.0),
+            LpNorm::L2 => Some(2.0),
+            LpNorm::P(p) => Some(f64::from(*p)),
+            LpNorm::LInf => None,
+        }
+    }
+
+    /// `|d|^p`, the per-dimension contribution to the p-th power of the
+    /// distance. For `L∞` this is `|d|` (aggregation is then `max`).
+    #[inline]
+    pub fn pow(&self, d: f64) -> f64 {
+        match self {
+            LpNorm::L1 => d.abs(),
+            LpNorm::L2 => d * d,
+            LpNorm::P(p) => d.abs().powi(*p as i32),
+            LpNorm::LInf => d.abs(),
+        }
+    }
+
+    /// Aggregates per-dimension contributions: sum for finite `p`, max for
+    /// `L∞`.
+    #[inline]
+    pub fn aggregate(&self, contributions: impl IntoIterator<Item = f64>) -> f64 {
+        match self {
+            LpNorm::LInf => contributions
+                .into_iter()
+                .fold(0.0f64, |acc, c| acc.max(c)),
+            _ => contributions.into_iter().sum(),
+        }
+    }
+
+    /// Inverts the aggregation: `agg^(1/p)` for finite `p`, identity for
+    /// `L∞`.
+    #[inline]
+    pub fn root(&self, agg: f64) -> f64 {
+        match self {
+            LpNorm::L1 | LpNorm::LInf => agg,
+            LpNorm::L2 => agg.sqrt(),
+            LpNorm::P(p) => agg.powf(1.0 / f64::from(*p)),
+        }
+    }
+
+    /// Full distance between two points under this norm.
+    pub fn dist(&self, a: &Point, b: &Point) -> f64 {
+        debug_assert_eq!(a.dims(), b.dims());
+        let agg = self.aggregate(
+            a.coords()
+                .iter()
+                .zip(b.coords().iter())
+                .map(|(x, y)| self.pow(x - y)),
+        );
+        self.root(agg)
+    }
+
+    /// Distance raised to the p-th power (identity under `L∞`). Cheaper than
+    /// [`LpNorm::dist`] and sufficient wherever only comparisons are needed.
+    pub fn dist_pow(&self, a: &Point, b: &Point) -> f64 {
+        debug_assert_eq!(a.dims(), b.dims());
+        self.aggregate(
+            a.coords()
+                .iter()
+                .zip(b.coords().iter())
+                .map(|(x, y)| self.pow(x - y)),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn pts() -> (Point, Point) {
+        (Point::from([0.0, 0.0]), Point::from([3.0, 4.0]))
+    }
+
+    #[test]
+    fn l2_matches_euclid() {
+        let (a, b) = pts();
+        assert_eq!(LpNorm::L2.dist(&a, &b), 5.0);
+        assert_eq!(LpNorm::L2.dist_pow(&a, &b), 25.0);
+    }
+
+    #[test]
+    fn l1_is_sum_of_abs() {
+        let (a, b) = pts();
+        assert_eq!(LpNorm::L1.dist(&a, &b), 7.0);
+    }
+
+    #[test]
+    fn linf_is_max() {
+        let (a, b) = pts();
+        assert_eq!(LpNorm::LInf.dist(&a, &b), 4.0);
+    }
+
+    #[test]
+    fn p3_norm() {
+        let a = Point::from([0.0]);
+        let b = Point::from([2.0]);
+        assert!((LpNorm::P(3).dist(&a, &b) - 2.0).abs() < 1e-12);
+        assert_eq!(LpNorm::P(3).dist_pow(&a, &b), 8.0);
+    }
+
+    #[test]
+    fn generic_p2_equals_l2() {
+        let (a, b) = pts();
+        assert!((LpNorm::P(2).dist(&a, &b) - LpNorm::L2.dist(&a, &b)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exponents() {
+        assert_eq!(LpNorm::L1.exponent(), Some(1.0));
+        assert_eq!(LpNorm::L2.exponent(), Some(2.0));
+        assert_eq!(LpNorm::P(4).exponent(), Some(4.0));
+        assert_eq!(LpNorm::LInf.exponent(), None);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_triangle_inequality_l2(
+            ax in -10.0..10.0f64, ay in -10.0..10.0f64,
+            bx in -10.0..10.0f64, by in -10.0..10.0f64,
+            cx in -10.0..10.0f64, cy in -10.0..10.0f64,
+        ) {
+            let a = Point::from([ax, ay]);
+            let b = Point::from([bx, by]);
+            let c = Point::from([cx, cy]);
+            let n = LpNorm::L2;
+            prop_assert!(n.dist(&a, &c) <= n.dist(&a, &b) + n.dist(&b, &c) + 1e-9);
+        }
+
+        #[test]
+        fn prop_norm_ordering(
+            ax in -10.0..10.0f64, ay in -10.0..10.0f64,
+            bx in -10.0..10.0f64, by in -10.0..10.0f64,
+        ) {
+            // ||.||_inf <= ||.||_2 <= ||.||_1 in R^d
+            let a = Point::from([ax, ay]);
+            let b = Point::from([bx, by]);
+            let (l1, l2, li) = (
+                LpNorm::L1.dist(&a, &b),
+                LpNorm::L2.dist(&a, &b),
+                LpNorm::LInf.dist(&a, &b),
+            );
+            prop_assert!(li <= l2 + 1e-12);
+            prop_assert!(l2 <= l1 + 1e-12);
+        }
+
+        #[test]
+        fn prop_dist_pow_consistent(
+            ax in -10.0..10.0f64, ay in -10.0..10.0f64,
+            bx in -10.0..10.0f64, by in -10.0..10.0f64,
+        ) {
+            let a = Point::from([ax, ay]);
+            let b = Point::from([bx, by]);
+            for n in [LpNorm::L1, LpNorm::L2, LpNorm::P(3), LpNorm::LInf] {
+                let d = n.dist(&a, &b);
+                let dp = n.dist_pow(&a, &b);
+                prop_assert!((n.root(dp) - d).abs() < 1e-9);
+            }
+        }
+    }
+}

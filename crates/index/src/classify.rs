@@ -1,0 +1,263 @@
+//! Subtree classification: applying a spatial predicate to whole R-tree
+//! nodes.
+//!
+//! Many pruning rules are *monotone under MBR containment* — if they hold
+//! for a node's MBR they hold for every entry below it (e.g. the optimal
+//! domination criterion of the `udb-domination` crate: enlarging an
+//! object's rectangle only increases its MaxDist terms). For such rules a
+//! single test can accept or reject an entire subtree, turning the `O(N)`
+//! filter step of domination-count queries into an output-sensitive
+//! traversal.
+
+use udb_geometry::Rect;
+
+use crate::node::Node;
+use crate::rtree::RTree;
+
+/// Decision of a spatial classifier for a node or entry MBR.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeDecision {
+    /// Every entry below this MBR satisfies the predicate.
+    TakeAll,
+    /// No entry below this MBR satisfies the predicate (nor is undecided).
+    DropAll,
+    /// Recurse; for leaf entries: classify as undecided.
+    Descend,
+}
+
+/// Outcome of [`RTree::classify_entries`].
+#[derive(Debug, Clone, Default)]
+pub struct ClassifyOutcome<T> {
+    /// Payloads in `TakeAll` subtrees / entries.
+    pub taken: Vec<T>,
+    /// Payloads the classifier could not decide.
+    pub undecided: Vec<T>,
+}
+
+impl<T: Clone> RTree<T> {
+    /// Classifies every entry with a *containment-monotone* spatial
+    /// predicate: `f` is called on node MBRs (deciding whole subtrees) and
+    /// on entry MBRs. The caller must guarantee monotonicity — a
+    /// `TakeAll`/`DropAll` answer for a covering rectangle must be valid
+    /// for every rectangle inside it; otherwise results are meaningless.
+    pub fn classify_entries(&self, mut f: impl FnMut(&Rect) -> NodeDecision) -> ClassifyOutcome<T> {
+        let mut out = ClassifyOutcome {
+            taken: Vec::new(),
+            undecided: Vec::new(),
+        };
+        if let Some(root) = self.root() {
+            classify_rec(root, &mut f, &mut out);
+        }
+        out
+    }
+
+    /// Counts entries under subtrees fully accepted by `f`, without
+    /// collecting payloads (cheaper when only the count matters and no
+    /// undecided handling is needed: `Descend` leaf entries are counted as
+    /// undecided).
+    pub fn classify_count(&self, mut f: impl FnMut(&Rect) -> NodeDecision) -> (usize, usize) {
+        fn rec<T>(
+            node: &Node<T>,
+            f: &mut impl FnMut(&Rect) -> NodeDecision,
+            taken: &mut usize,
+            undecided: &mut usize,
+        ) {
+            match node {
+                Node::Leaf(entries) => {
+                    for (mbr, _) in entries {
+                        match f(mbr) {
+                            NodeDecision::TakeAll => *taken += 1,
+                            NodeDecision::DropAll => {}
+                            NodeDecision::Descend => *undecided += 1,
+                        }
+                    }
+                }
+                Node::Inner(children) => {
+                    for (mbr, child) in children {
+                        match f(mbr) {
+                            NodeDecision::TakeAll => *taken += child.count(),
+                            NodeDecision::DropAll => {}
+                            NodeDecision::Descend => rec(child, f, taken, undecided),
+                        }
+                    }
+                }
+            }
+        }
+        let mut taken = 0;
+        let mut undecided = 0;
+        if let Some(root) = self.root() {
+            rec(root, &mut f, &mut taken, &mut undecided);
+        }
+        (taken, undecided)
+    }
+}
+
+fn classify_rec<T: Clone>(
+    node: &Node<T>,
+    f: &mut impl FnMut(&Rect) -> NodeDecision,
+    out: &mut ClassifyOutcome<T>,
+) {
+    match node {
+        Node::Leaf(entries) => {
+            for (mbr, p) in entries {
+                match f(mbr) {
+                    NodeDecision::TakeAll => out.taken.push(p.clone()),
+                    NodeDecision::DropAll => {}
+                    NodeDecision::Descend => out.undecided.push(p.clone()),
+                }
+            }
+        }
+        Node::Inner(children) => {
+            for (mbr, child) in children {
+                match f(mbr) {
+                    NodeDecision::TakeAll => collect_all(child, out),
+                    NodeDecision::DropAll => {}
+                    NodeDecision::Descend => classify_rec(child, f, out),
+                }
+            }
+        }
+    }
+}
+
+fn collect_all<T: Clone>(node: &Node<T>, out: &mut ClassifyOutcome<T>) {
+    match node {
+        Node::Leaf(entries) => out.taken.extend(entries.iter().map(|(_, p)| p.clone())),
+        Node::Inner(children) => {
+            for (_, child) in children {
+                collect_all(child, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use udb_geometry::{Interval, Point};
+
+    fn pt(x: f64, y: f64) -> Rect {
+        Rect::from_point(&Point::from([x, y]))
+    }
+
+    fn classifier(cut: f64) -> impl FnMut(&Rect) -> NodeDecision {
+        // monotone rule: take MBRs entirely left of `cut`, drop entirely
+        // right, descend otherwise
+        move |mbr: &Rect| {
+            if mbr.dim(0).hi() < cut {
+                NodeDecision::TakeAll
+            } else if mbr.dim(0).lo() > cut {
+                NodeDecision::DropAll
+            } else {
+                NodeDecision::Descend
+            }
+        }
+    }
+
+    #[test]
+    fn classify_partitions_by_rule() {
+        let items: Vec<(Rect, usize)> = (0..100).map(|i| (pt(i as f64, 0.0), i)).collect();
+        let tree = RTree::bulk_load(items, 8);
+        let out = tree.classify_entries(classifier(49.5));
+        let mut taken = out.taken.clone();
+        taken.sort_unstable();
+        assert_eq!(taken, (0..50).collect::<Vec<_>>());
+        assert!(out.undecided.is_empty());
+    }
+
+    #[test]
+    fn straddling_entries_are_undecided() {
+        let items = vec![
+            (
+                Rect::new(vec![Interval::new(0.0, 2.0), Interval::point(0.0)]),
+                0usize,
+            ),
+            (pt(5.0, 0.0), 1),
+            (pt(-5.0, 0.0), 2),
+        ];
+        let tree = RTree::bulk_load(items, 4);
+        let out = tree.classify_entries(classifier(1.0));
+        assert_eq!(out.undecided, vec![0]);
+        assert_eq!(out.taken, vec![2]);
+    }
+
+    #[test]
+    fn classify_count_matches_entries() {
+        let items: Vec<(Rect, usize)> = (0..257).map(|i| (pt(i as f64, 0.0), i)).collect();
+        let tree = RTree::bulk_load(items, 8);
+        let out = tree.classify_entries(classifier(100.2));
+        let (taken, undecided) = tree.classify_count(classifier(100.2));
+        assert_eq!(taken, out.taken.len());
+        assert_eq!(undecided, out.undecided.len());
+        assert_eq!(taken, 101);
+    }
+
+    #[test]
+    fn empty_tree_classifies_empty() {
+        let tree: RTree<usize> = RTree::new(4);
+        let out = tree.classify_entries(|_| NodeDecision::TakeAll);
+        assert!(out.taken.is_empty());
+        assert!(out.undecided.is_empty());
+        assert_eq!(tree.classify_count(|_| NodeDecision::TakeAll), (0, 0));
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(24))]
+            /// Subtree classification with a monotone rule matches
+            /// per-entry brute force, for both bulk-loaded and
+            /// incrementally built trees.
+            #[test]
+            fn prop_classify_matches_bruteforce(seed in 0u64..500, cut in 0.0..100.0f64) {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let items: Vec<(Rect, usize)> = (0..150)
+                    .map(|i| {
+                        let x: f64 = rng.gen_range(0.0..100.0);
+                        let w: f64 = rng.gen_range(0.0..3.0);
+                        (
+                            Rect::new(vec![
+                                Interval::new(x, x + w),
+                                Interval::new(0.0, 1.0),
+                            ]),
+                            i,
+                        )
+                    })
+                    .collect();
+                let bulk = RTree::bulk_load(items.clone(), 8);
+                let mut incr = RTree::new(8);
+                for (r, p) in items.clone() {
+                    incr.insert(r, p);
+                }
+                for tree in [&bulk, &incr] {
+                    let out = tree.classify_entries(classifier(cut));
+                    let mut taken = out.taken.clone();
+                    let mut undecided = out.undecided.clone();
+                    taken.sort_unstable();
+                    undecided.sort_unstable();
+                    let mut want_taken: Vec<usize> = items
+                        .iter()
+                        .filter(|(r, _)| r.dim(0).hi() < cut)
+                        .map(|(_, i)| *i)
+                        .collect();
+                    let mut want_undecided: Vec<usize> = items
+                        .iter()
+                        .filter(|(r, _)| r.dim(0).contains(cut))
+                        .map(|(_, i)| *i)
+                        .collect();
+                    want_taken.sort_unstable();
+                    want_undecided.sort_unstable();
+                    prop_assert_eq!(&taken, &want_taken);
+                    prop_assert_eq!(&undecided, &want_undecided);
+                    // counting variant agrees
+                    let (t, u) = tree.classify_count(classifier(cut));
+                    prop_assert_eq!(t, want_taken.len());
+                    prop_assert_eq!(u, want_undecided.len());
+                }
+            }
+        }
+    }
+}

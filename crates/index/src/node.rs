@@ -1,0 +1,176 @@
+//! R-tree node representation and split algorithms.
+
+use udb_geometry::Rect;
+
+/// Maximum node fan-out used when none is specified.
+pub const DEFAULT_MAX_ENTRIES: usize = 16;
+
+/// A node of the R-tree.
+#[derive(Debug, Clone)]
+pub(crate) enum Node<T> {
+    /// Leaf: data entries `(mbr, payload)`.
+    Leaf(Vec<(Rect, T)>),
+    /// Inner: child subtrees with their covering boxes.
+    Inner(Vec<(Rect, Node<T>)>),
+}
+
+impl<T> Node<T> {
+    #[cfg(test)]
+    pub(crate) fn is_leaf(&self) -> bool {
+        matches!(self, Node::Leaf(_))
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        match self {
+            Node::Leaf(es) => es.len(),
+            Node::Inner(cs) => cs.len(),
+        }
+    }
+
+    /// The minimal box covering all entries.
+    ///
+    /// # Panics
+    /// Panics on an empty node (never constructed by the tree).
+    pub(crate) fn mbr(&self) -> Rect {
+        match self {
+            Node::Leaf(es) => Rect::union_all(es.iter().map(|(r, _)| r)),
+            Node::Inner(cs) => Rect::union_all(cs.iter().map(|(r, _)| r)),
+        }
+    }
+
+    /// Height of the subtree (leaf = 1).
+    pub(crate) fn height(&self) -> usize {
+        match self {
+            Node::Leaf(_) => 1,
+            Node::Inner(cs) => 1 + cs.iter().map(|(_, c)| c.height()).max().unwrap_or(0),
+        }
+    }
+
+    /// Total number of data entries below this node.
+    pub(crate) fn count(&self) -> usize {
+        match self {
+            Node::Leaf(es) => es.len(),
+            Node::Inner(cs) => cs.iter().map(|(_, c)| c.count()).sum(),
+        }
+    }
+}
+
+/// Two groups of `(mbr, payload)` entries produced by a node split.
+pub(crate) type SplitGroups<E> = (Vec<(Rect, E)>, Vec<(Rect, E)>);
+
+/// Splits an over-full entry list into two groups using the R*-tree axis
+/// split: pick the axis with minimal total margin over all candidate
+/// distributions, then the distribution with minimal overlap (ties:
+/// minimal combined volume).
+///
+/// Entries are `(mbr, payload)`; `min_entries` bounds the smaller group.
+pub(crate) fn split_entries<E>(
+    mut entries: Vec<(Rect, E)>,
+    min_entries: usize,
+) -> SplitGroups<E> {
+    let total = entries.len();
+    debug_assert!(total >= 2 * min_entries, "not enough entries to split");
+    let dims = entries[0].0.dims();
+
+    // choose the split axis by minimal margin sum over candidate splits of
+    // the entries sorted by interval lower bound
+    let mut best_axis = 0;
+    let mut best_margin = f64::INFINITY;
+    for axis in 0..dims {
+        entries.sort_by(|a, b| {
+            a.0.dim(axis)
+                .lo()
+                .partial_cmp(&b.0.dim(axis).lo())
+                .expect("NaN in MBR")
+        });
+        let mut margin = 0.0;
+        for split in min_entries..=(total - min_entries) {
+            let left = Rect::union_all(entries[..split].iter().map(|(r, _)| r));
+            let right = Rect::union_all(entries[split..].iter().map(|(r, _)| r));
+            margin += left.margin() + right.margin();
+        }
+        if margin < best_margin {
+            best_margin = margin;
+            best_axis = axis;
+        }
+    }
+
+    entries.sort_by(|a, b| {
+        a.0.dim(best_axis)
+            .lo()
+            .partial_cmp(&b.0.dim(best_axis).lo())
+            .expect("NaN in MBR")
+    });
+
+    // choose the split index minimizing overlap (then volume)
+    let mut best_split = min_entries;
+    let mut best_key = (f64::INFINITY, f64::INFINITY);
+    for split in min_entries..=(total - min_entries) {
+        let left = Rect::union_all(entries[..split].iter().map(|(r, _)| r));
+        let right = Rect::union_all(entries[split..].iter().map(|(r, _)| r));
+        let overlap = left
+            .intersection(&right)
+            .map(|ov| ov.volume())
+            .unwrap_or(0.0);
+        let key = (overlap, left.volume() + right.volume());
+        if key < best_key {
+            best_key = key;
+            best_split = split;
+        }
+    }
+
+    let right = entries.split_off(best_split);
+    (entries, right)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use udb_geometry::{Interval, Point};
+
+    fn rect(x: f64, y: f64) -> Rect {
+        Rect::new(vec![
+            Interval::new(x, x + 1.0),
+            Interval::new(y, y + 1.0),
+        ])
+    }
+
+    #[test]
+    fn leaf_mbr_covers_entries() {
+        let n = Node::Leaf(vec![(rect(0.0, 0.0), 0u32), (rect(5.0, 5.0), 1)]);
+        let mbr = n.mbr();
+        assert_eq!(mbr.lo(), Point::from([0.0, 0.0]));
+        assert_eq!(mbr.hi(), Point::from([6.0, 6.0]));
+        assert_eq!(n.len(), 2);
+        assert_eq!(n.count(), 2);
+        assert_eq!(n.height(), 1);
+        assert!(n.is_leaf());
+    }
+
+    #[test]
+    fn split_separates_clusters() {
+        // two clearly separated clusters of 3 must split cleanly
+        let entries: Vec<(Rect, u32)> = vec![
+            (rect(0.0, 0.0), 0),
+            (rect(0.5, 0.5), 1),
+            (rect(1.0, 0.0), 2),
+            (rect(100.0, 0.0), 3),
+            (rect(100.5, 0.5), 4),
+            (rect(101.0, 0.0), 5),
+        ];
+        let (l, r) = split_entries(entries, 2);
+        assert_eq!(l.len() + r.len(), 6);
+        assert!(l.len() >= 2 && r.len() >= 2);
+        let lm = Rect::union_all(l.iter().map(|(r, _)| r));
+        let rm = Rect::union_all(r.iter().map(|(r, _)| r));
+        assert!(lm.intersection(&rm).is_none(), "clusters must not overlap");
+    }
+
+    #[test]
+    fn split_respects_min_entries() {
+        let entries: Vec<(Rect, u32)> = (0..8).map(|i| (rect(i as f64, 0.0), i)).collect();
+        let (l, r) = split_entries(entries, 3);
+        assert!(l.len() >= 3);
+        assert!(r.len() >= 3);
+    }
+}

@@ -1,0 +1,23 @@
+//! Monte-Carlo comparison baseline (§VII-A of the paper).
+//!
+//! "Draw a sufficiently large number S of samples from each object by
+//! Monte-Carlo-Sampling. Then, for each sample qi ∈ Q of the query, apply
+//! the algorithm proposed in [Lian & Chen] to compute an exact
+//! probabilistic domination count PDF of an object B [...] using the
+//! generating function technique [...]. Finally, accumulate the resulting
+//! certain domination count PDFs of each qi ∈ Q into a single domination
+//! count PDF by taking the average."
+//!
+//! Conditioning on one sample of the reference object *and* one sample of
+//! the target object makes the per-object domination events independent
+//! Bernoulli variables (this is the role of the and/xor tree in the
+//! original discrete algorithm), so the Poisson-binomial recurrence yields
+//! the **exact** domination-count PDF of the discretized instance; the
+//! average over sample pairs is the Monte-Carlo estimate for the
+//! continuous one.
+
+pub mod engine;
+pub mod estimate;
+
+pub use engine::{McDomCount, MonteCarlo};
+pub use estimate::{estimate_domination_count_pdf, estimate_pdom};

@@ -1,0 +1,157 @@
+//! The uncertain database `D = {o_1, ..., o_N}`.
+
+use serde::{Deserialize, Serialize};
+use udb_geometry::Rect;
+
+use crate::object::{ObjectId, UncertainObject};
+
+/// An in-memory uncertain database. Object ids are stable positions in the
+/// underlying vector.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Database {
+    objects: Vec<UncertainObject>,
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// Builds a database from objects.
+    ///
+    /// # Panics
+    /// Panics if objects disagree on dimensionality.
+    pub fn from_objects(objects: Vec<UncertainObject>) -> Self {
+        if let Some(first) = objects.first() {
+            let d = first.dims();
+            assert!(
+                objects.iter().all(|o| o.dims() == d),
+                "all database objects must share dimensionality"
+            );
+        }
+        Database { objects }
+    }
+
+    /// Appends an object, returning its id.
+    ///
+    /// # Panics
+    /// Panics on dimensionality mismatch with existing objects.
+    pub fn insert(&mut self, object: UncertainObject) -> ObjectId {
+        if let Some(first) = self.objects.first() {
+            assert_eq!(
+                first.dims(),
+                object.dims(),
+                "object dimensionality must match the database"
+            );
+        }
+        let id = ObjectId(u32::try_from(self.objects.len()).expect("database too large"));
+        self.objects.push(object);
+        id
+    }
+
+    /// Number of objects.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Whether the database is empty.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// Dimensionality of the stored objects (`None` when empty).
+    pub fn dims(&self) -> Option<usize> {
+        self.objects.first().map(UncertainObject::dims)
+    }
+
+    /// The object with the given id.
+    ///
+    /// # Panics
+    /// Panics if the id is out of range.
+    pub fn get(&self, id: ObjectId) -> &UncertainObject {
+        &self.objects[id.index()]
+    }
+
+    /// The object with the given id, if present.
+    pub fn try_get(&self, id: ObjectId) -> Option<&UncertainObject> {
+        self.objects.get(id.index())
+    }
+
+    /// Iterates `(id, object)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ObjectId, &UncertainObject)> {
+        self.objects
+            .iter()
+            .enumerate()
+            .map(|(i, o)| (ObjectId(i as u32), o))
+    }
+
+    /// All object ids.
+    pub fn ids(&self) -> impl Iterator<Item = ObjectId> {
+        (0..self.objects.len() as u32).map(ObjectId)
+    }
+
+    /// `(id, mbr)` pairs, the input to spatial index construction.
+    pub fn mbrs(&self) -> impl Iterator<Item = (ObjectId, &Rect)> {
+        self.iter().map(|(id, o)| (id, o.mbr()))
+    }
+}
+
+impl std::ops::Index<ObjectId> for Database {
+    type Output = UncertainObject;
+    fn index(&self, id: ObjectId) -> &UncertainObject {
+        self.get(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use udb_geometry::{Interval, Point};
+    use udb_pdf::Pdf;
+
+    fn obj(x: f64) -> UncertainObject {
+        UncertainObject::new(Pdf::uniform(Rect::new(vec![
+            Interval::new(x, x + 1.0),
+            Interval::new(0.0, 1.0),
+        ])))
+    }
+
+    #[test]
+    fn insert_assigns_sequential_ids() {
+        let mut db = Database::new();
+        assert!(db.is_empty());
+        let a = db.insert(obj(0.0));
+        let b = db.insert(obj(5.0));
+        assert_eq!(a, ObjectId(0));
+        assert_eq!(b, ObjectId(1));
+        assert_eq!(db.len(), 2);
+        assert_eq!(db.dims(), Some(2));
+    }
+
+    #[test]
+    fn get_and_index() {
+        let db = Database::from_objects(vec![obj(0.0), obj(5.0)]);
+        assert_eq!(db.get(ObjectId(1)).mbr().lo(), Point::from([5.0, 0.0]));
+        assert_eq!(db[ObjectId(0)].mbr().lo(), Point::from([0.0, 0.0]));
+        assert!(db.try_get(ObjectId(7)).is_none());
+    }
+
+    #[test]
+    fn iter_yields_ids_in_order() {
+        let db = Database::from_objects(vec![obj(0.0), obj(1.0), obj(2.0)]);
+        let ids: Vec<ObjectId> = db.iter().map(|(id, _)| id).collect();
+        assert_eq!(ids, vec![ObjectId(0), ObjectId(1), ObjectId(2)]);
+        assert_eq!(db.ids().count(), 3);
+        assert_eq!(db.mbrs().count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "share dimensionality")]
+    fn mixed_dimensionality_rejected() {
+        let one_d = UncertainObject::new(Pdf::uniform(Rect::new(vec![Interval::new(
+            0.0, 1.0,
+        )])));
+        let _ = Database::from_objects(vec![obj(0.0), one_d]);
+    }
+}

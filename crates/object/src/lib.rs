@@ -1,0 +1,18 @@
+//! Uncertain objects, uncertain databases and the kd-tree decomposition of
+//! object PDFs.
+//!
+//! An [`UncertainObject`] pairs a bounded PDF (the model of §I-A) with its
+//! minimal bounding rectangle; a [`Database`] is the collection
+//! `D = {o_1..o_N}` the queries run against. The [`decomposition`] module
+//! implements the progressive median-split partitioning of §V: every
+//! iteration of the IDCA algorithm deepens each object's kd-tree by one
+//! level, yielding disjoint subregions with known probability masses — the
+//! ingredients of the probabilistic domination bounds (Lemmas 1–2).
+
+pub mod database;
+pub mod decomposition;
+pub mod object;
+
+pub use database::Database;
+pub use decomposition::{Decomposition, Partition, SplitStrategy};
+pub use object::{ObjectId, UncertainObject};

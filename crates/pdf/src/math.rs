@@ -1,0 +1,155 @@
+//! Numerical helpers: error function, standard-normal CDF/PDF and
+//! Box–Muller sampling.
+//!
+//! Implemented in-house so the workspace only depends on the approved
+//! `rand` crate (no `rand_distr`, no `libm`).
+
+use rand::Rng;
+
+/// Error function, absolute error below `1.5e-7` (Abramowitz & Stegun
+/// 7.1.26). Monotonicity — which the bisection-based median search relies
+/// on — is preserved by the approximation.
+pub fn erf(x: f64) -> f64 {
+    // constants of the A&S rational approximation
+    const A1: f64 = 0.254829592;
+    const A2: f64 = -0.284496736;
+    const A3: f64 = 1.421413741;
+    const A4: f64 = -1.453152027;
+    const A5: f64 = 1.061405429;
+    const P: f64 = 0.3275911;
+
+    if x == 0.0 {
+        return 0.0;
+    }
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + P * x);
+    let y = 1.0 - (((((A5 * t + A4) * t) + A3) * t + A2) * t + A1) * t * (-x * x).exp();
+    sign * y
+}
+
+/// Standard normal CDF `Φ(x)`.
+#[inline]
+pub fn normal_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+/// Standard normal density `φ(x)`.
+#[inline]
+pub fn normal_pdf(x: f64) -> f64 {
+    (-0.5 * x * x).exp() / (2.0 * std::f64::consts::PI).sqrt()
+}
+
+/// Density of a bivariate normal with correlation `rho` at standardized
+/// coordinates `(zx, zy)`.
+pub fn bivariate_normal_pdf(zx: f64, zy: f64, rho: f64) -> f64 {
+    debug_assert!(rho.abs() < 1.0, "correlation must be in (-1, 1)");
+    let omr2 = 1.0 - rho * rho;
+    let q = (zx * zx - 2.0 * rho * zx * zy + zy * zy) / omr2;
+    (-0.5 * q).exp() / (2.0 * std::f64::consts::PI * omr2.sqrt())
+}
+
+/// One standard-normal draw via the Box–Muller transform.
+pub fn sample_standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // u1 in (0, 1] so the log never sees zero
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Binary search in a cumulative-weight table: returns the smallest index
+/// `i` with `cumulative[i] >= u`. The table must be non-decreasing and end
+/// at (approximately) the total weight.
+pub fn search_cumulative(cumulative: &[f64], u: f64) -> usize {
+    debug_assert!(!cumulative.is_empty());
+    match cumulative.binary_search_by(|c| c.partial_cmp(&u).expect("NaN in cumulative table")) {
+        Ok(i) => i,
+        Err(i) => i.min(cumulative.len() - 1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn erf_known_values() {
+        // reference values from tables
+        assert!((erf(0.0)).abs() < 1e-12);
+        assert!((erf(1.0) - 0.8427007929).abs() < 2e-7);
+        assert!((erf(2.0) - 0.9953222650).abs() < 2e-7);
+        assert!((erf(-1.0) + 0.8427007929).abs() < 2e-7);
+    }
+
+    #[test]
+    fn erf_is_odd_and_bounded() {
+        for i in 0..100 {
+            let x = i as f64 * 0.1;
+            assert!((erf(x) + erf(-x)).abs() < 1e-12);
+            assert!(erf(x) <= 1.0 && erf(x) >= -1.0);
+        }
+    }
+
+    #[test]
+    fn erf_is_monotone() {
+        let mut prev = erf(-6.0);
+        for i in -599..600 {
+            let cur = erf(i as f64 / 100.0);
+            assert!(cur >= prev - 1e-12, "erf not monotone at {}", i);
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn normal_cdf_properties() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-12);
+        assert!((normal_cdf(1.96) - 0.975).abs() < 1e-3);
+        assert!(normal_cdf(-8.0) < 1e-6);
+        assert!(normal_cdf(8.0) > 1.0 - 1e-6);
+    }
+
+    #[test]
+    fn normal_pdf_peak() {
+        assert!((normal_pdf(0.0) - 0.3989422804).abs() < 1e-9);
+        assert!(normal_pdf(1.0) < normal_pdf(0.0));
+    }
+
+    #[test]
+    fn bivariate_reduces_to_product_when_uncorrelated() {
+        let (zx, zy) = (0.3, -1.2);
+        let joint = bivariate_normal_pdf(zx, zy, 0.0);
+        assert!((joint - normal_pdf(zx) * normal_pdf(zy)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bivariate_correlation_raises_diagonal_density() {
+        // positively correlated mass concentrates along zx == zy
+        assert!(bivariate_normal_pdf(1.0, 1.0, 0.8) > bivariate_normal_pdf(1.0, 1.0, 0.0));
+        assert!(bivariate_normal_pdf(1.0, -1.0, 0.8) < bivariate_normal_pdf(1.0, -1.0, 0.0));
+    }
+
+    #[test]
+    fn box_muller_moments() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| sample_standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn cumulative_search() {
+        let table = [0.1, 0.3, 0.6, 1.0];
+        assert_eq!(search_cumulative(&table, 0.0), 0);
+        assert_eq!(search_cumulative(&table, 0.1), 0);
+        assert_eq!(search_cumulative(&table, 0.1001), 1);
+        assert_eq!(search_cumulative(&table, 0.95), 3);
+        assert_eq!(search_cumulative(&table, 1.0), 3);
+        // u beyond the table clamps to the last index
+        assert_eq!(search_cumulative(&table, 1.5), 3);
+    }
+}

@@ -1,0 +1,174 @@
+//! Simulated International Ice Patrol (IIP) iceberg-sightings workload.
+//!
+//! The paper uses the 2009 IIP Iceberg Sightings dataset (6,216 objects):
+//! sighted positions are certain 2-D means, and Gaussian noise is added
+//! "such that the passed time period since the latest date of sighting
+//! corresponds to the degree of uncertainty (i.e. the extent)", with
+//! extents normalized so the maximum per-dimension extent is 0.0004.
+//!
+//! The original data file is not redistributable in this workspace, so the
+//! generator reproduces its statistical shape: sighting positions along
+//! the "iceberg alley" corridor of the North-West Atlantic (a band from
+//! the Labrador coast toward the Grand Banks), sighting dates across 2009,
+//! and age-proportional Gaussian uncertainty. Positions are normalized to
+//! the unit square, matching the paper's normalized extents.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use udb_geometry::{Point, Rect};
+use udb_object::{Database, UncertainObject};
+use udb_pdf::{math::sample_standard_normal, GaussianPdf};
+
+/// Parameters of the simulated iceberg workload.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IcebergConfig {
+    /// Number of sightings (paper: 6,216).
+    pub n: usize,
+    /// Maximum extent of an object in either dimension after
+    /// normalization (paper: 0.0004).
+    pub max_extent: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for IcebergConfig {
+    fn default() -> Self {
+        IcebergConfig {
+            n: 6_216,
+            max_extent: 0.0004,
+            seed: 0x11CE_2009,
+        }
+    }
+}
+
+impl IcebergConfig {
+    /// Generates the simulated sightings database.
+    pub fn generate(&self) -> Database {
+        assert!(self.max_extent > 0.0);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut objects = Vec::with_capacity(self.n);
+        for _ in 0..self.n {
+            // Iceberg alley: a north-east to south-west corridor. Sample a
+            // position along the corridor axis plus lateral spread; in
+            // normalized coordinates the corridor runs from (0.15, 0.9) to
+            // (0.75, 0.1) with lateral sigma 0.07, plus a small uniform
+            // background of stray sightings.
+            let center = if rng.gen_bool(0.92) {
+                let t: f64 = rng.gen_range(0.0..1.0);
+                let along_x = 0.15 + 0.60 * t;
+                let along_y = 0.90 - 0.80 * t;
+                let lateral = 0.07 * sample_standard_normal(&mut rng);
+                // corridor direction ~ (0.6, −0.8); normal ~ (0.8, 0.6)
+                let x = (along_x + 0.8 * lateral).clamp(0.0, 1.0);
+                let y = (along_y + 0.6 * lateral).clamp(0.0, 1.0);
+                [x, y]
+            } else {
+                [rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)]
+            };
+            // sighting age in days (0 = sighted on the reference date, 365
+            // = a year old); uncertainty extent grows linearly with age,
+            // never zero (same-day sightings still drift)
+            let age_days: f64 = rng.gen_range(0.0..365.0);
+            let extent = self.max_extent * (0.05 + 0.95 * age_days / 365.0);
+            let half = extent / 2.0;
+            let mean = Point::from(center);
+            let support = Rect::centered(&mean, &[half, half]);
+            // Gaussian noise truncated at the extent box; σ = extent / 4
+            // puts the box at ±2σ
+            let sigma = (extent / 4.0).max(1e-12);
+            let pdf = GaussianPdf::new(mean, vec![sigma, sigma], support);
+            objects.push(UncertainObject::new(pdf.into()));
+        }
+        Database::from_objects(objects)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_shape() {
+        let c = IcebergConfig::default();
+        assert_eq!(c.n, 6_216);
+        assert!((c.max_extent - 0.0004).abs() < 1e-12);
+    }
+
+    #[test]
+    fn extents_bounded_and_varied() {
+        let db = IcebergConfig {
+            n: 500,
+            ..Default::default()
+        }
+        .generate();
+        let mut max_seen = 0.0f64;
+        let mut min_seen = f64::INFINITY;
+        for (_, o) in db.iter() {
+            for d in 0..2 {
+                let e = o.mbr().extent(d);
+                assert!(e <= 0.0004 + 1e-12, "extent {e}");
+                assert!(e > 0.0);
+                max_seen = max_seen.max(e);
+                min_seen = min_seen.min(e);
+            }
+        }
+        // ages vary, so extents must span a real range
+        assert!(max_seen > 4.0 * min_seen, "extents should vary with age");
+    }
+
+    #[test]
+    fn positions_cluster_along_corridor() {
+        let db = IcebergConfig {
+            n: 2_000,
+            ..Default::default()
+        }
+        .generate();
+        // the corridor has negative x/y correlation; verify on centers
+        let centers: Vec<(f64, f64)> = db
+            .iter()
+            .map(|(_, o)| {
+                let c = o.mbr().center();
+                (c[0], c[1])
+            })
+            .collect();
+        let n = centers.len() as f64;
+        let mx = centers.iter().map(|c| c.0).sum::<f64>() / n;
+        let my = centers.iter().map(|c| c.1).sum::<f64>() / n;
+        let cov = centers
+            .iter()
+            .map(|c| (c.0 - mx) * (c.1 - my))
+            .sum::<f64>()
+            / n;
+        assert!(cov < -0.01, "corridor correlation missing: cov {cov}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = IcebergConfig {
+            n: 100,
+            ..Default::default()
+        }
+        .generate();
+        let b = IcebergConfig {
+            n: 100,
+            ..Default::default()
+        }
+        .generate();
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.1.mbr(), y.1.mbr());
+        }
+    }
+
+    #[test]
+    fn objects_are_gaussian() {
+        let db = IcebergConfig {
+            n: 10,
+            ..Default::default()
+        }
+        .generate();
+        for (_, o) in db.iter() {
+            assert!(matches!(o.pdf(), udb_pdf::Pdf::Gaussian(_)));
+        }
+    }
+}

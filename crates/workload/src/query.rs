@@ -1,0 +1,159 @@
+//! Query-workload helpers: the paper's protocol for choosing query pairs.
+//!
+//! "Unless otherwise stated, for 100 queries, we chose B to be the object
+//! with the 10th smallest MinDist to the reference object R." (§VII)
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use udb_geometry::LpNorm;
+use udb_object::{Database, ObjectId, UncertainObject};
+
+use crate::synthetic::SyntheticConfig;
+
+/// The database object with the `rank`-th smallest MinDist (1-based) from
+/// the reference object `r`. Returns `None` if the database has fewer than
+/// `rank` objects.
+pub fn target_by_min_dist_rank(
+    db: &Database,
+    r: &UncertainObject,
+    rank: usize,
+    norm: LpNorm,
+) -> Option<ObjectId> {
+    assert!(rank >= 1, "ranks are 1-based");
+    if db.len() < rank {
+        return None;
+    }
+    let mut dists: Vec<(f64, ObjectId)> = db
+        .iter()
+        .map(|(id, o)| (o.mbr().min_dist_rect(r.mbr(), norm), id))
+        .collect();
+    // partial selection would do; a full sort keeps this simple and the
+    // cost is dominated by refinement anyway
+    dists.sort_by(|a, b| a.partial_cmp(b).expect("NaN distance"));
+    Some(dists[rank - 1].1)
+}
+
+/// A reproducible set of query pairs `(R, B)` following the paper's
+/// protocol: `R` drawn from the data distribution, `B` the object with the
+/// given MinDist rank.
+#[derive(Debug)]
+pub struct QuerySet {
+    /// Reference (query) objects.
+    pub references: Vec<UncertainObject>,
+    /// Chosen targets, aligned with `references`.
+    pub targets: Vec<ObjectId>,
+}
+
+impl QuerySet {
+    /// Builds `count` query pairs against `db`. Reference objects are
+    /// generated from `object_config` (the same distribution the database
+    /// came from); targets are the `rank`-th MinDist objects.
+    pub fn generate(
+        db: &Database,
+        object_config: &SyntheticConfig,
+        count: usize,
+        rank: usize,
+        norm: LpNorm,
+        seed: u64,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut references = Vec::with_capacity(count);
+        let mut targets = Vec::with_capacity(count);
+        for _ in 0..count {
+            let r = object_config.generate_object(&mut rng);
+            let b = target_by_min_dist_rank(db, &r, rank, norm)
+                .expect("database smaller than requested rank");
+            references.push(r);
+            targets.push(b);
+        }
+        QuerySet {
+            references,
+            targets,
+        }
+    }
+
+    /// Number of query pairs.
+    pub fn len(&self) -> usize {
+        self.references.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.references.is_empty()
+    }
+
+    /// Iterates `(reference, target)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&UncertainObject, ObjectId)> {
+        self.references
+            .iter()
+            .zip(self.targets.iter().copied())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use udb_geometry::Point;
+
+    fn tiny_db() -> Database {
+        // certain points at x = 0, 1, 2, 3 on a line
+        Database::from_objects(
+            (0..4)
+                .map(|i| UncertainObject::certain(Point::from([i as f64, 0.0])))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn rank_selection_orders_by_min_dist() {
+        let db = tiny_db();
+        let r = UncertainObject::certain(Point::from([0.1, 0.0]));
+        assert_eq!(
+            target_by_min_dist_rank(&db, &r, 1, LpNorm::L2),
+            Some(ObjectId(0))
+        );
+        assert_eq!(
+            target_by_min_dist_rank(&db, &r, 2, LpNorm::L2),
+            Some(ObjectId(1))
+        );
+        assert_eq!(
+            target_by_min_dist_rank(&db, &r, 4, LpNorm::L2),
+            Some(ObjectId(3))
+        );
+        assert_eq!(target_by_min_dist_rank(&db, &r, 5, LpNorm::L2), None);
+    }
+
+    #[test]
+    fn query_set_is_reproducible() {
+        let cfg = SyntheticConfig {
+            n: 200,
+            ..Default::default()
+        };
+        let db = cfg.generate();
+        let a = QuerySet::generate(&db, &cfg, 5, 10, LpNorm::L2, 42);
+        let b = QuerySet::generate(&db, &cfg, 5, 10, LpNorm::L2, 42);
+        assert_eq!(a.len(), 5);
+        assert_eq!(a.targets, b.targets);
+        for (x, y) in a.references.iter().zip(b.references.iter()) {
+            assert_eq!(x.mbr(), y.mbr());
+        }
+    }
+
+    #[test]
+    fn query_set_iter_alignment() {
+        let cfg = SyntheticConfig {
+            n: 50,
+            ..Default::default()
+        };
+        let db = cfg.generate();
+        let qs = QuerySet::generate(&db, &cfg, 3, 1, LpNorm::L2, 7);
+        for (r, b) in qs.iter() {
+            // rank-1 target has the smallest MinDist: no other object may
+            // be strictly closer
+            let bd = db.get(b).mbr().min_dist_rect(r.mbr(), LpNorm::L2);
+            for (_, o) in db.iter() {
+                assert!(o.mbr().min_dist_rect(r.mbr(), LpNorm::L2) >= bd - 1e-12);
+            }
+        }
+    }
+}

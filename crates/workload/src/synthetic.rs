@@ -1,0 +1,205 @@
+//! Synthetic rectangle workload (§VII defaults).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use udb_geometry::{Point, Rect};
+use udb_object::{Database, UncertainObject};
+use udb_pdf::{GaussianPdf, HistogramPdf, Pdf};
+
+/// Which density is attached to each generated uncertainty rectangle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum PdfKind {
+    /// Uniform density over the rectangle (the paper's synthetic default).
+    #[default]
+    Uniform,
+    /// Truncated Gaussian centered in the rectangle (σ = extent / 4).
+    Gaussian,
+    /// Correlated histogram density (bivariate Gaussian with random
+    /// correlation, 8×8 grid) — exercises the dependent-attribute model.
+    CorrelatedHistogram,
+}
+
+/// Parameters of the synthetic workload.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SyntheticConfig {
+    /// Number of objects (paper default: 10,000).
+    pub n: usize,
+    /// Dimensionality (paper: 2).
+    pub dims: usize,
+    /// Maximum relative extent per dimension (paper default: 0.004).
+    pub max_extent: f64,
+    /// Density family.
+    pub pdf: PdfKind,
+    /// RNG seed (generation is fully deterministic given the config).
+    pub seed: u64,
+}
+
+impl Default for SyntheticConfig {
+    fn default() -> Self {
+        SyntheticConfig {
+            n: 10_000,
+            dims: 2,
+            max_extent: 0.004,
+            pdf: PdfKind::Uniform,
+            seed: 0x1CDE_2011,
+        }
+    }
+}
+
+impl SyntheticConfig {
+    /// Generates the database.
+    pub fn generate(&self) -> Database {
+        assert!(self.dims >= 1, "dimensionality must be positive");
+        assert!(self.max_extent > 0.0, "max extent must be positive");
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let objects: Vec<UncertainObject> = (0..self.n)
+            .map(|_| self.generate_object(&mut rng))
+            .collect();
+        Database::from_objects(objects)
+    }
+
+    /// Generates one object with the config's parameters (used for query
+    /// objects too: the paper's reference objects follow the data
+    /// distribution).
+    pub fn generate_object(&self, rng: &mut StdRng) -> UncertainObject {
+        let center: Vec<f64> = (0..self.dims).map(|_| rng.gen_range(0.0..1.0)).collect();
+        let half: Vec<f64> = (0..self.dims)
+            .map(|_| 0.5 * rng.gen_range(f64::MIN_POSITIVE..=self.max_extent))
+            .collect();
+        let support = Rect::centered(&Point::new(center.clone()), &half);
+        let pdf = match self.pdf {
+            PdfKind::Uniform => Pdf::uniform(support),
+            PdfKind::Gaussian => {
+                let std: Vec<f64> = half.iter().map(|h| (h / 2.0).max(1e-12)).collect();
+                GaussianPdf::new(Point::new(center), std, support).into()
+            }
+            PdfKind::CorrelatedHistogram => {
+                assert_eq!(
+                    self.dims, 2,
+                    "correlated histogram workload is two-dimensional"
+                );
+                let rho: f64 = rng.gen_range(-0.9..0.9);
+                let std = [
+                    (half[0] / 2.0).max(1e-12),
+                    (half[1] / 2.0).max(1e-12),
+                ];
+                HistogramPdf::from_correlated_gaussian(
+                    Point::new(center),
+                    std,
+                    rho,
+                    support,
+                    8,
+                )
+                .into()
+            }
+        };
+        UncertainObject::new(pdf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_parameters() {
+        let c = SyntheticConfig::default();
+        assert_eq!(c.n, 10_000);
+        assert_eq!(c.dims, 2);
+        assert!((c.max_extent - 0.004).abs() < 1e-12);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let c = SyntheticConfig {
+            n: 50,
+            ..Default::default()
+        };
+        let a = c.generate();
+        let b = c.generate();
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.1.mbr(), y.1.mbr());
+        }
+    }
+
+    #[test]
+    fn extents_respect_maximum() {
+        let c = SyntheticConfig {
+            n: 200,
+            max_extent: 0.01,
+            ..Default::default()
+        };
+        let db = c.generate();
+        for (_, o) in db.iter() {
+            for d in 0..2 {
+                let e = o.mbr().extent(d);
+                assert!(e > 0.0 && e <= 0.01 + 1e-12, "extent {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn centers_live_in_unit_space() {
+        let c = SyntheticConfig {
+            n: 100,
+            ..Default::default()
+        };
+        let db = c.generate();
+        for (_, o) in db.iter() {
+            let center = o.mbr().center();
+            assert!((0.0..=1.0).contains(&center[0]));
+            assert!((0.0..=1.0).contains(&center[1]));
+        }
+    }
+
+    #[test]
+    fn gaussian_variant_generates() {
+        let c = SyntheticConfig {
+            n: 20,
+            pdf: PdfKind::Gaussian,
+            ..Default::default()
+        };
+        let db = c.generate();
+        assert_eq!(db.len(), 20);
+        for (_, o) in db.iter() {
+            assert!(matches!(o.pdf(), Pdf::Gaussian(_)));
+        }
+    }
+
+    #[test]
+    fn correlated_variant_generates() {
+        let c = SyntheticConfig {
+            n: 5,
+            pdf: PdfKind::CorrelatedHistogram,
+            ..Default::default()
+        };
+        let db = c.generate();
+        for (_, o) in db.iter() {
+            assert!(matches!(o.pdf(), Pdf::Histogram(_)));
+            // density normalized
+            assert!((o.pdf().mass_in(o.mbr()) - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = SyntheticConfig {
+            n: 10,
+            seed: 1,
+            ..Default::default()
+        }
+        .generate();
+        let b = SyntheticConfig {
+            n: 10,
+            seed: 2,
+            ..Default::default()
+        }
+        .generate();
+        let same = a
+            .iter()
+            .zip(b.iter())
+            .all(|(x, y)| x.1.mbr() == y.1.mbr());
+        assert!(!same);
+    }
+}
