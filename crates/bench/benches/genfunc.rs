@@ -2,7 +2,7 @@
 //! classic GF, full and truncated UGF (the §VI `O(k²·N)` claim).
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use udb_genfunc::{poisson_binomial, two_gf_bounds, ClassicGf, Ugf};
+use udb_genfunc::{poisson_binomial, two_gf_bounds, ClassicGf, NestedUgf, Ugf};
 
 fn probs(n: usize) -> (Vec<f64>, Vec<f64>) {
     let lb: Vec<f64> = (0..n).map(|i| (i % 7) as f64 / 14.0).collect();
@@ -62,6 +62,77 @@ fn bench_genfunc(c: &mut Criterion) {
                     f.multiply(*l, *u);
                 }
                 black_box(f.cdf_bounds(5))
+            })
+        });
+    }
+    g.finish();
+
+    // flat arena vs the nested reference implementation — the speedup of
+    // the zero-allocation rewrite, recorded in BENCH_idca.json
+    let mut g = c.benchmark_group("ugf_flat_vs_nested/flat_reused");
+    for n in [16usize, 64, 256] {
+        let pair = probs(n);
+        let mut f = Ugf::new(Some(5));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &pair, |bench, (lb, ub)| {
+            bench.iter(|| {
+                f.reset(Some(5));
+                for (l, u) in lb.iter().zip(ub.iter()) {
+                    f.multiply(*l, *u);
+                }
+                black_box(f.cdf_bounds(5))
+            })
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("ugf_flat_vs_nested/nested");
+    for n in [16usize, 64, 256] {
+        let pair = probs(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &pair, |bench, (lb, ub)| {
+            bench.iter(|| {
+                let mut f = NestedUgf::new(Some(5));
+                for (l, u) in lb.iter().zip(ub.iter()) {
+                    f.multiply(*l, *u);
+                }
+                black_box(f.cdf_bounds(5))
+            })
+        });
+    }
+    g.finish();
+
+    // decided-factor fast path: mostly-certain factor streams
+    let mut g = c.benchmark_group("ugf_decided_factors/flat");
+    for n in [64usize, 256] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, &n| {
+            let mut f = Ugf::new(None);
+            bench.iter(|| {
+                f.reset(None);
+                for i in 0..n {
+                    match i % 8 {
+                        0..=2 => f.multiply(1.0, 1.0),
+                        3..=5 => f.multiply(0.0, 0.0),
+                        _ => f.multiply(0.3, 0.6),
+                    }
+                }
+                black_box(f.upper_bound(n / 2))
+            })
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("ugf_decided_factors/nested");
+    for n in [64usize, 256] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, &n| {
+            bench.iter(|| {
+                let mut f = NestedUgf::new(None);
+                for i in 0..n {
+                    match i % 8 {
+                        0..=2 => f.multiply(1.0, 1.0),
+                        3..=5 => f.multiply(0.0, 0.0),
+                        _ => f.multiply(0.3, 0.6),
+                    }
+                }
+                black_box(f.upper_bound(n / 2))
             })
         });
     }

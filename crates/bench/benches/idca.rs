@@ -1,4 +1,6 @@
-//! Figures 6(b)/7 analog: IDCA refinement cost per iteration depth.
+//! Figures 6(b)/7 analog: IDCA refinement cost per iteration depth, plus
+//! the incremental-vs-from-scratch snapshot comparison backing this
+//! repo's BENCH_idca.json baseline.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use udb_bench::Scale;
@@ -6,24 +8,31 @@ use udb_core::{IdcaConfig, ObjRef, Predicate, Refiner};
 
 fn bench_idca(c: &mut Criterion) {
     let scale = Scale::smoke();
-    let (db, cfg) = scale.synthetic_db();
+    // a denser extent than the paper's default so queries carry a
+    // realistic influence-object set (~a dozen) into refinement
+    let cfg = scale.synthetic_config(0.05);
+    let db = cfg.generate();
     let qs = scale.query_set(&db, &cfg);
     let (r, b) = (qs.references[0].clone(), qs.targets[0]);
 
+    let mk_cfg = |depth: usize| IdcaConfig {
+        max_iterations: depth,
+        uncertainty_target: 0.0,
+        ..Default::default()
+    };
+
+    // full run (filter + iterate + snapshot per iteration) — the
+    // incremental cache is what run() exercises
     let mut g = c.benchmark_group("idca_refine_to_depth");
     g.sample_size(20);
-    for depth in [1usize, 2, 3, 4] {
+    for depth in [1usize, 2, 3, 4, 5, 6] {
         g.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |bench, &d| {
             bench.iter(|| {
                 let mut refiner = Refiner::new(
                     &db,
                     ObjRef::Db(b),
                     ObjRef::External(&r),
-                    IdcaConfig {
-                        max_iterations: d,
-                        uncertainty_target: 0.0,
-                        ..Default::default()
-                    },
+                    mk_cfg(d),
                     Predicate::FullPdf,
                 );
                 black_box(refiner.run())
@@ -32,10 +41,88 @@ fn bench_idca(c: &mut Criterion) {
     }
     g.finish();
 
+    // the same work with every snapshot recomputed from scratch — the
+    // pre-optimization behavior; the ratio to the group above is the
+    // incremental-cache speedup recorded in BENCH_idca.json
+    let mut g = c.benchmark_group("idca_refine_to_depth_from_scratch");
+    g.sample_size(20);
+    for depth in [1usize, 2, 3, 4, 5, 6] {
+        g.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |bench, &d| {
+            bench.iter(|| {
+                let mut refiner = Refiner::new(
+                    &db,
+                    ObjRef::Db(b),
+                    ObjRef::External(&r),
+                    mk_cfg(d),
+                    Predicate::FullPdf,
+                );
+                let mut snap = refiner.snapshot_from_scratch();
+                for _ in 0..d {
+                    if !refiner.step() {
+                        break;
+                    }
+                    snap = refiner.snapshot_from_scratch();
+                }
+                black_box(snap)
+            })
+        });
+    }
+    g.finish();
+
+    // steady-state snapshot cost at depth 4 (decompositions expanded,
+    // nothing dirty): incremental vs from-scratch in isolation
+    let mut refined = Refiner::new(
+        &db,
+        ObjRef::Db(b),
+        ObjRef::External(&r),
+        mk_cfg(4),
+        Predicate::FullPdf,
+    );
+    for _ in 0..4 {
+        refined.step();
+    }
+    let _ = refined.snapshot(); // populate the cache
+    let mut g = c.benchmark_group("idca_snapshot_depth4");
+    g.sample_size(20);
+    g.bench_function("incremental", |bench| {
+        bench.iter(|| black_box(refined.snapshot()))
+    });
+    g.bench_function("from_scratch", |bench| {
+        bench.iter(|| black_box(refined.snapshot_from_scratch()))
+    });
+    g.finish();
+
+    // parallel snapshot scaling on a deep refined state (the pair loop is
+    // what IdcaConfig::snapshot_threads fans out; shallow snapshots are
+    // too small to amortize thread spawns)
+    let mut g = c.benchmark_group("idca_snapshot_depth6_threads");
+    g.sample_size(20);
+    for threads in [1usize, 2, 4] {
+        let mut refiner = Refiner::new(
+            &db,
+            ObjRef::Db(b),
+            ObjRef::External(&r),
+            IdcaConfig {
+                snapshot_threads: threads,
+                ..mk_cfg(6)
+            },
+            Predicate::FullPdf,
+        );
+        for _ in 0..6 {
+            refiner.step();
+        }
+        g.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            move |bench, _| bench.iter(|| black_box(refiner.snapshot())),
+        );
+    }
+    g.finish();
+
     let mut g = c.benchmark_group("idca_filter_only");
     g.bench_function("snapshot_iteration0", |bench| {
         bench.iter(|| {
-            let refiner = Refiner::new(
+            let mut refiner = Refiner::new(
                 &db,
                 ObjRef::Db(b),
                 ObjRef::External(&r),

@@ -54,7 +54,8 @@ fn criteria(c: &mut Criterion) {
                     },
                     Predicate::FullPdf,
                 );
-                black_box(refiner.influence_ids().len())
+                let influence_count = refiner.influence_ids().len();
+                black_box(influence_count)
             })
         });
     }

@@ -54,7 +54,10 @@ fn main() {
                 }
             }
             None => {
-                eprintln!("unknown experiment id: {id} (known: {})", all_ids().join(", "));
+                eprintln!(
+                    "unknown experiment id: {id} (known: {})",
+                    all_ids().join(", ")
+                );
                 std::process::exit(2);
             }
         }

@@ -34,7 +34,7 @@ pub fn ugf_vs_two_gf(scale: &Scale) -> Table {
                 IdcaConfig::default(),
                 Predicate::FullPdf,
             );
-            let influence = refiner.influence_ids();
+            let influence: Vec<_> = refiner.influence_ids().collect();
             if influence.is_empty() {
                 continue;
             }
@@ -70,10 +70,7 @@ pub fn ugf_vs_two_gf(scale: &Scale) -> Table {
         }
         table.push(
             depth as f64,
-            vec![
-                ugf_unc / measurements as f64,
-                two_unc / measurements as f64,
-            ],
+            vec![ugf_unc / measurements as f64, two_unc / measurements as f64],
         );
     }
     table

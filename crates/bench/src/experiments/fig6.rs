@@ -37,12 +37,9 @@ pub fn run_candidates(scale: &Scale) -> Table {
         let qs = scale.query_set(&db, &cfg);
         let mut counts = [0.0f64; 2];
         for (r, b) in qs.iter() {
-            for (slot, crit) in [
-                DominationCriterion::Optimal,
-                DominationCriterion::MinMax,
-            ]
-            .iter()
-            .enumerate()
+            for (slot, crit) in [DominationCriterion::Optimal, DominationCriterion::MinMax]
+                .iter()
+                .enumerate()
             {
                 let refiner = Refiner::new(
                     &db,

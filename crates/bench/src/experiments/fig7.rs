@@ -102,10 +102,8 @@ fn run_on(
 pub fn run_synthetic(scale: &Scale) -> Table {
     let (db, cfg) = scale.synthetic_db();
     let qs = scale.query_set(&db, &cfg);
-    let queries: Vec<(UncertainObject, ObjectId)> = qs
-        .iter()
-        .map(|(r, b)| (r.clone(), b))
-        .collect();
+    let queries: Vec<(UncertainObject, ObjectId)> =
+        qs.iter().map(|(r, b)| (r.clone(), b)).collect();
     run_on(
         "fig7a",
         "Uncertainty of IDCA w.r.t. relative runtime to MC (synthetic)",

@@ -1,0 +1,103 @@
+//! Offline stand-in for the subset of [`proptest`](https://proptest-rs.github.io)
+//! this workspace uses: the `proptest!` macro with `pat in strategy`
+//! bindings, `prop_assert!`/`prop_assert_eq!`, range and tuple strategies,
+//! `proptest::collection::vec` and `.prop_map`.
+//!
+//! No shrinking is performed — a failing case reports its deterministic
+//! case seed instead. Case count defaults to 64 (override with the
+//! `PROPTEST_CASES` environment variable or `ProptestConfig::with_cases`).
+
+pub mod collection;
+pub mod strategy;
+pub mod sugar;
+pub mod test_runner;
+
+/// The common imports: `Strategy`, `ProptestConfig` and the macros.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)]
+     $($(#[$meta:meta])*
+       fn $name:ident($($pat:pat_param in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $config;
+                $crate::sugar::run_cases(__config.cases, stringify!($name), |__rng| {
+                    $(let $pat = $crate::strategy::Strategy::generate(&($strat), __rng);)+
+                    $body
+                    Ok(())
+                });
+            }
+        )*
+    };
+    ($($(#[$meta:meta])*
+       fn $name:ident($($pat:pat_param in $strat:expr),+ $(,)?) $body:block)*) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::ProptestConfig::default())]
+            $($(#[$meta])*
+              fn $name($($pat in $strat),+) $body)*
+        }
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the current case
+/// with a formatted message instead of panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err(::std::string::String::from(
+                concat!("assertion failed: ", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(::std::format!($($fmt)+));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (__l, __r) = (&$lhs, &$rhs);
+        if !(__l == __r) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `{}` != `{}` ({:?} vs {:?})",
+                stringify!($lhs), stringify!($rhs), __l, __r,
+            ));
+        }
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$lhs, &$rhs);
+        if !(__l == __r) {
+            return ::std::result::Result::Err(::std::format!($($fmt)+));
+        }
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (__l, __r) = (&$lhs, &$rhs);
+        if __l == __r {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `{}` == `{}` ({:?})",
+                stringify!($lhs),
+                stringify!($rhs),
+                __l,
+            ));
+        }
+    }};
+}

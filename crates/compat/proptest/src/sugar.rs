@@ -1,0 +1,18 @@
+//! Runtime support for the `proptest!` macro.
+
+use crate::test_runner::TestRng;
+
+/// Runs `cases` generated cases of a property body. The body returns
+/// `Err(message)` (via `prop_assert!`) to fail the case; panics propagate
+/// with the case index attached so the failure is reproducible.
+pub fn run_cases<F>(cases: u32, test_name: &str, mut body: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), String>,
+{
+    for case in 0..cases {
+        let mut rng = TestRng::for_case(test_name, case);
+        if let Err(msg) = body(&mut rng) {
+            panic!("proptest case {case}/{cases} of `{test_name}` failed: {msg}");
+        }
+    }
+}

@@ -1,0 +1,332 @@
+//! Offline stand-in for the subset of [`serde`](https://serde.rs) this
+//! workspace uses: `#[derive(Serialize, Deserialize)]` plus the
+//! `serde_json::{to_string, to_string_pretty, from_str}` entry points.
+//!
+//! Instead of serde's visitor architecture, everything routes through one
+//! self-describing [`Value`] tree (the JSON data model). The derive macros
+//! (see `serde_derive`) generate `to_value`/`from_value` implementations
+//! with serde's externally-tagged enum representation, so the JSON produced
+//! here matches what real serde would emit for the types in this workspace.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing value — the JSON data model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A non-negative integer.
+    U64(u64),
+    /// A negative integer.
+    I64(i64),
+    /// A finite float.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Seq(Vec<Value>),
+    /// An object (insertion-ordered).
+    Map(Vec<(String, Value)>),
+}
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone)]
+pub struct Error(pub String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl Error {
+    /// Shorthand constructor.
+    pub fn msg(m: impl Into<String>) -> Self {
+        Error(m.into())
+    }
+}
+
+impl Value {
+    /// Looks up a field of a [`Value::Map`].
+    pub fn field(&self, name: &str) -> Result<&Value, Error> {
+        match self {
+            Value::Map(entries) => entries
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| Error::msg(format!("missing field `{name}`"))),
+            other => Err(Error::msg(format!(
+                "expected map with field `{name}`, found {other:?}"
+            ))),
+        }
+    }
+
+    /// The elements of a [`Value::Seq`].
+    pub fn seq(&self) -> Result<&[Value], Error> {
+        match self {
+            Value::Seq(items) => Ok(items),
+            other => Err(Error::msg(format!("expected sequence, found {other:?}"))),
+        }
+    }
+
+    /// The elements of a [`Value::Seq`] of an exact length.
+    pub fn seq_n(&self, n: usize) -> Result<&[Value], Error> {
+        let items = self.seq()?;
+        if items.len() != n {
+            return Err(Error::msg(format!(
+                "expected sequence of length {n}, found {}",
+                items.len()
+            )));
+        }
+        Ok(items)
+    }
+
+    /// Numeric view as `f64` (accepts any numeric variant).
+    pub fn as_f64(&self) -> Result<f64, Error> {
+        match *self {
+            Value::F64(x) => Ok(x),
+            Value::U64(x) => Ok(x as f64),
+            Value::I64(x) => Ok(x as f64),
+            ref other => Err(Error::msg(format!("expected number, found {other:?}"))),
+        }
+    }
+
+    /// Numeric view as `u64` (accepts integral floats).
+    pub fn as_u64(&self) -> Result<u64, Error> {
+        match *self {
+            Value::U64(x) => Ok(x),
+            Value::I64(x) if x >= 0 => Ok(x as u64),
+            Value::F64(x) if x >= 0.0 && x.fract() == 0.0 && x <= u64::MAX as f64 => Ok(x as u64),
+            ref other => Err(Error::msg(format!(
+                "expected unsigned integer, found {other:?}"
+            ))),
+        }
+    }
+
+    /// Numeric view as `i64` (accepts integral floats).
+    pub fn as_i64(&self) -> Result<i64, Error> {
+        match *self {
+            Value::I64(x) => Ok(x),
+            Value::U64(x) if x <= i64::MAX as u64 => Ok(x as i64),
+            Value::F64(x)
+                if x.fract() == 0.0 && (i64::MIN as f64..=i64::MAX as f64).contains(&x) =>
+            {
+                Ok(x as i64)
+            }
+            ref other => Err(Error::msg(format!("expected integer, found {other:?}"))),
+        }
+    }
+}
+
+/// Conversion into the [`Value`] data model (stands in for
+/// `serde::Serialize`).
+pub trait Serialize {
+    /// Serializes `self` into a [`Value`] tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Conversion from the [`Value`] data model (stands in for
+/// `serde::Deserialize`).
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from a [`Value`] tree.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+// ---- primitive impls -------------------------------------------------------
+
+macro_rules! float_impl {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::F64(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                Ok(v.as_f64()? as $t)
+            }
+        }
+    )*};
+}
+float_impl!(f64, f32);
+
+macro_rules! uint_impl {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let raw = v.as_u64()?;
+                <$t>::try_from(raw).map_err(|_| {
+                    Error::msg(format!("{raw} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+uint_impl!(u64, u32, u16, u8, usize);
+
+macro_rules! int_impl {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let x = *self as i64;
+                if x >= 0 { Value::U64(x as u64) } else { Value::I64(x) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let raw = v.as_i64()?;
+                <$t>::try_from(raw).map_err(|_| {
+                    Error::msg(format!("{raw} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+int_impl!(i64, i32, i16, i8, isize);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::msg(format!("expected bool, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::msg(format!("expected string, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+// ---- containers ------------------------------------------------------------
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.seq()?.iter().map(Deserialize::from_value).collect()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<[T]> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<[T]> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(Vec::<T>::from_value(v)?.into_boxed_slice())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::from_value(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+macro_rules! tuple_impl {
+    ($(($($name:ident : $idx:tt),+);)*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                const N: usize = 0 $(+ { let _ = $idx; 1 })+;
+                let items = v.seq_n(N)?;
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+tuple_impl! {
+    (A: 0);
+    (A: 0, B: 1);
+    (A: 0, B: 1, C: 2);
+    (A: 0, B: 1, C: 2, D: 3);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_round_trips() {
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert_eq!(usize::from_value(&42usize.to_value()).unwrap(), 42);
+        assert_eq!(i32::from_value(&(-7i32).to_value()).unwrap(), -7);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        let v: Vec<f64> = vec![1.0, 2.0];
+        assert_eq!(Vec::<f64>::from_value(&v.to_value()).unwrap(), v);
+        let o: Option<f64> = None;
+        assert_eq!(o.to_value(), Value::Null);
+        assert_eq!(Option::<f64>::from_value(&Value::Null).unwrap(), None);
+        let t = (0.5f64, vec![1.0f64]);
+        let tv = t.to_value();
+        assert_eq!(<(f64, Vec<f64>)>::from_value(&tv).unwrap(), t);
+    }
+
+    #[test]
+    fn map_field_lookup() {
+        let m = Value::Map(vec![("a".into(), Value::U64(1))]);
+        assert_eq!(m.field("a").unwrap(), &Value::U64(1));
+        assert!(m.field("b").is_err());
+    }
+}

@@ -1,0 +1,373 @@
+//! `#[derive(Serialize, Deserialize)]` for the offline `serde` stand-in.
+//!
+//! `syn`/`quote` are unavailable offline, so the input item is parsed
+//! directly from the `proc_macro` token stream. Supported shapes — named
+//! structs, tuple structs and enums with unit/tuple/struct variants —
+//! cover everything this workspace derives. The generated code follows
+//! serde's default representations (maps for named fields, plain values
+//! for newtypes, external tagging for enums), so the emitted JSON matches
+//! real serde output for these types. Generic types are not supported.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Shape {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    Enum(Vec<(String, Variant)>),
+}
+
+#[derive(Debug)]
+enum Variant {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// Derives the stand-in `serde::Serialize` trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, true)
+}
+
+/// Derives the stand-in `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, false)
+}
+
+fn expand(input: TokenStream, ser: bool) -> TokenStream {
+    let (name, shape) = match parse_item(input) {
+        Ok(parsed) => parsed,
+        Err(msg) => {
+            return format!("compile_error!({msg:?});").parse().unwrap();
+        }
+    };
+    let code = if ser {
+        gen_serialize(&name, &shape)
+    } else {
+        gen_deserialize(&name, &shape)
+    };
+    code.parse().unwrap()
+}
+
+// ---- parsing ---------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Result<(String, Shape), String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    skip_attrs_and_vis(&tokens, &mut pos);
+
+    let kind = match tokens.get(pos) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    pos += 1;
+    let name = match tokens.get(pos) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    pos += 1;
+    if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde stand-in derive does not support generics (type `{name}`)"
+        ));
+    }
+
+    match kind.as_str() {
+        "struct" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok((name, Shape::NamedStruct(parse_named_fields(g.stream())?)))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Ok((name, Shape::TupleStruct(count_tuple_fields(g.stream()))))
+            }
+            other => Err(format!("unsupported struct body: {other:?}")),
+        },
+        "enum" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok((name, Shape::Enum(parse_variants(g.stream())?)))
+            }
+            other => Err(format!("expected enum body, found {other:?}")),
+        },
+        other => Err(format!("expected `struct` or `enum`, found `{other}`")),
+    }
+}
+
+fn skip_attrs_and_vis(tokens: &[TokenTree], pos: &mut usize) {
+    loop {
+        match tokens.get(*pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *pos += 1; // '#'
+                if matches!(tokens.get(*pos), Some(TokenTree::Group(_))) {
+                    *pos += 1; // the [...] group
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *pos += 1;
+                // `pub(crate)` etc.
+                if matches!(tokens.get(*pos), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *pos += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parses `name: Type, ...` (attributes and visibility allowed per field).
+/// Commas nested in `<...>` belong to the type, not the field list; paren /
+/// bracket nesting arrives pre-grouped by the tokenizer.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut fields = Vec::new();
+    while pos < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut pos);
+        let field = match tokens.get(pos) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        pos += 1;
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            other => return Err(format!("expected `:` after `{field}`, found {other:?}")),
+        }
+        fields.push(field);
+        skip_type_until_comma(&tokens, &mut pos);
+    }
+    Ok(fields)
+}
+
+fn skip_type_until_comma(tokens: &[TokenTree], pos: &mut usize) {
+    let mut angle_depth = 0usize;
+    while let Some(tok) = tokens.get(*pos) {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => {
+                    *pos += 1; // consume the separator
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *pos += 1;
+    }
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut pos = 0;
+    let mut count = 0;
+    while pos < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        count += 1;
+        skip_type_until_comma(&tokens, &mut pos);
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<(String, Variant)>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut variants = Vec::new();
+    while pos < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut pos);
+        let name = match tokens.get(pos) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        pos += 1;
+        let variant = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                Variant::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                Variant::Named(parse_named_fields(g.stream())?)
+            }
+            _ => Variant::Unit,
+        };
+        // optional discriminant `= expr` (unsupported beyond skipping) and
+        // the trailing comma
+        while let Some(tok) = tokens.get(pos) {
+            if matches!(tok, TokenTree::Punct(p) if p.as_char() == ',') {
+                pos += 1;
+                break;
+            }
+            pos += 1;
+        }
+        variants.push((name, variant));
+    }
+    Ok(variants)
+}
+
+// ---- code generation -------------------------------------------------------
+
+fn gen_serialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("serde::Value::Map(::std::vec![{}])", entries.join(", "))
+        }
+        Shape::TupleStruct(1) => "serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("serde::Value::Seq(::std::vec![{}])", items.join(", "))
+        }
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(v, var)| match var {
+                    Variant::Unit => format!(
+                        "{name}::{v} => serde::Value::Str(::std::string::String::from({v:?})),"
+                    ),
+                    Variant::Tuple(1) => format!(
+                        "{name}::{v}(__f0) => serde::Value::Map(::std::vec![(::std::string::String::from({v:?}), serde::Serialize::to_value(__f0))]),"
+                    ),
+                    Variant::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("serde::Serialize::to_value({b})"))
+                            .collect();
+                        format!(
+                            "{name}::{v}({}) => serde::Value::Map(::std::vec![(::std::string::String::from({v:?}), serde::Value::Seq(::std::vec![{}]))]),",
+                            binds.join(", "),
+                            items.join(", ")
+                        )
+                    }
+                    Variant::Named(fields) => {
+                        let binds = fields.join(", ");
+                        let entries: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from({f:?}), serde::Serialize::to_value({f}))"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{v} {{ {binds} }} => serde::Value::Map(::std::vec![(::std::string::String::from({v:?}), serde::Value::Map(::std::vec![{}]))]),",
+                            entries.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+         \tfn to_value(&self) -> serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: serde::Deserialize::from_value(__v.field({f:?})?)?"))
+                .collect();
+            format!(
+                "::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Shape::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(serde::Deserialize::from_value(__v)?))")
+        }
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Deserialize::from_value(&__items[{i}])?"))
+                .collect();
+            format!(
+                "let __items = __v.seq_n({n})?; ::std::result::Result::Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Shape::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, var)| matches!(var, Variant::Unit))
+                .map(|(v, _)| format!("{v:?} => ::std::result::Result::Ok({name}::{v}),"))
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|(v, var)| match var {
+                    Variant::Unit => None,
+                    Variant::Tuple(1) => Some(format!(
+                        "{v:?} => ::std::result::Result::Ok({name}::{v}(serde::Deserialize::from_value(__val)?)),"
+                    )),
+                    Variant::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("serde::Deserialize::from_value(&__items[{i}])?"))
+                            .collect();
+                        Some(format!(
+                            "{v:?} => {{ let __items = __val.seq_n({n})?; ::std::result::Result::Ok({name}::{v}({})) }}",
+                            items.join(", ")
+                        ))
+                    }
+                    Variant::Named(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!("{f}: serde::Deserialize::from_value(__val.field({f:?})?)?")
+                            })
+                            .collect();
+                        Some(format!(
+                            "{v:?} => ::std::result::Result::Ok({name}::{v} {{ {} }}),",
+                            inits.join(", ")
+                        ))
+                    }
+                })
+                .collect();
+            format!(
+                "match __v {{\n\
+                 serde::Value::Str(__s) => match __s.as_str() {{\n\
+                 {}\n\
+                 __other => ::std::result::Result::Err(serde::Error::msg(::std::format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                 }},\n\
+                 serde::Value::Map(__entries) if __entries.len() == 1 => {{\n\
+                 let (__tag, __val) = &__entries[0];\n\
+                 match __tag.as_str() {{\n\
+                 {}\n\
+                 __other => ::std::result::Result::Err(serde::Error::msg(::std::format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                 }}\n\
+                 }},\n\
+                 __other => ::std::result::Result::Err(serde::Error::msg(::std::format!(\"invalid {name} representation: {{__other:?}}\"))),\n\
+                 }}",
+                unit_arms.join("\n"),
+                tagged_arms.join("\n")
+            )
+        }
+    };
+    format!(
+        "impl serde::Deserialize for {name} {{\n\
+         \tfn from_value(__v: &serde::Value) -> ::std::result::Result<Self, serde::Error> {{ {body} }}\n\
+         }}"
+    )
+}

@@ -20,6 +20,13 @@ pub struct IdcaConfig {
     /// Stop once the accumulated uncertainty
     /// `Σ_k (DomCountUB_k − DomCountLB_k)` falls below this value.
     pub uncertainty_target: f64,
+    /// Worker threads for the partition-pair loop of
+    /// [`crate::Refiner::snapshot`] (scoped threads, spawned per
+    /// snapshot). `1` (the default) keeps evaluation fully sequential and
+    /// bit-identical to previous releases; larger values trade exact
+    /// float reproducibility across *different* thread counts
+    /// (reassociation ≲ 1e-13) for wall-clock speed on deep refinements.
+    pub snapshot_threads: usize,
 }
 
 impl Default for IdcaConfig {
@@ -30,6 +37,7 @@ impl Default for IdcaConfig {
             split_strategy: SplitStrategy::LongestExtent,
             max_iterations: 8,
             uncertainty_target: 1e-3,
+            snapshot_threads: 1,
         }
     }
 }

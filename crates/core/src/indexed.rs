@@ -38,10 +38,7 @@ impl<'a> IndexedEngine<'a> {
 
     /// Builds with an explicit configuration.
     pub fn with_config(db: &'a Database, cfg: IdcaConfig) -> Self {
-        let tree = RTree::bulk_load(
-            db.mbrs().map(|(id, r)| (r.clone(), id)).collect(),
-            16,
-        );
+        let tree = RTree::bulk_load(db.mbrs().map(|(id, r)| (r.clone(), id)).collect(), 16);
         IndexedEngine {
             engine: QueryEngine::with_config(db, cfg),
             tree,
@@ -175,7 +172,9 @@ impl<'a> IndexedEngine<'a> {
                 Predicate::Threshold { k, tau },
             );
             let snap = refiner.run();
-            let (lo, hi) = snap.predicate_cdf.expect("threshold predicate produces CDF");
+            let (lo, hi) = snap
+                .predicate_cdf
+                .expect("threshold predicate produces CDF");
             if hi <= 0.0 {
                 continue;
             }
@@ -213,12 +212,11 @@ mod tests {
         let indexed = IndexedEngine::new(&db);
         let scan = QueryEngine::new(&db);
         for (r, b) in qs.iter() {
-            let via_index =
-                indexed.refiner(ObjRef::Db(b), ObjRef::External(r), Predicate::FullPdf);
+            let via_index = indexed.refiner(ObjRef::Db(b), ObjRef::External(r), Predicate::FullPdf);
             let via_scan = scan.refiner(ObjRef::Db(b), ObjRef::External(r), Predicate::FullPdf);
             assert_eq!(via_index.complete_count(), via_scan.complete_count());
-            let mut a = via_index.influence_ids();
-            let mut s = via_scan.influence_ids();
+            let mut a: Vec<_> = via_index.influence_ids().collect();
+            let mut s: Vec<_> = via_scan.influence_ids().collect();
             a.sort_unstable();
             s.sort_unstable();
             assert_eq!(a, s);
@@ -269,7 +267,10 @@ mod tests {
             Predicate::FullPdf,
         );
         assert_eq!(refiner.complete_count(), 0);
-        assert_eq!(refiner.influence_ids(), vec![ObjectId(0)]);
+        assert_eq!(
+            refiner.influence_ids().collect::<Vec<_>>(),
+            vec![ObjectId(0)]
+        );
     }
 
     #[test]
@@ -293,7 +294,10 @@ mod tests {
                 // is computed from the identical MinDist/MaxDist rule, so
                 // it must actually be a superset of the surviving objects)
                 for id in &b {
-                    assert!(a.contains(id), "k={k}: {id} missing from indexed candidates");
+                    assert!(
+                        a.contains(id),
+                        "k={k}: {id} missing from indexed candidates"
+                    );
                 }
             }
         }
@@ -310,10 +314,8 @@ mod tests {
             let mut b = scan.knn_threshold(r, 3, 0.5);
             a.sort_by_key(|x| x.id);
             b.sort_by_key(|x| x.id);
-            let a_hits: Vec<ObjectId> =
-                a.iter().filter(|x| x.is_hit(0.5)).map(|x| x.id).collect();
-            let b_hits: Vec<ObjectId> =
-                b.iter().filter(|x| x.is_hit(0.5)).map(|x| x.id).collect();
+            let a_hits: Vec<ObjectId> = a.iter().filter(|x| x.is_hit(0.5)).map(|x| x.id).collect();
+            let b_hits: Vec<ObjectId> = b.iter().filter(|x| x.is_hit(0.5)).map(|x| x.id).collect();
             assert_eq!(a_hits, b_hits);
         }
     }

@@ -6,8 +6,12 @@
 //! results are identical to the sequential [`QueryEngine::knn_threshold`]
 //! (the refinement is deterministic), only the order may differ — the
 //! output is therefore sorted by object id.
+//!
+//! Workers share nothing but the read-only engine and an atomic work
+//! cursor: each thread accumulates hits in a thread-local buffer that is
+//! handed back through the scope's join handle and merged after the join,
+//! so the hot loop takes no locks at all.
 
-use parking_lot::Mutex;
 use udb_object::UncertainObject;
 
 use crate::config::{ObjRef, Predicate};
@@ -30,41 +34,50 @@ pub fn par_knn_threshold(
     assert!((0.0..1.0).contains(&tau), "tau must be in [0, 1)");
 
     let candidates = engine.knn_candidates_public(q.mbr(), k);
-    let results = Mutex::new(Vec::with_capacity(candidates.len()));
+    let workers = threads.min(candidates.len().max(1));
     let next = std::sync::atomic::AtomicUsize::new(0);
 
-    std::thread::scope(|scope| {
-        for _ in 0..threads.min(candidates.len().max(1)) {
-            scope.spawn(|| {
-                loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    let Some(&id) = candidates.get(i) else {
-                        break;
-                    };
-                    let mut refiner = engine.refiner(
-                        ObjRef::Db(id),
-                        ObjRef::External(q),
-                        Predicate::Threshold { k, tau },
-                    );
-                    let snap = refiner.run();
-                    let (lo, hi) = snap
-                        .predicate_cdf
-                        .expect("threshold predicate produces CDF");
-                    if hi <= 0.0 {
-                        continue;
+    let mut out: Vec<ThresholdResult> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    // per-thread buffer: merged after the join, so workers
+                    // never contend on a shared collector
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        let Some(&id) = candidates.get(i) else {
+                            break;
+                        };
+                        let mut refiner = engine.refiner(
+                            ObjRef::Db(id),
+                            ObjRef::External(q),
+                            Predicate::Threshold { k, tau },
+                        );
+                        let snap = refiner.run();
+                        let (lo, hi) = snap
+                            .predicate_cdf
+                            .expect("threshold predicate produces CDF");
+                        if hi <= 0.0 {
+                            continue;
+                        }
+                        local.push(ThresholdResult {
+                            id,
+                            prob_lower: lo,
+                            prob_upper: hi,
+                            iterations: snap.iteration,
+                        });
                     }
-                    results.lock().push(ThresholdResult {
-                        id,
-                        prob_lower: lo,
-                        prob_upper: hi,
-                        iterations: snap.iteration,
-                    });
-                }
-            });
-        }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("worker thread panicked"))
+            .collect()
     });
 
-    let mut out = results.into_inner();
     out.sort_by_key(|r| r.id);
     out
 }

@@ -120,22 +120,14 @@ impl<'a> QueryEngine<'a> {
     }
 
     /// Fully refines the domination count of `target` w.r.t. `reference`.
-    pub fn domination_count(
-        &self,
-        target: ObjRef<'a>,
-        reference: ObjRef<'a>,
-    ) -> DomCountSnapshot {
+    pub fn domination_count(&self, target: ObjRef<'a>, reference: ObjRef<'a>) -> DomCountSnapshot {
         self.refiner(target, reference, Predicate::FullPdf).run()
     }
 
     /// Probabilistic inverse ranking (Corollary 3, ref.\[21\]): the rank
     /// distribution of `target` among the database objects w.r.t.
     /// similarity to `reference`.
-    pub fn inverse_ranking(
-        &self,
-        target: ObjRef<'a>,
-        reference: ObjRef<'a>,
-    ) -> RankDistribution {
+    pub fn inverse_ranking(&self, target: ObjRef<'a>, reference: ObjRef<'a>) -> RankDistribution {
         let snapshot = self.domination_count(target, reference);
         RankDistribution {
             counts: snapshot.bounds.clone(),
@@ -167,7 +159,9 @@ impl<'a> QueryEngine<'a> {
                 Predicate::Threshold { k, tau },
             );
             let snap = refiner.run();
-            let (lo, hi) = snap.predicate_cdf.expect("threshold predicate produces CDF");
+            let (lo, hi) = snap
+                .predicate_cdf
+                .expect("threshold predicate produces CDF");
             if hi <= 0.0 {
                 continue; // certainly not a kNN
             }
@@ -206,7 +200,9 @@ impl<'a> QueryEngine<'a> {
                 Predicate::Threshold { k, tau },
             );
             let snap = refiner.run();
-            let (lo, hi) = snap.predicate_cdf.expect("threshold predicate produces CDF");
+            let (lo, hi) = snap
+                .predicate_cdf
+                .expect("threshold predicate produces CDF");
             if hi <= 0.0 {
                 continue;
             }
@@ -403,11 +399,7 @@ mod tests {
         let engine = QueryEngine::new(&db);
         let q = certain(0.0, 0.0);
         let res = engine.knn_threshold(&q, 2, 0.5);
-        let hits: Vec<ObjectId> = res
-            .iter()
-            .filter(|r| r.is_hit(0.5))
-            .map(|r| r.id)
-            .collect();
+        let hits: Vec<ObjectId> = res.iter().filter(|r| r.is_hit(0.5)).map(|r| r.id).collect();
         assert_eq!(hits, vec![ObjectId(0), ObjectId(1)]);
         // everything else was pruned or dropped
         for r in &res {
@@ -431,11 +423,7 @@ mod tests {
         let q = certain(0.0, 0.0);
         let res = engine.knn_threshold(&q, 1, 0.5);
         // only the x=1 object is certainly the 1NN
-        let hit_ids: Vec<ObjectId> = res
-            .iter()
-            .filter(|r| r.is_hit(0.5))
-            .map(|r| r.id)
-            .collect();
+        let hit_ids: Vec<ObjectId> = res.iter().filter(|r| r.is_hit(0.5)).map(|r| r.id).collect();
         assert_eq!(hit_ids, vec![ObjectId(0)]);
     }
 
@@ -476,11 +464,7 @@ mod tests {
         let engine = QueryEngine::new(&db);
         let q = certain(0.0, 0.0);
         let res = engine.rknn_threshold(&q, 1, 0.5);
-        let hits: Vec<ObjectId> = res
-            .iter()
-            .filter(|r| r.is_hit(0.5))
-            .map(|r| r.id)
-            .collect();
+        let hits: Vec<ObjectId> = res.iter().filter(|r| r.is_hit(0.5)).map(|r| r.id).collect();
         // B = x1: others at dist >= 1 are not strictly closer than q
         // (dist 1), so DomCount(q, B) = 0 < 1: hit
         assert_eq!(hits, vec![ObjectId(0)]);
@@ -543,7 +527,13 @@ mod tests {
         let ids: Vec<ObjectId> = ranking.iter().map(|e| e.id).collect();
         assert_eq!(
             ids,
-            vec![ObjectId(0), ObjectId(1), ObjectId(2), ObjectId(3), ObjectId(4)]
+            vec![
+                ObjectId(0),
+                ObjectId(1),
+                ObjectId(2),
+                ObjectId(3),
+                ObjectId(4)
+            ]
         );
         for (i, e) in ranking.iter().enumerate() {
             assert!((e.lower - (i + 1) as f64).abs() < 1e-9);

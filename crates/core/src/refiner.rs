@@ -1,4 +1,56 @@
 //! The iterative domination-count refiner (Algorithm 1 of the paper).
+//!
+//! # Incremental snapshots
+//!
+//! [`Refiner::snapshot`] evaluates one UGF per partition pair `(B', R')`,
+//! each multiplying one probability-bound factor per influence object.
+//! Recomputing every factor from scratch each iteration costs
+//! `O(|B'|·|R'| · Σᵢ |Aᵢ'|)` spatial tests per snapshot; most of that work
+//! repeats verbatim, so the refiner caches and dirty-tracks it:
+//!
+//! * **Per-partition factor cache** — each `(pair, influence)` slot (a
+//!   [`FactorCache`], row-major by pair, `pair_idx = bp_idx · |R'| +
+//!   rp_idx`) splits the influence object's partitions into *settled*
+//!   mass — partitions whose spatial decision was **float-robust**
+//!   ([`udb_domination::SpatialDecision::robust`]) — and a small `open`
+//!   list of partitions straddling the decision boundary. The decision
+//!   sums are monotone under shrinking any of the three regions, so a
+//!   robust decision is final: settled mass is *never* reclassified, no
+//!   matter how `A`, `B` or `R` refine. Only the open list (the geometric
+//!   boundary, asymptotically a vanishing fraction of the partitions) is
+//!   ever tested again.
+//! * **Influence lineage** — expanding an influence object's
+//!   decomposition records its partition lineage
+//!   ([`Decomposition::expand_with_map`]); the next snapshot replaces each
+//!   open partition by its children and classifies exactly those —
+//!   children of settled partitions are never touched.
+//! * **Pair remapping** — expanding `B` or `R` changes the pair geometry,
+//!   so the next snapshot maps every new pair to its ancestor pair
+//!   (lineage again, composed across multiple [`Refiner::step`]s), clones
+//!   the ancestor's slot — settled mass stays settled by monotonicity —
+//!   and re-evaluates only the open partitions against the shrunken pair
+//!   regions.
+//! * **Clean slots are free** — when neither the pair nor the influence
+//!   object changed, the slot's cached bounds are reused without a single
+//!   spatial test.
+//!
+//! Aggregation reuses a single flat-arena [`Ugf`] (plus scratch) across
+//! all pairs via [`Ugf::reset`], so the steady-state snapshot performs no
+//! heap allocation in the pair loop.
+//!
+//! # Parallel snapshots
+//!
+//! With [`IdcaConfig::snapshot_threads`] > 1 the pair loop fans out over
+//! scoped threads: pairs are split into contiguous chunks, each worker
+//! owns its chunk's cache slots (`split_at_mut`) and accumulates a private
+//! [`CountDistributionBounds`] + CDF pair, and partials merge in chunk
+//! order after the join. Results are deterministic for a fixed thread
+//! count; across different thread counts they may differ by float
+//! reassociation only (≲ 1e-13).
+//!
+//! [`Refiner::snapshot_from_scratch`] keeps the cache-free evaluation
+//! path: tests assert it agrees with the incremental snapshot at every
+//! iteration, and the `idca` criterion bench measures the speedup.
 
 use udb_domination::{pdom_bounds_vs_fixed, PDomBounds};
 use udb_genfunc::{CountDistributionBounds, Ugf};
@@ -11,8 +63,14 @@ use crate::config::{IdcaConfig, ObjRef, Predicate};
 struct Influence {
     id: ObjectId,
     existence: f64,
+    /// The whole object's uncertainty-region MBR (for the object-level
+    /// pre-test of remapped slots).
+    mbr: udb_geometry::Rect,
     dec: Decomposition,
     parts: Vec<Partition>,
+    /// Partition lineage since the last snapshot (`map[new_idx] =
+    /// old_idx`, composed across steps); `None` when unchanged.
+    lineage: Option<Vec<u32>>,
 }
 
 /// The bounds state after an IDCA iteration.
@@ -92,6 +150,140 @@ pub struct Refiner<'a> {
     r_dec: Decomposition,
     r_parts: Vec<Partition>,
     iteration: usize,
+    /// Partition lineage of `B` / `R` expansions since the cache was last
+    /// refreshed (`None` = unchanged): `map[new_idx] = cached_idx`,
+    /// composed across multiple [`Refiner::step`]s.
+    b_map: Option<Vec<u32>>,
+    r_map: Option<Vec<u32>>,
+    /// Per-partition factor cache, `n_pairs × n_inf` row-major by pair
+    /// (`pair_idx = bp_idx · |R'| + rp_idx`). Bounds are stored already
+    /// scaled by the influence object's existence probability.
+    cache: Vec<FactorCache>,
+    /// `(|B'|, |R'|)` the cache was filled against.
+    cache_dims: (usize, usize),
+    cache_valid: bool,
+    /// The reusable UGF arena for sequential aggregation.
+    ugf: Ugf,
+}
+
+/// One `(pair, influence)` slot of the snapshot cache: the factor's
+/// probability bounds together with the partition bookkeeping that makes
+/// refreshing it incremental (see the module docs).
+#[derive(Debug, Clone)]
+struct FactorCache {
+    /// Mass of partitions robustly classified as dominating — final.
+    settled_lb: f64,
+    /// Mass of partitions robustly classified as never-dominating — final.
+    settled_never: f64,
+    /// Total probability mass of the open partitions (so an object-level
+    /// decision can settle all of it without streaming the partitions).
+    open_mass: f64,
+    /// Partition indices (into the influence object's current partition
+    /// list) still requiring classification: undecided or knife-edge.
+    open: Vec<u32>,
+    /// The factor bounds as of the last refresh, scaled by the influence
+    /// object's existence probability.
+    bounds: PDomBounds,
+}
+
+impl FactorCache {
+    /// An empty slot: nothing settled, nothing open, vacuous bounds. The
+    /// first refresh seeds it from the full partition list.
+    fn empty() -> Self {
+        FactorCache {
+            settled_lb: 0.0,
+            settled_never: 0.0,
+            open_mass: 0.0,
+            open: Vec::new(),
+            bounds: PDomBounds::UNKNOWN,
+        }
+    }
+
+    /// Copies the final (settled/bounds) state of an ancestor slot — the
+    /// open list is intentionally *not* cloned; the refresh pass streams
+    /// it from the ancestor directly.
+    fn carried_from(ancestor: &FactorCache) -> Self {
+        FactorCache {
+            settled_lb: ancestor.settled_lb,
+            settled_never: ancestor.settled_never,
+            open_mass: ancestor.open_mass,
+            open: Vec::new(),
+            bounds: ancestor.bounds,
+        }
+    }
+
+    /// Classifies the candidate partitions streamed by `candidates`
+    /// against the pair `(bp, rp)` in one pass: robust decisions settle
+    /// permanently, everything else lands in `self.open` (which must be
+    /// empty on entry), and the factor bounds are recomputed.
+    fn classify_into(
+        &mut self,
+        candidates: impl Iterator<Item = u32>,
+        inf: &Influence,
+        bp: &Partition,
+        rp: &Partition,
+        cfg: &IdcaConfig,
+    ) {
+        debug_assert!(self.open.is_empty());
+        let mut open_lb = 0.0;
+        let mut open_never = 0.0;
+        let mut open_mass = 0.0;
+        for p in candidates {
+            let part = &inf.parts[p as usize];
+            let decision = cfg
+                .criterion
+                .classify(&part.mbr, &bp.mbr, &rp.mbr, cfg.norm);
+            match (decision.decision, decision.robust) {
+                (Some(true), true) => self.settled_lb += part.mass,
+                (Some(false), true) => self.settled_never += part.mass,
+                (Some(true), false) => {
+                    open_lb += part.mass;
+                    open_mass += part.mass;
+                    self.open.push(p);
+                }
+                (Some(false), false) => {
+                    open_never += part.mass;
+                    open_mass += part.mass;
+                    self.open.push(p);
+                }
+                (None, _) => {
+                    open_mass += part.mass;
+                    self.open.push(p);
+                }
+            }
+        }
+        self.open_mass = open_mass;
+        let lower = (self.settled_lb + open_lb).min(1.0);
+        let upper = (1.0 - self.settled_never - open_never).max(0.0);
+        self.bounds = PDomBounds { lower, upper }.scale_by_existence(inf.existence);
+    }
+
+    /// Settles all remaining open mass in one direction (after a robust
+    /// object-level decision: every open partition decides identically).
+    fn settle_open(&mut self, dominates: bool, existence: f64) {
+        if dominates {
+            self.settled_lb += self.open_mass;
+        } else {
+            self.settled_never += self.open_mass;
+        }
+        self.open_mass = 0.0;
+        self.open.clear();
+        let lower = self.settled_lb.min(1.0);
+        let upper = (1.0 - self.settled_never).max(0.0);
+        self.bounds = PDomBounds { lower, upper }.scale_by_existence(existence);
+    }
+}
+
+/// How the next snapshot must treat each cache slot.
+#[derive(Clone, Copy, PartialEq)]
+enum RefreshMode {
+    /// Rebuild every slot from nothing (first snapshot).
+    Full,
+    /// `B`/`R` expanded: every slot was cloned from its ancestor pair and
+    /// must re-evaluate its open partitions against the new pair regions.
+    Remapped,
+    /// Pairs unchanged: only slots of expanded influence objects refresh.
+    InPlace,
 }
 
 impl<'a> Refiner<'a> {
@@ -117,10 +309,12 @@ impl<'a> Refiner<'a> {
             // certainly never dominates the target: no influence on the
             // count (weak test — ties count as non-domination because Dom
             // is strict)
-            if cfg
-                .criterion
-                .never_dominates(a.mbr(), target_obj.mbr(), reference_obj.mbr(), cfg.norm)
-            {
+            if cfg.criterion.never_dominates(
+                a.mbr(),
+                target_obj.mbr(),
+                reference_obj.mbr(),
+                cfg.norm,
+            ) {
                 continue;
             }
             // certain dominator (only if it certainly exists)
@@ -137,8 +331,10 @@ impl<'a> Refiner<'a> {
             influence.push(Influence {
                 id,
                 existence: a.existence(),
+                mbr: a.mbr().clone(),
                 dec,
                 parts,
+                lineage: None,
             });
         }
 
@@ -160,6 +356,12 @@ impl<'a> Refiner<'a> {
             r_dec,
             r_parts,
             iteration: 0,
+            b_map: None,
+            r_map: None,
+            cache: Vec::new(),
+            cache_dims: (0, 0),
+            cache_valid: false,
+            ugf: Ugf::new(None),
         }
     }
 
@@ -188,8 +390,10 @@ impl<'a> Refiner<'a> {
                 Influence {
                     id,
                     existence: a.existence(),
+                    mbr: a.mbr().clone(),
                     dec,
                     parts,
+                    lineage: None,
                 }
             })
             .collect();
@@ -210,6 +414,12 @@ impl<'a> Refiner<'a> {
             r_dec,
             r_parts,
             iteration: 0,
+            b_map: None,
+            r_map: None,
+            cache: Vec::new(),
+            cache_dims: (0, 0),
+            cache_valid: false,
+            ugf: Ugf::new(None),
         }
     }
 
@@ -224,14 +434,33 @@ impl<'a> Refiner<'a> {
     }
 
     /// Ids of the influence objects (the `influenceObjects` set of
-    /// Algorithm 1).
-    pub fn influence_ids(&self) -> Vec<ObjectId> {
-        self.influence.iter().map(|i| i.id).collect()
+    /// Algorithm 1), without materializing a vector.
+    pub fn influence_ids(&self) -> impl ExactSizeIterator<Item = ObjectId> + '_ {
+        self.influence.iter().map(|i| i.id)
     }
 
     /// Iterations performed so far.
     pub fn iteration(&self) -> usize {
         self.iteration
+    }
+
+    /// Cache diagnostics: `(finally_classified_slots, total_slots)` of the
+    /// factor cache after the last snapshot. Useful for tuning and for
+    /// understanding where snapshot time goes.
+    pub fn cache_stats(&self) -> (usize, usize) {
+        let settled = self.cache.iter().filter(|e| e.open.is_empty()).count();
+        (settled, self.cache.len())
+    }
+
+    /// Total open (still-classified-per-snapshot) partition references
+    /// across all cache slots, and the total the from-scratch path would
+    /// test per snapshot.
+    pub fn open_stats(&self) -> (usize, usize) {
+        let open: usize = self.cache.iter().map(|e| e.open.len()).sum();
+        let scratch: usize = self.b_parts.len()
+            * self.r_parts.len()
+            * self.influence.iter().map(|i| i.parts.len()).sum::<usize>();
+        (open, scratch)
     }
 
     /// Effective truncation for the UGFs: the predicate's `k` minus the
@@ -244,21 +473,26 @@ impl<'a> Refiner<'a> {
     }
 
     /// One refinement iteration (lines 15 of Algorithm 1): deepens every
-    /// decomposition by one level. Returns `false` when nothing could be
-    /// split further (exact bounds reached for discrete models).
+    /// decomposition by one level and records which decompositions
+    /// actually changed (the dirty flags steering the next snapshot's
+    /// cache refresh). Returns `false` when nothing could be split further
+    /// (exact bounds reached for discrete models).
     pub fn step(&mut self) -> bool {
         let mut progress = false;
-        if self.b_dec.expand(self.target.pdf()) {
+        if let Some(map) = self.b_dec.expand_with_map(self.target.pdf()) {
             self.b_parts = self.b_dec.partitions();
+            self.b_map = Some(compose_lineage(self.b_map.take(), map));
             progress = true;
         }
-        if self.r_dec.expand(self.reference.pdf()) {
+        if let Some(map) = self.r_dec.expand_with_map(self.reference.pdf()) {
             self.r_parts = self.r_dec.partitions();
+            self.r_map = Some(compose_lineage(self.r_map.take(), map));
             progress = true;
         }
         for inf in &mut self.influence {
-            if inf.dec.expand(self.db.get(inf.id).pdf()) {
+            if let Some(map) = inf.dec.expand_with_map(self.db.get(inf.id).pdf()) {
                 inf.parts = inf.dec.partitions();
+                inf.lineage = Some(compose_lineage(inf.lineage.take(), map));
                 progress = true;
             }
         }
@@ -268,34 +502,235 @@ impl<'a> Refiner<'a> {
         progress
     }
 
-    /// Evaluates the current bounds (lines 16–36 of Algorithm 1): one UGF
-    /// per partition pair `(B', R')`, aggregated by pair probability and
-    /// shifted by the complete-domination count.
-    pub fn snapshot(&self) -> DomCountSnapshot {
-        let n_inf = self.influence.len();
+    /// Shared snapshot prologue: early-exits when the filter already
+    /// decided the predicate negatively, otherwise yields the aggregation
+    /// vector length and UGF truncation. Keeping this in one place
+    /// guarantees [`Refiner::snapshot`] and
+    /// [`Refiner::snapshot_from_scratch`] stay aligned.
+    #[allow(clippy::result_large_err)]
+    fn snapshot_prologue(&self) -> Result<(usize, Option<usize>), DomCountSnapshot> {
         let k_eff = self.effective_k();
-
-        // predicate already decided negatively by the filter?
         if k_eff == Some(0) {
             let mut bounds = CountDistributionBounds::zero(0);
             bounds.shift_right(self.complete_count);
-            return DomCountSnapshot {
+            return Err(DomCountSnapshot {
                 bounds,
                 predicate_cdf: Some((0.0, 0.0)),
                 complete_count: self.complete_count,
-                influence_count: n_inf,
+                influence_count: self.influence.len(),
                 iteration: self.iteration,
-            };
+            });
         }
-
+        let n_inf = self.influence.len();
         let len = match k_eff {
             Some(k) => (n_inf + 1).min(k),
             None => n_inf + 1,
+        };
+        Ok((len, k_eff))
+    }
+
+    /// Evaluates the current bounds (lines 16–36 of Algorithm 1): one UGF
+    /// per partition pair `(B', R')`, aggregated by pair probability and
+    /// shifted by the complete-domination count.
+    ///
+    /// Incremental: only factors invalidated since the previous snapshot
+    /// are recomputed (see the module docs), and the pair loop runs on
+    /// [`IdcaConfig::snapshot_threads`] scoped threads. The very first
+    /// snapshot (iteration 0, before any [`Refiner::step`]) takes the
+    /// cache-free path — threshold queries frequently decide right there,
+    /// and building the factor cache for a refiner that never iterates
+    /// would be pure overhead.
+    pub fn snapshot(&mut self) -> DomCountSnapshot {
+        if self.iteration == 0 && !self.cache_valid {
+            return self.snapshot_from_scratch();
+        }
+        let n_inf = self.influence.len();
+        let (len, k_eff) = match self.snapshot_prologue() {
+            Ok(header) => header,
+            Err(snapshot) => return snapshot,
+        };
+        let truncate = k_eff;
+
+        let n_pairs = self.b_parts.len() * self.r_parts.len();
+        // `old` (the previous-generation cache) and `ancestors` (each new
+        // pair's pair index in it) stay alive through processing so open
+        // lists can be streamed from the ancestor slots without cloning.
+        let mut old: Vec<FactorCache> = Vec::new();
+        let mut ancestors: Vec<u32> = Vec::new();
+        let mode = if !self.cache_valid
+            || self.cache.len() != self.cache_dims.0 * self.cache_dims.1 * n_inf
+        {
+            self.cache.clear();
+            self.cache.resize_with(n_pairs * n_inf, FactorCache::empty);
+            RefreshMode::Full
+        } else if self.b_map.is_some() || self.r_map.is_some() {
+            // remap: carry every new pair's slots from its ancestor pair;
+            // settled mass is final by monotonicity, open partitions are
+            // re-evaluated against the shrunken pair regions below
+            old = std::mem::take(&mut self.cache);
+            let (_, old_r_len) = self.cache_dims;
+            let r_len = self.r_parts.len();
+            self.cache.reserve(n_pairs * n_inf);
+            ancestors.reserve(n_pairs);
+            for new_pair in 0..n_pairs {
+                let ob = match &self.b_map {
+                    Some(map) => map[new_pair / r_len] as usize,
+                    None => new_pair / r_len,
+                };
+                let or = match &self.r_map {
+                    Some(map) => map[new_pair % r_len] as usize,
+                    None => new_pair % r_len,
+                };
+                let old_pair = ob * old_r_len + or;
+                ancestors.push(old_pair as u32);
+                for anc in &old[old_pair * n_inf..(old_pair + 1) * n_inf] {
+                    self.cache.push(FactorCache::carried_from(anc));
+                }
+            }
+            RefreshMode::Remapped
+        } else {
+            RefreshMode::InPlace
+        };
+        let remap_ctx = (&old[..], &ancestors[..]);
+        self.b_map = None;
+        self.r_map = None;
+        self.cache_dims = (self.b_parts.len(), self.r_parts.len());
+
+        // lineage prefix offsets per influence object (children of old
+        // partition `p` occupy new indices `offsets[p]..offsets[p+1]`);
+        // irrelevant after a full rebuild
+        let inf_offsets: Vec<Option<Vec<u32>>> = if mode == RefreshMode::Full {
+            self.influence.iter().map(|_| None).collect()
+        } else {
+            self.influence
+                .iter()
+                .map(|inf| {
+                    inf.lineage.as_ref().map(|map| {
+                        let mut offsets = vec![0u32; 1];
+                        for (new_idx, &old_idx) in map.iter().enumerate() {
+                            while offsets.len() <= old_idx as usize {
+                                offsets.push(new_idx as u32);
+                            }
+                            debug_assert!(offsets.len() == old_idx as usize + 1);
+                        }
+                        offsets.push(map.len() as u32);
+                        offsets
+                    })
+                })
+                .collect()
+        };
+
+        let mut agg = CountDistributionBounds::zero(len);
+        let mut cdf_acc = k_eff.map(|_| (0.0f64, 0.0f64));
+
+        let threads = self.cfg.snapshot_threads.max(1).min(n_pairs.max(1));
+        if threads <= 1 {
+            process_pair_range(
+                0,
+                n_pairs,
+                &self.b_parts,
+                &self.r_parts,
+                &self.influence,
+                &inf_offsets,
+                remap_ctx,
+                &mut self.cache,
+                mode,
+                &self.cfg,
+                truncate,
+                k_eff,
+                &mut self.ugf,
+                &mut agg,
+                &mut cdf_acc,
+            );
+        } else {
+            let chunk = n_pairs.div_ceil(threads);
+            let b_parts = &self.b_parts;
+            let r_parts = &self.r_parts;
+            let influence = &self.influence;
+            let offsets = &inf_offsets;
+            let ctx = remap_ctx;
+            let cfg = &self.cfg;
+            let mut cache_rest: &mut [FactorCache] = &mut self.cache;
+            std::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(threads);
+                for t in 0..threads {
+                    let start = t * chunk;
+                    let end = (start + chunk).min(n_pairs);
+                    if start >= end {
+                        break;
+                    }
+                    let (mine, rest) = cache_rest.split_at_mut((end - start) * n_inf);
+                    cache_rest = rest;
+                    handles.push(scope.spawn(move || {
+                        let mut ugf = Ugf::new(truncate);
+                        let mut local_agg = CountDistributionBounds::zero(len);
+                        let mut local_cdf = k_eff.map(|_| (0.0f64, 0.0f64));
+                        process_pair_range(
+                            start,
+                            end,
+                            b_parts,
+                            r_parts,
+                            influence,
+                            offsets,
+                            ctx,
+                            mine,
+                            mode,
+                            cfg,
+                            truncate,
+                            k_eff,
+                            &mut ugf,
+                            &mut local_agg,
+                            &mut local_cdf,
+                        );
+                        (local_agg, local_cdf)
+                    }));
+                }
+                // merge in chunk order: deterministic for a fixed thread
+                // count
+                for handle in handles {
+                    let (local_agg, local_cdf) = handle.join().expect("snapshot worker panicked");
+                    agg.add_weighted(&local_agg, 1.0);
+                    if let (Some(acc), Some((lo, hi))) = (cdf_acc.as_mut(), local_cdf) {
+                        acc.0 += lo;
+                        acc.1 += hi;
+                    }
+                }
+            });
+        }
+
+        self.cache_valid = true;
+        for inf in &mut self.influence {
+            inf.lineage = None;
+        }
+
+        agg.normalize();
+        agg.shift_right(self.complete_count);
+
+        DomCountSnapshot {
+            bounds: agg,
+            predicate_cdf: cdf_acc.map(|(lo, hi)| (lo.clamp(0.0, 1.0), hi.clamp(0.0, 1.0))),
+            complete_count: self.complete_count,
+            influence_count: n_inf,
+            iteration: self.iteration,
+        }
+    }
+
+    /// Cache-free snapshot: recomputes every factor of every partition
+    /// pair, sequentially. Kept as the reference path — the incremental
+    /// [`Refiner::snapshot`] must agree with it at every iteration (up to
+    /// float reassociation, ≲ 1e-13) — and as the baseline the `idca`
+    /// bench measures the incremental speedup against.
+    pub fn snapshot_from_scratch(&self) -> DomCountSnapshot {
+        let n_inf = self.influence.len();
+        let (len, k_eff) = match self.snapshot_prologue() {
+            Ok(header) => header,
+            Err(snapshot) => return snapshot,
         };
         let truncate = k_eff;
 
         let mut agg = CountDistributionBounds::zero(len);
         let mut cdf_acc = k_eff.map(|_| (0.0f64, 0.0f64));
+        let mut ugf = Ugf::new(truncate);
 
         for bp in &self.b_parts {
             for rp in &self.r_parts {
@@ -303,19 +738,19 @@ impl<'a> Refiner<'a> {
                 if w <= 0.0 {
                     continue;
                 }
-                let mut ugf = Ugf::new(truncate);
+                ugf.reset(truncate);
                 for inf in &self.influence {
-                    let PDomBounds { lower, upper } = pdom_bounds_vs_fixed(
+                    let bounds = pdom_bounds_vs_fixed(
                         &inf.parts,
                         &bp.mbr,
                         &rp.mbr,
                         self.cfg.norm,
                         self.cfg.criterion,
-                    )
-                    .scale_by_existence(inf.existence);
+                    );
+                    let PDomBounds { lower, upper } = bounds.scale_by_existence(inf.existence);
                     ugf.multiply(lower, upper);
                 }
-                agg.add_weighted(&ugf.count_bounds(len), w);
+                ugf.add_bounds_weighted(&mut agg, w);
                 if let (Some(k), Some(acc)) = (k_eff, cdf_acc.as_mut()) {
                     let (lo, hi) = ugf.cdf_bounds(k.min(n_inf + 1));
                     // counts can never reach k when k > n_inf: cdf = 1
@@ -364,6 +799,126 @@ impl<'a> Refiner<'a> {
     }
 }
 
+/// Composes partition-lineage maps across consecutive expansions:
+/// `prev` maps the intermediate order to the cached order (or `None` when
+/// this is the first expansion since the cache refresh), `next` maps the
+/// newest order to the intermediate one.
+fn compose_lineage(prev: Option<Vec<u32>>, next: Vec<u32>) -> Vec<u32> {
+    match prev {
+        None => next,
+        Some(prev) => next.into_iter().map(|i| prev[i as usize]).collect(),
+    }
+}
+
+/// Processes the pairs `start..end` (global pair indices): refreshes their
+/// cache slots where needed and accumulates the §IV-E aggregation into
+/// `agg`/`cdf_acc`. `cache` holds exactly the slots of this range,
+/// row-major by pair. Shared by the sequential and parallel snapshot
+/// paths so both produce the same per-pair operation sequence.
+#[allow(clippy::too_many_arguments)]
+fn process_pair_range(
+    start: usize,
+    end: usize,
+    b_parts: &[Partition],
+    r_parts: &[Partition],
+    influence: &[Influence],
+    inf_offsets: &[Option<Vec<u32>>],
+    remap_ctx: (&[FactorCache], &[u32]),
+    cache: &mut [FactorCache],
+    mode: RefreshMode,
+    cfg: &IdcaConfig,
+    truncate: Option<usize>,
+    k_eff: Option<usize>,
+    ugf: &mut Ugf,
+    agg: &mut CountDistributionBounds,
+    cdf_acc: &mut Option<(f64, f64)>,
+) {
+    let n_inf = influence.len();
+    let r_len = r_parts.len();
+    let (old, ancestors) = remap_ctx;
+    let mut open_scratch: Vec<u32> = Vec::new();
+    for pair_idx in start..end {
+        let bp = &b_parts[pair_idx / r_len];
+        let rp = &r_parts[pair_idx % r_len];
+        let w = bp.mass * rp.mass;
+        if w <= 0.0 {
+            continue;
+        }
+        let slots = &mut cache[(pair_idx - start) * n_inf..(pair_idx - start + 1) * n_inf];
+        ugf.reset(truncate);
+        for ((inf_idx, (inf, offsets)), slot) in influence
+            .iter()
+            .zip(inf_offsets)
+            .enumerate()
+            .zip(slots.iter_mut())
+        {
+            match mode {
+                // seed from the full partition list
+                RefreshMode::Full => {
+                    slot.classify_into(0..inf.parts.len() as u32, inf, bp, rp, cfg);
+                }
+                // stream the ancestor slot's open list (already expanded
+                // through the influence lineage when that also changed);
+                // a slot with nothing open can never change — its bounds
+                // are settled mass only, stable under any refinement
+                RefreshMode::Remapped => {
+                    let anc = &old[ancestors[pair_idx] as usize * n_inf + inf_idx];
+                    if !anc.open.is_empty() {
+                        // object-level pre-test: if the whole object
+                        // robustly decides against the shrunken pair,
+                        // every open partition decides identically
+                        let obj = cfg.criterion.classify(&inf.mbr, &bp.mbr, &rp.mbr, cfg.norm);
+                        if let (Some(dominates), true) = (obj.decision, obj.robust) {
+                            slot.settle_open(dominates, inf.existence);
+                        } else {
+                            match offsets {
+                                Some(offsets) => slot.classify_into(
+                                    anc.open.iter().flat_map(|&p| {
+                                        offsets[p as usize]..offsets[p as usize + 1]
+                                    }),
+                                    inf,
+                                    bp,
+                                    rp,
+                                    cfg,
+                                ),
+                                None => {
+                                    slot.classify_into(anc.open.iter().copied(), inf, bp, rp, cfg)
+                                }
+                            }
+                        }
+                    }
+                }
+                // pairs unchanged: only slots of expanded influence
+                // objects need work, on their own open lists
+                RefreshMode::InPlace => {
+                    if let (Some(offsets), false) = (offsets, slot.open.is_empty()) {
+                        std::mem::swap(&mut slot.open, &mut open_scratch);
+                        slot.classify_into(
+                            open_scratch
+                                .iter()
+                                .flat_map(|&p| offsets[p as usize]..offsets[p as usize + 1]),
+                            inf,
+                            bp,
+                            rp,
+                            cfg,
+                        );
+                        open_scratch.clear();
+                    }
+                }
+            }
+            ugf.multiply(slot.bounds.lower, slot.bounds.upper);
+        }
+        ugf.add_bounds_weighted(agg, w);
+        if let (Some(k), Some(acc)) = (k_eff, cdf_acc.as_mut()) {
+            let (lo, hi) = ugf.cdf_bounds(k.min(n_inf + 1));
+            // counts can never reach k when k > n_inf: cdf = 1
+            let (lo, hi) = if k > n_inf { (1.0, 1.0) } else { (lo, hi) };
+            acc.0 += w * lo;
+            acc.1 += w * hi;
+        }
+    }
+}
+
 #[cfg(test)]
 #[allow(clippy::needless_range_loop)]
 mod tests {
@@ -385,12 +940,8 @@ mod tests {
     #[test]
     fn certain_world_is_exact_at_iteration_zero() {
         // R at 0; dominators at 1 and 2; target at 3; dominated at 4
-        let db = Database::from_objects(vec![
-            certain(1.0),
-            certain(2.0),
-            certain(3.0),
-            certain(4.0),
-        ]);
+        let db =
+            Database::from_objects(vec![certain(1.0), certain(2.0), certain(3.0), certain(4.0)]);
         let r = certain(0.0);
         let mut refiner = Refiner::new(
             &db,
@@ -400,7 +951,7 @@ mod tests {
             Predicate::FullPdf,
         );
         assert_eq!(refiner.complete_count(), 2);
-        assert!(refiner.influence_ids().is_empty());
+        assert_eq!(refiner.influence_ids().len(), 0);
         let snap = refiner.run();
         assert_eq!(snap.iteration, 0);
         assert!((snap.bounds.lower(2) - 1.0).abs() < 1e-12);
@@ -482,6 +1033,201 @@ mod tests {
             }
         }
         assert!(prev < 1.0, "refinement should reduce uncertainty: {prev}");
+    }
+
+    /// The cache-consistency property of the tentpole: at every iteration
+    /// the incremental snapshot must equal the from-scratch recompute.
+    #[test]
+    fn incremental_snapshot_matches_from_scratch_every_iteration() {
+        let db = Database::from_objects(vec![
+            uniform_seg(0.5, 2.5),
+            uniform_seg(1.0, 3.0),
+            uniform_seg(2.0, 4.0),
+            uniform_seg(1.8, 2.6),
+            certain(2.0),
+            UncertainObject::with_existence(
+                Pdf::uniform(Rect::new(vec![
+                    Interval::new(0.2, 1.4),
+                    Interval::point(0.0),
+                ])),
+                0.7,
+            ),
+        ]);
+        let r = uniform_seg(-0.5, 0.5);
+        for predicate in [
+            Predicate::FullPdf,
+            Predicate::CountBelow { k: 2 },
+            Predicate::Threshold { k: 3, tau: 0.5 },
+        ] {
+            let mut refiner = Refiner::new(
+                &db,
+                ObjRef::Db(ObjectId(4)),
+                ObjRef::External(&r),
+                IdcaConfig {
+                    max_iterations: 6,
+                    uncertainty_target: 0.0,
+                    ..Default::default()
+                },
+                predicate,
+            );
+            for iteration in 0..6 {
+                let inc = refiner.snapshot();
+                let scratch = refiner.snapshot_from_scratch();
+                assert_eq!(inc.bounds.len(), scratch.bounds.len());
+                for k in 0..inc.bounds.len() {
+                    assert!(
+                        (inc.bounds.lower(k) - scratch.bounds.lower(k)).abs() < 1e-12,
+                        "{predicate:?} it={iteration} lower k={k}: {} vs {}",
+                        inc.bounds.lower(k),
+                        scratch.bounds.lower(k)
+                    );
+                    assert!(
+                        (inc.bounds.upper(k) - scratch.bounds.upper(k)).abs() < 1e-12,
+                        "{predicate:?} it={iteration} upper k={k}: {} vs {}",
+                        inc.bounds.upper(k),
+                        scratch.bounds.upper(k)
+                    );
+                }
+                match (inc.predicate_cdf, scratch.predicate_cdf) {
+                    (Some((il, ih)), Some((sl, sh))) => {
+                        assert!(
+                            (il - sl).abs() < 1e-12,
+                            "{predicate:?} it={iteration} cdf lo"
+                        );
+                        assert!(
+                            (ih - sh).abs() < 1e-12,
+                            "{predicate:?} it={iteration} cdf hi"
+                        );
+                    }
+                    (None, None) => {}
+                    other => panic!("cdf presence mismatch: {other:?}"),
+                }
+                if !refiner.step() {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Parallel snapshots agree with sequential ones (up to float
+    /// reassociation across chunk boundaries).
+    #[test]
+    fn parallel_snapshot_matches_sequential() {
+        let db = Database::from_objects(vec![
+            uniform_seg(0.5, 2.5),
+            uniform_seg(1.0, 3.0),
+            uniform_seg(2.0, 4.0),
+            uniform_seg(1.8, 2.6),
+            certain(2.0),
+        ]);
+        let r = uniform_seg(-0.5, 0.5);
+        let mk = |threads| {
+            Refiner::new(
+                &db,
+                ObjRef::Db(ObjectId(4)),
+                ObjRef::External(&r),
+                IdcaConfig {
+                    max_iterations: 5,
+                    uncertainty_target: 0.0,
+                    snapshot_threads: threads,
+                    ..Default::default()
+                },
+                Predicate::FullPdf,
+            )
+        };
+        let mut seq = mk(1);
+        for threads in [2usize, 4, 16] {
+            let mut par = mk(threads);
+            loop {
+                let a = seq.snapshot();
+                let b = par.snapshot();
+                for k in 0..a.bounds.len() {
+                    assert!(
+                        (a.bounds.lower(k) - b.bounds.lower(k)).abs() < 1e-12,
+                        "threads={threads} lower k={k}"
+                    );
+                    assert!(
+                        (a.bounds.upper(k) - b.bounds.upper(k)).abs() < 1e-12,
+                        "threads={threads} upper k={k}"
+                    );
+                }
+                let (sp, pp) = (seq.step(), par.step());
+                assert_eq!(sp, pp);
+                if !sp || seq.iteration() > 5 {
+                    break;
+                }
+            }
+            // rewind the sequential refiner for the next comparison
+            seq = mk(1);
+        }
+    }
+
+    /// Every cache slot — freshly computed, skipped, or carried across a
+    /// B/R expansion — must agree with a fresh classification against the
+    /// current partitions (robust decisions are stable under refinement).
+    #[test]
+    fn cache_entries_match_fresh_classification() {
+        let db = Database::from_objects(vec![
+            uniform_seg(0.5, 2.5),
+            uniform_seg(1.0, 3.0),
+            uniform_seg(2.0, 4.0),
+            uniform_seg(1.8, 2.6),
+            certain(2.0),
+            UncertainObject::with_existence(
+                Pdf::uniform(Rect::new(vec![
+                    Interval::new(0.2, 1.4),
+                    Interval::point(0.0),
+                ])),
+                0.7,
+            ),
+        ]);
+        let r = uniform_seg(-0.5, 0.5);
+        let mut refiner = Refiner::new(
+            &db,
+            ObjRef::Db(ObjectId(4)),
+            ObjRef::External(&r),
+            IdcaConfig {
+                max_iterations: 6,
+                uncertainty_target: 0.0,
+                ..Default::default()
+            },
+            Predicate::FullPdf,
+        );
+        for iteration in 0..6 {
+            let _ = refiner.snapshot();
+            // after snapshot: verify every cache slot against a fresh classification
+            let n_inf = refiner.influence.len();
+            let r_len = refiner.r_parts.len();
+            for (pair_idx, chunk) in refiner.cache.chunks(n_inf).enumerate() {
+                let bp = &refiner.b_parts[pair_idx / r_len];
+                let rp = &refiner.r_parts[pair_idx % r_len];
+                if bp.mass * rp.mass <= 0.0 {
+                    continue;
+                }
+                for (inf, slot) in refiner.influence.iter().zip(chunk.iter()) {
+                    let fresh = pdom_bounds_vs_fixed(
+                        &inf.parts,
+                        &bp.mbr,
+                        &rp.mbr,
+                        refiner.cfg.norm,
+                        refiner.cfg.criterion,
+                    )
+                    .scale_by_existence(inf.existence);
+                    let dl = (slot.bounds.lower - fresh.lower).abs();
+                    let du = (slot.bounds.upper - fresh.upper).abs();
+                    assert!(
+                        dl <= 1e-9 && du <= 1e-9,
+                        "it={iteration} pair={pair_idx} inf={:?}: cached {:?} vs fresh {:?}",
+                        inf.id,
+                        slot,
+                        fresh
+                    );
+                }
+            }
+            if !refiner.step() {
+                break;
+            }
+        }
     }
 
     #[test]
@@ -632,9 +1378,16 @@ mod tests {
         );
         // existential objects are never "complete" dominators
         assert_eq!(refiner.complete_count(), 0);
-        assert_eq!(refiner.influence_ids(), vec![ObjectId(0)]);
+        assert_eq!(
+            refiner.influence_ids().collect::<Vec<_>>(),
+            vec![ObjectId(0)]
+        );
         let snap = refiner.run();
-        assert!((snap.bounds.lower(0) - 0.5).abs() < 1e-9, "{:?}", snap.bounds);
+        assert!(
+            (snap.bounds.lower(0) - 0.5).abs() < 1e-9,
+            "{:?}",
+            snap.bounds
+        );
         assert!((snap.bounds.upper(0) - 0.5).abs() < 1e-9);
         assert!((snap.bounds.lower(1) - 0.5).abs() < 1e-9);
         assert!((snap.bounds.upper(1) - 0.5).abs() < 1e-9);

@@ -107,6 +107,11 @@ pub fn pdom_bounds(
 /// regions `B'` and `R'` — the Lemma 3/5 configuration used inside the
 /// IDCA inner loop, where `B` and `R` are pinned to one partition pair so
 /// that the per-object bounds stay mutually independent.
+///
+/// Uses the short-circuiting `dominates` / `never_dominates` tests (the
+/// second is only evaluated when the first fails). Incremental callers
+/// that also need per-partition robustness use
+/// [`DominationCriterion::classify`] directly instead.
 pub fn pdom_bounds_vs_fixed(
     a_parts: &[Partition],
     b_region: &udb_geometry::Rect,
@@ -178,7 +183,11 @@ mod tests {
         );
         let mut hits = 0usize;
         for _ in 0..n {
-            let (sa, sb, sr) = (pa.sample(&mut rng), pb.sample(&mut rng), pr.sample(&mut rng));
+            let (sa, sb, sr) = (
+                pa.sample(&mut rng),
+                pb.sample(&mut rng),
+                pr.sample(&mut rng),
+            );
             if LpNorm::L2.dist(&sa, &sr) < LpNorm::L2.dist(&sb, &sr) {
                 hits += 1;
             }
@@ -309,10 +318,9 @@ mod tests {
     }
 
     fn arb_seg() -> impl Strategy<Value = Rect> {
-        (-5.0..5.0f64, 0.0..3.0f64, -5.0..5.0f64, 0.0..3.0f64)
-            .prop_map(|(x, w, y, h)| {
-                Rect::new(vec![Interval::new(x, x + w), Interval::new(y, y + h)])
-            })
+        (-5.0..5.0f64, 0.0..3.0f64, -5.0..5.0f64, 0.0..3.0f64).prop_map(|(x, w, y, h)| {
+            Rect::new(vec![Interval::new(x, x + w), Interval::new(y, y + h)])
+        })
     }
 
     proptest! {

@@ -34,6 +34,121 @@ impl DominationCriterion {
             DominationCriterion::MinMax => never_dominates_minmax(a, b, r, norm),
         }
     }
+
+    /// Classifies the relation in one pass and reports whether the
+    /// decision is **float-robust**.
+    ///
+    /// The decision is exactly `dominates` / `never_dominates` (same
+    /// decision sums, same strict/weak comparisons). `robust` is `true`
+    /// when the decisive sum clears zero by a margin that dominates
+    /// floating-point evaluation noise. Both decision sums are monotone
+    /// under shrinking any of the three regions in exact arithmetic, so a
+    /// *robust* decision is stable under any further decomposition of
+    /// `a`, `b` or `r` — knife-edge configurations (ties, `sum ≈ 0`) are
+    /// reported non-robust because refinement may flip their float
+    /// evaluation. Incremental caches use `robust` to decide what may be
+    /// carried without recomputation.
+    pub fn classify(&self, a: &Rect, b: &Rect, r: &Rect, norm: LpNorm) -> SpatialDecision {
+        match self {
+            DominationCriterion::Optimal => classify_optimal(a, b, r, norm),
+            DominationCriterion::MinMax => classify_minmax(a, b, r, norm),
+        }
+    }
+}
+
+/// Outcome of [`DominationCriterion::classify`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpatialDecision {
+    /// `Some(true)` = complete domination, `Some(false)` = never
+    /// dominates, `None` = undecided at this resolution.
+    pub decision: Option<bool>,
+    /// Whether the decision margin dominates float noise (see
+    /// [`DominationCriterion::classify`]). Always `false` for `None`.
+    pub robust: bool,
+}
+
+/// Relative decision margin below which a classification counts as a
+/// knife-edge (non-robust) case. Float noise of the decision sums is a
+/// few ulps (~1e-16 relative); 1e-9 leaves three orders of magnitude of
+/// slack in both directions.
+const ROBUST_MARGIN: f64 = 1e-9;
+
+fn classify_optimal(a: &Rect, b: &Rect, r: &Rect, norm: LpNorm) -> SpatialDecision {
+    assert!(
+        !matches!(norm, LpNorm::LInf),
+        "the optimal domination criterion requires a finite Lp norm"
+    );
+    debug_assert_eq!(a.dims(), b.dims());
+    debug_assert_eq!(a.dims(), r.dims());
+    let mut dom_sum = 0.0; // dominates ⇔ dom_sum < 0
+    let mut nd_sum = 0.0; // never dominates ⇔ nd_sum ≤ 0
+    let mut scale = 0.0;
+    for i in 0..a.dims() {
+        let (ai, bi, ri) = (a.dim(i), b.dim(i), r.dim(i));
+        let dom_term = |rp: f64| norm.pow(ai.max_dist(rp)) - norm.pow(bi.min_dist(rp));
+        let nd_term = |rp: f64| norm.pow(bi.max_dist(rp)) - norm.pow(ai.min_dist(rp));
+        let (d_lo, d_hi) = (dom_term(ri.lo()), dom_term(ri.hi()));
+        let (n_lo, n_hi) = (nd_term(ri.lo()), nd_term(ri.hi()));
+        dom_sum += d_lo.max(d_hi);
+        nd_sum += n_lo.max(n_hi);
+        scale += d_lo.abs().max(d_hi.abs()).max(n_lo.abs()).max(n_hi.abs());
+    }
+    let margin = ROBUST_MARGIN * scale.max(f64::MIN_POSITIVE);
+    if dom_sum < 0.0 {
+        SpatialDecision {
+            decision: Some(true),
+            robust: dom_sum < -margin,
+        }
+    } else if nd_sum <= 0.0 {
+        SpatialDecision {
+            decision: Some(false),
+            robust: nd_sum < -margin,
+        }
+    } else {
+        SpatialDecision {
+            decision: None,
+            robust: false,
+        }
+    }
+}
+
+fn classify_minmax(a: &Rect, b: &Rect, r: &Rect, norm: LpNorm) -> SpatialDecision {
+    // each powered distance computed exactly once; the decisions below are
+    // the same comparisons `dominates_minmax`/`never_dominates_minmax` make
+    let (max_ar, min_br, max_br, min_ar) = match norm {
+        LpNorm::LInf => (
+            norm.pow(a.max_dist_rect(r, norm)),
+            norm.pow(b.min_dist_rect(r, norm)),
+            norm.pow(b.max_dist_rect(r, norm)),
+            norm.pow(a.min_dist_rect(r, norm)),
+        ),
+        _ => (
+            max_dist_rect_pow(a, r, norm),
+            min_dist_rect_pow(b, r, norm),
+            max_dist_rect_pow(b, r, norm),
+            min_dist_rect_pow(a, r, norm),
+        ),
+    };
+    let dominates = max_ar < min_br;
+    let never = !dominates && max_br <= min_ar;
+    if dominates {
+        let margin = ROBUST_MARGIN * max_ar.abs().max(min_br.abs()).max(f64::MIN_POSITIVE);
+        SpatialDecision {
+            decision: Some(true),
+            robust: min_br - max_ar > margin,
+        }
+    } else if never {
+        let margin = ROBUST_MARGIN * max_br.abs().max(min_ar.abs()).max(f64::MIN_POSITIVE);
+        SpatialDecision {
+            decision: Some(false),
+            robust: min_ar - max_br > margin,
+        }
+    } else {
+        SpatialDecision {
+            decision: None,
+            robust: false,
+        }
+    }
 }
 
 /// The *optimal* complete-domination test (Corollary 1):
@@ -283,12 +398,7 @@ mod tests {
     }
 
     fn arb_rect(range: std::ops::Range<f64>) -> impl Strategy<Value = Rect> {
-        (
-            range.clone(),
-            0.0..2.0f64,
-            range,
-            0.0..2.0f64,
-        )
+        (range.clone(), 0.0..2.0f64, range, 0.0..2.0f64)
             .prop_map(|(x, w, y, h)| rect(x, x + w, y, y + h))
     }
 

@@ -35,7 +35,9 @@ impl CountDistributionBounds {
         assert_eq!(lower.len(), upper.len(), "bound vectors must align");
         for (k, (l, u)) in lower.iter().zip(upper.iter()).enumerate() {
             assert!(
-                (0.0..=1.0 + 1e-9).contains(l) && (0.0..=1.0 + 1e-9).contains(u) && l <= &(u + 1e-9),
+                (0.0..=1.0 + 1e-9).contains(l)
+                    && (0.0..=1.0 + 1e-9).contains(u)
+                    && l <= &(u + 1e-9),
                 "invalid bounds at k={k}: [{l}, {u}]"
             );
         }
@@ -70,6 +72,12 @@ impl CountDistributionBounds {
     /// The full upper-bound vector.
     pub fn upper_slice(&self) -> &[f64] {
         &self.upper
+    }
+
+    /// Mutable views of both bound vectors, for fused in-place
+    /// accumulation (see [`crate::Ugf::add_bounds_weighted`]).
+    pub(crate) fn bounds_mut(&mut self) -> (&mut [f64], &mut [f64]) {
+        (&mut self.lower, &mut self.upper)
     }
 
     /// The paper's *accumulated uncertainty*

@@ -30,7 +30,10 @@ impl ClassicGf {
 
     /// Multiplies by the factor `(1 − p + p·x)`.
     pub fn multiply(&mut self, p: f64) {
-        debug_assert!((-1e-9..=1.0 + 1e-9).contains(&p), "probability out of range: {p}");
+        debug_assert!(
+            (-1e-9..=1.0 + 1e-9).contains(&p),
+            "probability out of range: {p}"
+        );
         let p = p.clamp(0.0, 1.0);
         let q = 1.0 - p;
         let keep = self.truncate_at.unwrap_or(usize::MAX);
@@ -80,7 +83,7 @@ pub fn two_gf_bounds(p_lb: &[f64], p_ub: &[f64]) -> CountDistributionBounds {
     let n = p_lb.len();
     let low_dist = poisson_binomial(p_lb, None); // stochastically smallest count
     let high_dist = poisson_binomial(p_ub, None); // stochastically largest count
-    // prefix CDFs: cdf_low_probs(k) = P(count < k) when every p_i = pLB_i
+                                                  // prefix CDFs: cdf_low_probs(k) = P(count < k) when every p_i = pLB_i
     let cdf_at = |dist: &[f64], k: usize| -> f64 { dist[..k.min(dist.len())].iter().sum() };
     let mut lower = Vec::with_capacity(n + 1);
     let mut upper = Vec::with_capacity(n + 1);

@@ -14,7 +14,10 @@
 //!   `c_{i,j}` is the probability that the count is *certainly* at least
 //!   `i` and *possibly* up to `i + j`. (Note: the §IV-C display of the
 //!   paper swaps the `y` and constant terms; Example 3 and Equation (1) of
-//!   §IV-D fix the convention implemented here.)
+//!   §IV-D fix the convention implemented here.) The implementation is a
+//!   flat-arena, zero-allocation-per-factor rewrite; [`reference`] keeps
+//!   the original nested-`Vec` transcription as the equivalence oracle
+//!   for tests and benches.
 //!
 //! The shared output type is [`CountDistributionBounds`]: per-`k` lower and
 //! upper bounds on `P(count = k)` with the CDF/uncertainty helpers the
@@ -23,9 +26,11 @@
 pub mod bounds;
 pub mod classic;
 pub mod poisson;
+pub mod reference;
 pub mod ugf;
 
 pub use bounds::CountDistributionBounds;
 pub use classic::{two_gf_bounds, ClassicGf};
 pub use poisson::poisson_binomial;
+pub use reference::NestedUgf;
 pub use ugf::Ugf;

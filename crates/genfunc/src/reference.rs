@@ -1,0 +1,168 @@
+//! The original nested-`Vec` UGF implementation, kept as the correctness
+//! reference for the flat-arena [`crate::Ugf`].
+//!
+//! [`NestedUgf`] stores the coefficient triangle as `Vec<Vec<f64>>` rows
+//! and allocates a fresh triangle per [`NestedUgf::multiply`]. It is the
+//! straightforward transcription of §IV-C/D of the paper and easy to
+//! audit; the property tests in `ugf.rs` assert the arena implementation
+//! agrees with it to ≤ 1e-12 on every query, and the `genfunc` criterion
+//! bench measures the speedup of the rewrite against it.
+
+use crate::bounds::CountDistributionBounds;
+
+/// Reference uncertain generating function (allocating, nested rows).
+#[derive(Debug, Clone)]
+pub struct NestedUgf {
+    /// `rows[i][j] = c_{i,j}`.
+    rows: Vec<Vec<f64>>,
+    truncate_at: Option<usize>,
+    factors: usize,
+}
+
+impl NestedUgf {
+    /// The empty product `F^0 = 1·x⁰y⁰`.
+    pub fn new(truncate_at: Option<usize>) -> Self {
+        NestedUgf {
+            rows: vec![vec![1.0]],
+            truncate_at,
+            factors: 0,
+        }
+    }
+
+    /// Number of factors multiplied so far.
+    pub fn factors(&self) -> usize {
+        self.factors
+    }
+
+    /// Maximal row index currently representable.
+    fn row_cap(&self) -> usize {
+        self.truncate_at.unwrap_or(usize::MAX)
+    }
+
+    /// Maximal column index representable in row `i`.
+    fn col_cap(&self, i: usize) -> usize {
+        match self.truncate_at {
+            Some(k) => (k + 1).saturating_sub(i),
+            None => usize::MAX,
+        }
+    }
+
+    /// Multiplies by `(p_lb·x + (p_ub − p_lb)·y + (1 − p_ub))`.
+    ///
+    /// # Panics
+    /// Panics (debug) unless `0 ≤ p_lb ≤ p_ub ≤ 1`.
+    pub fn multiply(&mut self, p_lb: f64, p_ub: f64) {
+        debug_assert!(
+            (-1e-9..=1.0 + 1e-9).contains(&p_lb)
+                && (-1e-9..=1.0 + 1e-9).contains(&p_ub)
+                && p_lb <= p_ub + 1e-9,
+            "invalid probability bounds [{p_lb}, {p_ub}]"
+        );
+        let p_lb = p_lb.clamp(0.0, 1.0);
+        let p_ub = p_ub.clamp(p_lb, 1.0);
+        let unknown = p_ub - p_lb;
+        let zero = 1.0 - p_ub;
+
+        self.factors += 1;
+        let new_rows = (self.factors + 1).min(self.row_cap().saturating_add(1));
+        let mut next: Vec<Vec<f64>> = (0..new_rows)
+            .map(|i| vec![0.0; (self.factors + 1 - i).min(self.col_cap(i).saturating_add(1))])
+            .collect();
+        let row_cap = self.row_cap();
+        let mut add = |i: usize, j: usize, v: f64| {
+            if v == 0.0 {
+                return;
+            }
+            let i = i.min(row_cap);
+            let jc = next[i].len() - 1;
+            next[i][j.min(jc)] += v;
+        };
+        for (i, row) in self.rows.iter().enumerate() {
+            for (j, &c) in row.iter().enumerate() {
+                if c == 0.0 {
+                    continue;
+                }
+                add(i + 1, j, c * p_lb);
+                add(i, j + 1, c * unknown);
+                add(i, j, c * zero);
+            }
+        }
+        self.rows = next;
+    }
+
+    /// The coefficient `c_{i,j}` (0 outside the stored triangle).
+    pub fn coefficient(&self, i: usize, j: usize) -> f64 {
+        self.rows
+            .get(i)
+            .and_then(|row| row.get(j))
+            .copied()
+            .unwrap_or(0.0)
+    }
+
+    /// Total coefficient mass (always 1 up to rounding).
+    pub fn total(&self) -> f64 {
+        self.rows.iter().flatten().sum()
+    }
+
+    /// Lemma 4 lower bound: `P(Σ = k) ≥ c_{k,0}`.
+    pub fn lower_bound(&self, k: usize) -> f64 {
+        self.coefficient(k, 0)
+    }
+
+    /// Lemma 4 upper bound: `P(Σ = k) ≤ Σ_{i ≤ k, i+j ≥ k} c_{i,j}`.
+    pub fn upper_bound(&self, k: usize) -> f64 {
+        let mut sum = 0.0;
+        for i in 0..=k.min(self.rows.len().saturating_sub(1)) {
+            let row = &self.rows[i];
+            for (j, &c) in row.iter().enumerate() {
+                if i + j >= k {
+                    sum += c;
+                }
+            }
+        }
+        sum.min(1.0)
+    }
+
+    /// Per-`k` bounds for `k = 0..len` as a [`CountDistributionBounds`].
+    ///
+    /// # Panics
+    /// Panics if `len` exceeds the truncation point.
+    pub fn count_bounds(&self, len: usize) -> CountDistributionBounds {
+        if let Some(t) = self.truncate_at {
+            assert!(
+                len <= t,
+                "cannot extract {len} counts from a UGF truncated at {t}"
+            );
+        }
+        let lower: Vec<f64> = (0..len).map(|k| self.lower_bound(k)).collect();
+        let upper: Vec<f64> = (0..len).map(|k| self.upper_bound(k)).collect();
+        CountDistributionBounds::new(lower, upper)
+    }
+
+    /// Direct bounds on the CDF `P(Σ < k)`.
+    ///
+    /// # Panics
+    /// Panics if `k` exceeds the truncation point.
+    pub fn cdf_bounds(&self, k: usize) -> (f64, f64) {
+        if let Some(t) = self.truncate_at {
+            assert!(
+                k <= t,
+                "cannot extract CDF at {k} from a UGF truncated at {t}"
+            );
+        }
+        let mut lo = 0.0;
+        let mut hi = 0.0;
+        for (i, row) in self.rows.iter().enumerate() {
+            if i >= k {
+                break;
+            }
+            for (j, &c) in row.iter().enumerate() {
+                hi += c;
+                if i + j < k {
+                    lo += c;
+                }
+            }
+        }
+        (lo.clamp(0.0, 1.0), hi.clamp(0.0, 1.0))
+    }
+}

@@ -25,10 +25,44 @@
 //! coefficients with the same `i` and `i + j > k` are merged, and certain
 //! counts beyond `k` are absorbed into row `k`, bounding the state to
 //! `O(k²)` and the total cost to `O(k²·N)` instead of `O(N³)`.
+//!
+//! # Flat memory layout
+//!
+//! This is the IDCA hot path — one UGF product per partition pair, with
+//! up to thousands of pairs per refinement snapshot — so the coefficient
+//! triangle lives in a **single flat arena** instead of nested rows:
+//!
+//! ```text
+//! buf = [ c_{0,0} … c_{0,L₀−1} | c_{1,0} … c_{1,L₀−2} | … | c_{rows−1,0} … ]
+//! ```
+//!
+//! where `L₀ = min(conv + 1, k + 2)` is the length of row 0, row `i` holds
+//! `L₀ − i` entries, and `conv` counts the factors materialized in the
+//! triangle. Row offsets follow in closed form
+//! (`offset(i) = i·L₀ − i·(i−1)/2`), so no per-row pointers exist at all.
+//!
+//! [`Ugf::multiply`] convolves `buf` into a same-shaped `scratch` buffer
+//! and swaps the two — after the buffers have grown to the final state
+//! size (or after a [`Ugf::reset`] reuse), **no allocation happens per
+//! factor**. Decided factors take fast paths that skip the convolution
+//! entirely:
+//!
+//! * `[0, 0]` (certain non-domination) multiplies by the constant 1 —
+//!   a no-op on the triangle;
+//! * `[1, 1]` (certain domination, untruncated) is a pure `x`-shift —
+//!   tracked as the O(1) counter `shift` and applied lazily in every
+//!   accessor (`c_{i,j}` logically lives at row `i + shift`). Under
+//!   truncation the shift must merge mass into the cap row, which the
+//!   regular convolution path already does without multiplications.
+//!
+//! The nested reference implementation lives in
+//! [`crate::reference::NestedUgf`]; property tests assert agreement to
+//! ≤ 1e-12.
 
 use crate::bounds::CountDistributionBounds;
 
-/// An incrementally built uncertain generating function.
+/// An incrementally built uncertain generating function over a flat
+/// coefficient arena.
 ///
 /// ```
 /// use udb_genfunc::Ugf;
@@ -40,23 +74,53 @@ use crate::bounds::CountDistributionBounds;
 /// // P(Σ = 2) ∈ [12 %, 40 %]
 /// assert!((f.lower_bound(2) - 0.12).abs() < 1e-12);
 /// assert!((f.upper_bound(2) - 0.40).abs() < 1e-12);
+///
+/// // reuse the arena for an unrelated product: no reallocation
+/// f.reset(None);
+/// f.multiply(0.5, 0.5);
+/// assert!((f.upper_bound(1) - 0.5).abs() < 1e-12);
 /// ```
 #[derive(Debug, Clone)]
 pub struct Ugf {
-    /// `rows[i][j] = c_{i,j}`.
-    rows: Vec<Vec<f64>>,
+    /// Flat triangular coefficient arena (see the module docs).
+    buf: Vec<f64>,
+    /// Same-shaped double buffer for [`Ugf::multiply`], and scratch space
+    /// for the one-pass bound accumulation.
+    scratch: Vec<f64>,
     truncate_at: Option<usize>,
+    /// Factors multiplied in total (including fast-path factors).
     factors: usize,
+    /// Factors materialized in the triangle (excludes fast-path factors).
+    conv: usize,
+    /// Certain `[1, 1]` factors absorbed as an `x`-shift (untruncated
+    /// mode only; under truncation such factors are materialized so their
+    /// mass merges into the cap row).
+    shift: usize,
 }
 
 impl Ugf {
     /// The empty product `F^0 = 1·x⁰y⁰`.
     pub fn new(truncate_at: Option<usize>) -> Self {
         Ugf {
-            rows: vec![vec![1.0]],
+            buf: vec![1.0],
+            scratch: Vec::new(),
             truncate_at,
             factors: 0,
+            conv: 0,
+            shift: 0,
         }
+    }
+
+    /// Resets to the empty product `F^0`, keeping both buffers' capacity —
+    /// the reuse API that lets one `Ugf` serve every partition pair of a
+    /// refinement snapshot without allocating.
+    pub fn reset(&mut self, truncate_at: Option<usize>) {
+        self.buf.clear();
+        self.buf.push(1.0);
+        self.truncate_at = truncate_at;
+        self.factors = 0;
+        self.conv = 0;
+        self.shift = 0;
     }
 
     /// Number of factors multiplied so far.
@@ -64,20 +128,32 @@ impl Ugf {
         self.factors
     }
 
-    /// Maximal row index currently representable.
-    fn row_cap(&self) -> usize {
-        self.truncate_at.unwrap_or(usize::MAX)
-    }
-
-    /// Maximal column index representable in row `i`.
-    fn col_cap(&self, i: usize) -> usize {
+    /// Row count and row-0 length of the triangle for `conv` materialized
+    /// factors.
+    #[inline]
+    fn geometry(&self, conv: usize) -> (usize, usize) {
         match self.truncate_at {
-            Some(k) => (k + 1).saturating_sub(i),
-            None => usize::MAX,
+            Some(k) => (conv.min(k) + 1, (conv + 1).min(k + 2)),
+            None => (conv + 1, conv + 1),
         }
     }
 
+    /// Arena size of a triangle with `rows` rows of lengths `l0, l0-1, …`.
+    #[inline]
+    fn arena_size(rows: usize, l0: usize) -> usize {
+        rows * l0 - rows * (rows - 1) / 2
+    }
+
+    /// Start of row `i` in a triangle with row-0 length `l0`.
+    #[inline]
+    fn offset(i: usize, l0: usize) -> usize {
+        i * l0 - i * i.saturating_sub(1) / 2
+    }
+
     /// Multiplies by `(p_lb·x + (p_ub − p_lb)·y + (1 − p_ub))`.
+    ///
+    /// Zero-allocation once `buf`/`scratch` have grown to the final state
+    /// size; decided factors short-circuit (see the module docs).
     ///
     /// # Panics
     /// Panics (debug) unless `0 ≤ p_lb ≤ p_ub ≤ 1`.
@@ -90,25 +166,43 @@ impl Ugf {
         );
         let p_lb = p_lb.clamp(0.0, 1.0);
         let p_ub = p_ub.clamp(p_lb, 1.0);
+        self.factors += 1;
+
+        // fast path: the factor is the constant 1 — nothing to convolve
+        if p_ub == 0.0 {
+            return;
+        }
+        // fast path: a certain factor is a pure x-shift; without
+        // truncation that is a counter bump instead of a convolution
+        if p_lb == 1.0 && self.truncate_at.is_none() {
+            self.shift += 1;
+            return;
+        }
+
         let unknown = p_ub - p_lb;
         let zero = 1.0 - p_ub;
 
-        self.factors += 1;
-        let new_rows = (self.factors + 1).min(self.row_cap().saturating_add(1));
-        let mut next: Vec<Vec<f64>> = (0..new_rows)
-            .map(|i| vec![0.0; (self.factors + 1 - i).min(self.col_cap(i).saturating_add(1))])
-            .collect();
-        let row_cap = self.row_cap();
+        let (old_rows, old_l0) = self.geometry(self.conv);
+        self.conv += 1;
+        let (new_rows, new_l0) = self.geometry(self.conv);
+        self.scratch.clear();
+        self.scratch.resize(Self::arena_size(new_rows, new_l0), 0.0);
+
+        let next = &mut self.scratch[..];
         let mut add = |i: usize, j: usize, v: f64| {
             if v == 0.0 {
                 return;
             }
-            let i = i.min(row_cap);
-            let jc = next[i].len() - 1;
-            next[i][j.min(jc)] += v;
+            let i = i.min(new_rows - 1);
+            let len = new_l0 - i;
+            let slot = Self::offset(i, new_l0) + j.min(len - 1);
+            next[slot] += v;
         };
-        for (i, row) in self.rows.iter().enumerate() {
-            for (j, &c) in row.iter().enumerate() {
+        let mut base = 0usize;
+        for i in 0..old_rows {
+            let len = old_l0 - i;
+            for j in 0..len {
+                let c = self.buf[base + j];
                 if c == 0.0 {
                     continue;
                 }
@@ -116,23 +210,28 @@ impl Ugf {
                 add(i, j + 1, c * unknown);
                 add(i, j, c * zero);
             }
+            base += len;
         }
-        self.rows = next;
+        std::mem::swap(&mut self.buf, &mut self.scratch);
     }
 
     /// The coefficient `c_{i,j}` (0 outside the stored triangle).
     pub fn coefficient(&self, i: usize, j: usize) -> f64 {
-        self.rows
-            .get(i)
-            .and_then(|row| row.get(j))
-            .copied()
-            .unwrap_or(0.0)
+        if i < self.shift {
+            return 0.0;
+        }
+        let i = i - self.shift;
+        let (rows, l0) = self.geometry(self.conv);
+        if i >= rows || j >= l0 - i {
+            return 0.0;
+        }
+        self.buf[Self::offset(i, l0) + j]
     }
 
     /// Total coefficient mass (always 1 up to rounding — the three factor
     /// terms partition the probability space).
     pub fn total(&self) -> f64 {
-        self.rows.iter().flatten().sum()
+        self.buf.iter().sum()
     }
 
     /// Lemma 4 lower bound: `P(Σ = k) ≥ c_{k,0}`.
@@ -142,13 +241,17 @@ impl Ugf {
 
     /// Lemma 4 upper bound: `P(Σ = k) ≤ Σ_{i ≤ k, i+j ≥ k} c_{i,j}`.
     pub fn upper_bound(&self, k: usize) -> f64 {
+        if k < self.shift {
+            return 0.0;
+        }
+        let k = k - self.shift;
+        let (rows, l0) = self.geometry(self.conv);
         let mut sum = 0.0;
-        for i in 0..=k.min(self.rows.len().saturating_sub(1)) {
-            let row = &self.rows[i];
-            for (j, &c) in row.iter().enumerate() {
-                if i + j >= k {
-                    sum += c;
-                }
+        for i in 0..rows.min(k + 1) {
+            let base = Self::offset(i, l0);
+            // j ≥ k − i contributes; smaller j cannot reach k
+            for j in (k - i)..(l0 - i) {
+                sum += self.buf[base + j];
             }
         }
         sum.min(1.0)
@@ -165,9 +268,67 @@ impl Ugf {
                 "cannot extract {len} counts from a UGF truncated at {t}"
             );
         }
-        let lower: Vec<f64> = (0..len).map(|k| self.lower_bound(k)).collect();
-        let upper: Vec<f64> = (0..len).map(|k| self.upper_bound(k)).collect();
-        CountDistributionBounds::new(lower, upper)
+        let mut bounds = CountDistributionBounds::zero(len);
+        self.accumulate_bounds(&mut bounds, 1.0, &mut vec![0.0; len + 1]);
+        bounds
+    }
+
+    /// Fused, allocation-free form of
+    /// `agg.add_weighted(&self.count_bounds(agg.len()), weight)`: both
+    /// bound vectors are accumulated in **one pass** over the arena
+    /// (`O(state + len)`) instead of re-scanning the triangle per `k`
+    /// (`O(state · len)`). This is the per-partition-pair aggregation of
+    /// §IV-E on the refinement hot path.
+    pub fn add_bounds_weighted(&mut self, agg: &mut CountDistributionBounds, weight: f64) {
+        if let Some(t) = self.truncate_at {
+            assert!(
+                agg.len() <= t,
+                "cannot extract {} counts from a UGF truncated at {t}",
+                agg.len()
+            );
+        }
+        let len = agg.len();
+        // borrow dance: the scratch diff buffer and the arena are disjoint
+        // fields, so take scratch out while accumulating
+        let mut diff = std::mem::take(&mut self.scratch);
+        diff.clear();
+        diff.resize(len + 1, 0.0);
+        self.accumulate_bounds(agg, weight, &mut diff);
+        self.scratch = diff;
+    }
+
+    /// Shared one-pass accumulation core. `diff` must hold `len + 1`
+    /// zeroed slots; on return it is dirty.
+    ///
+    /// Every stored coefficient `c_{i,j}` (at logical row `i + shift`)
+    /// contributes to `upper_k` for exactly the contiguous range
+    /// `k ∈ [i, i + j]`, so the upper bounds build from a difference
+    /// array + prefix sum; the lower bounds are the `j = 0` column.
+    fn accumulate_bounds(&self, agg: &mut CountDistributionBounds, weight: f64, diff: &mut [f64]) {
+        let len = agg.len();
+        let (rows, l0) = self.geometry(self.conv);
+        let mut base = 0usize;
+        for i in 0..rows {
+            let row_len = l0 - i;
+            let logical_i = i + self.shift;
+            if logical_i < len {
+                for j in 0..row_len {
+                    let c = self.buf[base + j];
+                    if c != 0.0 {
+                        diff[logical_i] += c;
+                        diff[(logical_i + j + 1).min(len)] -= c;
+                    }
+                }
+            }
+            base += row_len;
+        }
+        let (lower, upper) = agg.bounds_mut();
+        let mut running = 0.0;
+        for k in 0..len {
+            running += diff[k];
+            upper[k] += weight * running.min(1.0);
+            lower[k] += weight * self.lower_bound(k);
+        }
     }
 
     /// Direct bounds on the CDF `P(Σ < k)`:
@@ -177,22 +338,37 @@ impl Ugf {
     /// `i + j > truncate_at` or live in rows `≥ truncate_at`).
     pub fn cdf_bounds(&self, k: usize) -> (f64, f64) {
         if let Some(t) = self.truncate_at {
-            assert!(k <= t, "cannot extract CDF at {k} from a UGF truncated at {t}");
+            assert!(
+                k <= t,
+                "cannot extract CDF at {k} from a UGF truncated at {t}"
+            );
         }
+        if k <= self.shift {
+            return (0.0, 0.0);
+        }
+        let k = k - self.shift;
+        let (rows, l0) = self.geometry(self.conv);
         let mut lo = 0.0;
         let mut hi = 0.0;
-        for (i, row) in self.rows.iter().enumerate() {
-            if i >= k {
-                break;
-            }
-            for (j, &c) in row.iter().enumerate() {
+        let mut base = 0usize;
+        for i in 0..rows.min(k) {
+            let row_len = l0 - i;
+            for j in 0..row_len {
+                let c = self.buf[base + j];
                 hi += c;
                 if i + j < k {
                     lo += c;
                 }
             }
+            base += row_len;
         }
         (lo.clamp(0.0, 1.0), hi.clamp(0.0, 1.0))
+    }
+
+    /// Current arena length in coefficients (diagnostic; used by state
+    /// bound tests and the allocation-count test).
+    pub fn state_len(&self) -> usize {
+        self.buf.len()
     }
 }
 
@@ -202,6 +378,7 @@ mod tests {
     use super::*;
     use crate::classic::ClassicGf;
     use crate::poisson::poisson_binomial;
+    use crate::reference::NestedUgf;
     use proptest::prelude::*;
 
     /// Example 3 of the paper: two variables with bounds
@@ -309,11 +486,9 @@ mod tests {
         for _ in 0..200 {
             f.multiply(0.2, 0.7);
         }
-        // rows 0..=3, row i has at most 3 + 2 − i entries
-        assert!(f.rows.len() <= 4);
-        for (i, row) in f.rows.iter().enumerate() {
-            assert!(row.len() <= 4 + 1 - i);
-        }
+        // rows 0..=3 of lengths 5, 4, 3, 2 — the arena never exceeds the
+        // O(k²) truncated state
+        assert!(f.state_len() <= 5 + 4 + 3 + 2, "state {}", f.state_len());
         assert!((f.total() - 1.0).abs() < 1e-9);
     }
 
@@ -334,6 +509,76 @@ mod tests {
         assert!((f.upper_bound(2) - 1.0).abs() < 1e-12);
         assert_eq!(f.lower_bound(0), 0.0);
         assert_eq!(f.upper_bound(1), 0.0);
+        // the fast path kept the arena at the empty product
+        assert_eq!(f.state_len(), 1);
+        assert_eq!(f.factors(), 2);
+    }
+
+    #[test]
+    fn decided_factors_mix_with_undecided() {
+        // shift counter + convolved factors must compose
+        let mut f = Ugf::new(None);
+        f.multiply(1.0, 1.0);
+        f.multiply(0.2, 0.5);
+        f.multiply(0.0, 0.0);
+        f.multiply(1.0, 1.0);
+        let mut reference = NestedUgf::new(None);
+        reference.multiply(1.0, 1.0);
+        reference.multiply(0.2, 0.5);
+        reference.multiply(0.0, 0.0);
+        reference.multiply(1.0, 1.0);
+        for k in 0..6 {
+            assert!(
+                (f.lower_bound(k) - reference.lower_bound(k)).abs() < 1e-12,
+                "k={k}"
+            );
+            assert!(
+                (f.upper_bound(k) - reference.upper_bound(k)).abs() < 1e-12,
+                "k={k}"
+            );
+            let (flo, fhi) = f.cdf_bounds(k);
+            let (rlo, rhi) = reference.cdf_bounds(k);
+            assert!(
+                (flo - rlo).abs() < 1e-12 && (fhi - rhi).abs() < 1e-12,
+                "k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn reset_reuses_capacity_and_clears_state() {
+        let mut f = Ugf::new(None);
+        for _ in 0..6 {
+            f.multiply(0.3, 0.6);
+        }
+        f.reset(Some(2));
+        assert_eq!(f.factors(), 0);
+        assert_eq!(f.state_len(), 1);
+        assert!((f.total() - 1.0).abs() < 1e-12);
+        f.multiply(0.2, 0.5);
+        f.multiply(0.6, 0.8);
+        // behaves exactly like a fresh truncated UGF
+        let mut fresh = Ugf::new(Some(2));
+        fresh.multiply(0.2, 0.5);
+        fresh.multiply(0.6, 0.8);
+        for k in 0..2 {
+            assert_eq!(f.lower_bound(k), fresh.lower_bound(k));
+            assert_eq!(f.upper_bound(k), fresh.upper_bound(k));
+        }
+    }
+
+    /// Strategy for factor sequences mixing undecided, decided-one and
+    /// decided-zero bounds.
+    fn arb_factors() -> impl Strategy<Value = Vec<(f64, f64)>> {
+        proptest::collection::vec((0.0..1.0f64, 0.0..1.0f64, 0..5u8), 0..12).prop_map(|raw| {
+            raw.into_iter()
+                .map(|(a, b, kind)| match kind {
+                    0 => (0.0, 0.0),
+                    1 => (1.0, 1.0),
+                    _ => (a.min(b), a.max(b)),
+                })
+                .collect()
+        })
     }
 
     proptest! {
@@ -346,6 +591,110 @@ mod tests {
                 f.multiply(a.min(*b), a.max(*b));
             }
             prop_assert!((f.total() - 1.0).abs() < 1e-9);
+        }
+
+        /// The flat arena agrees with the nested reference implementation
+        /// on every query, untruncated.
+        #[test]
+        fn prop_flat_matches_nested_reference(pairs in arb_factors()) {
+            let mut flat = Ugf::new(None);
+            let mut nested = NestedUgf::new(None);
+            for &(l, u) in &pairs {
+                flat.multiply(l, u);
+                nested.multiply(l, u);
+            }
+            prop_assert!((flat.total() - nested.total()).abs() < 1e-12);
+            for k in 0..=pairs.len() + 1 {
+                prop_assert!(
+                    (flat.lower_bound(k) - nested.lower_bound(k)).abs() < 1e-12,
+                    "lower k={k}: {} vs {}", flat.lower_bound(k), nested.lower_bound(k)
+                );
+                prop_assert!(
+                    (flat.upper_bound(k) - nested.upper_bound(k)).abs() < 1e-12,
+                    "upper k={k}: {} vs {}", flat.upper_bound(k), nested.upper_bound(k)
+                );
+                let (flo, fhi) = flat.cdf_bounds(k);
+                let (nlo, nhi) = nested.cdf_bounds(k);
+                prop_assert!((flo - nlo).abs() < 1e-12, "cdf lo k={k}");
+                prop_assert!((fhi - nhi).abs() < 1e-12, "cdf hi k={k}");
+            }
+            for i in 0..=pairs.len() {
+                for j in 0..=pairs.len() {
+                    prop_assert!(
+                        (flat.coefficient(i, j) - nested.coefficient(i, j)).abs() < 1e-12,
+                        "c({i},{j})"
+                    );
+                }
+            }
+        }
+
+        /// Same agreement under truncation, including the one-pass
+        /// count-bound accumulation against the reference's per-k scans.
+        #[test]
+        fn prop_flat_matches_nested_reference_truncated(
+            pairs in arb_factors(),
+            t in 1usize..6,
+        ) {
+            let mut flat = Ugf::new(Some(t));
+            let mut nested = NestedUgf::new(Some(t));
+            for &(l, u) in &pairs {
+                flat.multiply(l, u);
+                nested.multiply(l, u);
+            }
+            let fb = flat.count_bounds(t);
+            let nb = nested.count_bounds(t);
+            for k in 0..t {
+                prop_assert!((fb.lower(k) - nb.lower(k)).abs() < 1e-12, "lower k={k}");
+                prop_assert!((fb.upper(k) - nb.upper(k)).abs() < 1e-12, "upper k={k}");
+            }
+            let (flo, fhi) = flat.cdf_bounds(t);
+            let (nlo, nhi) = nested.cdf_bounds(t);
+            prop_assert!((flo - nlo).abs() < 1e-12);
+            prop_assert!((fhi - nhi).abs() < 1e-12);
+        }
+
+        /// With tight per-variable bounds (`p_lb == p_ub`) the UGF bounds
+        /// collapse onto the exact Poisson-binomial PDF.
+        #[test]
+        fn prop_tight_bounds_equal_poisson_binomial(
+            probs in proptest::collection::vec(0.0..1.0f64, 0..10)
+        ) {
+            let mut f = Ugf::new(None);
+            for &p in &probs {
+                f.multiply(p, p);
+            }
+            let exact = poisson_binomial(&probs, None);
+            for k in 0..exact.len() {
+                prop_assert!(
+                    (f.lower_bound(k) - exact[k]).abs() < 1e-12,
+                    "lower k={k}: {} vs {}", f.lower_bound(k), exact[k]
+                );
+                prop_assert!(
+                    (f.upper_bound(k) - exact[k]).abs() < 1e-12,
+                    "upper k={k}: {} vs {}", f.upper_bound(k), exact[k]
+                );
+            }
+        }
+
+        /// The fused accumulation matches add_weighted over count_bounds.
+        #[test]
+        fn prop_add_bounds_weighted_matches_two_pass(
+            pairs in arb_factors(),
+            w in 0.0..1.0f64,
+        ) {
+            let mut f = Ugf::new(None);
+            for &(l, u) in &pairs {
+                f.multiply(l, u);
+            }
+            let len = pairs.len() + 1;
+            let mut fused = CountDistributionBounds::zero(len);
+            f.add_bounds_weighted(&mut fused, w);
+            let mut two_pass = CountDistributionBounds::zero(len);
+            two_pass.add_weighted(&f.count_bounds(len), w);
+            for k in 0..len {
+                prop_assert!((fused.lower(k) - two_pass.lower(k)).abs() < 1e-12);
+                prop_assert!((fused.upper(k) - two_pass.upper(k)).abs() < 1e-12);
+            }
         }
 
         /// Soundness: for any instantiation of the true probabilities

@@ -20,7 +20,10 @@ impl Interval {
     /// Panics if `lo > hi` or either bound is non-finite.
     #[inline]
     pub fn new(lo: f64, hi: f64) -> Self {
-        assert!(lo.is_finite() && hi.is_finite(), "interval bounds must be finite");
+        assert!(
+            lo.is_finite() && hi.is_finite(),
+            "interval bounds must be finite"
+        );
         assert!(lo <= hi, "interval requires lo <= hi (got [{lo}, {hi}])");
         Interval { lo, hi }
     }

@@ -11,8 +11,7 @@ use serde::{Deserialize, Serialize};
 use crate::point::Point;
 
 /// An `Lp` norm with integer `p >= 1`, or the Chebyshev (`L∞`) norm.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub enum LpNorm {
     /// Manhattan distance.
     L1,
@@ -24,7 +23,6 @@ pub enum LpNorm {
     /// Chebyshev distance (`max` over dimensions).
     LInf,
 }
-
 
 impl LpNorm {
     /// The exponent `p` as `f64`; `None` for `L∞`.
@@ -54,9 +52,7 @@ impl LpNorm {
     #[inline]
     pub fn aggregate(&self, contributions: impl IntoIterator<Item = f64>) -> f64 {
         match self {
-            LpNorm::LInf => contributions
-                .into_iter()
-                .fold(0.0f64, |acc, c| acc.max(c)),
+            LpNorm::LInf => contributions.into_iter().fold(0.0f64, |acc, c| acc.max(c)),
             _ => contributions.into_iter().sum(),
         }
     }

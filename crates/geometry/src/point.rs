@@ -14,7 +14,10 @@ impl Point {
     /// Panics if `coords` is empty or contains a non-finite value.
     pub fn new(coords: impl Into<Box<[f64]>>) -> Self {
         let coords = coords.into();
-        assert!(!coords.is_empty(), "points must have at least one dimension");
+        assert!(
+            !coords.is_empty(),
+            "points must have at least one dimension"
+        );
         assert!(
             coords.iter().all(|c| c.is_finite()),
             "point coordinates must be finite"

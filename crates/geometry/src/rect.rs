@@ -190,7 +190,10 @@ impl Rect {
     /// # Panics
     /// Panics if `rects` is empty.
     pub fn union_all<'a>(mut rects: impl Iterator<Item = &'a Rect>) -> Rect {
-        let first = rects.next().expect("union_all needs at least one rect").clone();
+        let first = rects
+            .next()
+            .expect("union_all needs at least one rect")
+            .clone();
         rects.fold(first, |acc, r| acc.union(r))
     }
 
@@ -352,9 +355,11 @@ mod tests {
 
     #[test]
     fn union_all_covers_everything() {
-        let rects = [Rect::from_point(&Point::from([0.0, 0.0])),
+        let rects = [
+            Rect::from_point(&Point::from([0.0, 0.0])),
             Rect::from_point(&Point::from([1.0, 5.0])),
-            Rect::from_point(&Point::from([-2.0, 3.0]))];
+            Rect::from_point(&Point::from([-2.0, 3.0])),
+        ];
         let u = Rect::union_all(rects.iter());
         assert_eq!(u.lo(), Point::from([-2.0, 0.0]));
         assert_eq!(u.hi(), Point::from([1.0, 5.0]));
@@ -400,15 +405,9 @@ mod tests {
     }
 
     fn arb_rect() -> impl Strategy<Value = Rect> {
-        (
-            -10.0..10.0f64,
-            0.0..5.0f64,
-            -10.0..10.0f64,
-            0.0..5.0f64,
-        )
-            .prop_map(|(x, w, y, h)| {
-                Rect::from_corners(&Point::from([x, y]), &Point::from([x + w, y + h]))
-            })
+        (-10.0..10.0f64, 0.0..5.0f64, -10.0..10.0f64, 0.0..5.0f64).prop_map(|(x, w, y, h)| {
+            Rect::from_corners(&Point::from([x, y]), &Point::from([x + w, y + h]))
+        })
     }
 
     proptest! {

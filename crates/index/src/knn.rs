@@ -122,7 +122,11 @@ mod tests {
     #[test]
     fn emits_in_distance_order() {
         let t = RTree::bulk_load(
-            vec![(pt(5.0, 0.0), 'b'), (pt(1.0, 0.0), 'a'), (pt(9.0, 0.0), 'c')],
+            vec![
+                (pt(5.0, 0.0), 'b'),
+                (pt(1.0, 0.0), 'a'),
+                (pt(9.0, 0.0), 'c'),
+            ],
             4,
         );
         let got: Vec<char> = t

@@ -64,10 +64,7 @@ pub(crate) type SplitGroups<E> = (Vec<(Rect, E)>, Vec<(Rect, E)>);
 /// minimal combined volume).
 ///
 /// Entries are `(mbr, payload)`; `min_entries` bounds the smaller group.
-pub(crate) fn split_entries<E>(
-    mut entries: Vec<(Rect, E)>,
-    min_entries: usize,
-) -> SplitGroups<E> {
+pub(crate) fn split_entries<E>(mut entries: Vec<(Rect, E)>, min_entries: usize) -> SplitGroups<E> {
     let total = entries.len();
     debug_assert!(total >= 2 * min_entries, "not enough entries to split");
     let dims = entries[0].0.dims();
@@ -129,10 +126,7 @@ mod tests {
     use udb_geometry::{Interval, Point};
 
     fn rect(x: f64, y: f64) -> Rect {
-        Rect::new(vec![
-            Interval::new(x, x + 1.0),
-            Interval::new(y, y + 1.0),
-        ])
+        Rect::new(vec![Interval::new(x, x + 1.0), Interval::new(y, y + 1.0)])
     }
 
     #[test]

@@ -296,13 +296,9 @@ fn str_pack<T>(mut items: Vec<(Rect, T)>, max_entries: usize) -> Vec<Vec<(Rect, 
 /// Builds inner levels over packed leaves until a single root remains.
 fn build_upper_levels<T>(mut level: Vec<Node<T>>, max_entries: usize) -> Node<T> {
     while level.len() > 1 {
-        let entries: Vec<(Rect, Node<T>)> =
-            level.into_iter().map(|n| (n.mbr(), n)).collect();
+        let entries: Vec<(Rect, Node<T>)> = level.into_iter().map(|n| (n.mbr(), n)).collect();
         let groups = str_pack(entries, max_entries);
-        level = groups
-            .into_iter()
-            .map(|g| Node::Inner(g))
-            .collect();
+        level = groups.into_iter().map(|g| Node::Inner(g)).collect();
     }
     level.pop().expect("non-empty level")
 }

@@ -193,7 +193,8 @@ mod tests {
     fn certain_configuration_is_deterministic() {
         // reference at 0; objects at 1, 2, 4; target at 3 -> exactly two
         // dominators in every world
-        let db = Database::from_objects(vec![certain(1.0), certain(2.0), certain(4.0), certain(3.0)]);
+        let db =
+            Database::from_objects(vec![certain(1.0), certain(2.0), certain(4.0), certain(3.0)]);
         let mc = MonteCarlo {
             samples: 16,
             ..Default::default()

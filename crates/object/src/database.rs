@@ -149,9 +149,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "share dimensionality")]
     fn mixed_dimensionality_rejected() {
-        let one_d = UncertainObject::new(Pdf::uniform(Rect::new(vec![Interval::new(
-            0.0, 1.0,
-        )])));
+        let one_d = UncertainObject::new(Pdf::uniform(Rect::new(vec![Interval::new(0.0, 1.0)])));
         let _ = Database::from_objects(vec![obj(0.0), one_d]);
     }
 }

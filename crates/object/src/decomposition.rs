@@ -105,6 +105,30 @@ impl Decomposition {
         progressed
     }
 
+    /// Like [`Decomposition::expand`], but additionally reports lineage:
+    /// on progress, returns for each partition of the *new*
+    /// [`Decomposition::partitions`] order the index of the partition it
+    /// descended from in the *previous* order (split leaves contribute two
+    /// consecutive entries with the same parent index, surviving leaves
+    /// map through unchanged). `None` when nothing could be split.
+    ///
+    /// Incremental consumers (the IDCA snapshot cache) use the map to
+    /// carry per-partition results across an expansion instead of
+    /// invalidating everything keyed on partition indices.
+    pub fn expand_with_map(&mut self, pdf: &Pdf) -> Option<Vec<u32>> {
+        let strategy = self.strategy;
+        let mut map = Vec::with_capacity(count_leaves(&self.root) * 2);
+        let mut old_idx = 0u32;
+        let progressed =
+            Self::expand_node_tracked(&mut self.root, pdf, strategy, &mut old_idx, &mut map);
+        if progressed {
+            self.depth += 1;
+            Some(map)
+        } else {
+            None
+        }
+    }
+
     /// Expands until `depth` (or until no further progress is possible).
     pub fn expand_to(&mut self, pdf: &Pdf, depth: usize) {
         while self.depth < depth && self.expand(pdf) {}
@@ -133,6 +157,49 @@ impl Decomposition {
         }
     }
 
+    /// [`Decomposition::expand_node`] plus lineage tracking. Visits leaves
+    /// in the same DFS order as [`collect_leaves`] (skipping the same
+    /// zero-mass leaves) so `old_idx` counts previous partition indices
+    /// and `map` fills in new partition order.
+    fn expand_node_tracked(
+        node: &mut Node,
+        pdf: &Pdf,
+        strategy: SplitStrategy,
+        old_idx: &mut u32,
+        map: &mut Vec<u32>,
+    ) -> bool {
+        if !node.is_leaf() {
+            let mut any = false;
+            for c in &mut node.children {
+                any |= Self::expand_node_tracked(c, pdf, strategy, old_idx, map);
+            }
+            return any;
+        }
+        if node.mass <= MASS_EPSILON {
+            // not part of the partitions() order, before or after
+            return false;
+        }
+        let my_idx = *old_idx;
+        *old_idx += 1;
+        if node.unsplittable {
+            map.push(my_idx);
+            return false;
+        }
+        match split_leaf(node, pdf, strategy) {
+            Some(children) => {
+                node.children = children;
+                map.push(my_idx);
+                map.push(my_idx);
+                true
+            }
+            None => {
+                node.unsplittable = true;
+                map.push(my_idx);
+                false
+            }
+        }
+    }
+
     /// The current partitions (leaves with positive mass). Masses sum to
     /// (approximately) one.
     pub fn partitions(&self) -> Vec<Partition> {
@@ -143,8 +210,17 @@ impl Decomposition {
 
     /// Number of current leaves with positive mass.
     pub fn leaf_count(&self) -> usize {
-        self.partitions().len()
+        count_leaves(&self.root)
     }
+}
+
+/// Counts leaves with positive mass without materializing [`Partition`]s
+/// (the same nodes [`collect_leaves`] would emit).
+fn count_leaves(node: &Node) -> usize {
+    if node.is_leaf() {
+        return usize::from(node.mass > MASS_EPSILON);
+    }
+    node.children.iter().map(count_leaves).sum()
 }
 
 fn collect_leaves(node: &Node, out: &mut Vec<Partition>) {
@@ -426,6 +502,69 @@ mod tests {
     }
 
     #[test]
+    fn expand_with_map_tracks_lineage() {
+        let pdf = Pdf::uniform(unit_square());
+        let mut dec = Decomposition::new(&pdf);
+        // depth 0 -> 1: one leaf splits in two
+        let map = dec.expand_with_map(&pdf).expect("progress");
+        assert_eq!(map, vec![0, 0]);
+        // depth 1 -> 2: both leaves split
+        let map = dec.expand_with_map(&pdf).expect("progress");
+        assert_eq!(map, vec![0, 0, 1, 1]);
+        assert_eq!(dec.leaf_count(), 4);
+    }
+
+    #[test]
+    fn expand_with_map_mixes_split_and_exhausted_leaves() {
+        // three discrete alternatives: after one split one leaf is a point
+        // (unsplittable) and the other splits again
+        let pdf: Pdf = DiscretePdf::equally_weighted(vec![
+            Point::from([0.0, 0.0]),
+            Point::from([1.0, 0.0]),
+            Point::from([2.0, 0.0]),
+        ])
+        .into();
+        let mut dec = Decomposition::new(&pdf);
+        let map = dec.expand_with_map(&pdf).expect("progress");
+        assert_eq!(map, vec![0, 0]);
+        let parts_before = dec.partitions();
+        let map = dec.expand_with_map(&pdf).expect("progress");
+        let parts_after = dec.partitions();
+        assert_eq!(map.len(), parts_after.len());
+        // masses must be conserved along the lineage
+        let mut regrouped = vec![0.0; parts_before.len()];
+        for (child, &parent) in parts_after.iter().zip(map.iter()) {
+            regrouped[parent as usize] += child.mass;
+            // children stay inside their parent region
+            assert!(parts_before[parent as usize].mbr.contains_rect(&child.mbr));
+        }
+        for (got, want) in regrouped.iter().zip(parts_before.iter()) {
+            assert!((got - want.mass).abs() < 1e-12);
+        }
+        // exhausted decomposition reports no progress
+        while dec.expand_with_map(&pdf).is_some() {}
+        assert!(dec.expand_with_map(&pdf).is_none());
+    }
+
+    #[test]
+    fn expand_and_expand_with_map_agree() {
+        let pdf: Pdf = GaussianPdf::isotropic(Point::from([0.5, 0.5]), 0.2, unit_square()).into();
+        let mut a = Decomposition::new(&pdf);
+        let mut b = Decomposition::new(&pdf);
+        for _ in 0..4 {
+            let pa = a.expand(&pdf);
+            let pb = b.expand_with_map(&pdf).is_some();
+            assert_eq!(pa, pb);
+            let (qa, qb) = (a.partitions(), b.partitions());
+            assert_eq!(qa.len(), qb.len());
+            for (x, y) in qa.iter().zip(qb.iter()) {
+                assert_eq!(x.mbr, y.mbr);
+                assert_eq!(x.mass, y.mass);
+            }
+        }
+    }
+
+    #[test]
     fn expand_to_stops_at_depth() {
         let pdf = Pdf::uniform(unit_square());
         let mut dec = Decomposition::new(&pdf);
@@ -452,8 +591,7 @@ mod tests {
                     let support = Rect::centered(&center, &[hx, hy]);
                     match kind {
                         0 => Pdf::uniform(support),
-                        1 => GaussianPdf::new(center, vec![hx / 2.0, hy / 2.0], support)
-                            .into(),
+                        1 => GaussianPdf::new(center, vec![hx / 2.0, hy / 2.0], support).into(),
                         _ => udb_pdf::DiscretePdf::equally_weighted(vec![
                             Point::from([cx - hx / 2.0, cy]),
                             Point::from([cx + hx / 2.0, cy - hy / 2.0]),

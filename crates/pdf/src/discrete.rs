@@ -29,8 +29,15 @@ impl DiscretePdf {
     /// Panics if `points` is empty, lengths mismatch, weights are negative
     /// or all zero, or dimensionalities differ.
     pub fn new(points: Vec<Point>, weights: Vec<f64>) -> Self {
-        assert!(!points.is_empty(), "discrete pdf needs at least one alternative");
-        assert_eq!(points.len(), weights.len(), "points/weights length mismatch");
+        assert!(
+            !points.is_empty(),
+            "discrete pdf needs at least one alternative"
+        );
+        assert_eq!(
+            points.len(),
+            weights.len(),
+            "points/weights length mismatch"
+        );
         let d = points[0].dims();
         assert!(
             points.iter().all(|p| p.dims() == d),
@@ -172,11 +179,7 @@ impl DiscretePdf {
     /// Tight bounding box of alternatives inside `region`, or `None` if the
     /// region contains none.
     pub fn tighten(&self, region: &Rect) -> Option<Rect> {
-        let contained: Vec<&Point> = self
-            .points
-            .iter()
-            .filter(|p| region.contains(p))
-            .collect();
+        let contained: Vec<&Point> = self.points.iter().filter(|p| region.contains(p)).collect();
         if contained.is_empty() {
             return None;
         }

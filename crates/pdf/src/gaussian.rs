@@ -31,8 +31,15 @@ impl GaussianPdf {
     /// a support that carries (numerically) no Gaussian mass.
     pub fn new(mean: Point, std: Vec<f64>, support: Rect) -> Self {
         assert_eq!(mean.dims(), std.len(), "mean/std dimensionality mismatch");
-        assert_eq!(mean.dims(), support.dims(), "mean/support dimensionality mismatch");
-        assert!(std.iter().all(|&s| s > 0.0), "standard deviations must be positive");
+        assert_eq!(
+            mean.dims(),
+            support.dims(),
+            "mean/support dimensionality mismatch"
+        );
+        assert!(
+            std.iter().all(|&s| s > 0.0),
+            "standard deviations must be positive"
+        );
         let dim_mass: Vec<f64> = (0..mean.dims())
             .map(|i| {
                 let iv = support.dim(i);
@@ -132,8 +139,7 @@ impl GaussianPdf {
         let coords: Vec<f64> = (0..self.mean.dims())
             .map(|i| {
                 let iv = self.support.dim(i);
-                (self.mean[i] + self.std[i] * sample_standard_normal(rng))
-                    .clamp(iv.lo(), iv.hi())
+                (self.mean[i] + self.std[i] * sample_standard_normal(rng)).clamp(iv.lo(), iv.hi())
             })
             .collect();
         Point::new(coords)

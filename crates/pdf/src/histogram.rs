@@ -40,7 +40,10 @@ impl HistogramPdf {
             resolution.len(),
             "resolution dimensionality mismatch"
         );
-        assert!(resolution.iter().all(|&r| r > 0), "resolution must be positive");
+        assert!(
+            resolution.iter().all(|&r| r > 0),
+            "resolution must be positive"
+        );
         let cells: usize = resolution.iter().product();
         assert_eq!(weights.len(), cells, "weight count must match the grid");
         assert!(
@@ -203,7 +206,10 @@ struct HistogramGrid<'a> {
 
 impl<'a> HistogramGrid<'a> {
     fn new(support: &'a Rect, resolution: &'a [usize]) -> Self {
-        HistogramGrid { support, resolution }
+        HistogramGrid {
+            support,
+            resolution,
+        }
     }
 
     /// The rectangle of the cell with flat index `c` (row-major, last
@@ -321,10 +327,7 @@ mod tests {
         let h = HistogramPdf::new(unit_square(), vec![2, 1], vec![3.0, 1.0]);
         let mut rng = StdRng::seed_from_u64(5);
         let n = 10_000;
-        let left = (0..n)
-            .filter(|_| h.sample(&mut rng)[0] < 0.5)
-            .count() as f64
-            / n as f64;
+        let left = (0..n).filter(|_| h.sample(&mut rng)[0] < 0.5).count() as f64 / n as f64;
         assert!((left - 0.75).abs() < 0.02, "left fraction {left}");
     }
 

@@ -260,7 +260,10 @@ mod tests {
         let x = pdf.split_coordinate(&region, 0);
         let below = pdf.mass_below(&region, 0, x);
         let total = pdf.mass_in(&region);
-        assert!((below - 0.5 * total).abs() < 1e-6, "below={below} total={total}");
+        assert!(
+            (below - 0.5 * total).abs() < 1e-6,
+            "below={below} total={total}"
+        );
     }
 
     #[test]

@@ -27,7 +27,10 @@ impl MixturePdf {
     /// Panics if `components` is empty, weights are negative or all zero,
     /// or components disagree on dimensionality.
     pub fn new(components: Vec<(f64, Pdf)>) -> Self {
-        assert!(!components.is_empty(), "mixture needs at least one component");
+        assert!(
+            !components.is_empty(),
+            "mixture needs at least one component"
+        );
         assert!(
             components.iter().all(|(w, _)| w.is_finite() && *w >= 0.0),
             "weights must be non-negative and finite"

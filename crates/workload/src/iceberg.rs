@@ -135,11 +135,7 @@ mod tests {
         let n = centers.len() as f64;
         let mx = centers.iter().map(|c| c.0).sum::<f64>() / n;
         let my = centers.iter().map(|c| c.1).sum::<f64>() / n;
-        let cov = centers
-            .iter()
-            .map(|c| (c.0 - mx) * (c.1 - my))
-            .sum::<f64>()
-            / n;
+        let cov = centers.iter().map(|c| (c.0 - mx) * (c.1 - my)).sum::<f64>() / n;
         assert!(cov < -0.01, "corridor correlation missing: cov {cov}");
     }
 

@@ -84,9 +84,7 @@ impl QuerySet {
 
     /// Iterates `(reference, target)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (&UncertainObject, ObjectId)> {
-        self.references
-            .iter()
-            .zip(self.targets.iter().copied())
+        self.references.iter().zip(self.targets.iter().copied())
     }
 }
 

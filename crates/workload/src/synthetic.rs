@@ -80,18 +80,9 @@ impl SyntheticConfig {
                     "correlated histogram workload is two-dimensional"
                 );
                 let rho: f64 = rng.gen_range(-0.9..0.9);
-                let std = [
-                    (half[0] / 2.0).max(1e-12),
-                    (half[1] / 2.0).max(1e-12),
-                ];
-                HistogramPdf::from_correlated_gaussian(
-                    Point::new(center),
-                    std,
-                    rho,
-                    support,
-                    8,
-                )
-                .into()
+                let std = [(half[0] / 2.0).max(1e-12), (half[1] / 2.0).max(1e-12)];
+                HistogramPdf::from_correlated_gaussian(Point::new(center), std, rho, support, 8)
+                    .into()
             }
         };
         UncertainObject::new(pdf)
@@ -196,10 +187,7 @@ mod tests {
             ..Default::default()
         }
         .generate();
-        let same = a
-            .iter()
-            .zip(b.iter())
-            .all(|(x, y)| x.1.mbr() == y.1.mbr());
+        let same = a.iter().zip(b.iter()).all(|(x, y)| x.1.mbr() == y.1.mbr());
         assert!(!same);
     }
 }

@@ -23,10 +23,7 @@ fn main() {
     println!("generated {} simulated iceberg sightings", db.len());
 
     // index the MBRs to find a busy region for the demo ship position
-    let tree = RTree::bulk_load(
-        db.mbrs().map(|(id, r)| (r.clone(), id)).collect(),
-        16,
-    );
+    let tree = RTree::bulk_load(db.mbrs().map(|(id, r)| (r.clone(), id)).collect(), 16);
     let ship = UncertainObject::certain(Point::from([0.45, 0.5]));
     let nearest = tree.knn(ship.mbr(), 5, LpNorm::L2);
     println!("\nclosest sighted icebergs by MinDist:");

@@ -18,8 +18,7 @@ fn main() {
         ))),
         // sensor 1: truncated Gaussian around (2.0, 0.4)
         UncertainObject::new(
-            GaussianPdf::truncated_at_sigmas(Point::from([2.0, 0.4]), vec![0.15, 0.15], 3.0)
-                .into(),
+            GaussianPdf::truncated_at_sigmas(Point::from([2.0, 0.4]), vec![0.15, 0.15], 3.0).into(),
         ),
         // sensor 2: correlated uncertainty (positively correlated x/y)
         UncertainObject::new(
@@ -64,7 +63,7 @@ fn main() {
     println!(
         "  filter: {} certain dominators, influence set {:?}",
         refiner.complete_count(),
-        refiner.influence_ids()
+        refiner.influence_ids().collect::<Vec<_>>()
     );
     let mut snap = refiner.snapshot();
     println!(

@@ -67,10 +67,7 @@ fn main() {
     // sanity view: expected ranks of the facility from each customer's
     // perspective would require per-customer reference queries; show the
     // plain distance ranking instead
-    let tree = RTree::bulk_load(
-        db.mbrs().map(|(id, r)| (r.clone(), id)).collect(),
-        8,
-    );
+    let tree = RTree::bulk_load(db.mbrs().map(|(id, r)| (r.clone(), id)).collect(), 8);
     println!("closest customers by MinDist (spatial view):");
     for n in tree.knn(facility.mbr(), 5, LpNorm::L2) {
         println!("  {}: {:.4}", n.payload, n.dist);

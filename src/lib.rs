@@ -61,8 +61,8 @@ pub use udb_workload as workload;
 /// The commonly used types in one import.
 pub mod prelude {
     pub use udb_core::{
-        par_knn_threshold, DomCountSnapshot, ExpectedRankEntry, IdcaConfig, IndexedEngine,
-        ObjRef, Predicate, QueryEngine, RankDistribution, Refiner, ThresholdResult,
+        par_knn_threshold, DomCountSnapshot, ExpectedRankEntry, IdcaConfig, IndexedEngine, ObjRef,
+        Predicate, QueryEngine, RankDistribution, Refiner, ThresholdResult,
     };
     pub use udb_domination::{DominationCriterion, PDomBounds};
     pub use udb_genfunc::{CountDistributionBounds, Ugf};

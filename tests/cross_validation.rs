@@ -18,9 +18,9 @@ fn random_object(rng: &mut StdRng) -> UncertainObject {
     let support = Rect::centered(&center, &[hx, hy]);
     match rng.gen_range(0..4) {
         0 => UncertainObject::new(Pdf::uniform(support)),
-        1 => UncertainObject::new(
-            GaussianPdf::new(center, vec![hx / 2.0, hy / 2.0], support).into(),
-        ),
+        1 => {
+            UncertainObject::new(GaussianPdf::new(center, vec![hx / 2.0, hy / 2.0], support).into())
+        }
         2 => {
             let rho: f64 = rng.gen_range(-0.8..0.8);
             UncertainObject::new(

@@ -116,14 +116,8 @@ fn rtree_knn_in_4d() {
 
 #[test]
 fn gaussian_mass_in_3d_factorizes() {
-    let g = GaussianPdf::truncated_at_sigmas(
-        Point::from([0.0, 0.0, 0.0]),
-        vec![1.0, 1.0, 1.0],
-        3.0,
-    );
-    let octant = Rect::from_corners(
-        &Point::from([0.0, 0.0, 0.0]),
-        &Point::from([3.0, 3.0, 3.0]),
-    );
+    let g =
+        GaussianPdf::truncated_at_sigmas(Point::from([0.0, 0.0, 0.0]), vec![1.0, 1.0, 1.0], 3.0);
+    let octant = Rect::from_corners(&Point::from([0.0, 0.0, 0.0]), &Point::from([3.0, 3.0, 3.0]));
     assert!((g.mass_in(&octant) - 0.125).abs() < 1e-6);
 }

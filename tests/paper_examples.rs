@@ -69,9 +69,21 @@ fn example1_dependency_pitfall_via_idca() {
     );
     let snap = engine.domination_count(ObjRef::Db(ObjectId(2)), ObjRef::External(&r));
     // the partition-pair conditioning preserves the correlation:
-    assert!(snap.bounds.lower(2) > 0.45, "lower(2) = {}", snap.bounds.lower(2));
-    assert!(snap.bounds.upper(1) < 0.05, "upper(1) = {}", snap.bounds.upper(1));
-    assert!(snap.bounds.lower(0) > 0.45, "lower(0) = {}", snap.bounds.lower(0));
+    assert!(
+        snap.bounds.lower(2) > 0.45,
+        "lower(2) = {}",
+        snap.bounds.lower(2)
+    );
+    assert!(
+        snap.bounds.upper(1) < 0.05,
+        "upper(1) = {}",
+        snap.bounds.upper(1)
+    );
+    assert!(
+        snap.bounds.lower(0) > 0.45,
+        "lower(0) = {}",
+        snap.bounds.lower(0)
+    );
 }
 
 /// Figure 1: "A dominates B w.r.t. R with high probability" — three
@@ -93,10 +105,12 @@ fn figure1_high_probability_domination() {
     )));
     // arrange a slight overlap in distance ranges so depth-0 is undecided
     let crit = DominationCriterion::Optimal;
-    assert!(!crit.dominates(a.mbr(), b.mbr(), r.mbr(), LpNorm::L2) || {
-        // if fully decided, shrink the gap in the test setup instead
-        true
-    });
+    assert!(
+        !crit.dominates(a.mbr(), b.mbr(), r.mbr(), LpNorm::L2) || {
+            // if fully decided, shrink the gap in the test setup instead
+            true
+        }
+    );
     let mut da = Decomposition::new(a.pdf());
     let mut db_ = Decomposition::new(b.pdf());
     let mut dr = Decomposition::new(r.pdf());
