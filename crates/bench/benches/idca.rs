@@ -1,13 +1,21 @@
 //! Figures 6(b)/7 analog: IDCA refinement cost per iteration depth, plus
-//! the incremental-vs-from-scratch snapshot comparison backing this
-//! repo's BENCH_idca.json baseline.
+//! the incremental-vs-from-scratch snapshot comparison and the
+//! indexed-early-exit-vs-scan query comparison backing this repo's
+//! BENCH_idca.json baselines.
+//!
+//! `UDB_BENCH_SCALE=ci` switches from the smoke workload to the larger
+//! CI scale (2,000 objects) for the recorded `--ci` baselines.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use udb_bench::Scale;
-use udb_core::{IdcaConfig, ObjRef, Predicate, Refiner};
+use udb_core::{IdcaConfig, IndexedEngine, ObjRef, Predicate, QueryEngine, Refiner};
 
 fn bench_idca(c: &mut Criterion) {
-    let scale = Scale::smoke();
+    let scale = match std::env::var("UDB_BENCH_SCALE").as_deref() {
+        Ok("ci") => Scale::ci(),
+        Ok("paper") => Scale::paper(),
+        _ => Scale::smoke(),
+    };
     // a denser extent than the paper's default so queries carry a
     // realistic influence-object set (~a dozen) into refinement
     let cfg = scale.synthetic_config(0.05);
@@ -20,12 +28,19 @@ fn bench_idca(c: &mut Criterion) {
         uncertainty_target: 0.0,
         ..Default::default()
     };
+    // the bigger CI workload caps the depth sweep: the from-scratch
+    // baseline grows ~4x per level and would dominate the suite's budget
+    let depths: &[usize] = if scale.synthetic_n > 1000 {
+        &[1, 2, 3, 4]
+    } else {
+        &[1, 2, 3, 4, 5, 6]
+    };
 
     // full run (filter + iterate + snapshot per iteration) — the
     // incremental cache is what run() exercises
     let mut g = c.benchmark_group("idca_refine_to_depth");
     g.sample_size(20);
-    for depth in [1usize, 2, 3, 4, 5, 6] {
+    for &depth in depths {
         g.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |bench, &d| {
             bench.iter(|| {
                 let mut refiner = Refiner::new(
@@ -46,7 +61,7 @@ fn bench_idca(c: &mut Criterion) {
     // incremental-cache speedup recorded in BENCH_idca.json
     let mut g = c.benchmark_group("idca_refine_to_depth_from_scratch");
     g.sample_size(20);
-    for depth in [1usize, 2, 3, 4, 5, 6] {
+    for &depth in depths {
         g.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |bench, &d| {
             bench.iter(|| {
                 let mut refiner = Refiner::new(
@@ -117,6 +132,64 @@ fn bench_idca(c: &mut Criterion) {
             move |bench, _| bench.iter(|| black_box(refiner.snapshot())),
         );
     }
+    g.finish();
+
+    // index-integrated early-exit query processing vs PR 1's
+    // full-refinement scan path: same query, same results (the
+    // equivalence is property-tested), different work. The scan engine
+    // filters candidates with an O(n) pass and builds every refiner with
+    // a second O(n) scan; the indexed engine streams candidates from the
+    // R-tree, filters each refiner through subtree classification and
+    // retires candidates mid-loop.
+    let mut g = c.benchmark_group("idca_indexed_early_exit");
+    g.sample_size(20);
+    let knn_cfg = IdcaConfig {
+        max_iterations: scale.max_iterations,
+        ..Default::default()
+    };
+    let scan_engine = QueryEngine::with_config(&db, knn_cfg.clone());
+    let indexed_engine = IndexedEngine::with_config(&db, knn_cfg);
+    let (k, tau) = (5usize, 0.3f64);
+    // the "bitter end" baseline: every candidate refined to convergence
+    // (no threshold to decide against mid-loop), classified vs tau only
+    // afterwards — the per-candidate behaviour the decided-outcome
+    // retirement removes
+    g.bench_function("knn_threshold_full_refinement", |bench| {
+        bench.iter(|| {
+            let mut out = Vec::new();
+            for id in scan_engine.knn_candidates(r.mbr(), k) {
+                let mut refiner = scan_engine.refiner(
+                    ObjRef::Db(id),
+                    ObjRef::External(&r),
+                    Predicate::CountBelow { k },
+                );
+                let snap = refiner.run();
+                let (lo, hi) = snap.predicate_cdf.expect("CDF");
+                if hi > 0.0 {
+                    out.push((id, lo > tau, hi <= tau));
+                }
+            }
+            black_box(out)
+        })
+    });
+    g.bench_function("knn_threshold_scan", |bench| {
+        bench.iter(|| black_box(scan_engine.knn_threshold(&r, k, tau)))
+    });
+    g.bench_function("knn_threshold_indexed", |bench| {
+        bench.iter(|| black_box(indexed_engine.knn_threshold(&r, k, tau)))
+    });
+    g.bench_function("rknn_threshold_scan", |bench| {
+        bench.iter(|| black_box(scan_engine.rknn_threshold(&r, 2, tau)))
+    });
+    g.bench_function("rknn_threshold_indexed", |bench| {
+        bench.iter(|| black_box(indexed_engine.rknn_threshold(&r, 2, tau)))
+    });
+    g.bench_function("top_probable_nn_scan", |bench| {
+        bench.iter(|| black_box(scan_engine.top_probable_nn(&r, 3)))
+    });
+    g.bench_function("top_probable_nn_indexed", |bench| {
+        bench.iter(|| black_box(indexed_engine.top_probable_nn(&r, 3)))
+    });
     g.finish();
 
     let mut g = c.benchmark_group("idca_filter_only");

@@ -1,0 +1,95 @@
+//! Ad-hoc breakdown of the depth-4 full-run cost: per-iteration step()
+//! and snapshot() timings for the incremental and from-scratch paths.
+
+use std::time::Instant;
+use udb_bench::Scale;
+use udb_core::{IdcaConfig, ObjRef, Predicate, Refiner};
+
+fn main() {
+    let scale = Scale::smoke();
+    let cfg = scale.synthetic_config(0.05);
+    let db = cfg.generate();
+    let qs = scale.query_set(&db, &cfg);
+    let (r, b) = (qs.references[0].clone(), qs.targets[0]);
+    let depth = 4usize;
+    let mk_cfg = || IdcaConfig {
+        max_iterations: depth,
+        uncertainty_target: 0.0,
+        ..Default::default()
+    };
+
+    let reps = 200;
+    for mode in ["incremental", "scratch"] {
+        let mut filter_t = 0.0f64;
+        let mut step_t = vec![0.0f64; depth];
+        let mut snap_t = vec![0.0f64; depth + 1];
+        for _ in 0..reps {
+            let t = Instant::now();
+            let mut refiner = Refiner::new(
+                &db,
+                ObjRef::Db(b),
+                ObjRef::External(&r),
+                mk_cfg(),
+                Predicate::FullPdf,
+            );
+            filter_t += t.elapsed().as_secs_f64();
+            let t = Instant::now();
+            let snap = if mode == "incremental" {
+                refiner.snapshot()
+            } else {
+                refiner.snapshot_from_scratch()
+            };
+            std::hint::black_box(snap);
+            snap_t[0] += t.elapsed().as_secs_f64();
+            for i in 0..depth {
+                let t = Instant::now();
+                refiner.step();
+                step_t[i] += t.elapsed().as_secs_f64();
+                let t = Instant::now();
+                let snap = if mode == "incremental" {
+                    refiner.snapshot()
+                } else {
+                    refiner.snapshot_from_scratch()
+                };
+                std::hint::black_box(snap);
+                snap_t[i + 1] += t.elapsed().as_secs_f64();
+            }
+        }
+        let us = |x: f64| x / reps as f64 * 1e6;
+        println!("== {mode}");
+        println!("  filter       {:8.1} us", us(filter_t));
+        for i in 0..depth {
+            println!(
+                "  step {i}->{}   {:8.1} us   snapshot@{}  {:8.1} us",
+                i + 1,
+                us(step_t[i]),
+                i + 1,
+                us(snap_t[i + 1])
+            );
+        }
+        println!("  snapshot@0   {:8.1} us", us(snap_t[0]));
+        if mode == "incremental" {
+            let mut refiner = Refiner::new(
+                &db,
+                ObjRef::Db(b),
+                ObjRef::External(&r),
+                mk_cfg(),
+                Predicate::FullPdf,
+            );
+            let _ = refiner.snapshot();
+            for d in 1..=depth {
+                refiner.step();
+                let _ = refiner.snapshot();
+                let (open, scratch_tests) = refiner.open_stats();
+                let (settled, slots) = refiner.cache_stats();
+                println!(
+                    "  depth {d}: open refs {open} (scratch would test {scratch_tests}), settled slots {settled}/{slots}"
+                );
+            }
+        }
+        let total: f64 = us(filter_t)
+            + step_t.iter().map(|&x| us(x)).sum::<f64>()
+            + snap_t.iter().map(|&x| us(x)).sum::<f64>();
+        println!("  total        {total:8.1} us");
+    }
+}

@@ -20,13 +20,32 @@ pub struct IdcaConfig {
     /// Stop once the accumulated uncertainty
     /// `Σ_k (DomCountUB_k − DomCountLB_k)` falls below this value.
     pub uncertainty_target: f64,
-    /// Worker threads for the partition-pair loop of
-    /// [`crate::Refiner::snapshot`] (scoped threads, spawned per
-    /// snapshot). `1` (the default) keeps evaluation fully sequential and
+    /// Parallel lanes for the partition-pair loop of
+    /// [`crate::Refiner::snapshot`], served by the engine's persistent
+    /// [`crate::parallel::WorkerPool`] (the calling thread is one lane).
+    /// `1` (the default) keeps evaluation fully sequential and
     /// bit-identical to previous releases; larger values trade exact
     /// float reproducibility across *different* thread counts
     /// (reassociation ≲ 1e-13) for wall-clock speed on deep refinements.
+    ///
+    /// The default honours the `UDB_SNAPSHOT_THREADS` environment
+    /// variable (a CI shim: the single-CPU CI container cannot observe
+    /// wall-clock scaling, but setting the variable to `2` routes every
+    /// default-config test through the worker-pool path).
     pub snapshot_threads: usize,
+}
+
+/// Reads `UDB_SNAPSHOT_THREADS` once (values `< 1` and junk fall back to
+/// the sequential default of 1).
+fn default_snapshot_threads() -> usize {
+    static THREADS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *THREADS.get_or_init(|| {
+        std::env::var("UDB_SNAPSHOT_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&t| t >= 1)
+            .unwrap_or(1)
+    })
 }
 
 impl Default for IdcaConfig {
@@ -37,7 +56,7 @@ impl Default for IdcaConfig {
             split_strategy: SplitStrategy::LongestExtent,
             max_iterations: 8,
             uncertainty_target: 1e-3,
-            snapshot_threads: 1,
+            snapshot_threads: default_snapshot_threads(),
         }
     }
 }
@@ -71,6 +90,51 @@ impl Predicate {
             Predicate::FullPdf => None,
             Predicate::CountBelow { k } | Predicate::Threshold { k, .. } => Some(*k),
         }
+    }
+}
+
+/// The query-outcome context threaded through early-exit candidate
+/// refinement (the mid-loop pruning of [`crate::IndexedEngine`]): the `k`
+/// every candidate's predicate shares, plus the decision threshold when
+/// the query has one.
+///
+/// [`crate::refine_lockstep`] uses the goal to retire candidates the
+/// moment their outcome is decided instead of refining each one to
+/// convergence; rank-style queries ([`crate::refine_top_m`]) leave `tau`
+/// unset and decide cross-candidate instead.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RefineGoal {
+    /// The `k` of the query: every candidate refines `P(DomCount < k)`.
+    pub k: usize,
+    /// Decision threshold `τ` of a threshold query; `None` for queries
+    /// that need converged bounds rather than a per-candidate decision.
+    pub tau: Option<f64>,
+}
+
+impl RefineGoal {
+    /// Goal of a threshold query: decide `P(DomCount < k) > τ`.
+    pub fn threshold(k: usize, tau: f64) -> Self {
+        RefineGoal { k, tau: Some(tau) }
+    }
+
+    /// Goal of a rank-style query: converge `P(DomCount < k)` bounds.
+    pub fn count_below(k: usize) -> Self {
+        RefineGoal { k, tau: None }
+    }
+
+    /// The per-candidate predicate this goal refines under.
+    pub fn predicate(&self) -> Predicate {
+        match self.tau {
+            Some(tau) => Predicate::Threshold { k: self.k, tau },
+            None => Predicate::CountBelow { k: self.k },
+        }
+    }
+
+    /// Whether `snap` decides this goal for a single candidate (always
+    /// `false` without a `tau`: convergence is then the only
+    /// per-candidate stop, and cross-candidate logic does the retiring).
+    pub fn decided(&self, snap: &crate::refiner::DomCountSnapshot) -> bool {
+        self.tau.is_some_and(|tau| snap.decided(tau).is_some())
     }
 }
 
@@ -134,6 +198,20 @@ mod tests {
         assert_eq!(Predicate::FullPdf.k(), None);
         assert_eq!(Predicate::CountBelow { k: 5 }.k(), Some(5));
         assert_eq!(Predicate::Threshold { k: 3, tau: 0.5 }.k(), Some(3));
+    }
+
+    #[test]
+    fn refine_goal_builds_matching_predicate() {
+        assert_eq!(
+            RefineGoal::threshold(3, 0.5).predicate(),
+            Predicate::Threshold { k: 3, tau: 0.5 }
+        );
+        assert_eq!(
+            RefineGoal::count_below(1).predicate(),
+            Predicate::CountBelow { k: 1 }
+        );
+        assert_eq!(RefineGoal::threshold(3, 0.5).k, 3);
+        assert_eq!(RefineGoal::count_below(2).tau, None);
     }
 
     #[test]

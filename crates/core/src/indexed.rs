@@ -1,26 +1,38 @@
-//! Index-supported candidate generation (the paper's §VIII future-work
-//! item: "we will integrate our concepts into existing index supported
-//! kNN- and RkNN-query algorithms").
+//! Index-supported query processing (the paper's §VIII future-work item:
+//! "we will integrate our concepts into existing index supported kNN-
+//! and RkNN-query algorithms").
 //!
 //! An [`IndexedEngine`] wraps a [`QueryEngine`] with an R-tree over the
-//! object MBRs. Candidate generation for kNN queries then uses the
-//! best-first MinDist stream instead of a full scan:
+//! object MBRs and keeps the index *inside* the refinement loop, not just
+//! in front of it:
 //!
-//! * stream objects in MinDist order, maintaining the `k` smallest
-//!   *MaxDist* values seen;
-//! * once the stream's next MinDist exceeds the current `k`-th smallest
-//!   MaxDist `d_k`, no unseen object can beat the `k` certain dominators
-//!   — every remaining object is dominated by at least `k` objects in
-//!   every possible world and is pruned soundly;
-//! * the streamed objects with `MinDist ≤ d_k` are the candidates.
+//! * **Candidate generation** for kNN queries uses the best-first MinDist
+//!   stream instead of a full scan: stream objects in MinDist order,
+//!   maintaining the `k` smallest *MaxDist* values seen; once the
+//!   stream's next MinDist exceeds the current `k`-th smallest MaxDist
+//!   `d_k`, every remaining object is dominated by at least `k` objects
+//!   in every possible world and is pruned soundly.
+//! * **Per-candidate filtering** applies the complete-domination filter
+//!   of Algorithm 1 to whole R-tree subtrees ([`IndexedEngine::refiner`])
+//!   instead of scanning the database once per candidate.
+//! * **Mid-loop pruning**: the threshold and top-`m` queries drive all
+//!   candidate refiners in lock-step through [`crate::refine_lockstep`] /
+//!   [`crate::refine_top_m`], retiring candidates the moment their
+//!   outcome is decided (freeing their caches) instead of refining each
+//!   one to its bitter end — the candidate set shrinks *during*
+//!   refinement. Results are identical to the scan-based
+//!   [`QueryEngine`] paths, which stay as the reference oracles.
+//! * **RkNN prefiltering** probes the tree with
+//!   [`RTree::within_distance_iter`] (no per-candidate allocation) to
+//!   count certain dominators before a refiner is even built.
 
 use udb_geometry::Rect;
 use udb_index::{NodeDecision, RTree};
 use udb_object::{Database, ObjectId, UncertainObject};
 
-use crate::config::{IdcaConfig, ObjRef, Predicate};
+use crate::config::{IdcaConfig, ObjRef, Predicate, RefineGoal};
 use crate::queries::{QueryEngine, ThresholdResult};
-use crate::refiner::Refiner;
+use crate::refiner::{refine_lockstep, refine_top_m, Refiner};
 
 /// A query engine with an R-tree accelerating spatial candidate
 /// generation.
@@ -117,12 +129,15 @@ impl<'a> IndexedEngine<'a> {
             complete,
             influence,
         )
+        .with_pool(self.engine.pool_handle().clone())
     }
 
     /// Index-driven spatial kNN candidate set: all objects that are *not*
     /// certainly dominated by at least `k` others w.r.t. `q` under the
     /// MinDist/MaxDist filter. Sound superset of every object with
-    /// non-zero kNN probability.
+    /// non-zero kNN probability. Only certainly existing objects tighten
+    /// the pruning bound `d_k` (an object that may be absent guarantees
+    /// no domination), matching [`QueryEngine::knn_candidates`].
     pub fn knn_candidates(&self, q: &Rect, k: usize) -> Vec<ObjectId> {
         assert!(k >= 1);
         let norm = self.engine.config().norm;
@@ -134,9 +149,13 @@ impl<'a> IndexedEngine<'a> {
             if n.dist > kth_max {
                 break; // every further object has MinDist > d_k
             }
-            let max_d = db.get(n.payload).mbr().max_dist_rect(q, norm);
+            let obj = db.get(n.payload);
             seen.push((n.payload, n.dist));
-            // maintain the k smallest MaxDist values
+            if obj.existence() < 1.0 {
+                continue; // cannot contribute to d_k
+            }
+            let max_d = obj.mbr().max_dist_rect(q, norm);
+            // maintain the k smallest MaxDist values over certain objects
             let pos = k_smallest
                 .binary_search_by(|d| d.partial_cmp(&max_d).expect("NaN"))
                 .unwrap_or_else(|p| p);
@@ -154,8 +173,11 @@ impl<'a> IndexedEngine<'a> {
             .collect()
     }
 
-    /// Probabilistic threshold kNN with index-driven candidates;
-    /// semantics identical to [`QueryEngine::knn_threshold`].
+    /// Probabilistic threshold kNN, fully index-integrated: index-driven
+    /// candidates, subtree-filtered refiners, and lock-step early-exit
+    /// refinement that retires candidates mid-loop as soon as their
+    /// `P(DomCount < k) ≷ τ` outcome is decided. Results are identical to
+    /// [`QueryEngine::knn_threshold`] (sorted by id).
     pub fn knn_threshold(
         &self,
         q: &'a UncertainObject,
@@ -164,28 +186,105 @@ impl<'a> IndexedEngine<'a> {
     ) -> Vec<ThresholdResult> {
         assert!(k >= 1, "k must be positive");
         assert!((0.0..1.0).contains(&tau), "tau must be in [0, 1)");
-        let mut out = Vec::new();
-        for id in self.knn_candidates(q.mbr(), k) {
-            let mut refiner = self.engine.refiner(
-                ObjRef::Db(id),
-                ObjRef::External(q),
-                Predicate::Threshold { k, tau },
-            );
-            let snap = refiner.run();
-            let (lo, hi) = snap
-                .predicate_cdf
-                .expect("threshold predicate produces CDF");
-            if hi <= 0.0 {
-                continue;
+        let goal = RefineGoal::threshold(k, tau);
+        let refiners = self
+            .knn_candidates(q.mbr(), k)
+            .into_iter()
+            .map(|id| {
+                (
+                    id,
+                    self.refiner(ObjRef::Db(id), ObjRef::External(q), goal.predicate()),
+                )
+            })
+            .collect();
+        refine_lockstep(refiners, goal)
+    }
+
+    /// Probabilistic threshold reverse kNN (Corollary 5), semantics of
+    /// [`QueryEngine::rknn_threshold`] (sorted by id): every database
+    /// object `B` is prefiltered with an index probe — counting objects
+    /// that certainly dominate `q` w.r.t. `B` without building a refiner
+    /// — and the survivors refine in lock-step with mid-loop retirement.
+    pub fn rknn_threshold(
+        &self,
+        q: &'a UncertainObject,
+        k: usize,
+        tau: f64,
+    ) -> Vec<ThresholdResult> {
+        assert!(k >= 1, "k must be positive");
+        assert!((0.0..1.0).contains(&tau), "tau must be in [0, 1)");
+        let goal = RefineGoal::threshold(k, tau);
+        let mut refiners = Vec::new();
+        for (b_id, b_obj) in self.engine.db().iter() {
+            if self.certain_dominators_reach(q, b_obj, b_id, k) {
+                continue; // P(DomCount < k) is certainly 0
             }
-            out.push(ThresholdResult {
-                id,
-                prob_lower: lo,
-                prob_upper: hi,
-                iterations: snap.iteration,
-            });
+            refiners.push((
+                b_id,
+                self.refiner(ObjRef::External(q), ObjRef::Db(b_id), goal.predicate()),
+            ));
         }
-        out
+        refine_lockstep(refiners, goal)
+    }
+
+    /// Top-`m` probable nearest neighbours, semantics of
+    /// [`QueryEngine::top_probable_nn`]: candidates certainly outside the
+    /// top `m` retire mid-loop instead of refining to convergence.
+    pub fn top_probable_nn(&self, q: &'a UncertainObject, m: usize) -> Vec<ThresholdResult> {
+        assert!(m >= 1, "m must be positive");
+        let goal = RefineGoal::count_below(1);
+        let refiners = self
+            .knn_candidates(q.mbr(), 1)
+            .into_iter()
+            .map(|id| {
+                (
+                    id,
+                    self.refiner(ObjRef::Db(id), ObjRef::External(q), goal.predicate()),
+                )
+            })
+            .collect();
+        refine_top_m(refiners, m)
+    }
+
+    /// Index probe of the RkNN prefilter: `true` once `k` objects (other
+    /// than `B`) certainly dominate `q` w.r.t. reference `B`. Any
+    /// dominating `A` satisfies `MinDist(A, B) < MinDist(q, B)` (for
+    /// every placement `a`, `b`: `d(a, b) < d(q, b)`), so a bounded tree
+    /// probe within that radius — recursive and allocation-free via
+    /// [`RTree::for_each_within_distance`] — covers every possible
+    /// dominator; the criterion test itself matches the scan path's, so
+    /// the two prefilters skip exactly the same objects.
+    fn certain_dominators_reach(
+        &self,
+        q: &UncertainObject,
+        b_obj: &UncertainObject,
+        b_id: ObjectId,
+        k: usize,
+    ) -> bool {
+        let cfg = self.engine.config();
+        let radius = q.mbr().min_dist_rect(b_obj.mbr(), cfg.norm);
+        if radius <= 0.0 {
+            // overlapping MBRs: in some world q is at distance 0 from B,
+            // which no object can strictly beat
+            return false;
+        }
+        let db = self.engine.db();
+        let mut count = 0usize;
+        self.tree
+            .for_each_within_distance(b_obj.mbr(), radius, cfg.norm, &mut |&id| {
+                let a = db.get(id);
+                // only certainly existing objects are certain dominators
+                if id != b_id
+                    && a.existence() >= 1.0
+                    && cfg
+                        .criterion
+                        .dominates(a.mbr(), q.mbr(), b_obj.mbr(), cfg.norm)
+                {
+                    count += 1;
+                }
+                count < k
+            });
+        count >= k
     }
 }
 
@@ -304,19 +403,102 @@ mod tests {
     }
 
     #[test]
-    fn indexed_knn_threshold_matches_scan() {
+    fn indexed_knn_threshold_matches_scan_exactly() {
         let (db, cfg) = synthetic(400);
         let qs = QuerySet::generate(&db, &cfg, 3, 10, LpNorm::L2, 78);
         let indexed = IndexedEngine::new(&db);
         let scan = QueryEngine::new(&db);
         for (r, _) in qs.iter() {
-            let mut a = indexed.knn_threshold(r, 3, 0.5);
+            let a = indexed.knn_threshold(r, 3, 0.5);
             let mut b = scan.knn_threshold(r, 3, 0.5);
-            a.sort_by_key(|x| x.id);
             b.sort_by_key(|x| x.id);
-            let a_hits: Vec<ObjectId> = a.iter().filter(|x| x.is_hit(0.5)).map(|x| x.id).collect();
-            let b_hits: Vec<ObjectId> = b.iter().filter(|x| x.is_hit(0.5)).map(|x| x.id).collect();
-            assert_eq!(a_hits, b_hits);
+            // the early-exit path replicates run()'s per-candidate
+            // operation sequence: same result set, bit-identical bounds
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(b.iter()) {
+                assert_eq!(x.id, y.id);
+                assert_eq!(x.prob_lower, y.prob_lower);
+                assert_eq!(x.prob_upper, y.prob_upper);
+                assert_eq!(x.iterations, y.iterations);
+            }
+        }
+    }
+
+    #[test]
+    fn indexed_rknn_threshold_matches_scan_exactly() {
+        let (db, cfg) = synthetic(250);
+        let qs = QuerySet::generate(&db, &cfg, 3, 10, LpNorm::L2, 81);
+        let indexed = IndexedEngine::new(&db);
+        let scan = QueryEngine::new(&db);
+        for (r, _) in qs.iter() {
+            let a = indexed.rknn_threshold(r, 2, 0.5);
+            let mut b = scan.rknn_threshold(r, 2, 0.5);
+            b.sort_by_key(|x| x.id);
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(b.iter()) {
+                assert_eq!(x.id, y.id);
+                assert_eq!(x.prob_lower, y.prob_lower);
+                assert_eq!(x.prob_upper, y.prob_upper);
+            }
+        }
+    }
+
+    #[test]
+    fn indexed_top_probable_nn_matches_scan_set() {
+        let (db, cfg) = synthetic(300);
+        let qs = QuerySet::generate(&db, &cfg, 4, 10, LpNorm::L2, 82);
+        let idca = IdcaConfig {
+            max_iterations: 5,
+            uncertainty_target: 0.0,
+            ..Default::default()
+        };
+        let indexed = IndexedEngine::with_config(&db, idca.clone());
+        let scan = QueryEngine::with_config(&db, idca);
+        for (r, _) in qs.iter() {
+            for m in [1usize, 3] {
+                let a = indexed.top_probable_nn(r, m);
+                let b = scan.top_probable_nn(r, m);
+                let mut a_ids: Vec<ObjectId> = a.iter().map(|x| x.id).collect();
+                let mut b_ids: Vec<ObjectId> = b.iter().map(|x| x.id).collect();
+                a_ids.sort_unstable();
+                b_ids.sort_unstable();
+                // cross-candidate retirement may freeze an also-ran's
+                // bounds early, but the returned top-m *set* must match
+                // the run-to-convergence path
+                assert_eq!(a_ids, b_ids, "m={m}");
+                // and the winners' own bounds are fully refined in both
+                for x in &a {
+                    let y = b.iter().find(|y| y.id == x.id).unwrap();
+                    assert_eq!(x.prob_lower, y.prob_lower);
+                    assert_eq!(x.prob_upper, y.prob_upper);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rknn_prefilter_probe_matches_scan_prefilter() {
+        // the within_distance_iter probe must skip exactly the objects
+        // the scan path's certain-dominator cap skips: compare the
+        // surviving id sets end-to-end at a tau where everything
+        // undecided survives
+        let (db, cfg) = synthetic(200);
+        let qs = QuerySet::generate(&db, &cfg, 2, 10, LpNorm::L2, 83);
+        let indexed = IndexedEngine::new(&db);
+        let scan = QueryEngine::new(&db);
+        for (r, _) in qs.iter() {
+            let a: Vec<ObjectId> = indexed
+                .rknn_threshold(r, 1, 0.0)
+                .iter()
+                .map(|x| x.id)
+                .collect();
+            let mut b: Vec<ObjectId> = scan
+                .rknn_threshold(r, 1, 0.0)
+                .iter()
+                .map(|x| x.id)
+                .collect();
+            b.sort_unstable();
+            assert_eq!(a, b);
         }
     }
 

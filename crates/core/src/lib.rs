@@ -29,8 +29,8 @@ pub mod parallel;
 pub mod queries;
 pub mod refiner;
 
-pub use config::{IdcaConfig, ObjRef, Predicate};
+pub use config::{IdcaConfig, ObjRef, Predicate, RefineGoal};
 pub use indexed::IndexedEngine;
-pub use parallel::par_knn_threshold;
+pub use parallel::{par_knn_threshold, PoolHandle, WorkerPool};
 pub use queries::{ExpectedRankEntry, QueryEngine, RankDistribution, ThresholdResult};
-pub use refiner::{DomCountSnapshot, Refiner};
+pub use refiner::{refine_lockstep, refine_top_m, DomCountSnapshot, Refiner};

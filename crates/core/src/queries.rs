@@ -5,6 +5,7 @@ use udb_geometry::Rect;
 use udb_object::{Database, ObjectId, UncertainObject};
 
 use crate::config::{IdcaConfig, ObjRef, Predicate};
+use crate::parallel::PoolHandle;
 use crate::refiner::{DomCountSnapshot, Refiner};
 
 /// High-level query interface over an uncertain database.
@@ -12,6 +13,9 @@ use crate::refiner::{DomCountSnapshot, Refiner};
 pub struct QueryEngine<'a> {
     db: &'a Database,
     cfg: IdcaConfig,
+    /// The engine's persistent worker pool (created lazily, shared by
+    /// every refiner this engine builds and by the parallel executor).
+    pool: PoolHandle,
 }
 
 /// Per-object outcome of a threshold query.
@@ -88,15 +92,16 @@ pub struct ExpectedRankEntry {
 impl<'a> QueryEngine<'a> {
     /// Creates an engine over `db` with the default configuration.
     pub fn new(db: &'a Database) -> Self {
-        QueryEngine {
-            db,
-            cfg: IdcaConfig::default(),
-        }
+        QueryEngine::with_config(db, IdcaConfig::default())
     }
 
     /// Creates an engine with an explicit configuration.
     pub fn with_config(db: &'a Database, cfg: IdcaConfig) -> Self {
-        QueryEngine { db, cfg }
+        QueryEngine {
+            db,
+            cfg,
+            pool: PoolHandle::default(),
+        }
     }
 
     /// The underlying database.
@@ -109,6 +114,13 @@ impl<'a> QueryEngine<'a> {
         &self.cfg
     }
 
+    /// The engine's shared worker-pool handle (refiners built through
+    /// [`QueryEngine::refiner`] and the parallel executor all draw from
+    /// this pool).
+    pub fn pool_handle(&self) -> &PoolHandle {
+        &self.pool
+    }
+
     /// Builds a refiner for an ad-hoc domination-count computation.
     pub fn refiner(
         &self,
@@ -117,6 +129,7 @@ impl<'a> QueryEngine<'a> {
         predicate: Predicate,
     ) -> Refiner<'a> {
         Refiner::new(self.db, target, reference, self.cfg.clone(), predicate)
+            .with_pool(self.pool.clone())
     }
 
     /// Fully refines the domination count of `target` w.r.t. `reference`.
@@ -269,6 +282,8 @@ impl<'a> QueryEngine<'a> {
             (b.prob_lower + b.prob_upper)
                 .partial_cmp(&(a.prob_lower + a.prob_upper))
                 .expect("NaN probability")
+                // deterministic tie-break, matching `refine_top_m`
+                .then_with(|| a.id.cmp(&b.id))
         });
         results.truncate(m);
         results
@@ -303,18 +318,22 @@ impl<'a> QueryEngine<'a> {
             .collect()
     }
 
-    /// Public access to the spatial kNN candidate filter (used by the
-    /// parallel executor; see [`QueryEngine::knn_threshold`] for the
-    /// pruning rule).
+    /// Deprecated alias of [`QueryEngine::knn_candidates`], kept for one
+    /// release so downstream callers migrate without breakage.
+    #[deprecated(note = "use `knn_candidates` — the filter is public now")]
     pub fn knn_candidates_public(&self, q: &Rect, k: usize) -> Vec<ObjectId> {
         self.knn_candidates(q, k)
     }
 
-    /// Spatial kNN candidate filter: let `d_k` be the `k`-th smallest
-    /// MaxDist of any object to `q`; every object with `MinDist > d_k` is
-    /// dominated by at least `k` objects in every world and can be pruned
-    /// (probability exactly 0).
-    fn knn_candidates(&self, q: &Rect, k: usize) -> Vec<ObjectId> {
+    /// Spatial kNN candidate filter (scan-based): let `d_k` be the `k`-th
+    /// smallest MaxDist of any *certainly existing* object to `q`; every
+    /// object whose MinDist exceeds `d_k` is dominated by at least `k`
+    /// objects in every world and can be pruned (probability exactly 0).
+    /// Existentially uncertain objects must not contribute to `d_k` —
+    /// they are absent in some worlds and therefore guarantee nothing.
+    /// The reference implementation the index-driven
+    /// [`crate::IndexedEngine::knn_candidates`] is checked against.
+    pub fn knn_candidates(&self, q: &Rect, k: usize) -> Vec<ObjectId> {
         let n = self.db.len();
         if n == 0 {
             return Vec::new();
@@ -322,10 +341,16 @@ impl<'a> QueryEngine<'a> {
         let mut max_dists: Vec<f64> = self
             .db
             .iter()
+            .filter(|(_, o)| o.existence() >= 1.0)
             .map(|(_, o)| o.mbr().max_dist_rect(q, self.cfg.norm))
             .collect();
         max_dists.sort_by(|a, b| a.partial_cmp(b).expect("NaN distance"));
-        let dk = max_dists[(k - 1).min(n - 1)];
+        // fewer than k certain objects: nothing can be pruned
+        let dk = if max_dists.len() >= k {
+            max_dists[k - 1]
+        } else {
+            f64::INFINITY
+        };
         self.db
             .iter()
             .filter(|(_, o)| o.mbr().min_dist_rect(q, self.cfg.norm) <= dk)
@@ -334,7 +359,9 @@ impl<'a> QueryEngine<'a> {
     }
 
     /// Counts objects (other than `b`) that certainly dominate `q` w.r.t.
-    /// reference `b`, stopping at `cap`.
+    /// reference `b`, stopping at `cap`. Only certainly existing objects
+    /// qualify: an object that may be absent dominates in no world where
+    /// it is missing.
     fn certain_dominators_of(
         &self,
         q: &UncertainObject,
@@ -344,7 +371,7 @@ impl<'a> QueryEngine<'a> {
     ) -> usize {
         let mut count = 0;
         for (id, a) in self.db.iter() {
-            if id == b_id {
+            if id == b_id || a.existence() < 1.0 {
                 continue;
             }
             if self
@@ -539,6 +566,49 @@ mod tests {
             assert!((e.lower - (i + 1) as f64).abs() < 1e-9);
             assert!((e.upper - (i + 1) as f64).abs() < 1e-9);
         }
+    }
+
+    /// An existentially uncertain object must not tighten the kNN
+    /// pruning bound: in the worlds where it is absent, a farther
+    /// certain object can still be the nearest neighbour.
+    #[test]
+    fn existential_objects_do_not_prune_knn_candidates() {
+        let maybe = UncertainObject::with_existence(
+            Pdf::uniform(Rect::from_point(&Point::from([0.1, 0.0]))),
+            0.5,
+        );
+        let db = Database::from_objects(vec![maybe, certain(10.0, 0.0)]);
+        let engine = QueryEngine::new(&db);
+        let q = certain(0.0, 0.0);
+        let res = engine.knn_threshold(&q, 1, 0.0);
+        let far = res
+            .iter()
+            .find(|r| r.id == ObjectId(1))
+            .expect("far certain object has 1NN probability 0.5 and must not be pruned");
+        assert!((far.prob_lower - 0.5).abs() < 1e-9, "{far:?}");
+        assert!((far.prob_upper - 0.5).abs() < 1e-9, "{far:?}");
+    }
+
+    /// The RkNN certain-dominator prefilter must ignore objects that may
+    /// not exist: they dominate in no world where they are absent.
+    #[test]
+    fn existential_objects_do_not_prune_rknn_results() {
+        let maybe = UncertainObject::with_existence(
+            Pdf::uniform(Rect::from_point(&Point::from([0.1, 0.0]))),
+            0.5,
+        );
+        let db = Database::from_objects(vec![maybe, certain(0.0, 0.0)]);
+        let engine = QueryEngine::new(&db);
+        let q = certain(5.0, 0.0);
+        // in the worlds where the existential object is absent (p = 0.5),
+        // q is B's nearest neighbour
+        let res = engine.rknn_threshold(&q, 1, 0.0);
+        let b = res
+            .iter()
+            .find(|r| r.id == ObjectId(1))
+            .expect("B must survive the prefilter");
+        assert!((b.prob_lower - 0.5).abs() < 1e-9, "{b:?}");
+        assert!((b.prob_upper - 0.5).abs() < 1e-9, "{b:?}");
     }
 
     #[test]

@@ -38,25 +38,70 @@
 //! all pairs via [`Ugf::reset`], so the steady-state snapshot performs no
 //! heap allocation in the pair loop.
 //!
+//! # The open-list arena
+//!
+//! The open lists themselves live in one contiguous, generational arena
+//! (mirroring the flat UGF arena) instead of one `Vec` per slot: each
+//! [`FactorCache`] stores only a `(start, len)` range into the refiner's
+//! current arena generation. Invariants:
+//!
+//! * **One generation per rebuilding snapshot** — a snapshot that touches
+//!   any slot (`Full`/`Remapped`/`InPlace` refresh) streams *every*
+//!   surviving open list into a fresh generation (double-buffered scratch,
+//!   swapped at the end, capacity reused), in pair order, so slot ranges
+//!   are disjoint, ordered and the buffer is perfectly compact. Untouched
+//!   slots of a dirty snapshot copy their list verbatim (a contiguous
+//!   `u32` memcpy); a fully *clean* snapshot (nothing expanded since the
+//!   last one) skips the rebuild entirely and aggregates straight from
+//!   the cached bounds.
+//! * **Ranges never dangle** — a slot with `open_len > 0` always belongs
+//!   to a positive-weight pair and is rewritten by every rebuilding
+//!   snapshot; zero-weight pairs (and their descendants, whose mass stays
+//!   zero under splitting) only ever hold empty ranges.
+//! * **Retirement is free** — settling a slot (or retiring a whole
+//!   candidate in the lock-step drivers below) just zeroes its range /
+//!   drops the refiner; the next generation simply never copies the dead
+//!   entries, so the arena self-compacts without a free list.
+//!
+//! Arena indices are `u32` (a generation holds < 2³² open references —
+//! enforced by a debug assertion); slots shrink from ~72 to 56 bytes,
+//! which is most of the depth-4 locality win.
+//!
 //! # Parallel snapshots
 //!
 //! With [`IdcaConfig::snapshot_threads`] > 1 the pair loop fans out over
-//! scoped threads: pairs are split into contiguous chunks, each worker
-//! owns its chunk's cache slots (`split_at_mut`) and accumulates a private
-//! [`CountDistributionBounds`] + CDF pair, and partials merge in chunk
-//! order after the join. Results are deterministic for a fixed thread
-//! count; across different thread counts they may differ by float
-//! reassociation only (≲ 1e-13).
+//! the engine's persistent [`crate::parallel::WorkerPool`] (engines
+//! inject their pool via [`Refiner::with_pool`]; a stand-alone refiner
+//! lazily creates its own): pairs are split into contiguous chunks, each
+//! job owns its chunk's cache slots (`split_at_mut`), accumulates a
+//! private [`CountDistributionBounds`] + CDF pair and writes its chunk's
+//! open lists into a private arena segment; partials merge in chunk order
+//! after the scope ends (segments are concatenated and slot ranges
+//! rebased), so results are deterministic for a fixed thread count.
+//! Across different thread counts they may differ by float reassociation
+//! only (≲ 1e-13).
 //!
 //! [`Refiner::snapshot_from_scratch`] keeps the cache-free evaluation
 //! path: tests assert it agrees with the incremental snapshot at every
 //! iteration, and the `idca` criterion bench measures the speedup.
+//!
+//! # Early-exit candidate refinement
+//!
+//! Query-level drivers ([`refine_lockstep`], [`refine_top_m`]) run one
+//! refiner per candidate in lock-step rounds, retiring candidates
+//! mid-loop the moment their query outcome is decided (via
+//! [`DomCountSnapshot::decided`] and the [`RefineGoal`] context) — the
+//! candidate set shrinks *during* refinement, and retired refiners free
+//! their factor cache and arena immediately. [`crate::IndexedEngine`]
+//! drives its threshold and top-`m` queries through these paths.
 
-use udb_domination::{pdom_bounds_vs_fixed, PDomBounds};
+use udb_domination::{pdom_bounds_vs_fixed, PDomBounds, PairClassifier};
 use udb_genfunc::{CountDistributionBounds, Ugf};
 use udb_object::{Database, Decomposition, ObjectId, Partition, UncertainObject};
 
-use crate::config::{IdcaConfig, ObjRef, Predicate};
+use crate::config::{IdcaConfig, ObjRef, Predicate, RefineGoal};
+use crate::parallel::PoolHandle;
+use crate::queries::ThresholdResult;
 
 /// One influence object: its id, existence probability and current
 /// decomposition state.
@@ -68,9 +113,45 @@ struct Influence {
     mbr: udb_geometry::Rect,
     dec: Decomposition,
     parts: Vec<Partition>,
+    /// The partition MBRs flattened into one contiguous interval buffer
+    /// (partition `p` occupies `p·dims .. (p+1)·dims`) with the matching
+    /// masses — the hot-loop view of `parts`, refreshed on every
+    /// expansion, so classification streams without a heap indirection
+    /// per partition.
+    flat_mbrs: Vec<udb_geometry::Interval>,
+    masses: Vec<f64>,
     /// Partition lineage since the last snapshot (`map[new_idx] =
     /// old_idx`, composed across steps); `None` when unchanged.
     lineage: Option<Vec<u32>>,
+}
+
+impl Influence {
+    fn new(id: ObjectId, a: &UncertainObject, cfg: &IdcaConfig) -> Self {
+        let dec = Decomposition::with_strategy(a.pdf(), cfg.split_strategy);
+        let parts = dec.partitions();
+        let mut inf = Influence {
+            id,
+            existence: a.existence(),
+            mbr: a.mbr().clone(),
+            dec,
+            parts,
+            flat_mbrs: Vec::new(),
+            masses: Vec::new(),
+            lineage: None,
+        };
+        inf.refresh_flat();
+        inf
+    }
+
+    /// Rebuilds the flat MBR/mass buffers from `parts`.
+    fn refresh_flat(&mut self) {
+        self.flat_mbrs.clear();
+        self.masses.clear();
+        for p in &self.parts {
+            self.flat_mbrs.extend_from_slice(p.mbr.intervals());
+            self.masses.push(p.mass);
+        }
+    }
 }
 
 /// The bounds state after an IDCA iteration.
@@ -162,14 +243,26 @@ pub struct Refiner<'a> {
     /// `(|B'|, |R'|)` the cache was filled against.
     cache_dims: (usize, usize),
     cache_valid: bool,
+    /// Current generation of the open-list arena: every slot's open
+    /// partitions, contiguous in pair order (see the module docs for the
+    /// invariants).
+    open_arena: Vec<u32>,
+    /// The next generation under construction (double buffer, swapped
+    /// after each rebuilding snapshot; capacity is reused).
+    open_scratch: Vec<u32>,
     /// The reusable UGF arena for sequential aggregation.
     ugf: Ugf,
+    /// Shared worker pool for parallel snapshots (engine-injected via
+    /// [`Refiner::with_pool`]; otherwise created lazily and private).
+    pool: PoolHandle,
 }
 
 /// One `(pair, influence)` slot of the snapshot cache: the factor's
 /// probability bounds together with the partition bookkeeping that makes
-/// refreshing it incremental (see the module docs).
-#[derive(Debug, Clone)]
+/// refreshing it incremental. The open list itself lives in the
+/// refiner's flat arena; the slot stores only its range (see the module
+/// docs for the arena invariants).
+#[derive(Debug, Clone, Copy)]
 struct FactorCache {
     /// Mass of partitions robustly classified as dominating — final.
     settled_lb: f64,
@@ -178,9 +271,11 @@ struct FactorCache {
     /// Total probability mass of the open partitions (so an object-level
     /// decision can settle all of it without streaming the partitions).
     open_mass: f64,
-    /// Partition indices (into the influence object's current partition
-    /// list) still requiring classification: undecided or knife-edge.
-    open: Vec<u32>,
+    /// Start of this slot's open-partition indices in the current arena
+    /// generation.
+    open_start: u32,
+    /// Number of open-partition indices (0 = finally classified).
+    open_len: u32,
     /// The factor bounds as of the last refresh, scaled by the influence
     /// object's existence probability.
     bounds: PDomBounds,
@@ -194,64 +289,78 @@ impl FactorCache {
             settled_lb: 0.0,
             settled_never: 0.0,
             open_mass: 0.0,
-            open: Vec::new(),
+            open_start: 0,
+            open_len: 0,
             bounds: PDomBounds::UNKNOWN,
         }
     }
 
     /// Copies the final (settled/bounds) state of an ancestor slot — the
-    /// open list is intentionally *not* cloned; the refresh pass streams
-    /// it from the ancestor directly.
+    /// open range is intentionally *not* carried; the refresh pass
+    /// streams the ancestor's list from the old arena generation.
     fn carried_from(ancestor: &FactorCache) -> Self {
         FactorCache {
             settled_lb: ancestor.settled_lb,
             settled_never: ancestor.settled_never,
             open_mass: ancestor.open_mass,
-            open: Vec::new(),
+            open_start: 0,
+            open_len: 0,
             bounds: ancestor.bounds,
         }
     }
 
+    /// This slot's open range in its arena generation.
+    fn open_range(&self) -> std::ops::Range<usize> {
+        self.open_start as usize..(self.open_start + self.open_len) as usize
+    }
+
     /// Classifies the candidate partitions streamed by `candidates`
-    /// against the pair `(bp, rp)` in one pass: robust decisions settle
-    /// permanently, everything else lands in `self.open` (which must be
-    /// empty on entry), and the factor bounds are recomputed.
+    /// against the pair behind `pc` in one pass: robust decisions settle
+    /// permanently, everything else is appended to `arena` (the new
+    /// generation under construction, which becomes this slot's open
+    /// range), and the factor bounds are recomputed. `pc` carries the
+    /// pair's precomputed criterion terms, so only the partition-side
+    /// work runs per candidate.
     fn classify_into(
         &mut self,
         candidates: impl Iterator<Item = u32>,
         inf: &Influence,
-        bp: &Partition,
-        rp: &Partition,
-        cfg: &IdcaConfig,
+        pc: &PairClassifier,
+        arena: &mut Vec<u32>,
     ) {
-        debug_assert!(self.open.is_empty());
+        let start = arena.len();
+        let dims = inf.mbr.dims();
         let mut open_lb = 0.0;
         let mut open_never = 0.0;
         let mut open_mass = 0.0;
         for p in candidates {
-            let part = &inf.parts[p as usize];
-            let decision = cfg
-                .criterion
-                .classify(&part.mbr, &bp.mbr, &rp.mbr, cfg.norm);
+            let mass = inf.masses[p as usize];
+            let mbr = &inf.flat_mbrs[p as usize * dims..(p as usize + 1) * dims];
+            let decision = pc.classify_dims(mbr);
             match (decision.decision, decision.robust) {
-                (Some(true), true) => self.settled_lb += part.mass,
-                (Some(false), true) => self.settled_never += part.mass,
+                (Some(true), true) => self.settled_lb += mass,
+                (Some(false), true) => self.settled_never += mass,
                 (Some(true), false) => {
-                    open_lb += part.mass;
-                    open_mass += part.mass;
-                    self.open.push(p);
+                    open_lb += mass;
+                    open_mass += mass;
+                    arena.push(p);
                 }
                 (Some(false), false) => {
-                    open_never += part.mass;
-                    open_mass += part.mass;
-                    self.open.push(p);
+                    open_never += mass;
+                    open_mass += mass;
+                    arena.push(p);
                 }
                 (None, _) => {
-                    open_mass += part.mass;
-                    self.open.push(p);
+                    open_mass += mass;
+                    arena.push(p);
                 }
             }
         }
+        // hard assert (once per slot, not per element): a silently
+        // wrapped u32 range would alias another slot's open list
+        assert!(arena.len() <= u32::MAX as usize, "open-list arena overflow");
+        self.open_start = start as u32;
+        self.open_len = (arena.len() - start) as u32;
         self.open_mass = open_mass;
         let lower = (self.settled_lb + open_lb).min(1.0);
         let upper = (1.0 - self.settled_never - open_never).max(0.0);
@@ -260,6 +369,8 @@ impl FactorCache {
 
     /// Settles all remaining open mass in one direction (after a robust
     /// object-level decision: every open partition decides identically).
+    /// The slot's range is zeroed; the dead entries simply never reach
+    /// the next arena generation.
     fn settle_open(&mut self, dominates: bool, existence: f64) {
         if dominates {
             self.settled_lb += self.open_mass;
@@ -267,7 +378,7 @@ impl FactorCache {
             self.settled_never += self.open_mass;
         }
         self.open_mass = 0.0;
-        self.open.clear();
+        self.open_len = 0;
         let lower = self.settled_lb.min(1.0);
         let upper = (1.0 - self.settled_never).max(0.0);
         self.bounds = PDomBounds { lower, upper }.scale_by_existence(existence);
@@ -282,8 +393,13 @@ enum RefreshMode {
     /// `B`/`R` expanded: every slot was cloned from its ancestor pair and
     /// must re-evaluate its open partitions against the new pair regions.
     Remapped,
-    /// Pairs unchanged: only slots of expanded influence objects refresh.
+    /// Pairs unchanged: slots of expanded influence objects reclassify
+    /// their open children, the rest carry their open list verbatim into
+    /// the new arena generation.
     InPlace,
+    /// Nothing expanded since the last snapshot: aggregate straight from
+    /// the cached bounds; the arena generation is left untouched.
+    Clean,
 }
 
 impl<'a> Refiner<'a> {
@@ -326,16 +442,7 @@ impl<'a> Refiner<'a> {
                 complete_count += 1;
                 continue;
             }
-            let dec = Decomposition::with_strategy(a.pdf(), cfg.split_strategy);
-            let parts = dec.partitions();
-            influence.push(Influence {
-                id,
-                existence: a.existence(),
-                mbr: a.mbr().clone(),
-                dec,
-                parts,
-                lineage: None,
-            });
+            influence.push(Influence::new(id, a, &cfg));
         }
 
         let b_dec = Decomposition::with_strategy(target_obj.pdf(), cfg.split_strategy);
@@ -361,7 +468,10 @@ impl<'a> Refiner<'a> {
             cache: Vec::new(),
             cache_dims: (0, 0),
             cache_valid: false,
+            open_arena: Vec::new(),
+            open_scratch: Vec::new(),
             ugf: Ugf::new(None),
+            pool: PoolHandle::default(),
         }
     }
 
@@ -383,19 +493,7 @@ impl<'a> Refiner<'a> {
         let reference_obj = reference.resolve(db);
         let influence = influence_ids
             .into_iter()
-            .map(|id| {
-                let a = db.get(id);
-                let dec = Decomposition::with_strategy(a.pdf(), cfg.split_strategy);
-                let parts = dec.partitions();
-                Influence {
-                    id,
-                    existence: a.existence(),
-                    mbr: a.mbr().clone(),
-                    dec,
-                    parts,
-                    lineage: None,
-                }
-            })
+            .map(|id| Influence::new(id, db.get(id), &cfg))
             .collect();
         let b_dec = Decomposition::with_strategy(target_obj.pdf(), cfg.split_strategy);
         let b_parts = b_dec.partitions();
@@ -419,8 +517,21 @@ impl<'a> Refiner<'a> {
             cache: Vec::new(),
             cache_dims: (0, 0),
             cache_valid: false,
+            open_arena: Vec::new(),
+            open_scratch: Vec::new(),
             ugf: Ugf::new(None),
+            pool: PoolHandle::default(),
         }
+    }
+
+    /// Attaches a shared worker pool for parallel snapshots (engines
+    /// inject their own so all refiners they build reuse one set of
+    /// persistent threads). Without this, a refiner running with
+    /// [`IdcaConfig::snapshot_threads`] > 1 lazily creates a private
+    /// pool that lives as long as the refiner.
+    pub fn with_pool(mut self, pool: PoolHandle) -> Self {
+        self.pool = pool;
+        self
     }
 
     /// The database this refiner runs against.
@@ -448,7 +559,7 @@ impl<'a> Refiner<'a> {
     /// factor cache after the last snapshot. Useful for tuning and for
     /// understanding where snapshot time goes.
     pub fn cache_stats(&self) -> (usize, usize) {
-        let settled = self.cache.iter().filter(|e| e.open.is_empty()).count();
+        let settled = self.cache.iter().filter(|e| e.open_len == 0).count();
         (settled, self.cache.len())
     }
 
@@ -456,7 +567,7 @@ impl<'a> Refiner<'a> {
     /// across all cache slots, and the total the from-scratch path would
     /// test per snapshot.
     pub fn open_stats(&self) -> (usize, usize) {
-        let open: usize = self.cache.iter().map(|e| e.open.len()).sum();
+        let open: usize = self.cache.iter().map(|e| e.open_len as usize).sum();
         let scratch: usize = self.b_parts.len()
             * self.r_parts.len()
             * self.influence.iter().map(|i| i.parts.len()).sum::<usize>();
@@ -476,8 +587,36 @@ impl<'a> Refiner<'a> {
     /// decomposition by one level and records which decompositions
     /// actually changed (the dirty flags steering the next snapshot's
     /// cache refresh). Returns `false` when nothing could be split further
-    /// (exact bounds reached for discrete models).
+    /// (exact bounds reached for discrete models) or when further
+    /// splitting provably cannot change the bounds.
+    ///
+    /// The second case is the mid-loop retirement of *influence objects*:
+    /// after a cached snapshot, an object with no open partition left in
+    /// any slot is finally classified — robust decisions are stable under
+    /// refinement of any of the three regions, so its factors can never
+    /// change again — and it is skipped by every subsequent step. Once
+    /// *no* slot anywhere is open, expanding `B`/`R` is equally pointless
+    /// (child pairs inherit their ancestor's settled factors verbatim, so
+    /// the aggregate is a fixed point) and the step reports exhaustion.
     pub fn step(&mut self) -> bool {
+        // per-influence open-reference counts of the last snapshot;
+        // settledness is monotone, so counts from the most recent
+        // snapshot remain valid across multiple back-to-back steps
+        let inf_open = self.cache_valid.then(|| {
+            let n_inf = self.influence.len();
+            let mut open = vec![0u32; n_inf];
+            if n_inf > 0 {
+                for (slot_idx, slot) in self.cache.iter().enumerate() {
+                    open[slot_idx % n_inf] += slot.open_len;
+                }
+            }
+            open
+        });
+        if let Some(open) = &inf_open {
+            if open.iter().all(|&o| o == 0) {
+                return false; // every factor is final: bounds are exact
+            }
+        }
         let mut progress = false;
         if let Some(map) = self.b_dec.expand_with_map(self.target.pdf()) {
             self.b_parts = self.b_dec.partitions();
@@ -489,9 +628,15 @@ impl<'a> Refiner<'a> {
             self.r_map = Some(compose_lineage(self.r_map.take(), map));
             progress = true;
         }
-        for inf in &mut self.influence {
+        for (inf_idx, inf) in self.influence.iter_mut().enumerate() {
+            if let Some(open) = &inf_open {
+                if open[inf_idx] == 0 {
+                    continue; // finally classified: retired from refinement
+                }
+            }
             if let Some(map) = inf.dec.expand_with_map(self.db.get(inf.id).pdf()) {
                 inf.parts = inf.dec.partitions();
+                inf.refresh_flat();
                 inf.lineage = Some(compose_lineage(inf.lineage.take(), map));
                 progress = true;
             }
@@ -557,6 +702,7 @@ impl<'a> Refiner<'a> {
         // lists can be streamed from the ancestor slots without cloning.
         let mut old: Vec<FactorCache> = Vec::new();
         let mut ancestors: Vec<u32> = Vec::new();
+        let any_inf_dirty = self.influence.iter().any(|inf| inf.lineage.is_some());
         let mode = if !self.cache_valid
             || self.cache.len() != self.cache_dims.0 * self.cache_dims.1 * n_inf
         {
@@ -588,9 +734,13 @@ impl<'a> Refiner<'a> {
                 }
             }
             RefreshMode::Remapped
-        } else {
+        } else if any_inf_dirty {
             RefreshMode::InPlace
+        } else {
+            RefreshMode::Clean
         };
+        let rebuild = mode != RefreshMode::Clean;
+        self.open_scratch.clear();
         let remap_ctx = (&old[..], &ancestors[..]);
         self.b_map = None;
         self.r_map = None;
@@ -633,7 +783,9 @@ impl<'a> Refiner<'a> {
                 &self.influence,
                 &inf_offsets,
                 remap_ctx,
+                &self.open_arena,
                 &mut self.cache,
+                &mut self.open_scratch,
                 mode,
                 &self.cfg,
                 truncate,
@@ -643,28 +795,43 @@ impl<'a> Refiner<'a> {
                 &mut cdf_acc,
             );
         } else {
+            let pool = self
+                .pool
+                .get(threads)
+                .expect("threads > 1 always yields a pool");
             let chunk = n_pairs.div_ceil(threads);
-            let b_parts = &self.b_parts;
-            let r_parts = &self.r_parts;
-            let influence = &self.influence;
-            let offsets = &inf_offsets;
-            let ctx = remap_ctx;
-            let cfg = &self.cfg;
-            let mut cache_rest: &mut [FactorCache] = &mut self.cache;
-            std::thread::scope(|scope| {
-                let mut handles = Vec::with_capacity(threads);
-                for t in 0..threads {
+            let n_chunks = n_pairs.div_ceil(chunk);
+            // one result slot per chunk, filled by the pool jobs and
+            // merged in chunk order below: deterministic for a fixed
+            // thread count
+            type ChunkResult = (CountDistributionBounds, Option<(f64, f64)>, Vec<u32>);
+            let mut results: Vec<Option<ChunkResult>> = (0..n_chunks).map(|_| None).collect();
+            {
+                let b_parts = &self.b_parts;
+                let r_parts = &self.r_parts;
+                let influence = &self.influence;
+                let offsets = &inf_offsets;
+                let ctx = remap_ctx;
+                let old_arena = &self.open_arena;
+                let cfg = &self.cfg;
+                let mut cache_rest: &mut [FactorCache] = &mut self.cache;
+                let mut results_rest: &mut [Option<ChunkResult>] = &mut results;
+                let mut jobs: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(n_chunks);
+                for t in 0..n_chunks {
                     let start = t * chunk;
                     let end = (start + chunk).min(n_pairs);
-                    if start >= end {
-                        break;
-                    }
                     let (mine, rest) = cache_rest.split_at_mut((end - start) * n_inf);
                     cache_rest = rest;
-                    handles.push(scope.spawn(move || {
+                    let (out, rest) = results_rest.split_at_mut(1);
+                    results_rest = rest;
+                    let out = &mut out[0];
+                    jobs.push(Box::new(move || {
                         let mut ugf = Ugf::new(truncate);
                         let mut local_agg = CountDistributionBounds::zero(len);
                         let mut local_cdf = k_eff.map(|_| (0.0f64, 0.0f64));
+                        // chunk-private arena segment, rebased into the
+                        // shared generation after the scope
+                        let mut local_arena = Vec::new();
                         process_pair_range(
                             start,
                             end,
@@ -673,7 +840,9 @@ impl<'a> Refiner<'a> {
                             influence,
                             offsets,
                             ctx,
+                            old_arena,
                             mine,
+                            &mut local_arena,
                             mode,
                             cfg,
                             truncate,
@@ -682,20 +851,41 @@ impl<'a> Refiner<'a> {
                             &mut local_agg,
                             &mut local_cdf,
                         );
-                        (local_agg, local_cdf)
+                        *out = Some((local_agg, local_cdf, local_arena));
                     }));
                 }
-                // merge in chunk order: deterministic for a fixed thread
-                // count
-                for handle in handles {
-                    let (local_agg, local_cdf) = handle.join().expect("snapshot worker panicked");
-                    agg.add_weighted(&local_agg, 1.0);
-                    if let (Some(acc), Some((lo, hi))) = (cdf_acc.as_mut(), local_cdf) {
-                        acc.0 += lo;
-                        acc.1 += hi;
-                    }
+                pool.scope(jobs);
+            }
+            for (t, result) in results.into_iter().enumerate() {
+                let (local_agg, local_cdf, local_arena) = result.expect("snapshot chunk completed");
+                agg.add_weighted(&local_agg, 1.0);
+                if let (Some(acc), Some((lo, hi))) = (cdf_acc.as_mut(), local_cdf) {
+                    acc.0 += lo;
+                    acc.1 += hi;
                 }
-            });
+                if rebuild {
+                    // concatenate the chunk's arena segment and rebase its
+                    // slots' ranges onto the shared generation
+                    let base = self.open_scratch.len();
+                    assert!(
+                        base + local_arena.len() <= u32::MAX as usize,
+                        "open-list arena overflow"
+                    );
+                    let start = t * chunk;
+                    let end = (start + chunk).min(n_pairs);
+                    for slot in &mut self.cache[start * n_inf..end * n_inf] {
+                        if slot.open_len > 0 {
+                            slot.open_start += base as u32;
+                        }
+                    }
+                    self.open_scratch.extend_from_slice(&local_arena);
+                }
+            }
+        }
+        if rebuild {
+            // the new generation becomes current; the old buffer is the
+            // next snapshot's scratch (capacity reused)
+            std::mem::swap(&mut self.open_arena, &mut self.open_scratch);
         }
 
         self.cache_valid = true;
@@ -772,8 +962,12 @@ impl<'a> Refiner<'a> {
         }
     }
 
-    /// Whether the stop criterion of Algorithm 1 is met for `snap`.
-    fn should_stop(&self, snap: &DomCountSnapshot) -> bool {
+    /// Whether the stop criterion of Algorithm 1 is met for `snap`
+    /// (iteration budget, a decided threshold predicate, or the
+    /// uncertainty target). Public so the lock-step drivers
+    /// ([`refine_lockstep`], [`refine_top_m`]) replicate
+    /// [`Refiner::run`]'s stopping behaviour exactly.
+    pub fn converged(&self, snap: &DomCountSnapshot) -> bool {
         if self.iteration >= self.cfg.max_iterations {
             return true;
         }
@@ -789,7 +983,7 @@ impl<'a> Refiner<'a> {
     /// the final snapshot.
     pub fn run(&mut self) -> DomCountSnapshot {
         let mut snap = self.snapshot();
-        while !self.should_stop(&snap) {
+        while !self.converged(&snap) {
             if !self.step() {
                 break; // decompositions exhausted: bounds are final
             }
@@ -797,6 +991,163 @@ impl<'a> Refiner<'a> {
         }
         snap
     }
+}
+
+/// Converts a final snapshot into a query result; `None` when the
+/// candidate's predicate probability is certainly zero.
+fn threshold_result(id: ObjectId, snap: &DomCountSnapshot) -> Option<ThresholdResult> {
+    let (lo, hi) = snap.predicate_cdf.expect("count predicate produces CDF");
+    (hi > 0.0).then_some(ThresholdResult {
+        id,
+        prob_lower: lo,
+        prob_upper: hi,
+        iterations: snap.iteration,
+    })
+}
+
+/// Lock-step early-exit refinement of a candidate set: one [`Refiner`]
+/// per candidate, all stepped in rounds; after every round the
+/// candidates whose outcome is decided (per the [`RefineGoal`]) or whose
+/// refiner hit its own stop criterion are retired — swap-removed from
+/// the active set, their factor cache and open-list arena freed — and
+/// subsequent rounds iterate only the survivors, so the candidate set
+/// shrinks *during* refinement.
+///
+/// Per candidate the operation sequence is identical to
+/// [`Refiner::run`], so the returned bounds are bit-identical to running
+/// each refiner on its own; candidates whose predicate probability is
+/// certainly zero are dropped, and the output is sorted by id.
+pub fn refine_lockstep(
+    candidates: Vec<(ObjectId, Refiner<'_>)>,
+    goal: RefineGoal,
+) -> Vec<ThresholdResult> {
+    struct Active<'a> {
+        id: ObjectId,
+        refiner: Refiner<'a>,
+        snap: DomCountSnapshot,
+        stalled: bool,
+    }
+    let mut done: Vec<ThresholdResult> = Vec::new();
+    let mut active: Vec<Active<'_>> = candidates
+        .into_iter()
+        .map(|(id, mut refiner)| {
+            let snap = refiner.snapshot();
+            Active {
+                id,
+                refiner,
+                snap,
+                stalled: false,
+            }
+        })
+        .collect();
+    while !active.is_empty() {
+        let mut i = 0;
+        while i < active.len() {
+            let cand = &active[i];
+            if cand.stalled || goal.decided(&cand.snap) || cand.refiner.converged(&cand.snap) {
+                // swap-remove retirement: dropping the refiner frees its
+                // state; the final sort restores a deterministic order
+                let retired = active.swap_remove(i);
+                done.extend(threshold_result(retired.id, &retired.snap));
+            } else {
+                i += 1;
+            }
+        }
+        for cand in &mut active {
+            if cand.refiner.step() {
+                cand.snap = cand.refiner.snapshot();
+            } else {
+                cand.stalled = true; // decompositions exhausted: bounds final
+            }
+        }
+    }
+    done.sort_by_key(|r| r.id);
+    done
+}
+
+/// Lock-step refinement for a top-`m` query (highest `P(DomCount < k)`):
+/// besides each refiner's own stop criterion, a candidate retires early
+/// once at least `m` rivals' lower bounds exceed its upper bound — it is
+/// then certainly outside the top `m`, and since bounds only tighten it
+/// stays outside, so the returned top-`m` set equals the
+/// run-to-convergence path's while the also-rans stop burning
+/// iterations. Returns the top `m` by bound midpoint (ties and overlaps
+/// are visible in the returned bounds).
+pub fn refine_top_m(candidates: Vec<(ObjectId, Refiner<'_>)>, m: usize) -> Vec<ThresholdResult> {
+    assert!(m >= 1, "m must be positive");
+    struct Cand<'a> {
+        id: ObjectId,
+        /// `None` once retired (state freed; `snap` keeps the bounds).
+        refiner: Option<Refiner<'a>>,
+        snap: DomCountSnapshot,
+        stalled: bool,
+    }
+    let mut cands: Vec<Cand<'_>> = candidates
+        .into_iter()
+        .map(|(id, mut refiner)| {
+            let snap = refiner.snapshot();
+            Cand {
+                id,
+                refiner: Some(refiner),
+                snap,
+                stalled: false,
+            }
+        })
+        .collect();
+    loop {
+        for c in &mut cands {
+            if let Some(refiner) = &c.refiner {
+                if c.stalled || refiner.converged(&c.snap) {
+                    c.refiner = None;
+                }
+            }
+        }
+        // cross-candidate early exit: certainly outside the top m
+        let lowers: Vec<f64> = cands
+            .iter()
+            .map(|c| c.snap.predicate_cdf.expect("count predicate").0)
+            .collect();
+        for (i, c) in cands.iter_mut().enumerate() {
+            if c.refiner.is_none() {
+                continue;
+            }
+            let hi = c.snap.predicate_cdf.expect("count predicate").1;
+            let beaten_by = lowers
+                .iter()
+                .enumerate()
+                .filter(|&(j, &lo)| j != i && lo > hi)
+                .count();
+            if beaten_by >= m {
+                c.refiner = None;
+            }
+        }
+        if cands.iter().all(|c| c.refiner.is_none()) {
+            break;
+        }
+        for c in &mut cands {
+            if let Some(refiner) = &mut c.refiner {
+                if refiner.step() {
+                    c.snap = refiner.snapshot();
+                } else {
+                    c.stalled = true;
+                }
+            }
+        }
+    }
+    let mut results: Vec<ThresholdResult> = cands
+        .into_iter()
+        .filter_map(|c| threshold_result(c.id, &c.snap))
+        .collect();
+    results.sort_by(|a, b| {
+        (b.prob_lower + b.prob_upper)
+            .partial_cmp(&(a.prob_lower + a.prob_upper))
+            .expect("NaN probability")
+            // deterministic tie-break: candidate order must not decide
+            // the truncation boundary (the scan path ties the same way)
+            .then_with(|| a.id.cmp(&b.id))
+    });
+    results.truncate(m);
+    results
 }
 
 /// Composes partition-lineage maps across consecutive expansions:
@@ -811,10 +1162,12 @@ fn compose_lineage(prev: Option<Vec<u32>>, next: Vec<u32>) -> Vec<u32> {
 }
 
 /// Processes the pairs `start..end` (global pair indices): refreshes their
-/// cache slots where needed and accumulates the §IV-E aggregation into
-/// `agg`/`cdf_acc`. `cache` holds exactly the slots of this range,
-/// row-major by pair. Shared by the sequential and parallel snapshot
-/// paths so both produce the same per-pair operation sequence.
+/// cache slots where needed, writes their new-generation open lists into
+/// `arena` and accumulates the §IV-E aggregation into `agg`/`cdf_acc`.
+/// `cache` holds exactly the slots of this range, row-major by pair;
+/// `old_arena` is the previous arena generation all incoming open ranges
+/// point into. Shared by the sequential and pool-parallel snapshot paths
+/// so both produce the same per-pair operation sequence.
 #[allow(clippy::too_many_arguments)]
 fn process_pair_range(
     start: usize,
@@ -824,7 +1177,9 @@ fn process_pair_range(
     influence: &[Influence],
     inf_offsets: &[Option<Vec<u32>>],
     remap_ctx: (&[FactorCache], &[u32]),
+    old_arena: &[u32],
     cache: &mut [FactorCache],
+    arena: &mut Vec<u32>,
     mode: RefreshMode,
     cfg: &IdcaConfig,
     truncate: Option<usize>,
@@ -836,7 +1191,6 @@ fn process_pair_range(
     let n_inf = influence.len();
     let r_len = r_parts.len();
     let (old, ancestors) = remap_ctx;
-    let mut open_scratch: Vec<u32> = Vec::new();
     for pair_idx in start..end {
         let bp = &b_parts[pair_idx / r_len];
         let rp = &r_parts[pair_idx % r_len];
@@ -845,6 +1199,11 @@ fn process_pair_range(
             continue;
         }
         let slots = &mut cache[(pair_idx - start) * n_inf..(pair_idx - start + 1) * n_inf];
+        // the pair's precomputed criterion half: every classification of
+        // this pair — object pre-tests and partition streams alike —
+        // shares it, so only partition-side terms run in the hot loop
+        let pc = (mode != RefreshMode::Clean)
+            .then(|| PairClassifier::new(&bp.mbr, &rp.mbr, cfg.criterion, cfg.norm));
         ugf.reset(truncate);
         for ((inf_idx, (inf, offsets)), slot) in influence
             .iter()
@@ -855,7 +1214,8 @@ fn process_pair_range(
             match mode {
                 // seed from the full partition list
                 RefreshMode::Full => {
-                    slot.classify_into(0..inf.parts.len() as u32, inf, bp, rp, cfg);
+                    let pc = pc.as_ref().expect("classifier built for rebuild modes");
+                    slot.classify_into(0..inf.parts.len() as u32, inf, pc, arena);
                 }
                 // stream the ancestor slot's open list (already expanded
                 // through the influence lineage when that also changed);
@@ -863,48 +1223,65 @@ fn process_pair_range(
                 // are settled mass only, stable under any refinement
                 RefreshMode::Remapped => {
                     let anc = &old[ancestors[pair_idx] as usize * n_inf + inf_idx];
-                    if !anc.open.is_empty() {
+                    if anc.open_len > 0 {
+                        let pc = pc.as_ref().expect("classifier built for rebuild modes");
                         // object-level pre-test: if the whole object
                         // robustly decides against the shrunken pair,
                         // every open partition decides identically
-                        let obj = cfg.criterion.classify(&inf.mbr, &bp.mbr, &rp.mbr, cfg.norm);
+                        let obj = pc.classify(&inf.mbr);
                         if let (Some(dominates), true) = (obj.decision, obj.robust) {
                             slot.settle_open(dominates, inf.existence);
                         } else {
+                            let anc_open = &old_arena[anc.open_range()];
                             match offsets {
                                 Some(offsets) => slot.classify_into(
-                                    anc.open.iter().flat_map(|&p| {
+                                    anc_open.iter().flat_map(|&p| {
                                         offsets[p as usize]..offsets[p as usize + 1]
                                     }),
                                     inf,
-                                    bp,
-                                    rp,
-                                    cfg,
+                                    pc,
+                                    arena,
                                 ),
                                 None => {
-                                    slot.classify_into(anc.open.iter().copied(), inf, bp, rp, cfg)
+                                    slot.classify_into(anc_open.iter().copied(), inf, pc, arena)
                                 }
                             }
                         }
                     }
                 }
-                // pairs unchanged: only slots of expanded influence
-                // objects need work, on their own open lists
+                // pairs unchanged: slots of expanded influence objects
+                // reclassify their open children; the rest carry their
+                // open list into the new generation verbatim
                 RefreshMode::InPlace => {
-                    if let (Some(offsets), false) = (offsets, slot.open.is_empty()) {
-                        std::mem::swap(&mut slot.open, &mut open_scratch);
-                        slot.classify_into(
-                            open_scratch
-                                .iter()
-                                .flat_map(|&p| offsets[p as usize]..offsets[p as usize + 1]),
-                            inf,
-                            bp,
-                            rp,
-                            cfg,
-                        );
-                        open_scratch.clear();
+                    if slot.open_len > 0 {
+                        let cur_open = &old_arena[slot.open_range()];
+                        match offsets {
+                            Some(offsets) => {
+                                let pc = pc.as_ref().expect("classifier built for rebuild modes");
+                                slot.classify_into(
+                                    cur_open.iter().flat_map(|&p| {
+                                        offsets[p as usize]..offsets[p as usize + 1]
+                                    }),
+                                    inf,
+                                    pc,
+                                    arena,
+                                )
+                            }
+                            None => {
+                                let new_start = arena.len();
+                                arena.extend_from_slice(cur_open);
+                                assert!(
+                                    arena.len() <= u32::MAX as usize,
+                                    "open-list arena overflow"
+                                );
+                                slot.open_start = new_start as u32;
+                            }
+                        }
                     }
                 }
+                // nothing changed: cached bounds are current, the arena
+                // generation stays as-is
+                RefreshMode::Clean => {}
             }
             ugf.multiply(slot.bounds.lower, slot.bounds.upper);
         }
@@ -1228,6 +1605,113 @@ mod tests {
                 break;
             }
         }
+    }
+
+    /// Structural invariants of the open-list arena: every slot range is
+    /// in-bounds, ranges of a generation are disjoint and ordered in
+    /// slot-processing order, and indexed partitions exist.
+    #[test]
+    fn open_list_arena_invariants_hold_every_iteration() {
+        let db = Database::from_objects(vec![
+            uniform_seg(0.5, 2.5),
+            uniform_seg(1.0, 3.0),
+            uniform_seg(2.0, 4.0),
+            uniform_seg(1.8, 2.6),
+            certain(2.0),
+        ]);
+        let r = uniform_seg(-0.5, 0.5);
+        let mut refiner = Refiner::new(
+            &db,
+            ObjRef::Db(ObjectId(4)),
+            ObjRef::External(&r),
+            IdcaConfig {
+                max_iterations: 6,
+                uncertainty_target: 0.0,
+                ..Default::default()
+            },
+            Predicate::FullPdf,
+        );
+        for _ in 0..6 {
+            let _ = refiner.snapshot();
+            let mut cursor = 0usize;
+            for (slot_idx, slot) in refiner.cache.iter().enumerate() {
+                if slot.open_len == 0 {
+                    continue;
+                }
+                let range = slot.open_range();
+                assert!(
+                    range.end <= refiner.open_arena.len(),
+                    "slot {slot_idx} dangles"
+                );
+                assert!(
+                    range.start >= cursor,
+                    "slot {slot_idx} overlaps its predecessor"
+                );
+                cursor = range.end;
+                let inf = &refiner.influence[slot_idx % refiner.influence.len()];
+                for &p in &refiner.open_arena[range] {
+                    assert!((p as usize) < inf.parts.len(), "stale partition index");
+                }
+            }
+            // the generation is compact: nothing beyond the last range
+            assert!(cursor <= refiner.open_arena.len());
+            if !refiner.step() {
+                break;
+            }
+        }
+    }
+
+    /// The lock-step driver must reproduce per-candidate `run()` results
+    /// exactly while actually retiring candidates at different rounds.
+    #[test]
+    fn lockstep_driver_matches_individual_runs() {
+        let db = Database::from_objects(vec![
+            uniform_seg(0.5, 2.0),
+            uniform_seg(1.0, 3.0),
+            uniform_seg(2.0, 4.0),
+            uniform_seg(1.8, 2.6),
+            certain(2.5),
+        ]);
+        let r = uniform_seg(-0.5, 0.5);
+        let cfg = IdcaConfig {
+            max_iterations: 6,
+            uncertainty_target: 0.0,
+            ..Default::default()
+        };
+        let goal = RefineGoal::threshold(2, 0.5);
+        let ids: Vec<ObjectId> = db.ids().collect();
+        let mk = |id: ObjectId| {
+            Refiner::new(
+                &db,
+                ObjRef::Db(id),
+                ObjRef::External(&r),
+                cfg.clone(),
+                goal.predicate(),
+            )
+        };
+        let lockstep = refine_lockstep(ids.iter().map(|&id| (id, mk(id))).collect(), goal);
+        let mut individual: Vec<ThresholdResult> = ids
+            .iter()
+            .filter_map(|&id| {
+                let mut refiner = mk(id);
+                let snap = refiner.run();
+                threshold_result(id, &snap)
+            })
+            .collect();
+        individual.sort_by_key(|x| x.id);
+        assert_eq!(lockstep.len(), individual.len());
+        for (a, b) in lockstep.iter().zip(individual.iter()) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.prob_lower, b.prob_lower);
+            assert_eq!(a.prob_upper, b.prob_upper);
+            assert_eq!(a.iterations, b.iterations);
+        }
+        // the early exit is real: decided candidates stop at different
+        // iteration depths instead of all burning max_iterations
+        assert!(
+            lockstep.iter().any(|x| x.iterations < 6),
+            "no candidate retired early: {lockstep:?}"
+        );
     }
 
     #[test]

@@ -73,6 +73,168 @@ pub struct SpatialDecision {
 /// slack in both directions.
 const ROBUST_MARGIN: f64 = 1e-9;
 
+/// The `(B, R)`-dependent halves of [`DominationCriterion::classify`],
+/// precomputed once for a fixed pair so that streaming many `A`
+/// rectangles against it evaluates only the `A`-dependent terms.
+///
+/// [`PairClassifier::classify`] produces **bit-identical** results to
+/// `criterion.classify(a, b, r, norm)`: the precomputed values are the
+/// exact same `f64`s the per-call path would compute, combined in the
+/// same order — so decisions, robustness flags and every downstream sum
+/// are unchanged, only roughly half the interval-distance/power work per
+/// rectangle remains. This is the hot-loop classifier of the IDCA
+/// refinement cache, where one partition pair is tested against every
+/// open partition of every influence object.
+#[derive(Debug, Clone)]
+pub struct PairClassifier {
+    criterion: DominationCriterion,
+    norm: LpNorm,
+    /// The reference region (the `A`-dependent terms still need its
+    /// endpoints).
+    r: Rect,
+    /// Optimal criterion, per dimension: `pow(MinDist(B_i, r))` and
+    /// `pow(MaxDist(B_i, r))` at the two `R_i` endpoints, in the order
+    /// `[min@lo, min@hi, max@lo, max@hi]`.
+    b_terms: Vec<[f64; 4]>,
+    /// MinMax criterion: `pow(MinDist(B, R))` and `pow(MaxDist(B, R))`.
+    minmax_b: (f64, f64),
+}
+
+impl PairClassifier {
+    /// Precomputes the `B`/`R` halves for the given pair.
+    pub fn new(b: &Rect, r: &Rect, criterion: DominationCriterion, norm: LpNorm) -> Self {
+        let mut b_terms = Vec::new();
+        let mut minmax_b = (0.0, 0.0);
+        match criterion {
+            DominationCriterion::Optimal => {
+                assert!(
+                    !matches!(norm, LpNorm::LInf),
+                    "the optimal domination criterion requires a finite Lp norm"
+                );
+                debug_assert_eq!(b.dims(), r.dims());
+                b_terms.reserve(r.dims());
+                for i in 0..r.dims() {
+                    let (bi, ri) = (b.dim(i), r.dim(i));
+                    b_terms.push([
+                        norm.pow(bi.min_dist(ri.lo())),
+                        norm.pow(bi.min_dist(ri.hi())),
+                        norm.pow(bi.max_dist(ri.lo())),
+                        norm.pow(bi.max_dist(ri.hi())),
+                    ]);
+                }
+            }
+            DominationCriterion::MinMax => {
+                minmax_b = match norm {
+                    LpNorm::LInf => (
+                        norm.pow(b.min_dist_rect(r, norm)),
+                        norm.pow(b.max_dist_rect(r, norm)),
+                    ),
+                    _ => (min_dist_rect_pow(b, r, norm), max_dist_rect_pow(b, r, norm)),
+                };
+            }
+        }
+        PairClassifier {
+            criterion,
+            norm,
+            r: r.clone(),
+            b_terms,
+            minmax_b,
+        }
+    }
+
+    /// Classifies `a` against the precomputed pair; equal to
+    /// `criterion.classify(a, b, r, norm)` in every field.
+    pub fn classify(&self, a: &Rect) -> SpatialDecision {
+        self.classify_dims(a.intervals())
+    }
+
+    /// Like [`PairClassifier::classify`] for a rectangle given as its
+    /// interval slice — hot loops that keep many boxes in one flat
+    /// buffer (the refiner's partition arena) classify without
+    /// materializing a `Rect` per box.
+    pub fn classify_dims(&self, a: &[udb_geometry::Interval]) -> SpatialDecision {
+        match self.criterion {
+            DominationCriterion::Optimal => self.classify_optimal(a),
+            DominationCriterion::MinMax => self.classify_minmax(a),
+        }
+    }
+
+    fn classify_optimal(&self, a: &[udb_geometry::Interval]) -> SpatialDecision {
+        debug_assert_eq!(a.len(), self.r.dims());
+        let norm = self.norm;
+        let mut dom_sum = 0.0;
+        let mut nd_sum = 0.0;
+        let mut scale = 0.0;
+        for (i, bt) in self.b_terms.iter().enumerate() {
+            let (ai, ri) = (a[i], self.r.dim(i));
+            let d_lo = norm.pow(ai.max_dist(ri.lo())) - bt[0];
+            let d_hi = norm.pow(ai.max_dist(ri.hi())) - bt[1];
+            let n_lo = bt[2] - norm.pow(ai.min_dist(ri.lo()));
+            let n_hi = bt[3] - norm.pow(ai.min_dist(ri.hi()));
+            dom_sum += d_lo.max(d_hi);
+            nd_sum += n_lo.max(n_hi);
+            scale += d_lo.abs().max(d_hi.abs()).max(n_lo.abs()).max(n_hi.abs());
+        }
+        let margin = ROBUST_MARGIN * scale.max(f64::MIN_POSITIVE);
+        if dom_sum < 0.0 {
+            SpatialDecision {
+                decision: Some(true),
+                robust: dom_sum < -margin,
+            }
+        } else if nd_sum <= 0.0 {
+            SpatialDecision {
+                decision: Some(false),
+                robust: nd_sum < -margin,
+            }
+        } else {
+            SpatialDecision {
+                decision: None,
+                robust: false,
+            }
+        }
+    }
+
+    fn classify_minmax(&self, a: &[udb_geometry::Interval]) -> SpatialDecision {
+        let norm = self.norm;
+        let (min_br, max_br) = self.minmax_b;
+        let (max_ar, min_ar) = match norm {
+            LpNorm::LInf => {
+                // cold path: LInf has no powered-sum decomposition; go
+                // through the rectangle API for exact agreement
+                let a = Rect::new(a.to_vec());
+                (
+                    norm.pow(a.max_dist_rect(&self.r, norm)),
+                    norm.pow(a.min_dist_rect(&self.r, norm)),
+                )
+            }
+            _ => (
+                max_dist_dims_pow(a, &self.r, norm),
+                min_dist_dims_pow(a, &self.r, norm),
+            ),
+        };
+        let dominates = max_ar < min_br;
+        let never = !dominates && max_br <= min_ar;
+        if dominates {
+            let margin = ROBUST_MARGIN * max_ar.abs().max(min_br.abs()).max(f64::MIN_POSITIVE);
+            SpatialDecision {
+                decision: Some(true),
+                robust: min_br - max_ar > margin,
+            }
+        } else if never {
+            let margin = ROBUST_MARGIN * max_br.abs().max(min_ar.abs()).max(f64::MIN_POSITIVE);
+            SpatialDecision {
+                decision: Some(false),
+                robust: min_ar - max_br > margin,
+            }
+        } else {
+            SpatialDecision {
+                decision: None,
+                robust: false,
+            }
+        }
+    }
+}
+
 fn classify_optimal(a: &Rect, b: &Rect, r: &Rect, norm: LpNorm) -> SpatialDecision {
     assert!(
         !matches!(norm, LpNorm::LInf),
@@ -244,8 +406,12 @@ pub fn dominates_minmax(a: &Rect, b: &Rect, r: &Rect, norm: LpNorm) -> bool {
 
 /// `MinDist(X, R)^p` between two boxes (power form, avoids roots).
 fn min_dist_rect_pow(x: &Rect, r: &Rect, norm: LpNorm) -> f64 {
-    norm.aggregate((0..x.dims()).map(|i| {
-        let (xi, ri) = (x.dim(i), r.dim(i));
+    min_dist_dims_pow(x.intervals(), r, norm)
+}
+
+fn min_dist_dims_pow(x: &[udb_geometry::Interval], r: &Rect, norm: LpNorm) -> f64 {
+    norm.aggregate((0..x.len()).map(|i| {
+        let (xi, ri) = (x[i], r.dim(i));
         let gap = if xi.hi() < ri.lo() {
             ri.lo() - xi.hi()
         } else if ri.hi() < xi.lo() {
@@ -259,8 +425,12 @@ fn min_dist_rect_pow(x: &Rect, r: &Rect, norm: LpNorm) -> f64 {
 
 /// `MaxDist(X, R)^p` between two boxes (power form).
 fn max_dist_rect_pow(x: &Rect, r: &Rect, norm: LpNorm) -> f64 {
-    norm.aggregate((0..x.dims()).map(|i| {
-        let (xi, ri) = (x.dim(i), r.dim(i));
+    max_dist_dims_pow(x.intervals(), r, norm)
+}
+
+fn max_dist_dims_pow(x: &[udb_geometry::Interval], r: &Rect, norm: LpNorm) -> f64 {
+    norm.aggregate((0..x.len()).map(|i| {
+        let (xi, ri) = (x[i], r.dim(i));
         let d = (xi.hi() - ri.lo()).abs().max((ri.hi() - xi.lo()).abs());
         norm.pow(d)
     }))
@@ -443,6 +613,27 @@ mod tests {
             let ab = dominates_optimal(&a, &b, &r, LpNorm::L2);
             let ba = dominates_optimal(&b, &a, &r, LpNorm::L2);
             prop_assert!(!(ab && ba));
+        }
+
+        /// The precomputed pair classifier is bit-identical to the
+        /// per-call classification for both criteria.
+        #[test]
+        fn prop_pair_classifier_matches_classify(
+            a in arb_rect(-5.0..5.0),
+            b in arb_rect(-5.0..5.0),
+            r in arb_rect(-5.0..5.0),
+        ) {
+            for criterion in [DominationCriterion::Optimal, DominationCriterion::MinMax] {
+                for norm in [LpNorm::L1, LpNorm::L2, LpNorm::P(3)] {
+                    let pc = PairClassifier::new(&b, &r, criterion, norm);
+                    prop_assert_eq!(pc.classify(&a), criterion.classify(&a, &b, &r, norm));
+                }
+            }
+            let pc = PairClassifier::new(&b, &r, DominationCriterion::MinMax, LpNorm::LInf);
+            prop_assert_eq!(
+                pc.classify(&a),
+                DominationCriterion::MinMax.classify(&a, &b, &r, LpNorm::LInf)
+            );
         }
 
         /// For certain points the criterion is exactly the distance

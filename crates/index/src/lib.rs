@@ -19,5 +19,5 @@ pub mod node;
 pub mod rtree;
 
 pub use classify::{ClassifyOutcome, NodeDecision};
-pub use knn::Neighbor;
-pub use rtree::RTree;
+pub use knn::{KnnIter, Neighbor, WithinDistanceIter};
+pub use rtree::{RTree, RangeIter};

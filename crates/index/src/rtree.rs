@@ -2,7 +2,7 @@
 
 use udb_geometry::{LpNorm, Rect};
 
-use crate::knn::{KnnIter, Neighbor};
+use crate::knn::{KnnIter, Neighbor, WithinDistanceIter};
 use crate::node::{split_entries, Node, DEFAULT_MAX_ENTRIES};
 
 /// An R-tree mapping MBRs to payloads.
@@ -97,11 +97,19 @@ impl<T: Clone> RTree<T> {
 
     /// All payloads whose MBR intersects `query`.
     pub fn range(&self, query: &Rect) -> Vec<T> {
-        let mut out = Vec::new();
-        if let Some(root) = &self.root {
-            range_rec(root, query, &mut out);
+        self.range_iter(query).cloned().collect()
+    }
+
+    /// Iterator over references to all payloads whose MBR intersects
+    /// `query` (depth-first, arbitrary order). Allocation-free apart
+    /// from its traversal stack, so probe loops can prune without
+    /// collecting a `Vec` per probe; [`RTree::range`] delegates here.
+    pub fn range_iter<'q>(&'q self, query: &'q Rect) -> RangeIter<'q, T> {
+        RangeIter {
+            query,
+            leaf: [].iter(),
+            stack: self.root.as_ref().into_iter().collect(),
         }
-        out
     }
 
     /// The `k` nearest entries to `query` by box-to-box MinDist, sorted
@@ -116,16 +124,72 @@ impl<T: Clone> RTree<T> {
         KnnIter::new(self.root.as_ref(), query.clone(), norm)
     }
 
-    /// Payloads within MinDist `radius` of `query`, unsorted.
+    /// Payloads within MinDist `radius` of `query`, in ascending MinDist
+    /// order.
     pub fn within_distance(&self, query: &Rect, radius: f64, norm: LpNorm) -> Vec<T> {
-        let mut out = Vec::new();
-        for n in self.knn_iter(query, norm) {
-            if n.dist > radius {
-                break;
+        self.within_distance_iter(query, radius, norm)
+            .map(|n| n.payload)
+            .collect()
+    }
+
+    /// Distance-ordered iterator over the entries within MinDist
+    /// `radius` of `query` (see [`WithinDistanceIter`]);
+    /// [`RTree::within_distance`] delegates here.
+    pub fn within_distance_iter(
+        &self,
+        query: &Rect,
+        radius: f64,
+        norm: LpNorm,
+    ) -> WithinDistanceIter<'_, T> {
+        WithinDistanceIter::new(self.root.as_ref(), query.clone(), norm, radius)
+    }
+
+    /// Visits every payload whose MBR lies within MinDist `radius` of
+    /// `query`, in arbitrary order, stopping the whole traversal early
+    /// once `visit` returns `false`. Recursive and allocation-free — the
+    /// cheapest form of a bounded probe for hot loops that only count or
+    /// test a predicate (the distance-*ordered*
+    /// [`RTree::within_distance_iter`] pays for a traversal heap).
+    pub fn for_each_within_distance(
+        &self,
+        query: &Rect,
+        radius: f64,
+        norm: LpNorm,
+        visit: &mut impl FnMut(&T) -> bool,
+    ) {
+        fn rec<T>(
+            node: &Node<T>,
+            query: &Rect,
+            radius: f64,
+            norm: LpNorm,
+            visit: &mut impl FnMut(&T) -> bool,
+        ) -> bool {
+            match node {
+                Node::Leaf(entries) => {
+                    for (mbr, p) in entries {
+                        if mbr.min_dist_rect(query, norm) <= radius && !visit(p) {
+                            return false;
+                        }
+                    }
+                }
+                Node::Inner(children) => {
+                    for (mbr, child) in children {
+                        if mbr.min_dist_rect(query, norm) <= radius
+                            && !rec(child, query, radius, norm, visit)
+                        {
+                            return false;
+                        }
+                    }
+                }
             }
-            out.push(n.payload);
+            true
         }
-        out
+        if radius < 0.0 {
+            return;
+        }
+        if let Some(root) = &self.root {
+            rec(root, query, radius, norm, visit);
+        }
     }
 
     /// Validates structural invariants (test/debug helper): MBR coverage,
@@ -213,19 +277,34 @@ fn choose_subtree<T>(children: &[(Rect, Node<T>)], mbr: &Rect) -> usize {
     best
 }
 
-fn range_rec<T: Clone>(node: &Node<T>, query: &Rect, out: &mut Vec<T>) {
-    match node {
-        Node::Leaf(entries) => {
-            for (mbr, p) in entries {
-                if mbr.intersects(query) {
-                    out.push(p.clone());
+/// Depth-first iterator over the payloads intersecting a query rectangle
+/// (see [`RTree::range_iter`]).
+pub struct RangeIter<'a, T> {
+    query: &'a Rect,
+    /// Remaining entries of the leaf currently being scanned.
+    leaf: std::slice::Iter<'a, (Rect, T)>,
+    /// Nodes whose MBR intersects the query, not yet expanded.
+    stack: Vec<&'a Node<T>>,
+}
+
+impl<'a, T> Iterator for RangeIter<'a, T> {
+    type Item = &'a T;
+
+    fn next(&mut self) -> Option<&'a T> {
+        loop {
+            for (mbr, payload) in self.leaf.by_ref() {
+                if mbr.intersects(self.query) {
+                    return Some(payload);
                 }
             }
-        }
-        Node::Inner(children) => {
-            for (mbr, child) in children {
-                if mbr.intersects(query) {
-                    range_rec(child, query, out);
+            match self.stack.pop()? {
+                Node::Leaf(entries) => self.leaf = entries.iter(),
+                Node::Inner(children) => {
+                    for (mbr, child) in children {
+                        if mbr.intersects(self.query) {
+                            self.stack.push(child);
+                        }
+                    }
                 }
             }
         }
@@ -422,6 +501,80 @@ mod tests {
         let mut got = t.within_distance(&pt_rect(0.0, 0.0), 5.0, LpNorm::L2);
         got.sort_unstable();
         assert_eq!(got, vec![0, 1]);
+    }
+
+    #[test]
+    fn range_iter_matches_range() {
+        let items = random_rects(300, 19);
+        let t = RTree::bulk_load(items, 16);
+        let q = Rect::new(vec![Interval::new(25.0, 55.0), Interval::new(10.0, 70.0)]);
+        let mut via_iter: Vec<usize> = t.range_iter(&q).copied().collect();
+        via_iter.sort_unstable();
+        let mut via_vec = t.range(&q);
+        via_vec.sort_unstable();
+        assert_eq!(via_iter, via_vec);
+        assert!(!via_vec.is_empty());
+        // an empty tree streams nothing
+        let empty: RTree<usize> = RTree::default();
+        assert_eq!(empty.range_iter(&q).count(), 0);
+    }
+
+    #[test]
+    fn for_each_within_distance_visits_all_and_stops_early() {
+        let items = random_rects(200, 29);
+        let t = RTree::bulk_load(items.clone(), 8);
+        let q = pt_rect(40.0, 60.0);
+        let radius = 20.0;
+        let mut seen: Vec<usize> = Vec::new();
+        t.for_each_within_distance(&q, radius, LpNorm::L2, &mut |&i| {
+            seen.push(i);
+            true
+        });
+        seen.sort_unstable();
+        let mut want: Vec<usize> = t
+            .within_distance(&q, radius, LpNorm::L2)
+            .into_iter()
+            .collect();
+        want.sort_unstable();
+        assert_eq!(seen, want);
+        assert!(!want.is_empty());
+        // early stop: the traversal ends after the first `false`
+        let mut visits = 0;
+        t.for_each_within_distance(&q, radius, LpNorm::L2, &mut |_| {
+            visits += 1;
+            visits < 3
+        });
+        assert_eq!(visits, 3);
+        // negative radius visits nothing
+        t.for_each_within_distance(&q, -1.0, LpNorm::L2, &mut |_| {
+            panic!("negative radius must visit nothing")
+        });
+    }
+
+    #[test]
+    fn within_distance_iter_is_ordered_and_bounded() {
+        let items = random_rects(200, 23);
+        let t = RTree::bulk_load(items.clone(), 8);
+        let q = pt_rect(50.0, 50.0);
+        let radius = 15.0;
+        let stream: Vec<Neighbor<usize>> = t.within_distance_iter(&q, radius, LpNorm::L2).collect();
+        for w in stream.windows(2) {
+            assert!(w[0].dist <= w[1].dist + 1e-12, "not distance-ordered");
+        }
+        assert!(stream.iter().all(|n| n.dist <= radius));
+        // fused: once past the radius the iterator stays exhausted
+        let mut it = t.within_distance_iter(&q, radius, LpNorm::L2);
+        for _ in 0..stream.len() {
+            assert!(it.next().is_some());
+        }
+        assert!(it.next().is_none());
+        assert!(it.next().is_none());
+        // agrees with the brute-force count
+        let want = items
+            .iter()
+            .filter(|(r, _)| r.min_dist_rect(&q, LpNorm::L2) <= radius)
+            .count();
+        assert_eq!(stream.len(), want);
     }
 
     #[test]

@@ -151,6 +151,13 @@ impl Pdf {
             // discrete model has an exact weighted-median answer
             return p.split_coordinate(region, axis);
         }
+        if let Pdf::Uniform(p) = self {
+            // exact O(1) median (massless/degenerate regions fall through
+            // to the generic handling below)
+            if let Some(x) = p.split_coordinate(region, axis) {
+                return x;
+            }
+        }
         let iv = region.dim(axis);
         let total = self.mass_in(region);
         if total <= MASS_EPSILON || iv.is_degenerate() {

@@ -89,6 +89,20 @@ impl UniformPdf {
         )
     }
 
+    /// Conditional median of `X_axis` given `X ∈ region` — exact for the
+    /// uniform model: the marginal along `axis` is uniform over the
+    /// region clipped to the support, so the median is the clip's
+    /// midpoint. This is the O(1) answer the generic bisection of
+    /// `Pdf::split_coordinate` converges to in 60 `mass_below`
+    /// evaluations. Returns `None` when the region carries no mass or is
+    /// degenerate along `axis`, letting the caller fall back to its
+    /// generic handling.
+    pub fn split_coordinate(&self, region: &Rect, axis: usize) -> Option<f64> {
+        let clip = self.support.intersection(region)?;
+        let iv = clip.dim(axis);
+        (!iv.is_degenerate()).then(|| iv.center())
+    }
+
     /// The center of the support.
     pub fn mean(&self) -> Point {
         self.support.center()

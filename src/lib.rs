@@ -61,8 +61,9 @@ pub use udb_workload as workload;
 /// The commonly used types in one import.
 pub mod prelude {
     pub use udb_core::{
-        par_knn_threshold, DomCountSnapshot, ExpectedRankEntry, IdcaConfig, IndexedEngine, ObjRef,
-        Predicate, QueryEngine, RankDistribution, Refiner, ThresholdResult,
+        par_knn_threshold, refine_lockstep, refine_top_m, DomCountSnapshot, ExpectedRankEntry,
+        IdcaConfig, IndexedEngine, ObjRef, PoolHandle, Predicate, QueryEngine, RankDistribution,
+        RefineGoal, Refiner, ThresholdResult, WorkerPool,
     };
     pub use udb_domination::{DominationCriterion, PDomBounds};
     pub use udb_genfunc::{CountDistributionBounds, Ugf};
