@@ -192,6 +192,32 @@ fn bench_idca(c: &mut Criterion) {
     });
     g.finish();
 
+    // batch-parallel candidate refinement: the same indexed threshold
+    // query with the lock-step rounds fanned over 1/2/4 candidate lanes
+    // (1 = the depth-first sequential driver). Results are bit-identical
+    // across lane counts (property-tested); on a multi-core host the
+    // ratio to lane count 1 is the candidate-parallel speedup, on a
+    // single-CPU container it records round-fanning dispatch overhead.
+    let mut g = c.benchmark_group("idca_early_exit_candidate_threads");
+    g.sample_size(20);
+    for threads in [1usize, 2, 4] {
+        let engine = IndexedEngine::with_config(
+            &db,
+            IdcaConfig {
+                candidate_threads: threads,
+                max_iterations: scale.max_iterations,
+                ..Default::default()
+            },
+        );
+        let rq = r.clone();
+        g.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            move |bench, _| bench.iter(|| black_box(engine.knn_threshold(&rq, k, tau))),
+        );
+    }
+    g.finish();
+
     let mut g = c.benchmark_group("idca_filter_only");
     g.bench_function("snapshot_iteration0", |bench| {
         bench.iter(|| {

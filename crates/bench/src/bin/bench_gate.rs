@@ -1,0 +1,220 @@
+//! CI bench-regression gate: compares freshly measured `bench-*.ndjson`
+//! results (one JSON object per line, as written by the criterion
+//! stand-in's `UDB_BENCH_JSON` knob) against the committed
+//! `BENCH_idca.json` baselines and fails when any tracked median regresses
+//! beyond the tolerance band.
+//!
+//! ```text
+//! cargo run -p udb-bench --bin bench_gate -- \
+//!     [--baseline BENCH_idca.json] [--scale smoke|ci] [--tolerance 0.25] \
+//!     bench-genfunc.ndjson bench-idca.ndjson ...
+//! ```
+//!
+//! * `--baseline` — the committed baseline file (default
+//!   `BENCH_idca.json`); its `results_ns_median` map (or
+//!   `results_ns_median_ci_scale` with `--scale ci`) lists the tracked
+//!   medians in nanoseconds.
+//! * `--tolerance` — allowed relative regression on each tracked median
+//!   (default `0.25` = fail beyond +25 %). The CI smoke job runs with a
+//!   wider band: the recorded baselines pool several runs on a container
+//!   with ~1.5× run-to-run clock variance, so a tight band would flap.
+//! * Benchmarks present in the run but not in the baseline are reported
+//!   as untracked (a nudge to re-record baselines), never a failure;
+//!   large *improvements* are reported the same way.
+//!
+//! Exit status: `0` when every tracked median is inside the band, `1` on
+//! any regression, `2` on usage/parse errors — so the gate can be wired
+//! directly into a CI step.
+
+use std::process::ExitCode;
+
+use serde_json::Value;
+
+struct Options {
+    baseline: String,
+    scale: String,
+    tolerance: f64,
+    runs: Vec<String>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        baseline: "BENCH_idca.json".to_string(),
+        scale: "smoke".to_string(),
+        tolerance: 0.25,
+        runs: Vec::new(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--baseline" => {
+                opts.baseline = args.next().ok_or("--baseline needs a path")?;
+            }
+            "--scale" => {
+                opts.scale = args.next().ok_or("--scale needs smoke|ci")?;
+                if !matches!(opts.scale.as_str(), "smoke" | "ci") {
+                    return Err(format!("unknown scale `{}` (smoke|ci)", opts.scale));
+                }
+            }
+            "--tolerance" => {
+                opts.tolerance = args
+                    .next()
+                    .ok_or("--tolerance needs a value")?
+                    .parse::<f64>()
+                    .map_err(|e| format!("bad tolerance: {e}"))?;
+                if opts.tolerance <= 0.0 || opts.tolerance.is_nan() {
+                    return Err("tolerance must be positive".into());
+                }
+            }
+            "--help" | "-h" => {
+                return Err("usage: bench_gate [--baseline FILE] [--scale smoke|ci] \
+                     [--tolerance FRACTION] <ndjson files...>"
+                    .into());
+            }
+            other if other.starts_with('-') => return Err(format!("unknown flag `{other}`")),
+            other => opts.runs.push(other.to_string()),
+        }
+    }
+    if opts.runs.is_empty() {
+        return Err("no bench result files given (bench-*.ndjson)".into());
+    }
+    Ok(opts)
+}
+
+/// The baseline's tracked medians: `name -> ns`.
+fn load_baseline(path: &str, scale: &str) -> Result<Vec<(String, f64)>, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read baseline {path}: {e}"))?;
+    let doc: Value =
+        serde_json::from_str(&text).map_err(|e| format!("cannot parse baseline {path}: {e}"))?;
+    let key = match scale {
+        "ci" => "results_ns_median_ci_scale",
+        _ => "results_ns_median",
+    };
+    let map = doc
+        .field(key)
+        .map_err(|e| format!("baseline {path}: {e}"))?;
+    match map {
+        Value::Map(entries) => entries
+            .iter()
+            .map(|(name, v)| {
+                v.as_f64()
+                    .map(|ns| (name.clone(), ns))
+                    .map_err(|e| format!("baseline entry `{name}`: {e}"))
+            })
+            .collect(),
+        other => Err(format!("baseline `{key}` is not a map: {other:?}")),
+    }
+}
+
+/// All `(bench, median_ns)` pairs of one NDJSON results file.
+fn load_run(path: &str) -> Result<Vec<(String, f64)>, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read results {path}: {e}"))?;
+    let mut out = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let doc: Value = serde_json::from_str(line)
+            .map_err(|e| format!("{path}:{}: bad JSON: {e}", lineno + 1))?;
+        let name = match doc.field("bench") {
+            Ok(Value::Str(s)) => s.clone(),
+            _ => return Err(format!("{path}:{}: missing `bench` field", lineno + 1)),
+        };
+        let median = doc
+            .field("median_ns")
+            .and_then(Value::as_f64)
+            .map_err(|e| format!("{path}:{}: {e}", lineno + 1))?;
+        out.push((name, median));
+    }
+    Ok(out)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("bench_gate: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let baseline = match load_baseline(&opts.baseline, &opts.scale) {
+        Ok(b) => b,
+        Err(msg) => {
+            eprintln!("bench_gate: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut current: Vec<(String, f64)> = Vec::new();
+    for path in &opts.runs {
+        match load_run(path) {
+            // a later duplicate (bench re-run appended to the file, or
+            // the same bench in two files) overrides the earlier entry
+            Ok(results) => {
+                for (name, ns) in results {
+                    match current.iter_mut().find(|(n, _)| *n == name) {
+                        Some(slot) => slot.1 = ns,
+                        None => current.push((name, ns)),
+                    }
+                }
+            }
+            Err(msg) => {
+                eprintln!("bench_gate: {msg}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let lookup =
+        |name: &str| -> Option<f64> { baseline.iter().find(|(b, _)| b == name).map(|&(_, ns)| ns) };
+
+    let mut regressions = Vec::new();
+    let mut tracked = 0usize;
+    let mut untracked = Vec::new();
+    println!(
+        "bench_gate: {} result(s) vs {} [{}], tolerance +{:.0}%",
+        current.len(),
+        opts.baseline,
+        opts.scale,
+        opts.tolerance * 100.0
+    );
+    for (name, ns) in &current {
+        let Some(base) = lookup(name) else {
+            untracked.push(name.clone());
+            continue;
+        };
+        tracked += 1;
+        let ratio = ns / base;
+        let status = if ratio > 1.0 + opts.tolerance {
+            regressions.push((name.clone(), ratio));
+            "REGRESSED"
+        } else if ratio < 1.0 / (1.0 + opts.tolerance) {
+            "improved (consider re-recording baselines)"
+        } else {
+            "ok"
+        };
+        println!("  {name:<56} {ns:>14.1} ns  vs {base:>14.1} ns  x{ratio:<5.2} {status}");
+    }
+    if !untracked.is_empty() {
+        println!(
+            "  untracked (not in baseline, informational): {}",
+            untracked.join(", ")
+        );
+    }
+    if tracked == 0 {
+        eprintln!("bench_gate: no measured benchmark matches a tracked baseline — wrong scale?");
+        return ExitCode::from(2);
+    }
+    if regressions.is_empty() {
+        println!("bench_gate: PASS ({tracked} tracked medians inside the band)");
+        ExitCode::SUCCESS
+    } else {
+        for (name, ratio) in &regressions {
+            eprintln!("bench_gate: FAIL {name} regressed x{ratio:.2}");
+        }
+        ExitCode::from(1)
+    }
+}

@@ -136,6 +136,21 @@ pub trait Deserialize: Sized {
     fn from_value(v: &Value) -> Result<Self, Error>;
 }
 
+// `Value` is its own data model: serializing is the identity, so
+// arbitrary JSON documents can be inspected structurally (real
+// `serde_json::Value` offers the same).
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
 // ---- primitive impls -------------------------------------------------------
 
 macro_rules! float_impl {

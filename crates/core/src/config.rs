@@ -33,19 +33,45 @@ pub struct IdcaConfig {
     /// wall-clock scaling, but setting the variable to `2` routes every
     /// default-config test through the worker-pool path).
     pub snapshot_threads: usize,
+    /// Parallel lanes for *candidate-level* fan-out in the lock-step
+    /// early-exit drivers ([`crate::refine_lockstep`] /
+    /// [`crate::refine_top_m`]): each round's per-candidate
+    /// `step()`/`snapshot()` calls run as lane-bounded candidate-chunk
+    /// pool jobs,
+    /// with retirement decisions merged deterministically after the
+    /// round — results are bit-identical to the sequential drivers at
+    /// any lane count (each candidate's own refinement sequence is
+    /// untouched; only wall-clock interleaving changes). Composes with
+    /// [`IdcaConfig::snapshot_threads`]: a candidate job may fan its own
+    /// pair loop out on the same pool (nested scopes are deadlock-safe
+    /// because the scoping thread participates).
+    ///
+    /// `1` (the default) keeps the drivers sequential. The default
+    /// honours the `UDB_CANDIDATE_THREADS` environment variable (CI
+    /// shim, mirroring `UDB_SNAPSHOT_THREADS`).
+    pub candidate_threads: usize,
 }
 
-/// Reads `UDB_SNAPSHOT_THREADS` once (values `< 1` and junk fall back to
-/// the sequential default of 1).
-fn default_snapshot_threads() -> usize {
-    static THREADS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
-    *THREADS.get_or_init(|| {
-        std::env::var("UDB_SNAPSHOT_THREADS")
+/// Reads a thread-count environment variable once (values `< 1` and junk
+/// fall back to the sequential default of 1).
+fn env_threads(cell: &'static std::sync::OnceLock<usize>, var: &str) -> usize {
+    *cell.get_or_init(|| {
+        std::env::var(var)
             .ok()
             .and_then(|v| v.parse::<usize>().ok())
             .filter(|&t| t >= 1)
             .unwrap_or(1)
     })
+}
+
+fn default_snapshot_threads() -> usize {
+    static THREADS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    env_threads(&THREADS, "UDB_SNAPSHOT_THREADS")
+}
+
+fn default_candidate_threads() -> usize {
+    static THREADS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    env_threads(&THREADS, "UDB_CANDIDATE_THREADS")
 }
 
 impl Default for IdcaConfig {
@@ -57,6 +83,7 @@ impl Default for IdcaConfig {
             max_iterations: 8,
             uncertainty_target: 1e-3,
             snapshot_threads: default_snapshot_threads(),
+            candidate_threads: default_candidate_threads(),
         }
     }
 }

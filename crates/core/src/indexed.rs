@@ -26,13 +26,25 @@
 //!   [`RTree::within_distance_iter`] (no per-candidate allocation) to
 //!   count certain dominators before a refiner is even built.
 
+use std::sync::Mutex;
+
+use udb_domination::PairClassifier;
 use udb_geometry::Rect;
-use udb_index::{NodeDecision, RTree};
+use udb_index::{ClassifyScratch, NodeDecision, RTree};
 use udb_object::{Database, ObjectId, UncertainObject};
 
 use crate::config::{IdcaConfig, ObjRef, Predicate, RefineGoal};
 use crate::queries::{QueryEngine, ThresholdResult};
 use crate::refiner::{refine_lockstep, refine_top_m, Refiner};
+
+/// Entry-count cutoff of the per-candidate subtree filter: a `Descend`
+/// verdict on a subtree holding at most this many entries switches to
+/// the scan filter (per-entry tests, no interior MBR tests below).
+/// Results are cutoff-invariant for the monotone domination criterion —
+/// this is purely a cost knob: near the decision boundary small subtrees
+/// overwhelmingly answer `Descend` at every level, so their interior
+/// node tests are wasted work. One leaf level (fan-out 16) plus slack.
+const SUBTREE_SCAN_CUTOFF: usize = 24;
 
 /// A query engine with an R-tree accelerating spatial candidate
 /// generation.
@@ -40,6 +52,12 @@ use crate::refiner::{refine_lockstep, refine_top_m, Refiner};
 pub struct IndexedEngine<'a> {
     engine: QueryEngine<'a>,
     tree: RTree<ObjectId>,
+    /// Reusable traversal state for the per-candidate subtree filter
+    /// ([`IndexedEngine::refiner`] classifies the whole tree once per
+    /// candidate; the scratch makes that allocation-free). Behind a
+    /// mutex only so the engine stays `Sync` — the lock is uncontended
+    /// in the drivers, which build refiners on the query thread.
+    scratch: Mutex<ClassifyScratch<ObjectId>>,
 }
 
 impl<'a> IndexedEngine<'a> {
@@ -54,6 +72,7 @@ impl<'a> IndexedEngine<'a> {
         IndexedEngine {
             engine: QueryEngine::with_config(db, cfg),
             tree,
+            scratch: Mutex::new(ClassifyScratch::new()),
         }
     }
 
@@ -76,6 +95,13 @@ impl<'a> IndexedEngine<'a> {
     /// below. Existentially uncertain objects accepted at subtree level
     /// are demoted to influence objects (they are never *certain*
     /// dominators).
+    ///
+    /// The traversal reuses the engine's [`ClassifyScratch`] (no
+    /// allocation per candidate), precomputes the `(B, R)` criterion
+    /// halves once per candidate ([`PairClassifier`] — every node and
+    /// entry test then evaluates only the subtree-side terms) and scans
+    /// small undecided subtrees flat instead of testing their interior
+    /// nodes (`SUBTREE_SCAN_CUTOFF`).
     pub fn refiner<'b>(
         &'b self,
         target: ObjRef<'b>,
@@ -92,18 +118,24 @@ impl<'a> IndexedEngine<'a> {
         let (b_mbr, r_mbr) = (target_obj.mbr(), reference_obj.mbr());
         let excluded = [target.id(), reference.id()];
 
-        let outcome = self.tree.classify_entries(|mbr| {
-            if cfg.criterion.never_dominates(mbr, b_mbr, r_mbr, cfg.norm) {
-                NodeDecision::DropAll
-            } else if cfg.criterion.dominates(mbr, b_mbr, r_mbr, cfg.norm) {
-                NodeDecision::TakeAll
-            } else {
-                NodeDecision::Descend
-            }
-        });
+        let pc = PairClassifier::new(b_mbr, r_mbr, cfg.criterion, cfg.norm);
+        let mut scratch = self
+            .scratch
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        self.tree
+            .classify_entries_with(&mut scratch, SUBTREE_SCAN_CUTOFF, |mbr| {
+                // same decisions as the scan filter's classify (the
+                // criterion tests are mutually exclusive)
+                match pc.classify(mbr).decision {
+                    Some(false) => NodeDecision::DropAll,
+                    Some(true) => NodeDecision::TakeAll,
+                    None => NodeDecision::Descend,
+                }
+            });
         let mut complete = 0usize;
-        let mut influence = Vec::with_capacity(outcome.undecided.len());
-        for id in outcome.taken {
+        let mut influence = Vec::with_capacity(scratch.undecided.len());
+        for &id in &scratch.taken {
             if excluded.contains(&Some(id)) {
                 continue;
             }
@@ -114,11 +146,13 @@ impl<'a> IndexedEngine<'a> {
             }
         }
         influence.extend(
-            outcome
+            scratch
                 .undecided
-                .into_iter()
+                .iter()
+                .copied()
                 .filter(|id| !excluded.contains(&Some(*id))),
         );
+        drop(scratch);
         influence.sort_unstable();
         Refiner::with_filter_result(
             db,

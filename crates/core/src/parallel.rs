@@ -268,6 +268,61 @@ impl PoolHandle {
             }
         }
     }
+
+    /// Round-fanning primitive of the lock-step candidate drivers: runs
+    /// `f` once per item of `items`, on up to `lanes` concurrent lanes of
+    /// the shared pool, and returns only after every call has finished.
+    ///
+    /// This is the batch-parallel shape of one refinement *round*: each
+    /// item is a candidate whose `step()`/`snapshot()` advance
+    /// independently (`f` gets exclusive `&mut` access to its item, so
+    /// no synchronization is needed inside), while everything *between*
+    /// rounds — retirement decisions, cross-candidate bounds — stays on
+    /// the calling thread. Because each item's own call sequence is
+    /// unchanged and per-item state never crosses items, results are
+    /// **bit-identical for every lane count**, including `lanes == 1`
+    /// (which runs inline, in slice order, without touching the pool).
+    ///
+    /// Items are dispatched as at most `lanes` contiguous-chunk jobs
+    /// (not one job per item), so the shared queue never holds more
+    /// than a lane-bounded number of pending jobs. That bound matters
+    /// for nesting: a blocked scope's participation loop executes
+    /// queued sibling jobs inline on its own stack, so with per-item
+    /// jobs a candidate's inner pair scope could recurse through
+    /// arbitrarily many sibling candidates — with chunked jobs the
+    /// inline depth stays O(lanes), independent of the item count.
+    ///
+    /// Nested use is safe: `f` may itself open scopes on the same pool
+    /// (e.g. a candidate's snapshot fanning its pair loop out via
+    /// [`IdcaConfig::snapshot_threads`](crate::IdcaConfig::snapshot_threads));
+    /// the scoping thread participates in the queue, so candidate × pair
+    /// nesting cannot deadlock.
+    ///
+    /// # Panics
+    /// Re-panics on the calling thread if any `f` call panicked (the
+    /// pool itself survives).
+    pub fn fan_each<T: Send>(&self, lanes: usize, items: &mut [T], f: impl Fn(&mut T) + Sync) {
+        let lanes = lanes.min(items.len()).max(1);
+        match self.get(lanes) {
+            Some(pool) => {
+                let f = &f;
+                let chunk = items.len().div_ceil(lanes);
+                let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = items
+                    .chunks_mut(chunk)
+                    .map(|chunk| {
+                        Box::new(move || chunk.iter_mut().for_each(f))
+                            as Box<dyn FnOnce() + Send + '_>
+                    })
+                    .collect();
+                pool.scope(jobs);
+            }
+            None => {
+                for item in items.iter_mut() {
+                    f(item);
+                }
+            }
+        }
+    }
 }
 
 /// Parallel probabilistic threshold kNN: semantics of
@@ -458,6 +513,55 @@ mod tests {
             ok = true;
         })]);
         assert!(ok);
+    }
+
+    #[test]
+    fn fan_each_runs_every_item_at_any_lane_count() {
+        let handle = PoolHandle::default();
+        for lanes in [1usize, 2, 4, 64] {
+            let mut items: Vec<usize> = (0..17).collect();
+            handle.fan_each(lanes, &mut items, |x| *x += 100);
+            assert_eq!(items, (100..117).collect::<Vec<_>>(), "lanes={lanes}");
+        }
+        // empty slices are a no-op
+        handle.fan_each(4, &mut [] as &mut [usize], |_| panic!("no items"));
+    }
+
+    #[test]
+    fn fan_each_nested_candidate_pair_scopes_complete() {
+        // the candidate × pair shape: outer fan over "candidates", each
+        // opening an inner scope on the same pool for its "pairs"
+        let handle = PoolHandle::default();
+        let mut totals = vec![0usize; 8];
+        handle.fan_each(4, &mut totals, |t| {
+            let mut pairs = vec![1usize; 16];
+            handle.fan_each(4, &mut pairs, |p| *p *= 2);
+            *t = pairs.iter().sum();
+        });
+        assert!(totals.iter().all(|&t| t == 32), "{totals:?}");
+    }
+
+    #[test]
+    fn fan_each_propagates_nested_panics_and_pool_survives() {
+        let handle = PoolHandle::default();
+        let mut items: Vec<usize> = (0..8).collect();
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            handle.fan_each(4, &mut items, |i| {
+                // nested inner scope on the same pool; one candidate's
+                // inner job panics, the outer round must re-panic
+                let mut inner = vec![*i; 4];
+                handle.fan_each(4, &mut inner, |j| {
+                    if *j == 3 {
+                        panic!("inner pair job failed");
+                    }
+                });
+            });
+        }));
+        assert!(result.is_err(), "nested panic must propagate to the round");
+        // the pool stays usable for the next round
+        let mut again: Vec<usize> = (0..8).collect();
+        handle.fan_each(4, &mut again, |i| *i += 1);
+        assert_eq!(again, (1..9).collect::<Vec<_>>());
     }
 
     #[test]

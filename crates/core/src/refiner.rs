@@ -9,7 +9,7 @@
 //! repeats verbatim, so the refiner caches and dirty-tracks it:
 //!
 //! * **Per-partition factor cache** — each `(pair, influence)` slot (a
-//!   [`FactorCache`], row-major by pair, `pair_idx = bp_idx · |R'| +
+//!   `FactorCache`, row-major by pair, `pair_idx = bp_idx · |R'| +
 //!   rp_idx`) splits the influence object's partitions into *settled*
 //!   mass — partitions whose spatial decision was **float-robust**
 //!   ([`udb_domination::SpatialDecision::robust`]) — and a small `open`
@@ -42,7 +42,7 @@
 //!
 //! The open lists themselves live in one contiguous, generational arena
 //! (mirroring the flat UGF arena) instead of one `Vec` per slot: each
-//! [`FactorCache`] stores only a `(start, len)` range into the refiner's
+//! `FactorCache` stores only a `(start, len)` range into the refiner's
 //! current arena generation. Invariants:
 //!
 //! * **One generation per rebuilding snapshot** — a snapshot that touches
@@ -94,6 +94,17 @@
 //! candidate set shrinks *during* refinement, and retired refiners free
 //! their factor cache and arena immediately. [`crate::IndexedEngine`]
 //! drives its threshold and top-`m` queries through these paths.
+//!
+//! Candidates refine independently, so each round is batch-parallel:
+//! with [`IdcaConfig::candidate_threads`] > 1 the per-candidate
+//! `step()`/`snapshot()` calls of a round fan out over the shared
+//! [`crate::parallel::WorkerPool`]
+//! ([`crate::parallel::PoolHandle::fan_each`]), and the retirement /
+//! cross-candidate decisions merge on the calling thread after the round
+//! — bit-identical to the sequential drivers at every lane count.
+//! Candidate jobs may nest pair-loop scopes of the same pool
+//! ([`IdcaConfig::snapshot_threads`]); caller participation makes the
+//! candidates × pairs nesting deadlock-free.
 
 use udb_domination::{pdom_bounds_vs_fixed, PDomBounds, PairClassifier};
 use udb_genfunc::{CountDistributionBounds, Ugf};
@@ -416,33 +427,35 @@ impl<'a> Refiner<'a> {
         let reference_obj = reference.resolve(db);
         let excluded = [target.id(), reference.id()];
 
+        // the (B, R) halves of the criterion are fixed for the whole
+        // filter scan: precompute them once and stream only the A-side
+        // terms per object. `classify` makes the same decisions as the
+        // separate `never_dominates` / `dominates` tests (they are
+        // mutually exclusive; ties are weak non-domination because Dom
+        // is strict), at roughly half the per-object work.
+        let pc = PairClassifier::new(
+            target_obj.mbr(),
+            reference_obj.mbr(),
+            cfg.criterion,
+            cfg.norm,
+        );
         let mut complete_count = 0usize;
         let mut influence = Vec::new();
         for (id, a) in db.iter() {
             if excluded.contains(&Some(id)) {
                 continue;
             }
-            // certainly never dominates the target: no influence on the
-            // count (weak test — ties count as non-domination because Dom
-            // is strict)
-            if cfg.criterion.never_dominates(
-                a.mbr(),
-                target_obj.mbr(),
-                reference_obj.mbr(),
-                cfg.norm,
-            ) {
-                continue;
+            match pc.classify(a.mbr()).decision {
+                // certainly never dominates the target: no influence on
+                // the count
+                Some(false) => continue,
+                // certain dominator (only if it certainly exists)
+                Some(true) if a.existence() >= 1.0 => {
+                    complete_count += 1;
+                    continue;
+                }
+                _ => influence.push(Influence::new(id, a, &cfg)),
             }
-            // certain dominator (only if it certainly exists)
-            if a.existence() >= 1.0
-                && cfg
-                    .criterion
-                    .dominates(a.mbr(), target_obj.mbr(), reference_obj.mbr(), cfg.norm)
-            {
-                complete_count += 1;
-                continue;
-            }
-            influence.push(Influence::new(id, a, &cfg));
         }
 
         let b_dec = Decomposition::with_strategy(target_obj.pdf(), cfg.split_strategy);
@@ -1013,10 +1026,27 @@ fn threshold_result(id: ObjectId, snap: &DomCountSnapshot) -> Option<ThresholdRe
 /// subsequent rounds iterate only the survivors, so the candidate set
 /// shrinks *during* refinement.
 ///
-/// Per candidate the operation sequence is identical to
-/// [`Refiner::run`], so the returned bounds are bit-identical to running
-/// each refiner on its own; candidates whose predicate probability is
-/// certainly zero are dropped, and the output is sorted by id.
+/// Retirement here is purely per-candidate (the [`RefineGoal`] decision,
+/// the refiner's own stop criterion, or exhaustion), which frees the
+/// execution shape:
+///
+/// * **one lane** ([`IdcaConfig::candidate_threads`] <= 1): candidates
+///   are driven *depth-first* — each one refined to its stop before the
+///   next is touched — so a candidate's factor cache and arenas stay hot
+///   instead of being cycled through every round;
+/// * **multiple lanes**: each round's per-candidate `step()`/`snapshot()`
+///   calls fan out over the engines' shared
+///   [`crate::parallel::WorkerPool`] (lane-bounded candidate chunks, via
+///   [`crate::parallel::PoolHandle::fan_each`]), and retirement decisions
+///   are made on the calling thread after the round, in candidate order.
+///   Candidate jobs may nest pair-loop scopes on the same pool
+///   ([`IdcaConfig::snapshot_threads`]) without deadlock.
+///
+/// Results are **bit-identical for every lane count** — each candidate's
+/// own operation sequence is exactly [`Refiner::run`]'s in either shape.
+///
+/// Candidates whose predicate probability is certainly zero are dropped,
+/// and the output is sorted by id.
 pub fn refine_lockstep(
     candidates: Vec<(ObjectId, Refiner<'_>)>,
     goal: RefineGoal,
@@ -1024,42 +1054,80 @@ pub fn refine_lockstep(
     struct Active<'a> {
         id: ObjectId,
         refiner: Refiner<'a>,
-        snap: DomCountSnapshot,
+        /// `None` only before the initial snapshot round.
+        snap: Option<DomCountSnapshot>,
         stalled: bool,
     }
+    let lanes = candidates
+        .iter()
+        .map(|(_, r)| r.cfg.candidate_threads)
+        .max()
+        .unwrap_or(1);
+    if lanes <= 1 {
+        // single lane: retirement in refine_lockstep is purely
+        // per-candidate (goal.decided / converged / stalled inspect one
+        // candidate only), so candidate order is free — finish each
+        // candidate before touching the next instead of cycling through
+        // every live refiner's caches per round. Identical per-candidate
+        // operation sequence, identical results, much better locality.
+        let mut done: Vec<ThresholdResult> = Vec::new();
+        for (id, mut refiner) in candidates {
+            let mut snap = refiner.snapshot();
+            while !(goal.decided(&snap) || refiner.converged(&snap)) {
+                if !refiner.step() {
+                    break; // decompositions exhausted: bounds final
+                }
+                snap = refiner.snapshot();
+            }
+            done.extend(threshold_result(id, &snap));
+        }
+        done.sort_by_key(|r| r.id);
+        return done;
+    }
+    let pool = candidates
+        .first()
+        .map(|(_, r)| r.pool.clone())
+        .unwrap_or_default();
     let mut done: Vec<ThresholdResult> = Vec::new();
     let mut active: Vec<Active<'_>> = candidates
         .into_iter()
-        .map(|(id, mut refiner)| {
-            let snap = refiner.snapshot();
-            Active {
-                id,
-                refiner,
-                snap,
-                stalled: false,
-            }
+        .map(|(id, refiner)| Active {
+            id,
+            refiner,
+            snap: None,
+            stalled: false,
         })
         .collect();
+    // round 0: every candidate's initial snapshot (filter-level bounds)
+    pool.fan_each(lanes, &mut active, |cand| {
+        cand.snap = Some(cand.refiner.snapshot());
+    });
     while !active.is_empty() {
         let mut i = 0;
         while i < active.len() {
             let cand = &active[i];
-            if cand.stalled || goal.decided(&cand.snap) || cand.refiner.converged(&cand.snap) {
+            let snap = cand.snap.as_ref().expect("snapshot round completed");
+            if cand.stalled || goal.decided(snap) || cand.refiner.converged(snap) {
                 // swap-remove retirement: dropping the refiner frees its
                 // state; the final sort restores a deterministic order
                 let retired = active.swap_remove(i);
-                done.extend(threshold_result(retired.id, &retired.snap));
+                done.extend(threshold_result(
+                    retired.id,
+                    retired.snap.as_ref().expect("snapshot round completed"),
+                ));
             } else {
                 i += 1;
             }
         }
-        for cand in &mut active {
+        // one lock-step round: candidates advance independently (their
+        // state never crosses), so fanning is exact, not approximate
+        pool.fan_each(lanes, &mut active, |cand| {
             if cand.refiner.step() {
-                cand.snap = cand.refiner.snapshot();
+                cand.snap = Some(cand.refiner.snapshot());
             } else {
                 cand.stalled = true; // decompositions exhausted: bounds final
             }
-        }
+        });
     }
     done.sort_by_key(|r| r.id);
     done
@@ -1073,45 +1141,59 @@ pub fn refine_lockstep(
 /// run-to-convergence path's while the also-rans stop burning
 /// iterations. Returns the top `m` by bound midpoint (ties and overlaps
 /// are visible in the returned bounds).
+///
+/// Rounds fan over the worker pool exactly like [`refine_lockstep`]
+/// ([`IdcaConfig::candidate_threads`] lanes, bit-identical results at
+/// any lane count); the cross-candidate bound comparison between rounds
+/// always runs on the calling thread, over the merged snapshots.
 pub fn refine_top_m(candidates: Vec<(ObjectId, Refiner<'_>)>, m: usize) -> Vec<ThresholdResult> {
     assert!(m >= 1, "m must be positive");
     struct Cand<'a> {
         id: ObjectId,
         /// `None` once retired (state freed; `snap` keeps the bounds).
         refiner: Option<Refiner<'a>>,
-        snap: DomCountSnapshot,
+        /// `None` only before the initial snapshot round.
+        snap: Option<DomCountSnapshot>,
         stalled: bool,
     }
+    let lanes = candidates
+        .iter()
+        .map(|(_, r)| r.cfg.candidate_threads)
+        .max()
+        .unwrap_or(1);
+    let pool = candidates
+        .first()
+        .map(|(_, r)| r.pool.clone())
+        .unwrap_or_default();
     let mut cands: Vec<Cand<'_>> = candidates
         .into_iter()
-        .map(|(id, mut refiner)| {
-            let snap = refiner.snapshot();
-            Cand {
-                id,
-                refiner: Some(refiner),
-                snap,
-                stalled: false,
-            }
+        .map(|(id, refiner)| Cand {
+            id,
+            refiner: Some(refiner),
+            snap: None,
+            stalled: false,
         })
         .collect();
+    pool.fan_each(lanes, &mut cands, |c| {
+        if let Some(refiner) = &mut c.refiner {
+            c.snap = Some(refiner.snapshot());
+        }
+    });
     loop {
         for c in &mut cands {
             if let Some(refiner) = &c.refiner {
-                if c.stalled || refiner.converged(&c.snap) {
+                if c.stalled || refiner.converged(c.snap.as_ref().expect("snapshot completed")) {
                     c.refiner = None;
                 }
             }
         }
         // cross-candidate early exit: certainly outside the top m
-        let lowers: Vec<f64> = cands
-            .iter()
-            .map(|c| c.snap.predicate_cdf.expect("count predicate").0)
-            .collect();
+        let lowers: Vec<f64> = cands.iter().map(|c| cand_cdf(c.snap.as_ref()).0).collect();
         for (i, c) in cands.iter_mut().enumerate() {
             if c.refiner.is_none() {
                 continue;
             }
-            let hi = c.snap.predicate_cdf.expect("count predicate").1;
+            let hi = cand_cdf(c.snap.as_ref()).1;
             let beaten_by = lowers
                 .iter()
                 .enumerate()
@@ -1124,19 +1206,21 @@ pub fn refine_top_m(candidates: Vec<(ObjectId, Refiner<'_>)>, m: usize) -> Vec<T
         if cands.iter().all(|c| c.refiner.is_none()) {
             break;
         }
-        for c in &mut cands {
+        // one lock-step round over the still-active candidates (retired
+        // entries keep their final snapshot; their job is a no-op)
+        pool.fan_each(lanes, &mut cands, |c| {
             if let Some(refiner) = &mut c.refiner {
                 if refiner.step() {
-                    c.snap = refiner.snapshot();
+                    c.snap = Some(refiner.snapshot());
                 } else {
                     c.stalled = true;
                 }
             }
-        }
+        });
     }
     let mut results: Vec<ThresholdResult> = cands
         .into_iter()
-        .filter_map(|c| threshold_result(c.id, &c.snap))
+        .filter_map(|c| threshold_result(c.id, c.snap.as_ref().expect("snapshot completed")))
         .collect();
     results.sort_by(|a, b| {
         (b.prob_lower + b.prob_upper)
@@ -1148,6 +1232,13 @@ pub fn refine_top_m(candidates: Vec<(ObjectId, Refiner<'_>)>, m: usize) -> Vec<T
     });
     results.truncate(m);
     results
+}
+
+/// The predicate CDF of a candidate snapshot (top-`m` driver helper).
+fn cand_cdf(snap: Option<&DomCountSnapshot>) -> (f64, f64) {
+    snap.expect("snapshot round completed")
+        .predicate_cdf
+        .expect("count predicate")
 }
 
 /// Composes partition-lineage maps across consecutive expansions:

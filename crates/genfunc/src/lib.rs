@@ -15,7 +15,7 @@
 //!   `i` and *possibly* up to `i + j`. (Note: the §IV-C display of the
 //!   paper swaps the `y` and constant terms; Example 3 and Equation (1) of
 //!   §IV-D fix the convention implemented here.) The implementation is a
-//!   flat-arena, zero-allocation-per-factor rewrite; [`reference`] keeps
+//!   flat-arena, zero-allocation-per-factor rewrite; [`mod@reference`] keeps
 //!   the original nested-`Vec` transcription as the equivalence oracle
 //!   for tests and benches.
 //!

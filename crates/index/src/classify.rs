@@ -8,6 +8,24 @@
 //! single test can accept or reject an entire subtree, turning the `O(N)`
 //! filter step of domination-count queries into an output-sensitive
 //! traversal.
+//!
+//! # Traversal scratch and the entry-count cutoff
+//!
+//! Query drivers classify the same tree once *per candidate* (the
+//! per-candidate subtree filter of index-integrated refinement), so the
+//! traversal state is reusable: [`ClassifyScratch`] owns the explicit
+//! node stack and both outcome buffers, and
+//! [`RTree::classify_entries_with`] runs the whole classification without
+//! allocating once the scratch is warm.
+//!
+//! The same entry point takes a `small_subtree_cutoff`: descending into a
+//! subtree holding at most that many entries switches to the *scan
+//! filter* — every leaf entry is classified directly, and no further
+//! node-level tests are made below. For a monotone predicate this returns
+//! exactly the same outcome (a node-level `TakeAll`/`DropAll` verdict
+//! implies the same verdict for each entry below), but it skips interior
+//! MBR tests that rarely pay off near the decision boundary, where small
+//! subtrees overwhelmingly answer `Descend` anyway.
 
 use udb_geometry::Rect;
 
@@ -34,21 +52,163 @@ pub struct ClassifyOutcome<T> {
     pub undecided: Vec<T>,
 }
 
+/// Reusable traversal state for [`RTree::classify_entries_with`]: the
+/// explicit node stack plus the two outcome buffers. A warm scratch makes
+/// repeated classifications of the same tree allocation-free — the
+/// per-candidate subtree filter of index-integrated query processing
+/// reuses one scratch across every candidate of a query.
+///
+/// The scratch is tied to no particular tree or lifetime; it may be
+/// reused across trees and calls. Outcome buffers hold the result of the
+/// most recent call until the next one clears them.
+#[derive(Debug)]
+pub struct ClassifyScratch<T> {
+    /// Pending `(node, visit-mode)` frames. Type-erased to raw pointers
+    /// so the buffer outlives any single tree borrow; entries are only
+    /// dereferenced during the call that pushed them (see the safety
+    /// notes in `classify_entries_with`).
+    stack: Vec<(*const Node<T>, Visit)>,
+    /// Payloads in `TakeAll` subtrees / entries (most recent call).
+    pub taken: Vec<T>,
+    /// Payloads the classifier could not decide (most recent call).
+    pub undecided: Vec<T>,
+}
+
+// SAFETY: the raw node pointers are an implementation detail of the
+// traversal — they are pushed and dereferenced only inside
+// `classify_entries_with`, which borrows the tree for the whole call and
+// clears the stack on entry. Between calls the stack holds no pointers
+// that will ever be dereferenced, so moving the scratch across threads is
+// safe whenever the payload buffers are.
+unsafe impl<T: Send> Send for ClassifyScratch<T> {}
+
+impl<T> Default for ClassifyScratch<T> {
+    fn default() -> Self {
+        ClassifyScratch {
+            stack: Vec::new(),
+            taken: Vec::new(),
+            undecided: Vec::new(),
+        }
+    }
+}
+
+impl<T> ClassifyScratch<T> {
+    /// An empty scratch (buffers grow on first use and are then reused).
+    pub fn new() -> Self {
+        ClassifyScratch::default()
+    }
+}
+
+/// How a stacked subtree is visited. Keeping `TakeAll` subtrees on the
+/// stack (instead of collecting them inline) makes the outcome buffers
+/// fill in strict DFS order for every cutoff.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Visit {
+    /// Run the classifier on child MBRs (normal traversal).
+    Test,
+    /// Small-subtree scan mode: no node-level tests, classify leaf
+    /// entries directly.
+    Scan,
+    /// Below a `TakeAll` verdict: emit every entry, no tests at all.
+    Take,
+}
+
 impl<T: Clone> RTree<T> {
     /// Classifies every entry with a *containment-monotone* spatial
     /// predicate: `f` is called on node MBRs (deciding whole subtrees) and
     /// on entry MBRs. The caller must guarantee monotonicity — a
     /// `TakeAll`/`DropAll` answer for a covering rectangle must be valid
     /// for every rectangle inside it; otherwise results are meaningless.
-    pub fn classify_entries(&self, mut f: impl FnMut(&Rect) -> NodeDecision) -> ClassifyOutcome<T> {
-        let mut out = ClassifyOutcome {
-            taken: Vec::new(),
-            undecided: Vec::new(),
-        };
-        if let Some(root) = self.root() {
-            classify_rec(root, &mut f, &mut out);
+    ///
+    /// Convenience wrapper over [`RTree::classify_entries_with`] with a
+    /// fresh scratch and no subtree cutoff; hot per-candidate loops
+    /// should hold a [`ClassifyScratch`] and call the `_with` variant.
+    pub fn classify_entries(&self, f: impl FnMut(&Rect) -> NodeDecision) -> ClassifyOutcome<T> {
+        let mut scratch = ClassifyScratch::new();
+        self.classify_entries_with(&mut scratch, 0, f);
+        ClassifyOutcome {
+            taken: std::mem::take(&mut scratch.taken),
+            undecided: std::mem::take(&mut scratch.undecided),
         }
-        out
+    }
+
+    /// [`RTree::classify_entries`] with a reusable [`ClassifyScratch`]
+    /// and an entry-count cutoff; results are left in `scratch.taken` /
+    /// `scratch.undecided` (cleared on entry).
+    ///
+    /// `small_subtree_cutoff` switches to the scan filter for small
+    /// subtrees: a `Descend` verdict on a subtree holding at most that
+    /// many entries stops node-level testing below it and classifies its
+    /// leaf entries directly. For a monotone `f` (the documented
+    /// contract) the outcome is identical for every cutoff — node-level
+    /// verdicts only shortcut per-entry verdicts, never change them —
+    /// so the cutoff is purely a cost knob. `0` disables it.
+    pub fn classify_entries_with(
+        &self,
+        scratch: &mut ClassifyScratch<T>,
+        small_subtree_cutoff: usize,
+        mut f: impl FnMut(&Rect) -> NodeDecision,
+    ) {
+        // a panic in a previous call's `f` may have left frames behind;
+        // the pointers are never dereferenced, just dropped here
+        scratch.stack.clear();
+        scratch.taken.clear();
+        scratch.undecided.clear();
+        let Some(root) = self.root() else {
+            return;
+        };
+        scratch.stack.push((root as *const Node<T>, Visit::Test));
+        while let Some((node, visit)) = scratch.stack.pop() {
+            // SAFETY: every pointer on the stack was pushed during *this*
+            // call (the stack is cleared on entry) and points into `self`,
+            // which is borrowed for the whole call — the node is alive.
+            let node = unsafe { &*node };
+            match node {
+                Node::Leaf(entries) => match visit {
+                    // an accepted subtree emits its entries untested
+                    Visit::Take => scratch.taken.extend(entries.iter().map(|(_, p)| p.clone())),
+                    // entry-level classification: identical in scan and
+                    // node-test mode — entries always face `f` directly
+                    Visit::Test | Visit::Scan => {
+                        for (mbr, p) in entries {
+                            match f(mbr) {
+                                NodeDecision::TakeAll => scratch.taken.push(p.clone()),
+                                NodeDecision::DropAll => {}
+                                NodeDecision::Descend => scratch.undecided.push(p.clone()),
+                            }
+                        }
+                    }
+                },
+                Node::Inner { children, .. } => {
+                    // children push in forward order, then the tail is
+                    // reversed so pop order is strict DFS: the outcome
+                    // buffers fill identically for every cutoff
+                    let base = scratch.stack.len();
+                    for (mbr, child) in children {
+                        match visit {
+                            Visit::Take | Visit::Scan => {
+                                scratch.stack.push((child as *const Node<T>, visit));
+                            }
+                            Visit::Test => match f(mbr) {
+                                NodeDecision::TakeAll => {
+                                    scratch.stack.push((child as *const Node<T>, Visit::Take));
+                                }
+                                NodeDecision::DropAll => {}
+                                NodeDecision::Descend => {
+                                    let mode = if child.count() <= small_subtree_cutoff {
+                                        Visit::Scan
+                                    } else {
+                                        Visit::Test
+                                    };
+                                    scratch.stack.push((child as *const Node<T>, mode));
+                                }
+                            },
+                        }
+                    }
+                    scratch.stack[base..].reverse();
+                }
+            }
+        }
     }
 
     /// Counts entries under subtrees fully accepted by `f`, without
@@ -72,7 +232,7 @@ impl<T: Clone> RTree<T> {
                         }
                     }
                 }
-                Node::Inner(children) => {
+                Node::Inner { children, .. } => {
                     for (mbr, child) in children {
                         match f(mbr) {
                             NodeDecision::TakeAll => *taken += child.count(),
@@ -89,44 +249,6 @@ impl<T: Clone> RTree<T> {
             rec(root, &mut f, &mut taken, &mut undecided);
         }
         (taken, undecided)
-    }
-}
-
-fn classify_rec<T: Clone>(
-    node: &Node<T>,
-    f: &mut impl FnMut(&Rect) -> NodeDecision,
-    out: &mut ClassifyOutcome<T>,
-) {
-    match node {
-        Node::Leaf(entries) => {
-            for (mbr, p) in entries {
-                match f(mbr) {
-                    NodeDecision::TakeAll => out.taken.push(p.clone()),
-                    NodeDecision::DropAll => {}
-                    NodeDecision::Descend => out.undecided.push(p.clone()),
-                }
-            }
-        }
-        Node::Inner(children) => {
-            for (mbr, child) in children {
-                match f(mbr) {
-                    NodeDecision::TakeAll => collect_all(child, out),
-                    NodeDecision::DropAll => {}
-                    NodeDecision::Descend => classify_rec(child, f, out),
-                }
-            }
-        }
-    }
-}
-
-fn collect_all<T: Clone>(node: &Node<T>, out: &mut ClassifyOutcome<T>) {
-    match node {
-        Node::Leaf(entries) => out.taken.extend(entries.iter().map(|(_, p)| p.clone())),
-        Node::Inner(children) => {
-            for (_, child) in children {
-                collect_all(child, out);
-            }
-        }
     }
 }
 
@@ -200,6 +322,41 @@ mod tests {
         assert_eq!(tree.classify_count(|_| NodeDecision::TakeAll), (0, 0));
     }
 
+    #[test]
+    fn scratch_is_reusable_and_cutoff_preserves_results() {
+        let items: Vec<(Rect, usize)> = (0..300).map(|i| (pt(i as f64, 0.0), i)).collect();
+        let tree = RTree::bulk_load(items, 8);
+        let mut scratch = ClassifyScratch::new();
+        let reference = tree.classify_entries(classifier(123.4));
+        for cutoff in [0usize, 4, 8, 16, 64, 1000] {
+            // repeated reuse of one scratch, across cutoffs
+            tree.classify_entries_with(&mut scratch, cutoff, classifier(123.4));
+            assert_eq!(scratch.taken, reference.taken, "cutoff={cutoff}");
+            assert_eq!(scratch.undecided, reference.undecided, "cutoff={cutoff}");
+        }
+    }
+
+    #[test]
+    fn scratch_survives_a_panicking_classifier() {
+        let items: Vec<(Rect, usize)> = (0..64).map(|i| (pt(i as f64, 0.0), i)).collect();
+        let tree = RTree::bulk_load(items, 8);
+        let mut scratch = ClassifyScratch::new();
+        let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut calls = 0;
+            tree.classify_entries_with(&mut scratch, 0, |_| {
+                calls += 1;
+                if calls > 2 {
+                    panic!("classifier bailed");
+                }
+                NodeDecision::Descend
+            });
+        }));
+        assert!(panicked.is_err());
+        // the scratch is fully usable afterwards (stale frames dropped)
+        tree.classify_entries_with(&mut scratch, 0, classifier(31.5));
+        assert_eq!(scratch.taken.len(), 32);
+    }
+
     mod properties {
         use super::*;
         use proptest::prelude::*;
@@ -210,7 +367,8 @@ mod tests {
             #![proptest_config(ProptestConfig::with_cases(24))]
             /// Subtree classification with a monotone rule matches
             /// per-entry brute force, for both bulk-loaded and
-            /// incrementally built trees.
+            /// incrementally built trees — and the scratch/cutoff variant
+            /// agrees at every cutoff.
             #[test]
             fn prop_classify_matches_bruteforce(seed in 0u64..500, cut in 0.0..100.0f64) {
                 let mut rng = StdRng::seed_from_u64(seed);
@@ -232,6 +390,7 @@ mod tests {
                 for (r, p) in items.clone() {
                     incr.insert(r, p);
                 }
+                let mut scratch = ClassifyScratch::new();
                 for tree in [&bulk, &incr] {
                     let out = tree.classify_entries(classifier(cut));
                     let mut taken = out.taken.clone();
@@ -256,6 +415,12 @@ mod tests {
                     let (t, u) = tree.classify_count(classifier(cut));
                     prop_assert_eq!(t, want_taken.len());
                     prop_assert_eq!(u, want_undecided.len());
+                    // scratch + cutoff variant is outcome-identical
+                    for cutoff in [3usize, 20, 150] {
+                        tree.classify_entries_with(&mut scratch, cutoff, classifier(cut));
+                        prop_assert_eq!(&scratch.taken, &out.taken);
+                        prop_assert_eq!(&scratch.undecided, &out.undecided);
+                    }
                 }
             }
         }

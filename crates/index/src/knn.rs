@@ -134,7 +134,7 @@ impl<T: Clone> Iterator for WithinDistanceIter<'_, T> {
                         }
                     }
                 }
-                HeapItem::Node(Node::Inner(children)) => {
+                HeapItem::Node(Node::Inner { children, .. }) => {
                     for (mbr, child) in children {
                         let d = mbr.min_dist_rect(&self.query, self.norm);
                         if d <= self.radius {
@@ -171,7 +171,7 @@ impl<T: Clone> Iterator for KnnIter<'_, T> {
                         });
                     }
                 }
-                HeapItem::Node(Node::Inner(children)) => {
+                HeapItem::Node(Node::Inner { children, .. }) => {
                     for (mbr, child) in children {
                         self.heap.push(Prioritized {
                             dist: mbr.min_dist_rect(&self.query, self.norm),

@@ -18,6 +18,6 @@ pub mod knn;
 pub mod node;
 pub mod rtree;
 
-pub use classify::{ClassifyOutcome, NodeDecision};
+pub use classify::{ClassifyOutcome, ClassifyScratch, NodeDecision};
 pub use knn::{KnnIter, Neighbor, WithinDistanceIter};
 pub use rtree::{RTree, RangeIter};

@@ -10,11 +10,28 @@ pub const DEFAULT_MAX_ENTRIES: usize = 16;
 pub(crate) enum Node<T> {
     /// Leaf: data entries `(mbr, payload)`.
     Leaf(Vec<(Rect, T)>),
-    /// Inner: child subtrees with their covering boxes.
-    Inner(Vec<(Rect, Node<T>)>),
+    /// Inner: child subtrees with their covering boxes, plus the cached
+    /// total entry count below this node. The cache makes
+    /// [`Node::count`] O(1), which the subtree classifier's entry-count
+    /// cutoff queries on every descend decision; it is maintained by
+    /// [`Node::inner`] and the insertion path and checked by
+    /// `RTree::check_invariants`.
+    Inner {
+        /// Total number of data entries below this node.
+        count: usize,
+        /// Child subtrees with their covering boxes.
+        children: Vec<(Rect, Node<T>)>,
+    },
 }
 
 impl<T> Node<T> {
+    /// Builds an inner node over `children`, computing the cached entry
+    /// count (O(children): each child's count is already cached).
+    pub(crate) fn inner(children: Vec<(Rect, Node<T>)>) -> Self {
+        let count = children.iter().map(|(_, c)| c.count()).sum();
+        Node::Inner { count, children }
+    }
+
     #[cfg(test)]
     pub(crate) fn is_leaf(&self) -> bool {
         matches!(self, Node::Leaf(_))
@@ -23,7 +40,7 @@ impl<T> Node<T> {
     pub(crate) fn len(&self) -> usize {
         match self {
             Node::Leaf(es) => es.len(),
-            Node::Inner(cs) => cs.len(),
+            Node::Inner { children, .. } => children.len(),
         }
     }
 
@@ -34,7 +51,7 @@ impl<T> Node<T> {
     pub(crate) fn mbr(&self) -> Rect {
         match self {
             Node::Leaf(es) => Rect::union_all(es.iter().map(|(r, _)| r)),
-            Node::Inner(cs) => Rect::union_all(cs.iter().map(|(r, _)| r)),
+            Node::Inner { children, .. } => Rect::union_all(children.iter().map(|(r, _)| r)),
         }
     }
 
@@ -42,15 +59,18 @@ impl<T> Node<T> {
     pub(crate) fn height(&self) -> usize {
         match self {
             Node::Leaf(_) => 1,
-            Node::Inner(cs) => 1 + cs.iter().map(|(_, c)| c.height()).max().unwrap_or(0),
+            Node::Inner { children, .. } => {
+                1 + children.iter().map(|(_, c)| c.height()).max().unwrap_or(0)
+            }
         }
     }
 
-    /// Total number of data entries below this node.
+    /// Total number of data entries below this node (cached for inner
+    /// nodes, so this is O(1)).
     pub(crate) fn count(&self) -> usize {
         match self {
             Node::Leaf(es) => es.len(),
-            Node::Inner(cs) => cs.iter().map(|(_, c)| c.count()).sum(),
+            Node::Inner { count, .. } => *count,
         }
     }
 }

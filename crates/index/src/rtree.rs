@@ -87,7 +87,7 @@ impl<T: Clone> RTree<T> {
                     // root split: grow the tree by one level
                     let a_mbr = split_a.mbr();
                     let b_mbr = split_b.mbr();
-                    self.root = Some(Node::Inner(vec![(a_mbr, split_a), (b_mbr, split_b)]));
+                    self.root = Some(Node::inner(vec![(a_mbr, split_a), (b_mbr, split_b)]));
                 } else {
                     self.root = Some(root);
                 }
@@ -172,7 +172,7 @@ impl<T: Clone> RTree<T> {
                         }
                     }
                 }
-                Node::Inner(children) => {
+                Node::Inner { children, .. } => {
                     for (mbr, child) in children {
                         if mbr.min_dist_rect(query, norm) <= radius
                             && !rec(child, query, radius, norm, visit)
@@ -202,9 +202,14 @@ impl<T: Clone> RTree<T> {
             }
             match node {
                 Node::Leaf(_) => 1,
-                Node::Inner(cs) => {
+                Node::Inner { count, children } => {
+                    assert_eq!(
+                        *count,
+                        children.iter().map(|(_, c)| c.count()).sum::<usize>(),
+                        "stale cached subtree entry count"
+                    );
                     let mut depth = None;
-                    for (mbr, child) in cs {
+                    for (mbr, child) in children {
                         assert!(
                             mbr.contains_rect(&child.mbr()),
                             "child MBR not covered by parent entry"
@@ -243,7 +248,10 @@ fn insert_rec<T>(
             let (a, b) = split_entries(std::mem::take(entries), min);
             Some((Node::Leaf(a), Node::Leaf(b)))
         }
-        Node::Inner(children) => {
+        Node::Inner { count, children } => {
+            // the new entry lands somewhere below: keep the cached count
+            // correct along the whole insertion path
+            *count += 1;
             let idx = choose_subtree(children, &mbr);
             children[idx].0 = children[idx].0.union(&mbr);
             if let Some((a, b)) = insert_rec(&mut children[idx].1, mbr, payload, max, min) {
@@ -253,7 +261,7 @@ fn insert_rec<T>(
                 children.push((b_mbr, b));
                 if children.len() > max {
                     let (ga, gb) = split_entries(std::mem::take(children), min);
-                    return Some((Node::Inner(ga), Node::Inner(gb)));
+                    return Some((Node::inner(ga), Node::inner(gb)));
                 }
             }
             None
@@ -299,7 +307,7 @@ impl<'a, T> Iterator for RangeIter<'a, T> {
             }
             match self.stack.pop()? {
                 Node::Leaf(entries) => self.leaf = entries.iter(),
-                Node::Inner(children) => {
+                Node::Inner { children, .. } => {
                     for (mbr, child) in children {
                         if mbr.intersects(self.query) {
                             self.stack.push(child);
@@ -377,7 +385,7 @@ fn build_upper_levels<T>(mut level: Vec<Node<T>>, max_entries: usize) -> Node<T>
     while level.len() > 1 {
         let entries: Vec<(Rect, Node<T>)> = level.into_iter().map(|n| (n.mbr(), n)).collect();
         let groups = str_pack(entries, max_entries);
-        level = groups.into_iter().map(|g| Node::Inner(g)).collect();
+        level = groups.into_iter().map(Node::inner).collect();
     }
     level.pop().expect("non-empty level")
 }

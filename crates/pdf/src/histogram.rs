@@ -164,6 +164,90 @@ impl HistogramPdf {
         self.mass_in(&Rect::new(dims))
     }
 
+    /// Conditional median of `X_axis` given `X ∈ region` — exact for the
+    /// piecewise-constant model via a single bin scan: clipped cell
+    /// masses accumulate into the grid's slices along `axis`, the slice
+    /// where the cumulative mass crosses half the total is located, and
+    /// the crossing coordinate is interpolated linearly inside it (the
+    /// density is constant per cell, so the conditional mass-below
+    /// function is exactly linear across a slice's clipped span — the
+    /// interpolation is the exact median, the same value the 60-step
+    /// `mass_below` bisection of `Pdf::split_coordinate` converges to).
+    ///
+    /// Returns `None` when the region carries (numerically) no mass or
+    /// is degenerate along `axis` after clipping, letting the caller
+    /// fall back to its generic handling.
+    pub fn split_coordinate(&self, region: &Rect, axis: usize) -> Option<f64> {
+        let clip = self.support.intersection(region)?;
+        if clip.dim(axis).is_degenerate() {
+            return None;
+        }
+        let grid = self.grid();
+        let res_axis = self.resolution[axis];
+        // row-major, last dimension fastest: cells of axis-slice `k` are
+        // exactly those with (c / stride) % res_axis == k
+        let stride: usize = self.resolution[axis + 1..].iter().product();
+        let mut slice_mass = vec![0.0f64; res_axis];
+        let mut total = 0.0f64;
+        // zero-volume cells (the support is degenerate along some other
+        // dimension — per-dimension grid geometry makes this uniform
+        // across cells) follow mass_in's all-or-nothing convention: a
+        // cell's whole weight appears the moment the probe touches it,
+        // so mass-below is a *step* at each slice's span start rather
+        // than a linear ramp across it
+        let mut stepped = false;
+        for (c, &w) in self.weights.iter().enumerate() {
+            if w == 0.0 {
+                continue;
+            }
+            let cell = grid.cell_rect(c);
+            if let Some(ov) = cell.intersection(&clip) {
+                let cv = cell.volume();
+                let frac = if cv > 0.0 {
+                    ov.volume() / cv
+                } else {
+                    // degenerate cell: all-or-nothing on containment
+                    stepped = true;
+                    1.0
+                };
+                slice_mass[(c / stride) % res_axis] += w * frac;
+                total += w * frac;
+            }
+        }
+        if total <= crate::MASS_EPSILON {
+            return None;
+        }
+        let target = 0.5 * total;
+        let clip_iv = clip.dim(axis);
+        let mut cum = 0.0f64;
+        let mut last_x = clip_iv.lo();
+        for (k, &mass) in slice_mass.iter().enumerate() {
+            if mass <= 0.0 {
+                continue;
+            }
+            // the slice's clipped span: where its mass actually lives
+            let slice_iv = grid.dim_interval(axis, k);
+            let span_lo = slice_iv.lo().max(clip_iv.lo());
+            let span_hi = slice_iv.hi().min(clip_iv.hi());
+            if cum + mass >= target {
+                let span_len = span_hi - span_lo;
+                let x = if stepped || span_len <= 0.0 {
+                    // step semantics: the whole slice mass lands at the
+                    // first coordinate touching it
+                    span_lo
+                } else {
+                    span_lo + (target - cum) / mass * span_len
+                };
+                return Some(x.clamp(clip_iv.lo(), clip_iv.hi()));
+            }
+            cum += mass;
+            last_x = if stepped { span_lo } else { span_hi };
+        }
+        // float shortfall: the cumulative never quite reached half the
+        // re-summed total; the median is where the last mass appeared
+        Some(last_x)
+    }
+
     /// Samples a cell by weight, then uniformly within the cell.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Point {
         let u: f64 = rng.gen();
@@ -212,6 +296,19 @@ impl<'a> HistogramGrid<'a> {
         }
     }
 
+    /// The interval of grid slice `idx` along dimension `i`.
+    fn dim_interval(&self, i: usize, idx: usize) -> Interval {
+        let iv = self.support.dim(i);
+        let step = iv.len() / self.resolution[i] as f64;
+        let lo = iv.lo() + idx as f64 * step;
+        let hi = if idx + 1 == self.resolution[i] {
+            iv.hi() // avoid floating-point shortfall on the last cell
+        } else {
+            lo + step
+        };
+        Interval::new(lo, hi.max(lo))
+    }
+
     /// The rectangle of the cell with flat index `c` (row-major, last
     /// dimension fastest).
     fn cell_rect(&self, mut c: usize) -> Rect {
@@ -223,17 +320,7 @@ impl<'a> HistogramGrid<'a> {
         }
         Rect::new(
             (0..d)
-                .map(|i| {
-                    let iv = self.support.dim(i);
-                    let step = iv.len() / self.resolution[i] as f64;
-                    let lo = iv.lo() + idx[i] as f64 * step;
-                    let hi = if idx[i] + 1 == self.resolution[i] {
-                        iv.hi() // avoid floating-point shortfall on the last cell
-                    } else {
-                        lo + step
-                    };
-                    Interval::new(lo, hi.max(lo))
-                })
+                .map(|i| self.dim_interval(i, idx[i]))
                 .collect::<Vec<_>>(),
         )
     }

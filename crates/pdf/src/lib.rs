@@ -144,20 +144,48 @@ impl Pdf {
     /// decomposition bisects each object at per-axis medians so that every
     /// node at level `l` carries (close to) `0.5^l` probability mass.
     ///
+    /// Every non-mixture model answers exactly in closed form — uniform
+    /// (clip midpoint), Gaussian (inverse CDF), histogram (bin scan) and
+    /// discrete (weighted median) — so only mixtures (and the models'
+    /// massless/degenerate edge cases) run the 60-step `mass_below`
+    /// bisection of [`Pdf::split_coordinate_bisect`].
+    ///
     /// Falls back to the geometric center when the region carries no mass.
     pub fn split_coordinate(&self, region: &Rect, axis: usize) -> f64 {
-        if let Pdf::Discrete(p) = self {
-            // the generic bisection below assumes a continuous CDF; the
-            // discrete model has an exact weighted-median answer
-            return p.split_coordinate(region, axis);
-        }
-        if let Pdf::Uniform(p) = self {
-            // exact O(1) median (massless/degenerate regions fall through
-            // to the generic handling below)
-            if let Some(x) = p.split_coordinate(region, axis) {
-                return x;
+        match self {
+            Pdf::Discrete(p) => {
+                // the generic bisection assumes a continuous CDF; the
+                // discrete model has an exact weighted-median answer
+                return p.split_coordinate(region, axis);
             }
+            // exact O(1) / one-pass medians (massless/degenerate regions
+            // fall through to the generic handling below)
+            Pdf::Uniform(p) => {
+                if let Some(x) = p.split_coordinate(region, axis) {
+                    return x;
+                }
+            }
+            Pdf::Gaussian(p) => {
+                if let Some(x) = p.split_coordinate(region, axis) {
+                    return x;
+                }
+            }
+            Pdf::Histogram(p) => {
+                if let Some(x) = p.split_coordinate(region, axis) {
+                    return x;
+                }
+            }
+            Pdf::Mixture(_) => {}
         }
+        self.split_coordinate_bisect(region, axis)
+    }
+
+    /// Generic split-coordinate search: 60 bisection steps on
+    /// [`Pdf::mass_below`]. This is the reference path the exact
+    /// per-model medians of [`Pdf::split_coordinate`] must agree with
+    /// (equivalence-tested per model); mixtures and degenerate regions
+    /// always take it.
+    pub fn split_coordinate_bisect(&self, region: &Rect, axis: usize) -> f64 {
         let iv = region.dim(axis);
         let total = self.mass_in(region);
         if total <= MASS_EPSILON || iv.is_degenerate() {
@@ -334,5 +362,155 @@ mod tests {
         assert_eq!(pdf.mass_in(&unit_square()), 1.0);
         let big = Rect::new(vec![Interval::new(-9.0, 9.0), Interval::new(-9.0, 9.0)]);
         assert_eq!(pdf.mass_in(&big), 1.0);
+    }
+
+    mod split_equivalence {
+        //! The exact per-model split medians must agree with the 60-step
+        //! `mass_below` bisection they replace, across random regions.
+
+        use super::*;
+        use proptest::prelude::*;
+        use rand::Rng;
+
+        /// Exact and bisected medians must agree to float precision
+        /// relative to the searched interval, and the exact answer must
+        /// actually halve the region's mass.
+        fn assert_split_matches(pdf: &Pdf, region: &Rect, axis: usize) {
+            let exact = pdf.split_coordinate(region, axis);
+            let bisect = pdf.split_coordinate_bisect(region, axis);
+            let width = region.dim(axis).len();
+            assert!(
+                (exact - bisect).abs() <= 1e-9 * (1.0 + width),
+                "axis {axis}: exact {exact} vs bisect {bisect} (region {region:?})"
+            );
+            let total = pdf.mass_in(region);
+            if total > 1e-9 {
+                let below = pdf.mass_below(region, axis, exact);
+                assert!(
+                    (below - 0.5 * total).abs() <= 1e-6 * total,
+                    "axis {axis}: below {below} vs half of {total}"
+                );
+            }
+        }
+
+        fn arb_region() -> impl Strategy<Value = Rect> {
+            // regions overlapping (and sticking out of) a ~unit support
+            (-0.5..0.8f64, 0.05..1.6f64, -0.5..0.8f64, 0.05..1.6f64).prop_map(|(x, w, y, h)| {
+                Rect::new(vec![Interval::new(x, x + w), Interval::new(y, y + h)])
+            })
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            #[test]
+            fn prop_gaussian_split_matches_bisection(
+                region in arb_region(),
+                mx in 0.2..0.8f64,
+                my in 0.2..0.8f64,
+                sx in 0.05..0.5f64,
+                sy in 0.05..0.5f64,
+                axis in 0usize..2,
+            ) {
+                let pdf: Pdf = GaussianPdf::new(
+                    Point::from([mx, my]),
+                    vec![sx, sy],
+                    Rect::new(vec![Interval::new(0.0, 1.0), Interval::new(0.0, 1.0)]),
+                ).into();
+                assert_split_matches(&pdf, &region, axis);
+            }
+
+            #[test]
+            fn prop_histogram_split_matches_bisection(
+                region in arb_region(),
+                seed in 0u64..1000,
+                rx in 1usize..7,
+                ry in 1usize..7,
+                axis in 0usize..2,
+            ) {
+                use rand::rngs::StdRng;
+                use rand::SeedableRng;
+                let mut rng = StdRng::seed_from_u64(seed);
+                // random weights with zero runs (empty-slice edge cases)
+                let weights: Vec<f64> = (0..rx * ry)
+                    .map(|_| if rng.gen_range(0..3) == 0 { 0.0 } else { rng.gen_range(0.1..4.0) })
+                    .collect();
+                if weights.iter().sum::<f64>() <= 0.0 {
+                    return Ok(());
+                }
+                let pdf: Pdf = HistogramPdf::new(
+                    Rect::new(vec![Interval::new(0.0, 1.0), Interval::new(0.0, 1.0)]),
+                    vec![rx, ry],
+                    weights,
+                ).into();
+                assert_split_matches(&pdf, &region, axis);
+            }
+        }
+
+        #[test]
+        fn gaussian_split_off_center_support() {
+            // asymmetric truncation: the median must sit left of the mean
+            let pdf: Pdf = GaussianPdf::new(
+                Point::from([0.9]),
+                vec![0.3],
+                Rect::new(vec![Interval::new(0.0, 1.0)]),
+            )
+            .into();
+            let region = Rect::new(vec![Interval::new(0.0, 1.0)]);
+            assert_split_matches(&pdf, &region, 0);
+            assert!(pdf.split_coordinate(&region, 0) < 0.9);
+        }
+
+        #[test]
+        fn histogram_split_with_degenerate_support_matches_step_semantics() {
+            // zero-volume cells (support degenerate along y): mass_below
+            // is a step function under mass_in's all-or-nothing
+            // convention — the bin scan must return the bisection's
+            // crossing (the start of the slice reaching half the mass),
+            // not a linear interpolation across it
+            let pdf: Pdf = HistogramPdf::new(
+                Rect::new(vec![Interval::new(0.0, 1.0), Interval::point(0.5)]),
+                vec![4, 1],
+                vec![1.0; 4],
+            )
+            .into();
+            let region = Rect::new(vec![Interval::new(0.0, 1.0), Interval::new(0.0, 1.0)]);
+            let exact = pdf.split_coordinate(&region, 0);
+            let bisect = pdf.split_coordinate_bisect(&region, 0);
+            assert!(
+                (exact - bisect).abs() <= 1e-9,
+                "exact {exact} vs bisect {bisect}"
+            );
+            assert!(
+                (exact - 0.25).abs() <= 1e-9,
+                "step crossing is 0.25: {exact}"
+            );
+        }
+
+        #[test]
+        fn histogram_split_with_empty_leading_slices() {
+            // slices 0 and 1 empty along x: the median is inside slice 2+
+            let pdf: Pdf = HistogramPdf::new(
+                Rect::new(vec![Interval::new(0.0, 1.0), Interval::new(0.0, 1.0)]),
+                vec![4, 1],
+                vec![0.0, 0.0, 1.0, 3.0],
+            )
+            .into();
+            let region = Rect::new(vec![Interval::new(0.0, 1.0), Interval::new(0.0, 1.0)]);
+            assert_split_matches(&pdf, &region, 0);
+            assert!(pdf.split_coordinate(&region, 0) > 0.5);
+        }
+
+        #[test]
+        fn degenerate_axis_still_falls_back_to_center() {
+            let pdf: Pdf = GaussianPdf::new(
+                Point::from([0.5, 0.5]),
+                vec![0.2, 0.2],
+                Rect::new(vec![Interval::new(0.0, 1.0), Interval::new(0.0, 1.0)]),
+            )
+            .into();
+            let region = Rect::new(vec![Interval::point(0.5), Interval::new(0.0, 1.0)]);
+            assert_eq!(pdf.split_coordinate(&region, 0), 0.5);
+        }
     }
 }

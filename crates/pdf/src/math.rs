@@ -40,6 +40,84 @@ pub fn normal_pdf(x: f64) -> f64 {
     (-0.5 * x * x).exp() / (2.0 * std::f64::consts::PI).sqrt()
 }
 
+/// Inverse of [`normal_cdf`]: the `x` with `normal_cdf(x) = p`.
+///
+/// Acklam's rational approximation of the probit function seeds a few
+/// Newton steps **against this crate's own `normal_cdf`**, so the result
+/// inverts the same (A&S-approximated) CDF every mass/median computation
+/// in this workspace uses — not the mathematically exact `Φ⁻¹`. That is
+/// deliberate: the exact O(1) split-coordinate paths must agree with the
+/// generic `mass_below` bisection to float precision, and the bisection
+/// inverts the approximated CDF.
+///
+/// `p` outside `(0, 1)` clamps to the nearest representable quantile.
+pub fn inverse_normal_cdf(p: f64) -> f64 {
+    // quantiles beyond ~±8.2σ are indistinguishable from the clamp under
+    // the A&S approximation's absolute error
+    const P_MIN: f64 = 1e-16;
+    let p = p.clamp(P_MIN, 1.0 - P_MIN);
+
+    // Acklam's approximation (relative error < 1.15e-9 vs the exact
+    // probit): central rational fit, matched tail fits
+    const A: [f64; 6] = [
+        -3.969_683_028_665_376e1,
+        2.209_460_984_245_205e2,
+        -2.759_285_104_469_687e2,
+        1.383_577_518_672_69e2,
+        -3.066_479_806_614_716e1,
+        2.506_628_277_459_239,
+    ];
+    const B: [f64; 5] = [
+        -5.447_609_879_822_406e1,
+        1.615_858_368_580_409e2,
+        -1.556_989_798_598_866e2,
+        6.680_131_188_771_972e1,
+        -1.328_068_155_288_572e1,
+    ];
+    const C: [f64; 6] = [
+        -7.784_894_002_430_293e-3,
+        -3.223_964_580_411_365e-1,
+        -2.400_758_277_161_838,
+        -2.549_732_539_343_734,
+        4.374_664_141_464_968,
+        2.938_163_982_698_783,
+    ];
+    const D: [f64; 4] = [
+        7.784_695_709_041_462e-3,
+        3.224_671_290_700_398e-1,
+        2.445_134_137_142_996,
+        3.754_408_661_907_416,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    let mut x = if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    };
+
+    // Newton against our normal_cdf: converges onto the root the 60-step
+    // bisection would find (the derivative of the approximated CDF is
+    // within ~1e-5 of normal_pdf, so three steps reach float precision)
+    for _ in 0..3 {
+        let density = normal_pdf(x);
+        if density <= f64::MIN_POSITIVE {
+            break; // extreme tail: flat CDF, Newton step undefined
+        }
+        x -= (normal_cdf(x) - p) / density;
+    }
+    x
+}
+
 /// Density of a bivariate normal with correlation `rho` at standardized
 /// coordinates `(zx, zy)`.
 pub fn bivariate_normal_pdf(zx: f64, zy: f64, rho: f64) -> f64 {
@@ -108,6 +186,41 @@ mod tests {
         assert!((normal_cdf(1.96) - 0.975).abs() < 1e-3);
         assert!(normal_cdf(-8.0) < 1e-6);
         assert!(normal_cdf(8.0) > 1.0 - 1e-6);
+    }
+
+    #[test]
+    fn inverse_normal_cdf_inverts_normal_cdf() {
+        // round trip over the practically relevant quantile range
+        for i in 1..999 {
+            let p = i as f64 / 1000.0;
+            let x = inverse_normal_cdf(p);
+            assert!(
+                (normal_cdf(x) - p).abs() < 1e-12,
+                "p={p}: cdf(inv)={}",
+                normal_cdf(x)
+            );
+        }
+        // tails still round-trip to the approximation's precision
+        for p in [1e-10, 1e-6, 1.0 - 1e-6] {
+            let x = inverse_normal_cdf(p);
+            assert!((normal_cdf(x) - p).abs() < 1e-9, "p={p}");
+        }
+        assert!((inverse_normal_cdf(0.5)).abs() < 1e-12);
+        // out-of-range inputs clamp instead of returning NaN
+        assert!(inverse_normal_cdf(0.0).is_finite());
+        assert!(inverse_normal_cdf(1.0).is_finite());
+        assert!(inverse_normal_cdf(0.0) < -8.0);
+        assert!(inverse_normal_cdf(1.0) > 8.0);
+    }
+
+    #[test]
+    fn inverse_normal_cdf_is_monotone() {
+        let mut prev = f64::NEG_INFINITY;
+        for i in 1..2000 {
+            let x = inverse_normal_cdf(i as f64 / 2000.0);
+            assert!(x >= prev - 1e-12, "not monotone at {i}");
+            prev = x;
+        }
     }
 
     #[test]
