@@ -1,0 +1,87 @@
+//! Query-stream serving throughput: the batched engine
+//! ([`udb_core::IndexedEngine::run_batch`] via
+//! [`udb_workload::serve_stream`]) against the per-query entry points,
+//! on a hot-spot-skewed mixed stream — the workload shape the batched
+//! path's shared work (grouped R-tree descent, cross-query
+//! decomposition cache, recycled refiner arenas) is built for. Both
+//! modes return bit-identical results (property-tested in
+//! `tests/batch_equivalence.rs`); the ratio of the two medians is the
+//! `serve_stream_batched_vs_sequential` pair `bench_gate --relative`
+//! tracks.
+//!
+//! `UDB_BENCH_SCALE=ci` switches from the smoke workload to the larger
+//! CI scale (2,000 objects), `paper` to the full 10,000.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use udb_bench::Scale;
+use udb_core::{IdcaConfig, IndexedEngine};
+use udb_workload::{serve_stream, PdfKind, QueryStreamConfig, ServeMode, SyntheticConfig};
+
+/// Benches one workload's sequential-vs-batched serving pair.
+fn serve_pair(c: &mut Criterion, group: &str, object_cfg: &SyntheticConfig, max_iterations: usize) {
+    let db = object_cfg.generate();
+    let engine = IndexedEngine::with_config(
+        &db,
+        IdcaConfig {
+            max_iterations,
+            ..Default::default()
+        },
+    );
+    // two arrival batches of mixed traffic around two hot spots: the
+    // candidate overlap across queries is what the decomposition cache
+    // amortizes. RkNN/top-m weights are the lighter share, mirroring a
+    // read-heavy serving mix.
+    let stream_cfg = QueryStreamConfig {
+        batches: 2,
+        batch_size: 6,
+        knn_weight: 0.5,
+        rknn_weight: 0.25,
+        top_m_weight: 0.25,
+        k: 5,
+        tau: 0.3,
+        m: 3,
+        hotspots: 2,
+        hotspot_fraction: 0.75,
+        hotspot_spread: 0.02,
+        seed: 0x57EA_u64,
+    };
+    let stream = stream_cfg.generate(object_cfg);
+
+    let mut g = c.benchmark_group(group);
+    g.sample_size(10);
+    g.bench_function("sequential", |bench| {
+        bench.iter(|| black_box(serve_stream(&engine, &stream, ServeMode::Sequential)))
+    });
+    g.bench_function("batched", |bench| {
+        bench.iter(|| black_box(serve_stream(&engine, &stream, ServeMode::Batched)))
+    });
+    g.finish();
+}
+
+fn bench_serve(c: &mut Criterion) {
+    let scale = match std::env::var("UDB_BENCH_SCALE").as_deref() {
+        Ok("ci") => Scale::ci(),
+        Ok("paper") => Scale::paper(),
+        _ => Scale::smoke(),
+    };
+    // the denser extent the idca bench uses, so queries carry a
+    // realistic influence-object set into refinement
+    let uniform_cfg = scale.synthetic_config(0.05);
+    serve_pair(c, "serve_stream", &uniform_cfg, scale.max_iterations);
+    // the Gaussian variant makes decomposition genuinely expensive
+    // (inverse-CDF splits), so the cross-query decomposition cache
+    // carries a larger share of the batched win
+    let gaussian_cfg = SyntheticConfig {
+        pdf: PdfKind::Gaussian,
+        ..uniform_cfg
+    };
+    serve_pair(
+        c,
+        "serve_stream_gaussian",
+        &gaussian_cfg,
+        scale.max_iterations,
+    );
+}
+
+criterion_group!(benches, bench_serve);
+criterion_main!(benches);

@@ -7,6 +7,7 @@
 //! ```text
 //! cargo run -p udb-bench --bin bench_gate -- \
 //!     [--baseline BENCH_idca.json] [--scale smoke|ci] [--tolerance 0.25] \
+//!     [--relative] [--ratio-tolerance 0.25] \
 //!     bench-genfunc.ndjson bench-idca.ndjson ...
 //! ```
 //!
@@ -18,6 +19,16 @@
 //!   (default `0.25` = fail beyond +25 %). The CI smoke job runs with a
 //!   wider band: the recorded baselines pool several runs on a container
 //!   with ~1.5× run-to-run clock variance, so a tight band would flap.
+//! * `--relative` — additionally gate the baseline's **ratio pairs**
+//!   (`ratio_pairs` / `ratio_pairs_ci_scale`: named
+//!   `{num, den, ratio}` entries). The measured ratio is
+//!   `min(num) / min(den)` from the *same* NDJSON run: both sides ran
+//!   in one process (clock drift cancels) and the per-sample minimum is
+//!   the spike-robust cost estimate (timing noise is one-sided) — which
+//!   is why ratio pairs hold a tight band (`--ratio-tolerance`, default
+//!   `0.25`) while absolute medians keep the wide one. This is the mode
+//!   that actually defends the indexed-vs-scan and
+//!   batched-vs-sequential wins in CI.
 //! * Benchmarks present in the run but not in the baseline are reported
 //!   as untracked (a nudge to re-record baselines), never a failure;
 //!   large *improvements* are reported the same way.
@@ -34,6 +45,8 @@ struct Options {
     baseline: String,
     scale: String,
     tolerance: f64,
+    relative: bool,
+    ratio_tolerance: f64,
     runs: Vec<String>,
 }
 
@@ -42,6 +55,8 @@ fn parse_args() -> Result<Options, String> {
         baseline: "BENCH_idca.json".to_string(),
         scale: "smoke".to_string(),
         tolerance: 0.25,
+        relative: false,
+        ratio_tolerance: 0.25,
         runs: Vec::new(),
     };
     let mut args = std::env::args().skip(1);
@@ -66,9 +81,23 @@ fn parse_args() -> Result<Options, String> {
                     return Err("tolerance must be positive".into());
                 }
             }
+            "--relative" => {
+                opts.relative = true;
+            }
+            "--ratio-tolerance" => {
+                opts.ratio_tolerance = args
+                    .next()
+                    .ok_or("--ratio-tolerance needs a value")?
+                    .parse::<f64>()
+                    .map_err(|e| format!("bad ratio tolerance: {e}"))?;
+                if opts.ratio_tolerance <= 0.0 || opts.ratio_tolerance.is_nan() {
+                    return Err("ratio tolerance must be positive".into());
+                }
+            }
             "--help" | "-h" => {
                 return Err("usage: bench_gate [--baseline FILE] [--scale smoke|ci] \
-                     [--tolerance FRACTION] <ndjson files...>"
+                     [--tolerance FRACTION] [--relative] [--ratio-tolerance FRACTION] \
+                     <ndjson files...>"
                     .into());
             }
             other if other.starts_with('-') => return Err(format!("unknown flag `{other}`")),
@@ -107,8 +136,65 @@ fn load_baseline(path: &str, scale: &str) -> Result<Vec<(String, f64)>, String> 
     }
 }
 
-/// All `(bench, median_ns)` pairs of one NDJSON results file.
-fn load_run(path: &str) -> Result<Vec<(String, f64)>, String> {
+/// One tracked ratio pair: the measured ratio is
+/// `min(num) / min(den)` of the same run, gated against the recorded
+/// baseline ratio. The *minimum* over samples (not the median) is used
+/// on both sides deliberately: timing noise on the CI container is
+/// one-sided (a sample can only be measured slower than the code runs,
+/// never faster), so the per-sample minimum is the spike-robust
+/// estimate of each side's true cost, and the min/min ratio stays tight
+/// across runs where sample medians flap.
+struct RatioPair {
+    name: String,
+    num: String,
+    den: String,
+    baseline: f64,
+}
+
+/// The baseline's tracked ratio pairs (`ratio_pairs` /
+/// `ratio_pairs_ci_scale`). A baseline without the key is a hard error:
+/// a `--relative` gate silently tracking nothing would defend nothing.
+fn load_ratio_pairs(path: &str, scale: &str) -> Result<Vec<RatioPair>, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read baseline {path}: {e}"))?;
+    let doc: Value =
+        serde_json::from_str(&text).map_err(|e| format!("cannot parse baseline {path}: {e}"))?;
+    let key = match scale {
+        "ci" => "ratio_pairs_ci_scale",
+        _ => "ratio_pairs",
+    };
+    let map = doc
+        .field(key)
+        .map_err(|e| format!("baseline {path}: {e} (required by --relative)"))?;
+    let entries = match map {
+        Value::Map(entries) => entries,
+        other => return Err(format!("baseline `{key}` is not a map: {other:?}")),
+    };
+    entries
+        .iter()
+        .map(|(name, v)| {
+            let field_str = |f: &str| -> Result<String, String> {
+                match v.field(f) {
+                    Ok(Value::Str(s)) => Ok(s.clone()),
+                    Ok(other) => Err(format!("ratio pair `{name}`.{f}: not a string: {other:?}")),
+                    Err(e) => Err(format!("ratio pair `{name}`: {e}")),
+                }
+            };
+            Ok(RatioPair {
+                name: name.clone(),
+                num: field_str("num")?,
+                den: field_str("den")?,
+                baseline: v
+                    .field("ratio")
+                    .and_then(Value::as_f64)
+                    .map_err(|e| format!("ratio pair `{name}`: {e}"))?,
+            })
+        })
+        .collect()
+}
+
+/// All `(bench, median_ns, min_ns)` triples of one NDJSON results file.
+fn load_run(path: &str) -> Result<Vec<(String, f64, f64)>, String> {
     let text =
         std::fs::read_to_string(path).map_err(|e| format!("cannot read results {path}: {e}"))?;
     let mut out = Vec::new();
@@ -127,7 +213,11 @@ fn load_run(path: &str) -> Result<Vec<(String, f64)>, String> {
             .field("median_ns")
             .and_then(Value::as_f64)
             .map_err(|e| format!("{path}:{}: {e}", lineno + 1))?;
-        out.push((name, median));
+        let min = doc
+            .field("min_ns")
+            .and_then(Value::as_f64)
+            .map_err(|e| format!("{path}:{}: {e}", lineno + 1))?;
+        out.push((name, median, min));
     }
     Ok(out)
 }
@@ -148,16 +238,19 @@ fn main() -> ExitCode {
         }
     };
 
-    let mut current: Vec<(String, f64)> = Vec::new();
+    let mut current: Vec<(String, f64, f64)> = Vec::new();
     for path in &opts.runs {
         match load_run(path) {
             // a later duplicate (bench re-run appended to the file, or
             // the same bench in two files) overrides the earlier entry
             Ok(results) => {
-                for (name, ns) in results {
-                    match current.iter_mut().find(|(n, _)| *n == name) {
-                        Some(slot) => slot.1 = ns,
-                        None => current.push((name, ns)),
+                for (name, ns, min_ns) in results {
+                    match current.iter_mut().find(|(n, _, _)| *n == name) {
+                        Some(slot) => {
+                            slot.1 = ns;
+                            slot.2 = min_ns;
+                        }
+                        None => current.push((name, ns, min_ns)),
                     }
                 }
             }
@@ -181,7 +274,7 @@ fn main() -> ExitCode {
         opts.scale,
         opts.tolerance * 100.0
     );
-    for (name, ns) in &current {
+    for (name, ns, _) in &current {
         let Some(base) = lookup(name) else {
             untracked.push(name.clone());
             continue;
@@ -208,12 +301,74 @@ fn main() -> ExitCode {
         eprintln!("bench_gate: no measured benchmark matches a tracked baseline — wrong scale?");
         return ExitCode::from(2);
     }
-    if regressions.is_empty() {
+
+    let mut ratio_regressions: Vec<(String, f64, f64)> = Vec::new();
+    if opts.relative {
+        let pairs = match load_ratio_pairs(&opts.baseline, &opts.scale) {
+            Ok(p) => p,
+            Err(msg) => {
+                eprintln!("bench_gate: {msg}");
+                return ExitCode::from(2);
+            }
+        };
+        if pairs.is_empty() {
+            eprintln!("bench_gate: --relative given but the baseline tracks no ratio pairs");
+            return ExitCode::from(2);
+        }
+        println!(
+            "bench_gate: {} ratio pair(s), tolerance +{:.0}% (paired per-run sample minima — \
+             clock drift and spikes cancel)",
+            pairs.len(),
+            opts.ratio_tolerance * 100.0
+        );
+        let mut measured_pairs = 0usize;
+        for pair in &pairs {
+            let (Some(num), Some(den)) = (
+                current.iter().find(|(n, _, _)| *n == pair.num),
+                current.iter().find(|(n, _, _)| *n == pair.den),
+            ) else {
+                println!(
+                    "  {:<40} missing {} or {} in this run",
+                    pair.name, pair.num, pair.den
+                );
+                continue;
+            };
+            measured_pairs += 1;
+            let measured = num.2 / den.2;
+            let rel = measured / pair.baseline;
+            let status = if rel > 1.0 + opts.ratio_tolerance {
+                ratio_regressions.push((pair.name.clone(), measured, rel));
+                "REGRESSED"
+            } else if rel < 1.0 / (1.0 + opts.ratio_tolerance) {
+                "improved (consider re-recording ratio baselines)"
+            } else {
+                "ok"
+            };
+            println!(
+                "  {:<40} ratio {measured:<6.3} vs baseline {:<6.3}  x{rel:<5.2} {status}",
+                pair.name, pair.baseline
+            );
+        }
+        if measured_pairs == 0 {
+            // a relative gate measuring nothing defends nothing — same
+            // hard error as a baseline without the ratio_pairs key
+            eprintln!(
+                "bench_gate: --relative given but no tracked ratio pair could be measured \
+                 (renamed benches, or a results file missing from the invocation?)"
+            );
+            return ExitCode::from(2);
+        }
+    }
+
+    if regressions.is_empty() && ratio_regressions.is_empty() {
         println!("bench_gate: PASS ({tracked} tracked medians inside the band)");
         ExitCode::SUCCESS
     } else {
         for (name, ratio) in &regressions {
             eprintln!("bench_gate: FAIL {name} regressed x{ratio:.2}");
+        }
+        for (name, measured, rel) in &ratio_regressions {
+            eprintln!("bench_gate: FAIL ratio {name} now {measured:.3} (x{rel:.2} vs baseline)");
         }
         ExitCode::from(1)
     }

@@ -1,0 +1,468 @@
+//! Batched query execution: one shared pass over a mixed set of queries.
+//!
+//! The per-query entry points ([`IndexedEngine::knn_threshold`] and
+//! friends) rebuild everything from scratch for every query — candidate
+//! generation descends the R-tree once per query, and every refiner
+//! recomputes the kd-tree decomposition of every object it touches, even
+//! when the previous query just refined the same objects. A
+//! [`QueryBatch`] amortizes that repeated work across the queries of one
+//! arrival batch:
+//!
+//! * **Grouped candidate generation** — all kNN-style queries of the
+//!   batch share *one* best-first R-tree descent
+//!   ([`IndexedEngine::knn_candidates_batch`]): each tree node is tested
+//!   once against every query that still wants it, instead of the tree
+//!   being re-descended per query.
+//! * **Cross-query decomposition cache** — a [`DecompCache`] keyed by
+//!   object id memoizes every expansion level of every object's
+//!   decomposition. Splitting a partition evaluates PDF medians and
+//!   masses ([`udb_object::Decomposition::expand_with_map`]); once any
+//!   refiner of the batch has expanded object `X` to level `l`, every
+//!   other refiner touching `X` — same query or not — replays the cached
+//!   level instead of recomputing it. Expansion is deterministic, so the
+//!   replay is bit-identical.
+//! * **Scratch recycling** — retired refiners return their UGF arena,
+//!   open-list arenas and factor-cache vector to a shared
+//!   [`ScratchPool`]; later refiners of the batch adopt the allocations.
+//! * **Batch-level parallelism** — with
+//!   [`crate::IdcaConfig::batch_threads`] > 1 (or the
+//!   `UDB_BATCH_THREADS` shim) the queries fan out over the
+//!   engine's persistent [`crate::parallel::WorkerPool`], composing with
+//!   the candidate-level and pair-level fan-outs on the same pool.
+//!
+//! Results are **bit-identical** to running the same queries through the
+//! sequential per-query entry points, at every `batch_threads` count —
+//! the shared state is work, never numbers (property-tested in
+//! `tests/batch_equivalence.rs`).
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use udb_geometry::Rect;
+use udb_object::{Decomposition, ObjectId, Partition, Pdf, SplitStrategy, UncertainObject};
+
+use crate::indexed::IndexedEngine;
+use crate::queries::ThresholdResult;
+use crate::refiner::ScratchPool;
+
+/// One cached expansion level of an object's decomposition: the full
+/// partition list after the expansion plus the lineage map
+/// (`map[new_idx] = old_idx`) — exactly what
+/// [`Decomposition::expand_with_map`] hands an owned refiner.
+struct LevelDelta {
+    parts: Vec<Partition>,
+    map: Vec<u32>,
+}
+
+/// The shared decomposition state of one object (one [`DecompCache`]
+/// entry): a master decomposition expanded as deep as any refiner has
+/// asked so far, plus the replayable per-level deltas.
+pub struct ObjDecomp {
+    master: Decomposition,
+    levels: Vec<LevelDelta>,
+    /// Set once `master` reports no further progress; expansion requests
+    /// beyond `levels.len()` then answer `None` forever (matching an
+    /// owned decomposition, whose leaves stay unsplittable).
+    exhausted: bool,
+}
+
+impl ObjDecomp {
+    fn new(pdf: &Pdf, strategy: SplitStrategy) -> Self {
+        ObjDecomp {
+            master: Decomposition::with_strategy(pdf, strategy),
+            levels: Vec::new(),
+            exhausted: false,
+        }
+    }
+
+    /// The expansion taking a consumer from level `applied` to
+    /// `applied + 1`: replayed from the cache when already computed,
+    /// computed (and recorded) on the master decomposition otherwise.
+    pub(crate) fn expand_from(
+        &mut self,
+        applied: usize,
+        pdf: &Pdf,
+    ) -> Option<(Vec<Partition>, Vec<u32>)> {
+        if let Some(level) = self.levels.get(applied) {
+            return Some((level.parts.clone(), level.map.clone()));
+        }
+        debug_assert_eq!(applied, self.levels.len(), "levels consumed in order");
+        if self.exhausted {
+            return None;
+        }
+        match self.master.expand_with_map(pdf) {
+            Some(map) => {
+                let parts = self.master.partitions();
+                self.levels.push(LevelDelta {
+                    parts: parts.clone(),
+                    map: map.clone(),
+                });
+                Some((parts, map))
+            }
+            None => {
+                self.exhausted = true;
+                None
+            }
+        }
+    }
+}
+
+/// The cross-query decomposition cache: one [`ObjDecomp`] per object id
+/// touched by any refiner of the batch. Two-level locking — the map
+/// lock is held only for the id lookup; expansion work runs under the
+/// per-object lock, so refiners expanding *different* objects never
+/// contend.
+pub struct DecompCache {
+    strategy: SplitStrategy,
+    map: Mutex<HashMap<ObjectId, Arc<Mutex<ObjDecomp>>>>,
+}
+
+impl DecompCache {
+    /// An empty cache for decompositions split with `strategy` (all
+    /// refiners of a batch share the engine's strategy).
+    pub fn new(strategy: SplitStrategy) -> Self {
+        DecompCache {
+            strategy,
+            map: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The shared entry for `id`, created at depth 0 on first use.
+    pub(crate) fn entry(&self, id: ObjectId, pdf: &Pdf) -> Arc<Mutex<ObjDecomp>> {
+        let mut map = self.map.lock().unwrap_or_else(|p| p.into_inner());
+        Arc::clone(
+            map.entry(id)
+                .or_insert_with(|| Arc::new(Mutex::new(ObjDecomp::new(pdf, self.strategy)))),
+        )
+    }
+
+    /// The split strategy every cached decomposition uses (refiners must
+    /// match it — [`crate::Refiner::with_shared_ctx`] asserts this).
+    pub fn strategy(&self) -> SplitStrategy {
+        self.strategy
+    }
+
+    /// Number of objects with cached decomposition state.
+    pub fn len(&self) -> usize {
+        self.map.lock().unwrap_or_else(|p| p.into_inner()).len()
+    }
+
+    /// Whether any object has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The shared state of one batch execution: the decomposition cache and
+/// the scratch pool every refiner of the batch draws from. Attach with
+/// [`crate::Refiner::with_shared_ctx`].
+pub struct SharedRefineCtx {
+    decomps: DecompCache,
+    scratch: Arc<ScratchPool>,
+}
+
+impl SharedRefineCtx {
+    /// A fresh context for refiners splitting with `strategy`.
+    pub fn new(strategy: SplitStrategy) -> Self {
+        SharedRefineCtx {
+            decomps: DecompCache::new(strategy),
+            scratch: Arc::new(ScratchPool::new()),
+        }
+    }
+
+    /// The decomposition cache.
+    pub fn decomps(&self) -> &DecompCache {
+        &self.decomps
+    }
+
+    /// The scratch pool (cloned into refiners, which return buffers on
+    /// drop).
+    pub(crate) fn scratch(&self) -> Arc<ScratchPool> {
+        Arc::clone(&self.scratch)
+    }
+
+    /// A shared decomposition for an object *without* a database id —
+    /// the batch's external query objects, which the id-keyed
+    /// [`DecompCache`] cannot hold. One handle per query, attached to
+    /// every refiner of that query via
+    /// [`crate::Refiner::with_external_decomp`], expands the query
+    /// object once per query instead of once per candidate.
+    pub fn external_decomp(&self, pdf: &Pdf) -> SharedDecomp {
+        SharedDecomp {
+            entry: Arc::new(Mutex::new(ObjDecomp::new(pdf, self.decomps.strategy))),
+            strategy: self.decomps.strategy,
+        }
+    }
+}
+
+/// A shared decomposition handle for one external object (see
+/// [`SharedRefineCtx::external_decomp`]). The handle must only be
+/// attached to refiners whose external side *is* the object the handle
+/// was built from — the entry replays that object's expansion levels.
+pub struct SharedDecomp {
+    pub(crate) entry: Arc<Mutex<ObjDecomp>>,
+    pub(crate) strategy: SplitStrategy,
+}
+
+/// One query of a [`QueryBatch`]. Parameters mirror the per-query entry
+/// points exactly; `q` borrows the caller's query object like the
+/// per-query APIs do.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchQuery<'a> {
+    /// [`IndexedEngine::knn_threshold`] semantics.
+    KnnThreshold {
+        /// The query object.
+        q: &'a UncertainObject,
+        /// The `k` of the query.
+        k: usize,
+        /// The probability threshold `τ`.
+        tau: f64,
+    },
+    /// [`IndexedEngine::rknn_threshold`] semantics.
+    RknnThreshold {
+        /// The query object.
+        q: &'a UncertainObject,
+        /// The `k` of the query.
+        k: usize,
+        /// The probability threshold `τ`.
+        tau: f64,
+    },
+    /// [`IndexedEngine::top_probable_nn`] semantics.
+    TopProbableNn {
+        /// The query object.
+        q: &'a UncertainObject,
+        /// Result-set size.
+        m: usize,
+    },
+}
+
+/// A mixed set of queries executed through one shared pass
+/// ([`IndexedEngine::run_batch`]). Build with the push methods; results
+/// come back aligned with insertion order.
+#[derive(Debug, Default)]
+pub struct QueryBatch<'a> {
+    queries: Vec<BatchQuery<'a>>,
+}
+
+impl<'a> QueryBatch<'a> {
+    /// An empty batch.
+    pub fn new() -> Self {
+        QueryBatch::default()
+    }
+
+    /// Queues a probabilistic threshold kNN query.
+    ///
+    /// # Panics
+    /// Panics if `k == 0` or `tau ∉ [0, 1)` (same contract as
+    /// [`IndexedEngine::knn_threshold`]).
+    pub fn knn_threshold(&mut self, q: &'a UncertainObject, k: usize, tau: f64) -> &mut Self {
+        assert!(k >= 1, "k must be positive");
+        assert!((0.0..1.0).contains(&tau), "tau must be in [0, 1)");
+        self.queries.push(BatchQuery::KnnThreshold { q, k, tau });
+        self
+    }
+
+    /// Queues a probabilistic threshold reverse kNN query.
+    ///
+    /// # Panics
+    /// Panics if `k == 0` or `tau ∉ [0, 1)`.
+    pub fn rknn_threshold(&mut self, q: &'a UncertainObject, k: usize, tau: f64) -> &mut Self {
+        assert!(k >= 1, "k must be positive");
+        assert!((0.0..1.0).contains(&tau), "tau must be in [0, 1)");
+        self.queries.push(BatchQuery::RknnThreshold { q, k, tau });
+        self
+    }
+
+    /// Queues a top-`m` probable nearest-neighbour query.
+    ///
+    /// # Panics
+    /// Panics if `m == 0`.
+    pub fn top_probable_nn(&mut self, q: &'a UncertainObject, m: usize) -> &mut Self {
+        assert!(m >= 1, "m must be positive");
+        self.queries.push(BatchQuery::TopProbableNn { q, m });
+        self
+    }
+
+    /// The queued queries, in insertion (= result) order.
+    pub fn queries(&self) -> &[BatchQuery<'a>] {
+        &self.queries
+    }
+
+    /// Number of queued queries.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+}
+
+/// Per-query execution slot of one batch run (the `fan_each` item).
+struct QueryTask<'q, 'a> {
+    query: &'q BatchQuery<'a>,
+    /// Index-driven candidates from the grouped descent (kNN-style
+    /// queries only; RkNN prefilters per database object instead).
+    candidates: Vec<ObjectId>,
+    out: Vec<ThresholdResult>,
+}
+
+impl<'a> IndexedEngine<'a> {
+    /// Executes a mixed [`QueryBatch`] through one shared pass: grouped
+    /// candidate generation, a cross-query decomposition cache, recycled
+    /// refiner scratch, and query-level fan-out over
+    /// [`crate::IdcaConfig::batch_threads`] worker-pool lanes. Returns one
+    /// result vector per query, aligned with the batch's insertion
+    /// order; each vector is exactly what the corresponding per-query
+    /// entry point returns — bit-identical bounds, iteration counts and
+    /// ordering, at every lane count.
+    pub fn run_batch(&self, batch: &QueryBatch<'a>) -> Vec<Vec<ThresholdResult>> {
+        let cfg = self.engine().config();
+        let ctx = SharedRefineCtx::new(cfg.split_strategy);
+        // one grouped descent for every kNN-style candidate set
+        let requests: Vec<(Rect, usize)> = batch
+            .queries()
+            .iter()
+            .filter_map(|q| match *q {
+                BatchQuery::KnnThreshold { q, k, .. } => Some((q.mbr().clone(), k)),
+                BatchQuery::TopProbableNn { q, .. } => Some((q.mbr().clone(), 1)),
+                BatchQuery::RknnThreshold { .. } => None,
+            })
+            .collect();
+        let mut candidate_sets = self.knn_candidates_batch(&requests).into_iter();
+        let mut tasks: Vec<QueryTask<'_, 'a>> = batch
+            .queries()
+            .iter()
+            .map(|query| QueryTask {
+                query,
+                candidates: match query {
+                    BatchQuery::RknnThreshold { .. } => Vec::new(),
+                    _ => candidate_sets
+                        .next()
+                        .expect("one candidate set per request"),
+                },
+                out: Vec::new(),
+            })
+            .collect();
+        let lanes = cfg.batch_threads;
+        self.engine()
+            .pool_handle()
+            .clone()
+            .fan_each(lanes, &mut tasks, |task| {
+                task.out = self.run_one(task.query, std::mem::take(&mut task.candidates), &ctx);
+            });
+        tasks.into_iter().map(|t| t.out).collect()
+    }
+
+    /// Executes one query of a batch against the shared context: the
+    /// *same* pipeline function the per-query entry point runs
+    /// (`*_pipeline` in `indexed.rs`), joined to the batch's
+    /// decomposition cache, scratch pool and the query object's shared
+    /// decomposition — bit-identity with the entry points is structural.
+    fn run_one(
+        &self,
+        query: &BatchQuery<'a>,
+        candidates: Vec<ObjectId>,
+        ctx: &SharedRefineCtx,
+    ) -> Vec<ThresholdResult> {
+        match *query {
+            BatchQuery::KnnThreshold { q, k, tau } => {
+                let q_dec = ctx.external_decomp(q.pdf());
+                self.knn_threshold_pipeline(q, k, tau, candidates, Some((ctx, &q_dec)))
+            }
+            BatchQuery::RknnThreshold { q, k, tau } => {
+                let q_dec = ctx.external_decomp(q.pdf());
+                self.rknn_threshold_pipeline(q, k, tau, Some((ctx, &q_dec)))
+            }
+            BatchQuery::TopProbableNn { q, m } => {
+                let q_dec = ctx.external_decomp(q.pdf());
+                self.top_probable_nn_pipeline(q, m, candidates, Some((ctx, &q_dec)))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use udb_geometry::LpNorm;
+    use udb_object::Database;
+    use udb_workload::{QuerySet, SyntheticConfig};
+
+    fn synthetic(n: usize) -> (Database, SyntheticConfig) {
+        let cfg = SyntheticConfig {
+            n,
+            max_extent: 0.01,
+            ..Default::default()
+        };
+        (cfg.generate(), cfg)
+    }
+
+    #[test]
+    fn decomp_cache_replays_identical_levels() {
+        let (db, _) = synthetic(8);
+        let cache = DecompCache::new(SplitStrategy::default());
+        let id = ObjectId(3);
+        let pdf = db.get(id).pdf();
+        // an owned decomposition, stepped level by level, is the oracle
+        let mut own = Decomposition::with_strategy(pdf, SplitStrategy::default());
+        let entry = cache.entry(id, pdf);
+        let late = cache.entry(id, pdf); // a second consumer, lagging behind
+        for level in 0..6 {
+            let expect = own.expand_with_map(pdf).map(|m| (own.partitions(), m));
+            let got = entry.lock().unwrap().expand_from(level, pdf);
+            match (&expect, &got) {
+                (None, None) => break,
+                (Some((ep, em)), Some((gp, gm))) => {
+                    assert_eq!(em, gm, "level {level} lineage");
+                    assert_eq!(ep.len(), gp.len());
+                    for (a, b) in ep.iter().zip(gp.iter()) {
+                        assert_eq!(a.mbr, b.mbr, "level {level}");
+                        assert_eq!(a.mass, b.mass, "level {level}");
+                    }
+                }
+                _ => panic!("progress disagreement at level {level}"),
+            }
+            // the lagging consumer replays the same delta from the cache
+            let replay = late.lock().unwrap().expand_from(level, pdf);
+            let (rp, rm) = replay.expect("cached level replays");
+            let (gp, gm) = got.unwrap();
+            assert_eq!(rm, gm);
+            assert_eq!(rp.len(), gp.len());
+        }
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn batch_results_align_with_insertion_order() {
+        let (db, cfg) = synthetic(250);
+        let qs = QuerySet::generate(&db, &cfg, 3, 10, LpNorm::L2, 91);
+        let engine = IndexedEngine::new(&db);
+        let mut batch = QueryBatch::new();
+        batch
+            .knn_threshold(&qs.references[0], 3, 0.5)
+            .top_probable_nn(&qs.references[1], 2)
+            .rknn_threshold(&qs.references[2], 2, 0.5);
+        assert_eq!(batch.len(), 3);
+        let results = engine.run_batch(&batch);
+        assert_eq!(results.len(), 3);
+        assert_eq!(results[0], engine.knn_threshold(&qs.references[0], 3, 0.5));
+        assert_eq!(results[1], engine.top_probable_nn(&qs.references[1], 2));
+        assert_eq!(results[2], engine.rknn_threshold(&qs.references[2], 2, 0.5));
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let (db, _) = synthetic(50);
+        let engine = IndexedEngine::new(&db);
+        assert!(engine.run_batch(&QueryBatch::new()).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "tau must be")]
+    fn batch_rejects_bad_tau_at_push_time() {
+        let q = UncertainObject::certain(udb_geometry::Point::from([0.0, 0.0]));
+        QueryBatch::new().knn_threshold(&q, 1, 1.5);
+    }
+}

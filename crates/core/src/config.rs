@@ -50,6 +50,21 @@ pub struct IdcaConfig {
     /// honours the `UDB_CANDIDATE_THREADS` environment variable (CI
     /// shim, mirroring `UDB_SNAPSHOT_THREADS`).
     pub candidate_threads: usize,
+    /// Parallel lanes for *query-level* fan-out in the batched execution
+    /// path ([`crate::IndexedEngine::run_batch`]): the queries of a
+    /// [`crate::QueryBatch`] run as lane-bounded chunks on the engine's
+    /// persistent worker pool. Composes with the two knobs above — a
+    /// query job may fan its candidate rounds
+    /// ([`IdcaConfig::candidate_threads`]) and each candidate its pair
+    /// loop ([`IdcaConfig::snapshot_threads`]) on the same pool (nested
+    /// scopes are deadlock-safe). Results are bit-identical at every
+    /// lane count: queries share only the decomposition cache and
+    /// scratch allocations, never numeric state.
+    ///
+    /// `1` (the default) runs the batch's queries sequentially. The
+    /// default honours the `UDB_BATCH_THREADS` environment variable (CI
+    /// shim, mirroring the other two).
+    pub batch_threads: usize,
 }
 
 /// Reads a thread-count environment variable once (values `< 1` and junk
@@ -74,6 +89,11 @@ fn default_candidate_threads() -> usize {
     env_threads(&THREADS, "UDB_CANDIDATE_THREADS")
 }
 
+fn default_batch_threads() -> usize {
+    static THREADS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    env_threads(&THREADS, "UDB_BATCH_THREADS")
+}
+
 impl Default for IdcaConfig {
     fn default() -> Self {
         IdcaConfig {
@@ -84,6 +104,7 @@ impl Default for IdcaConfig {
             uncertainty_target: 1e-3,
             snapshot_threads: default_snapshot_threads(),
             candidate_threads: default_candidate_threads(),
+            batch_threads: default_batch_threads(),
         }
     }
 }

@@ -33,9 +33,15 @@ use udb_geometry::Rect;
 use udb_index::{ClassifyScratch, NodeDecision, RTree};
 use udb_object::{Database, ObjectId, UncertainObject};
 
+use crate::batch::{SharedDecomp, SharedRefineCtx};
 use crate::config::{IdcaConfig, ObjRef, Predicate, RefineGoal};
 use crate::queries::{QueryEngine, ThresholdResult};
 use crate::refiner::{refine_lockstep, refine_top_m, Refiner};
+
+/// The batch-sharing state a query pipeline may run under: the batch's
+/// shared context plus the query object's per-query shared
+/// decomposition. `None` is the plain per-query execution.
+pub(crate) type BatchShared<'s> = Option<(&'s SharedRefineCtx, &'s SharedDecomp)>;
 
 /// Entry-count cutoff of the per-candidate subtree filter: a `Descend`
 /// verdict on a subtree holding at most this many entries switches to
@@ -45,6 +51,35 @@ use crate::refiner::{refine_lockstep, refine_top_m, Refiner};
 /// overwhelmingly answer `Descend` at every level, so their interior
 /// node tests are wasted work. One leaf level (fan-out 16) plus slack.
 const SUBTREE_SCAN_CUTOFF: usize = 24;
+
+/// Joins a refiner to a batch's shared state, or leaves it untouched for
+/// plain per-query execution (the only difference between the two
+/// pipeline shapes).
+fn attach<'b>(refiner: Refiner<'b>, shared: BatchShared<'_>) -> Refiner<'b> {
+    match shared {
+        Some((ctx, q_dec)) => refiner.with_shared_ctx(ctx).with_external_decomp(q_dec),
+        None => refiner,
+    }
+}
+
+/// Maintains the `k` smallest MaxDists seen over *certainly existing*
+/// objects (`k_smallest`, kept sorted ascending): inserts `max_d` if it
+/// belongs, and returns the updated pruning radius `d_k` once `k` values
+/// are held. Shared by the per-query candidate stream and the grouped
+/// batch descent so the pruning rule cannot diverge between them.
+fn tighten_dk(k_smallest: &mut Vec<f64>, k: usize, max_d: f64) -> Option<f64> {
+    let pos = k_smallest
+        .binary_search_by(|d| d.partial_cmp(&max_d).expect("NaN"))
+        .unwrap_or_else(|p| p);
+    if pos < k {
+        k_smallest.insert(pos, max_d);
+        k_smallest.truncate(k);
+        if k_smallest.len() == k {
+            return Some(k_smallest[k - 1]);
+        }
+    }
+    None
+}
 
 /// A query engine with an R-tree accelerating spatial candidate
 /// generation.
@@ -189,21 +224,80 @@ impl<'a> IndexedEngine<'a> {
                 continue; // cannot contribute to d_k
             }
             let max_d = obj.mbr().max_dist_rect(q, norm);
-            // maintain the k smallest MaxDist values over certain objects
-            let pos = k_smallest
-                .binary_search_by(|d| d.partial_cmp(&max_d).expect("NaN"))
-                .unwrap_or_else(|p| p);
-            if pos < k {
-                k_smallest.insert(pos, max_d);
-                k_smallest.truncate(k);
-                if k_smallest.len() == k {
-                    kth_max = k_smallest[k - 1];
-                }
+            if let Some(d_k) = tighten_dk(&mut k_smallest, k, max_d) {
+                kth_max = d_k;
             }
         }
         seen.into_iter()
             .filter(|(_, min_d)| *min_d <= kth_max)
             .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Grouped spatial kNN candidate generation: the candidate sets of
+    /// many `(query MBR, k)` requests from **one** best-first R-tree
+    /// descent ([`RTree::for_each_grouped`]) instead of one descent per
+    /// query. Each request's set equals [`IndexedEngine::knn_candidates`]
+    /// for the same `(q, k)` — the per-query pruning rule (only certainly
+    /// existing objects tighten `d_k`; survivors have `MinDist ≤ d_k`) is
+    /// applied with per-query state while the tree is walked once, so
+    /// subtrees shared by clustered queries are tested once. Returned
+    /// sets are sorted by id (candidate order does not affect query
+    /// results; a deterministic order keeps the batched pipeline
+    /// reproducible).
+    ///
+    /// # Panics
+    /// Panics if any request has `k == 0`.
+    pub fn knn_candidates_batch(&self, queries: &[(Rect, usize)]) -> Vec<Vec<ObjectId>> {
+        struct QState {
+            /// `(id, MinDist)` of every object visited within the
+            /// query's (then-current) radius; filtered by the final
+            /// radius at the end, like the per-query stream.
+            seen: Vec<(ObjectId, f64)>,
+            /// The `k` smallest MaxDists over certain objects so far.
+            k_smallest: Vec<f64>,
+        }
+        for (_, k) in queries {
+            assert!(*k >= 1, "k must be positive");
+        }
+        let norm = self.engine.config().norm;
+        let db = self.engine.db();
+        let rects: Vec<Rect> = queries.iter().map(|(r, _)| r.clone()).collect();
+        let mut radii = vec![f64::INFINITY; queries.len()];
+        let mut states: Vec<QState> = queries
+            .iter()
+            .map(|(_, k)| QState {
+                seen: Vec::new(),
+                k_smallest: Vec::with_capacity(k + 1),
+            })
+            .collect();
+        self.tree
+            .for_each_grouped(&rects, norm, &mut radii, |i, &id, min_d, radii| {
+                let st = &mut states[i];
+                st.seen.push((id, min_d));
+                let obj = db.get(id);
+                if obj.existence() < 1.0 {
+                    return; // cannot contribute to d_k
+                }
+                let (q, k) = &queries[i];
+                let max_d = obj.mbr().max_dist_rect(q, norm);
+                if let Some(d_k) = tighten_dk(&mut st.k_smallest, *k, max_d) {
+                    radii[i] = d_k;
+                }
+            });
+        states
+            .into_iter()
+            .zip(radii)
+            .map(|(st, d_k)| {
+                let mut out: Vec<ObjectId> = st
+                    .seen
+                    .into_iter()
+                    .filter(|(_, min_d)| *min_d <= d_k)
+                    .map(|(id, _)| id)
+                    .collect();
+                out.sort_unstable();
+                out
+            })
             .collect()
     }
 
@@ -220,14 +314,32 @@ impl<'a> IndexedEngine<'a> {
     ) -> Vec<ThresholdResult> {
         assert!(k >= 1, "k must be positive");
         assert!((0.0..1.0).contains(&tau), "tau must be in [0, 1)");
+        self.knn_threshold_pipeline(q, k, tau, self.knn_candidates(q.mbr(), k), None)
+    }
+
+    /// The kNN-threshold refinement pipeline, shared verbatim by
+    /// [`IndexedEngine::knn_threshold`] and the batched executor
+    /// ([`crate::QueryBatch`]) so the two paths cannot drift — the
+    /// batched results' bit-identity with the per-query entry point is
+    /// structural, not a convention kept in sync by hand.
+    pub(crate) fn knn_threshold_pipeline(
+        &self,
+        q: &'a UncertainObject,
+        k: usize,
+        tau: f64,
+        candidates: Vec<ObjectId>,
+        shared: BatchShared<'_>,
+    ) -> Vec<ThresholdResult> {
         let goal = RefineGoal::threshold(k, tau);
-        let refiners = self
-            .knn_candidates(q.mbr(), k)
+        let refiners = candidates
             .into_iter()
             .map(|id| {
                 (
                     id,
-                    self.refiner(ObjRef::Db(id), ObjRef::External(q), goal.predicate()),
+                    attach(
+                        self.refiner(ObjRef::Db(id), ObjRef::External(q), goal.predicate()),
+                        shared,
+                    ),
                 )
             })
             .collect();
@@ -247,6 +359,19 @@ impl<'a> IndexedEngine<'a> {
     ) -> Vec<ThresholdResult> {
         assert!(k >= 1, "k must be positive");
         assert!((0.0..1.0).contains(&tau), "tau must be in [0, 1)");
+        self.rknn_threshold_pipeline(q, k, tau, None)
+    }
+
+    /// The RkNN-threshold pipeline (prefilter probe + lock-step
+    /// refinement), shared verbatim by [`IndexedEngine::rknn_threshold`]
+    /// and the batched executor.
+    pub(crate) fn rknn_threshold_pipeline(
+        &self,
+        q: &'a UncertainObject,
+        k: usize,
+        tau: f64,
+        shared: BatchShared<'_>,
+    ) -> Vec<ThresholdResult> {
         let goal = RefineGoal::threshold(k, tau);
         let mut refiners = Vec::new();
         for (b_id, b_obj) in self.engine.db().iter() {
@@ -255,7 +380,10 @@ impl<'a> IndexedEngine<'a> {
             }
             refiners.push((
                 b_id,
-                self.refiner(ObjRef::External(q), ObjRef::Db(b_id), goal.predicate()),
+                attach(
+                    self.refiner(ObjRef::External(q), ObjRef::Db(b_id), goal.predicate()),
+                    shared,
+                ),
             ));
         }
         refine_lockstep(refiners, goal)
@@ -266,14 +394,28 @@ impl<'a> IndexedEngine<'a> {
     /// top `m` retire mid-loop instead of refining to convergence.
     pub fn top_probable_nn(&self, q: &'a UncertainObject, m: usize) -> Vec<ThresholdResult> {
         assert!(m >= 1, "m must be positive");
+        self.top_probable_nn_pipeline(q, m, self.knn_candidates(q.mbr(), 1), None)
+    }
+
+    /// The top-`m` pipeline, shared verbatim by
+    /// [`IndexedEngine::top_probable_nn`] and the batched executor.
+    pub(crate) fn top_probable_nn_pipeline(
+        &self,
+        q: &'a UncertainObject,
+        m: usize,
+        candidates: Vec<ObjectId>,
+        shared: BatchShared<'_>,
+    ) -> Vec<ThresholdResult> {
         let goal = RefineGoal::count_below(1);
-        let refiners = self
-            .knn_candidates(q.mbr(), 1)
+        let refiners = candidates
             .into_iter()
             .map(|id| {
                 (
                     id,
-                    self.refiner(ObjRef::Db(id), ObjRef::External(q), goal.predicate()),
+                    attach(
+                        self.refiner(ObjRef::Db(id), ObjRef::External(q), goal.predicate()),
+                        shared,
+                    ),
                 )
             })
             .collect();

@@ -23,14 +23,16 @@
 //! probabilistic threshold kNN (Corollary 4), threshold RkNN (Corollary 5)
 //! and expected-rank ranking (Corollary 6).
 
+pub mod batch;
 pub mod config;
 pub mod indexed;
 pub mod parallel;
 pub mod queries;
 pub mod refiner;
 
+pub use batch::{BatchQuery, DecompCache, QueryBatch, SharedDecomp, SharedRefineCtx};
 pub use config::{IdcaConfig, ObjRef, Predicate, RefineGoal};
 pub use indexed::IndexedEngine;
 pub use parallel::{par_knn_threshold, PoolHandle, WorkerPool};
 pub use queries::{ExpectedRankEntry, QueryEngine, RankDistribution, ThresholdResult};
-pub use refiner::{refine_lockstep, refine_top_m, DomCountSnapshot, Refiner};
+pub use refiner::{refine_lockstep, refine_top_m, DomCountSnapshot, Refiner, ScratchPool};

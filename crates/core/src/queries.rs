@@ -19,7 +19,7 @@ pub struct QueryEngine<'a> {
 }
 
 /// Per-object outcome of a threshold query.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ThresholdResult {
     /// The candidate object.
     pub id: ObjectId,
@@ -316,13 +316,6 @@ impl<'a> QueryEngine<'a> {
             .ids()
             .map(|id| self.inverse_ranking(ObjRef::Db(id), ObjRef::External(q)))
             .collect()
-    }
-
-    /// Deprecated alias of [`QueryEngine::knn_candidates`], kept for one
-    /// release so downstream callers migrate without breakage.
-    #[deprecated(note = "use `knn_candidates` — the filter is public now")]
-    pub fn knn_candidates_public(&self, q: &Rect, k: usize) -> Vec<ObjectId> {
-        self.knn_candidates(q, k)
     }
 
     /// Spatial kNN candidate filter (scan-based): let `d_k` be the `k`-th

@@ -106,13 +106,109 @@
 //! ([`IdcaConfig::snapshot_threads`]); caller participation makes the
 //! candidates × pairs nesting deadlock-free.
 
+use std::sync::{Arc, Mutex};
+
 use udb_domination::{pdom_bounds_vs_fixed, PDomBounds, PairClassifier};
 use udb_genfunc::{CountDistributionBounds, Ugf};
-use udb_object::{Database, Decomposition, ObjectId, Partition, UncertainObject};
+use udb_object::{Database, Decomposition, ObjectId, Partition, Pdf, UncertainObject};
 
+use crate::batch::{ObjDecomp, SharedRefineCtx};
 use crate::config::{IdcaConfig, ObjRef, Predicate, RefineGoal};
 use crate::parallel::PoolHandle;
 use crate::queries::ThresholdResult;
+
+/// The decomposition state of one refined region: either privately owned
+/// (the classic per-refiner kd-tree) or a view into a batch-shared
+/// [`crate::batch::DecompCache`] entry, which memoizes each expansion level of an
+/// object's decomposition so every refiner touching the same object —
+/// across all queries of a batch — computes each split exactly once.
+///
+/// Expansion is deterministic given the PDF and split strategy, so a
+/// cached level is bit-identical to what an owned decomposition would
+/// produce; only the work is shared, never the results.
+enum DecSource {
+    /// Privately owned (the non-batched paths).
+    Own(Decomposition),
+    /// A cursor into a shared cache entry: `applied` counts the
+    /// expansion levels this refiner has consumed so far.
+    Shared {
+        entry: Arc<Mutex<ObjDecomp>>,
+        applied: usize,
+    },
+}
+
+impl DecSource {
+    /// One expansion level: the new partition list and the lineage map
+    /// (`map[new_idx] = old_idx`), or `None` when nothing can split
+    /// further. Owned sources delegate to
+    /// [`Decomposition::expand_with_map`]; shared sources replay (or
+    /// extend) the cache entry.
+    fn expand(&mut self, pdf: &Pdf) -> Option<(Vec<Partition>, Vec<u32>)> {
+        match self {
+            DecSource::Own(dec) => dec.expand_with_map(pdf).map(|map| (dec.partitions(), map)),
+            DecSource::Shared { entry, applied } => {
+                let mut cached = entry.lock().unwrap_or_else(|p| p.into_inner());
+                let out = cached.expand_from(*applied, pdf);
+                if out.is_some() {
+                    *applied += 1;
+                }
+                out
+            }
+        }
+    }
+}
+
+/// The reusable heap state of a retired [`Refiner`]: the UGF arena, the
+/// open-list arena generations and the factor-cache slot vector. Contents
+/// are meaningless across refiners — only the allocations are recycled
+/// (capacity reuse cannot change results).
+pub struct RefinerScratch {
+    ugf: Ugf,
+    open_arena: Vec<u32>,
+    open_scratch: Vec<u32>,
+    cache: Vec<FactorCache>,
+}
+
+/// A shared pool of [`RefinerScratch`] buffers: refiners built through a
+/// [`SharedRefineCtx`] pop a scratch at construction and return their
+/// buffers on drop, so a batch allocates each arena once per *concurrent*
+/// refiner instead of once per refiner.
+pub struct ScratchPool {
+    pool: Mutex<Vec<RefinerScratch>>,
+}
+
+/// Retained scratches are capped so a huge candidate wave cannot pin its
+/// peak memory forever; excess buffers just drop.
+const SCRATCH_POOL_CAP: usize = 64;
+
+impl Default for ScratchPool {
+    fn default() -> Self {
+        ScratchPool {
+            pool: Mutex::new(Vec::new()),
+        }
+    }
+}
+
+impl ScratchPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        ScratchPool::default()
+    }
+
+    fn pop(&self) -> Option<RefinerScratch> {
+        self.pool.lock().unwrap_or_else(|p| p.into_inner()).pop()
+    }
+
+    fn put(&self, mut scratch: RefinerScratch) {
+        scratch.open_arena.clear();
+        scratch.open_scratch.clear();
+        scratch.cache.clear();
+        let mut pool = self.pool.lock().unwrap_or_else(|p| p.into_inner());
+        if pool.len() < SCRATCH_POOL_CAP {
+            pool.push(scratch);
+        }
+    }
+}
 
 /// One influence object: its id, existence probability and current
 /// decomposition state.
@@ -122,7 +218,7 @@ struct Influence {
     /// The whole object's uncertainty-region MBR (for the object-level
     /// pre-test of remapped slots).
     mbr: udb_geometry::Rect,
-    dec: Decomposition,
+    dec: DecSource,
     parts: Vec<Partition>,
     /// The partition MBRs flattened into one contiguous interval buffer
     /// (partition `p` occupies `p·dims .. (p+1)·dims`) with the matching
@@ -144,7 +240,7 @@ impl Influence {
             id,
             existence: a.existence(),
             mbr: a.mbr().clone(),
-            dec,
+            dec: DecSource::Own(dec),
             parts,
             flat_mbrs: Vec::new(),
             masses: Vec::new(),
@@ -235,11 +331,16 @@ pub struct Refiner<'a> {
     predicate: Predicate,
     target: &'a UncertainObject,
     reference: &'a UncertainObject,
+    /// Database ids of the target/reference (when they live in the
+    /// database): the keys under which their decompositions can join a
+    /// batch-shared [`crate::batch::DecompCache`].
+    target_id: Option<ObjectId>,
+    reference_id: Option<ObjectId>,
     complete_count: usize,
     influence: Vec<Influence>,
-    b_dec: Decomposition,
+    b_dec: DecSource,
     b_parts: Vec<Partition>,
-    r_dec: Decomposition,
+    r_dec: DecSource,
     r_parts: Vec<Partition>,
     iteration: usize,
     /// Partition lineage of `B` / `R` expansions since the cache was last
@@ -266,6 +367,22 @@ pub struct Refiner<'a> {
     /// Shared worker pool for parallel snapshots (engine-injected via
     /// [`Refiner::with_pool`]; otherwise created lazily and private).
     pool: PoolHandle,
+    /// When set (batched execution), the refiner's arenas return here on
+    /// drop so the next refiner of the batch reuses the allocations.
+    scratch_pool: Option<Arc<ScratchPool>>,
+}
+
+impl Drop for Refiner<'_> {
+    fn drop(&mut self) {
+        if let Some(pool) = self.scratch_pool.take() {
+            pool.put(RefinerScratch {
+                ugf: std::mem::replace(&mut self.ugf, Ugf::new(None)),
+                open_arena: std::mem::take(&mut self.open_arena),
+                open_scratch: std::mem::take(&mut self.open_scratch),
+                cache: std::mem::take(&mut self.cache),
+            });
+        }
+    }
 }
 
 /// One `(pair, influence)` slot of the snapshot cache: the factor's
@@ -469,11 +586,13 @@ impl<'a> Refiner<'a> {
             predicate,
             target: target_obj,
             reference: reference_obj,
+            target_id: target.id(),
+            reference_id: reference.id(),
             complete_count,
             influence,
-            b_dec,
+            b_dec: DecSource::Own(b_dec),
             b_parts,
-            r_dec,
+            r_dec: DecSource::Own(r_dec),
             r_parts,
             iteration: 0,
             b_map: None,
@@ -485,6 +604,7 @@ impl<'a> Refiner<'a> {
             open_scratch: Vec::new(),
             ugf: Ugf::new(None),
             pool: PoolHandle::default(),
+            scratch_pool: None,
         }
     }
 
@@ -518,11 +638,13 @@ impl<'a> Refiner<'a> {
             predicate,
             target: target_obj,
             reference: reference_obj,
+            target_id: target.id(),
+            reference_id: reference.id(),
             complete_count,
             influence,
-            b_dec,
+            b_dec: DecSource::Own(b_dec),
             b_parts,
-            r_dec,
+            r_dec: DecSource::Own(r_dec),
             r_parts,
             iteration: 0,
             b_map: None,
@@ -534,7 +656,96 @@ impl<'a> Refiner<'a> {
             open_scratch: Vec::new(),
             ugf: Ugf::new(None),
             pool: PoolHandle::default(),
+            scratch_pool: None,
         }
+    }
+
+    /// Joins a batch-shared refinement context ([`SharedRefineCtx`]):
+    /// every decomposition with a database identity — the target and
+    /// reference when they live in the database, and every influence
+    /// object — switches to the context's [`crate::batch::DecompCache`], so expansion
+    /// levels computed by *any* refiner of the batch are replayed by all
+    /// others instead of recomputed; the refiner also draws its arena
+    /// buffers from the context's [`ScratchPool`] and returns them on
+    /// drop. Cached expansions are bit-identical to owned ones
+    /// (decomposition is deterministic), so results are unchanged.
+    ///
+    /// Must be called before refinement starts (construction-time
+    /// builder, like [`Refiner::with_pool`]).
+    pub fn with_shared_ctx(mut self, ctx: &SharedRefineCtx) -> Self {
+        assert!(
+            self.iteration == 0 && !self.cache_valid,
+            "shared context must be attached before refinement starts"
+        );
+        let cache = ctx.decomps();
+        // a cached level replays only for the split strategy it was
+        // computed with; a mismatch would compose lineage maps across
+        // two different split trees and corrupt the bounds silently
+        assert!(
+            cache.strategy() == self.cfg.split_strategy,
+            "shared context split strategy differs from the refiner's"
+        );
+        let attach = |source: &mut DecSource, id: Option<ObjectId>, obj: &UncertainObject| {
+            if let Some(id) = id {
+                *source = DecSource::Shared {
+                    entry: cache.entry(id, obj.pdf()),
+                    applied: 0,
+                };
+            }
+        };
+        attach(&mut self.b_dec, self.target_id, self.target);
+        attach(&mut self.r_dec, self.reference_id, self.reference);
+        for inf in &mut self.influence {
+            let obj = self.db.get(inf.id);
+            inf.dec = DecSource::Shared {
+                entry: cache.entry(inf.id, obj.pdf()),
+                applied: 0,
+            };
+        }
+        let scratch = ctx.scratch();
+        if let Some(s) = scratch.pop() {
+            self.ugf = s.ugf;
+            self.open_arena = s.open_arena;
+            self.open_scratch = s.open_scratch;
+            self.cache = s.cache;
+        }
+        self.scratch_pool = Some(scratch);
+        self
+    }
+
+    /// Attaches a shared decomposition for the refiner's single
+    /// *external* region — the side of target/reference without a
+    /// database id, which [`Refiner::with_shared_ctx`] cannot key into
+    /// the id-based cache. In a batch, the query object is that side for
+    /// every one of the query's candidate refiners; sharing one
+    /// [`crate::batch::SharedDecomp`] across them expands the query
+    /// object once per query instead of once per candidate. The handle
+    /// must have been built from this refiner's external object's PDF
+    /// ([`crate::SharedRefineCtx::external_decomp`]).
+    ///
+    /// # Panics
+    /// Panics if refinement has started, the handle's split strategy
+    /// differs, or target/reference are not exactly one external and one
+    /// database object.
+    pub fn with_external_decomp(mut self, shared: &crate::batch::SharedDecomp) -> Self {
+        assert!(
+            self.iteration == 0 && !self.cache_valid,
+            "shared decomposition must be attached before refinement starts"
+        );
+        assert!(
+            shared.strategy == self.cfg.split_strategy,
+            "shared decomposition split strategy differs from the refiner's"
+        );
+        let slot = match (self.target_id, self.reference_id) {
+            (None, Some(_)) => &mut self.b_dec,
+            (Some(_), None) => &mut self.r_dec,
+            _ => panic!("with_external_decomp needs exactly one external side"),
+        };
+        *slot = DecSource::Shared {
+            entry: Arc::clone(&shared.entry),
+            applied: 0,
+        };
+        self
     }
 
     /// Attaches a shared worker pool for parallel snapshots (engines
@@ -631,13 +842,13 @@ impl<'a> Refiner<'a> {
             }
         }
         let mut progress = false;
-        if let Some(map) = self.b_dec.expand_with_map(self.target.pdf()) {
-            self.b_parts = self.b_dec.partitions();
+        if let Some((parts, map)) = self.b_dec.expand(self.target.pdf()) {
+            self.b_parts = parts;
             self.b_map = Some(compose_lineage(self.b_map.take(), map));
             progress = true;
         }
-        if let Some(map) = self.r_dec.expand_with_map(self.reference.pdf()) {
-            self.r_parts = self.r_dec.partitions();
+        if let Some((parts, map)) = self.r_dec.expand(self.reference.pdf()) {
+            self.r_parts = parts;
             self.r_map = Some(compose_lineage(self.r_map.take(), map));
             progress = true;
         }
@@ -647,8 +858,8 @@ impl<'a> Refiner<'a> {
                     continue; // finally classified: retired from refinement
                 }
             }
-            if let Some(map) = inf.dec.expand_with_map(self.db.get(inf.id).pdf()) {
-                inf.parts = inf.dec.partitions();
+            if let Some((parts, map)) = inf.dec.expand(self.db.get(inf.id).pdf()) {
+                inf.parts = parts;
                 inf.refresh_flat();
                 inf.lineage = Some(compose_lineage(inf.lineage.take(), map));
                 progress = true;

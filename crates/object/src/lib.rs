@@ -16,3 +16,7 @@ pub mod object;
 pub use database::Database;
 pub use decomposition::{Decomposition, Partition, SplitStrategy};
 pub use object::{ObjectId, UncertainObject};
+// Re-exported so downstream crates that work with object decompositions
+// (e.g. the shared decomposition cache in udb-core) can name the density
+// type without a direct udb-pdf dependency.
+pub use udb_pdf::Pdf;

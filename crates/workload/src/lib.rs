@@ -12,10 +12,17 @@
 //! * [`query`] — helpers for the paper's query protocol ("we chose B to be
 //!   the object with the 10th smallest MinDist to the reference object").
 
+//! * [`stream`] — query-stream workloads for serving benchmarks: mixed
+//!   kNN/RkNN/top-`m` traffic arriving in batches, with optional
+//!   hot-spot skew, plus the [`stream::serve_stream`] driver that runs a
+//!   stream sequentially or through the batched engine.
+
 pub mod iceberg;
 pub mod query;
+pub mod stream;
 pub mod synthetic;
 
 pub use iceberg::IcebergConfig;
 pub use query::{target_by_min_dist_rank, QuerySet};
+pub use stream::{serve_stream, QueryStream, QueryStreamConfig, ServeMode, StreamOp, StreamQuery};
 pub use synthetic::{PdfKind, SyntheticConfig};

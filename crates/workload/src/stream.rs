@@ -1,0 +1,453 @@
+//! Query-stream workloads: sustained multi-user traffic instead of
+//! single queries.
+//!
+//! The paper's evaluation protocol measures one query at a time; a
+//! serving system sees *streams* — queries arriving in batches, with a
+//! mix of operation types and (realistically) spatial skew: many users
+//! ask about the same hot regions. [`QueryStreamConfig`] generates such
+//! a stream deterministically (same seed ⇒ same stream), and
+//! [`serve_stream`] drives it through an [`IndexedEngine`] either
+//! query-by-query ([`ServeMode::Sequential`], the per-query entry
+//! points) or batch-by-batch ([`ServeMode::Batched`], the shared-work
+//! [`QueryBatch`] pass). Both modes return bit-identical results; the
+//! `serve_stream` bench group records the throughput ratio.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use udb_core::{IndexedEngine, QueryBatch, ThresholdResult};
+use udb_geometry::Point;
+use udb_object::UncertainObject;
+
+use crate::synthetic::SyntheticConfig;
+
+/// The operation one stream query performs, with its parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum StreamOp {
+    /// Probabilistic threshold kNN.
+    KnnThreshold {
+        /// The `k` of the query.
+        k: usize,
+        /// The probability threshold `τ`.
+        tau: f64,
+    },
+    /// Probabilistic threshold reverse kNN.
+    RknnThreshold {
+        /// The `k` of the query.
+        k: usize,
+        /// The probability threshold `τ`.
+        tau: f64,
+    },
+    /// Top-`m` probable nearest neighbours.
+    TopProbableNn {
+        /// Result-set size.
+        m: usize,
+    },
+}
+
+/// One query of the stream: an uncertain query object plus the operation
+/// to run against it.
+#[derive(Debug, Clone)]
+pub struct StreamQuery {
+    /// The query object (drawn from the data distribution, or around a
+    /// hot-spot center).
+    pub object: UncertainObject,
+    /// The operation and its parameters.
+    pub op: StreamOp,
+}
+
+/// Configuration of a synthetic query stream.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QueryStreamConfig {
+    /// Number of arrival batches.
+    pub batches: usize,
+    /// Queries per arrival batch.
+    pub batch_size: usize,
+    /// Relative weight of kNN-threshold queries in the mix.
+    pub knn_weight: f64,
+    /// Relative weight of RkNN-threshold queries.
+    pub rknn_weight: f64,
+    /// Relative weight of top-`m` queries.
+    pub top_m_weight: f64,
+    /// The `k` of generated kNN/RkNN queries.
+    pub k: usize,
+    /// The `τ` of generated threshold queries.
+    pub tau: f64,
+    /// The `m` of generated top-`m` queries.
+    pub m: usize,
+    /// Number of hot-spot centers; `0` disables hot spots (every query
+    /// object follows the data distribution).
+    pub hotspots: usize,
+    /// Fraction of queries drawn near a hot-spot center (the rest follow
+    /// the data distribution).
+    pub hotspot_fraction: f64,
+    /// Half-extent of the uniform offset around a hot-spot center.
+    pub hotspot_spread: f64,
+    /// RNG seed (generation is fully deterministic given the config).
+    pub seed: u64,
+}
+
+impl Default for QueryStreamConfig {
+    fn default() -> Self {
+        QueryStreamConfig {
+            batches: 4,
+            batch_size: 8,
+            knn_weight: 0.5,
+            rknn_weight: 0.25,
+            top_m_weight: 0.25,
+            k: 5,
+            tau: 0.3,
+            m: 3,
+            hotspots: 2,
+            hotspot_fraction: 0.75,
+            hotspot_spread: 0.02,
+            seed: 0x57EAu64,
+        }
+    }
+}
+
+/// A generated stream: queries grouped into arrival batches.
+#[derive(Debug)]
+pub struct QueryStream {
+    /// The arrival batches, each a mixed set of queries.
+    pub batches: Vec<Vec<StreamQuery>>,
+}
+
+impl QueryStream {
+    /// Number of arrival batches.
+    pub fn len(&self) -> usize {
+        self.batches.len()
+    }
+
+    /// Whether the stream holds no batches.
+    pub fn is_empty(&self) -> bool {
+        self.batches.is_empty()
+    }
+
+    /// Total queries across all batches.
+    pub fn total_queries(&self) -> usize {
+        self.batches.iter().map(Vec::len).sum()
+    }
+
+    /// `(knn, rknn, top_m)` operation counts across the stream.
+    pub fn mix_counts(&self) -> (usize, usize, usize) {
+        let mut counts = (0, 0, 0);
+        for q in self.batches.iter().flatten() {
+            match q.op {
+                StreamOp::KnnThreshold { .. } => counts.0 += 1,
+                StreamOp::RknnThreshold { .. } => counts.1 += 1,
+                StreamOp::TopProbableNn { .. } => counts.2 += 1,
+            }
+        }
+        counts
+    }
+}
+
+impl QueryStreamConfig {
+    /// Generates the stream. Query objects follow `object_config`'s data
+    /// distribution (the paper's protocol for reference objects), except
+    /// that a `hotspot_fraction` of them — when `hotspots > 0` — center
+    /// near one of `hotspots` randomly placed hot-spot points, modelling
+    /// many users querying the same region (and maximizing the shared
+    /// work a batched executor can exploit).
+    ///
+    /// # Panics
+    /// Panics if every mix weight is zero or any weight is negative.
+    pub fn generate(&self, object_config: &SyntheticConfig) -> QueryStream {
+        assert!(
+            self.knn_weight >= 0.0 && self.rknn_weight >= 0.0 && self.top_m_weight >= 0.0,
+            "mix weights must be non-negative"
+        );
+        let total = self.knn_weight + self.rknn_weight + self.top_m_weight;
+        assert!(total > 0.0, "at least one mix weight must be positive");
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let dims = object_config.dims;
+        let centers: Vec<Point> = (0..self.hotspots)
+            .map(|_| {
+                Point::new(
+                    (0..dims)
+                        .map(|_| rng.gen_range(0.0..1.0))
+                        .collect::<Vec<f64>>(),
+                )
+            })
+            .collect();
+        let batches = (0..self.batches)
+            .map(|_| {
+                (0..self.batch_size)
+                    .map(|_| {
+                        let object = if !centers.is_empty()
+                            && rng.gen_range(0.0..1.0) < self.hotspot_fraction
+                        {
+                            let center = &centers[rng.gen_range(0..centers.len())];
+                            self.hotspot_object(center, object_config, &mut rng)
+                        } else {
+                            object_config.generate_object(&mut rng)
+                        };
+                        let pick = rng.gen_range(0.0..total);
+                        let op = if pick < self.knn_weight {
+                            StreamOp::KnnThreshold {
+                                k: self.k,
+                                tau: self.tau,
+                            }
+                        } else if pick < self.knn_weight + self.rknn_weight {
+                            StreamOp::RknnThreshold {
+                                k: self.k,
+                                tau: self.tau,
+                            }
+                        } else {
+                            StreamOp::TopProbableNn { m: self.m }
+                        };
+                        StreamQuery { object, op }
+                    })
+                    .collect()
+            })
+            .collect();
+        QueryStream { batches }
+    }
+
+    /// A query object centered within `hotspot_spread` of a hot-spot
+    /// center; extents and density family follow the data
+    /// distribution's, exactly like uniform-drawn query objects.
+    fn hotspot_object(
+        &self,
+        center: &Point,
+        object_config: &SyntheticConfig,
+        rng: &mut StdRng,
+    ) -> UncertainObject {
+        let c: Vec<f64> = (0..object_config.dims)
+            .map(|d| center[d] + rng.gen_range(-self.hotspot_spread..self.hotspot_spread))
+            .collect();
+        object_config.generate_object_at(c, rng)
+    }
+}
+
+/// How [`serve_stream`] executes each arrival batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeMode {
+    /// One call per query through the per-query entry points (the
+    /// baseline a serving system without batching would run).
+    Sequential,
+    /// One [`IndexedEngine::run_batch`] per arrival batch (grouped
+    /// descent, cross-query decomposition cache, scratch reuse,
+    /// `batch_threads` fan-out).
+    Batched,
+}
+
+/// Drives a query stream through the engine, batch by batch, and returns
+/// the per-batch, per-query results (aligned with the stream). The two
+/// modes return bit-identical results; they differ only in how the work
+/// is shared — which is exactly what the `serve_stream` benchmark
+/// measures as sustained queries/sec.
+pub fn serve_stream<'a>(
+    engine: &IndexedEngine<'a>,
+    stream: &'a QueryStream,
+    mode: ServeMode,
+) -> Vec<Vec<Vec<ThresholdResult>>> {
+    stream
+        .batches
+        .iter()
+        .map(|batch| match mode {
+            ServeMode::Sequential => batch
+                .iter()
+                .map(|q| match q.op {
+                    StreamOp::KnnThreshold { k, tau } => engine.knn_threshold(&q.object, k, tau),
+                    StreamOp::RknnThreshold { k, tau } => engine.rknn_threshold(&q.object, k, tau),
+                    StreamOp::TopProbableNn { m } => engine.top_probable_nn(&q.object, m),
+                })
+                .collect(),
+            ServeMode::Batched => {
+                let mut qb = QueryBatch::new();
+                for q in batch {
+                    match q.op {
+                        StreamOp::KnnThreshold { k, tau } => {
+                            qb.knn_threshold(&q.object, k, tau);
+                        }
+                        StreamOp::RknnThreshold { k, tau } => {
+                            qb.rknn_threshold(&q.object, k, tau);
+                        }
+                        StreamOp::TopProbableNn { m } => {
+                            qb.top_probable_nn(&q.object, m);
+                        }
+                    }
+                }
+                engine.run_batch(&qb)
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> QueryStreamConfig {
+        QueryStreamConfig {
+            batches: 3,
+            batch_size: 5,
+            ..Default::default()
+        }
+    }
+
+    fn object_cfg() -> SyntheticConfig {
+        SyntheticConfig {
+            n: 100,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn generation_is_seed_stable() {
+        let cfg = small_cfg();
+        let a = cfg.generate(&object_cfg());
+        let b = cfg.generate(&object_cfg());
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.total_queries(), 15);
+        for (ba, bb) in a.batches.iter().zip(b.batches.iter()) {
+            assert_eq!(ba.len(), bb.len());
+            for (x, y) in ba.iter().zip(bb.iter()) {
+                assert_eq!(x.op, y.op);
+                assert_eq!(x.object.mbr(), y.object.mbr());
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = small_cfg().generate(&object_cfg());
+        let b = QueryStreamConfig {
+            seed: 999,
+            ..small_cfg()
+        }
+        .generate(&object_cfg());
+        let same = a
+            .batches
+            .iter()
+            .flatten()
+            .zip(b.batches.iter().flatten())
+            .all(|(x, y)| x.object.mbr() == y.object.mbr());
+        assert!(!same);
+    }
+
+    #[test]
+    fn mix_ratios_are_respected() {
+        // a large stream: empirical mix within a loose tolerance of the
+        // configured weights
+        let cfg = QueryStreamConfig {
+            batches: 40,
+            batch_size: 25,
+            knn_weight: 0.5,
+            rknn_weight: 0.3,
+            top_m_weight: 0.2,
+            ..Default::default()
+        };
+        let stream = cfg.generate(&object_cfg());
+        let (knn, rknn, top_m) = stream.mix_counts();
+        let total = stream.total_queries() as f64;
+        assert_eq!(knn + rknn + top_m, stream.total_queries());
+        assert!((knn as f64 / total - 0.5).abs() < 0.08, "knn {knn}");
+        assert!((rknn as f64 / total - 0.3).abs() < 0.08, "rknn {rknn}");
+        assert!((top_m as f64 / total - 0.2).abs() < 0.08, "top_m {top_m}");
+    }
+
+    #[test]
+    fn zero_weight_ops_never_generated() {
+        let cfg = QueryStreamConfig {
+            batches: 10,
+            batch_size: 10,
+            knn_weight: 1.0,
+            rknn_weight: 0.0,
+            top_m_weight: 0.0,
+            ..Default::default()
+        };
+        let (knn, rknn, top_m) = cfg.generate(&object_cfg()).mix_counts();
+        assert_eq!(knn, 100);
+        assert_eq!(rknn, 0);
+        assert_eq!(top_m, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one mix weight")]
+    fn all_zero_weights_rejected() {
+        let cfg = QueryStreamConfig {
+            knn_weight: 0.0,
+            rknn_weight: 0.0,
+            top_m_weight: 0.0,
+            ..Default::default()
+        };
+        cfg.generate(&object_cfg());
+    }
+
+    #[test]
+    fn hotspot_queries_cluster_around_centers() {
+        // all-hot-spot stream with a tiny spread: query centers must
+        // cluster on at most `hotspots` distinct locations
+        let cfg = QueryStreamConfig {
+            batches: 4,
+            batch_size: 10,
+            hotspots: 2,
+            hotspot_fraction: 1.0,
+            hotspot_spread: 1e-4,
+            ..Default::default()
+        };
+        let stream = cfg.generate(&object_cfg());
+        let centers: Vec<Vec<f64>> = stream
+            .batches
+            .iter()
+            .flatten()
+            .map(|q| {
+                let c = q.object.mbr().center();
+                vec![c[0], c[1]]
+            })
+            .collect();
+        // greedily cluster with a radius well above the spread but far
+        // below the unit-space scale
+        let mut reps: Vec<&Vec<f64>> = Vec::new();
+        for c in &centers {
+            if !reps
+                .iter()
+                .any(|r| ((r[0] - c[0]).powi(2) + (r[1] - c[1]).powi(2)).sqrt() < 0.01)
+            {
+                reps.push(c);
+            }
+        }
+        assert!(reps.len() <= 2, "found {} clusters", reps.len());
+    }
+
+    #[test]
+    fn uniform_stream_has_no_clusters_constraint() {
+        let cfg = QueryStreamConfig {
+            hotspots: 0,
+            ..small_cfg()
+        };
+        let stream = cfg.generate(&object_cfg());
+        assert_eq!(stream.total_queries(), 15);
+    }
+
+    #[test]
+    fn serve_modes_agree_end_to_end() {
+        use udb_core::{IdcaConfig, IndexedEngine};
+        let object_cfg = SyntheticConfig {
+            n: 150,
+            max_extent: 0.02,
+            ..Default::default()
+        };
+        let db = object_cfg.generate();
+        let engine = IndexedEngine::with_config(
+            &db,
+            IdcaConfig {
+                max_iterations: 4,
+                ..Default::default()
+            },
+        );
+        let stream = QueryStreamConfig {
+            batches: 2,
+            batch_size: 4,
+            k: 3,
+            ..Default::default()
+        }
+        .generate(&object_cfg);
+        let seq = serve_stream(&engine, &stream, ServeMode::Sequential);
+        let bat = serve_stream(&engine, &stream, ServeMode::Batched);
+        assert_eq!(seq, bat);
+    }
+}

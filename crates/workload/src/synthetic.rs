@@ -64,6 +64,16 @@ impl SyntheticConfig {
     /// distribution).
     pub fn generate_object(&self, rng: &mut StdRng) -> UncertainObject {
         let center: Vec<f64> = (0..self.dims).map(|_| rng.gen_range(0.0..1.0)).collect();
+        self.generate_object_at(center, rng)
+    }
+
+    /// Generates one object at an explicit center (extents and density
+    /// follow the config's parameters exactly like
+    /// [`SyntheticConfig::generate_object`], which delegates here after
+    /// drawing its center). Query-stream generators use this to place
+    /// hot-spot queries that still follow the configured density family.
+    pub fn generate_object_at(&self, center: Vec<f64>, rng: &mut StdRng) -> UncertainObject {
+        assert_eq!(center.len(), self.dims, "center dimensionality mismatch");
         let half: Vec<f64> = (0..self.dims)
             .map(|_| 0.5 * rng.gen_range(f64::MIN_POSITIVE..=self.max_extent))
             .collect();

@@ -61,9 +61,10 @@ pub use udb_workload as workload;
 /// The commonly used types in one import.
 pub mod prelude {
     pub use udb_core::{
-        par_knn_threshold, refine_lockstep, refine_top_m, DomCountSnapshot, ExpectedRankEntry,
-        IdcaConfig, IndexedEngine, ObjRef, PoolHandle, Predicate, QueryEngine, RankDistribution,
-        RefineGoal, Refiner, ThresholdResult, WorkerPool,
+        par_knn_threshold, refine_lockstep, refine_top_m, BatchQuery, DomCountSnapshot,
+        ExpectedRankEntry, IdcaConfig, IndexedEngine, ObjRef, PoolHandle, Predicate, QueryBatch,
+        QueryEngine, RankDistribution, RefineGoal, Refiner, SharedRefineCtx, ThresholdResult,
+        WorkerPool,
     };
     pub use udb_domination::{DominationCriterion, PDomBounds};
     pub use udb_genfunc::{CountDistributionBounds, Ugf};
@@ -72,5 +73,8 @@ pub mod prelude {
     pub use udb_mc::MonteCarlo;
     pub use udb_object::{Database, Decomposition, ObjectId, SplitStrategy, UncertainObject};
     pub use udb_pdf::{DiscretePdf, GaussianPdf, HistogramPdf, MixturePdf, Pdf, UniformPdf};
-    pub use udb_workload::{IcebergConfig, QuerySet, SyntheticConfig};
+    pub use udb_workload::{
+        serve_stream, IcebergConfig, QuerySet, QueryStream, QueryStreamConfig, ServeMode, StreamOp,
+        StreamQuery, SyntheticConfig,
+    };
 }

@@ -1,0 +1,201 @@
+//! Equivalence oracle for the batched query engine: a mixed
+//! [`QueryBatch`] must produce **bit-identical** results — membership,
+//! probability bounds, iteration counts, result order — to running the
+//! same queries one by one through the per-query [`IndexedEngine`] entry
+//! points, at every [`IdcaConfig::batch_threads`] lane count. The
+//! batched pass shares *work* across queries (one grouped R-tree
+//! descent, a cross-query decomposition cache, recycled refiner
+//! arenas) but never numeric state, so 1, 2 and 4 lanes must agree with
+//! the sequential entry points to the last bit, for all three query
+//! types at once.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use uncertain_db::prelude::*;
+
+/// A random uncertain object: mixed density families, occasional
+/// existential uncertainty (mirrors the early-exit equivalence oracle).
+fn random_object(rng: &mut StdRng) -> UncertainObject {
+    let cx: f64 = rng.gen_range(0.0..4.0);
+    let cy: f64 = rng.gen_range(0.0..4.0);
+    let hx: f64 = rng.gen_range(0.02..0.5);
+    let hy: f64 = rng.gen_range(0.02..0.5);
+    let center = Point::from([cx, cy]);
+    let support = Rect::centered(&center, &[hx, hy]);
+    let pdf: Pdf = match rng.gen_range(0..3) {
+        0 => Pdf::uniform(support),
+        1 => GaussianPdf::new(center, vec![hx / 2.0, hy / 2.0], support).into(),
+        _ => {
+            let n = rng.gen_range(2..5);
+            let pts: Vec<Point> = (0..n)
+                .map(|_| {
+                    Point::from([
+                        rng.gen_range(cx - hx..cx + hx),
+                        rng.gen_range(cy - hy..cy + hy),
+                    ])
+                })
+                .collect();
+            DiscretePdf::equally_weighted(pts).into()
+        }
+    };
+    if rng.gen_range(0..4) == 0 {
+        UncertainObject::with_existence(pdf, rng.gen_range(0.3..1.0))
+    } else {
+        UncertainObject::new(pdf)
+    }
+}
+
+fn random_db(rng: &mut StdRng, n: usize) -> Database {
+    Database::from_objects((0..n).map(|_| random_object(rng)).collect())
+}
+
+/// Bit-exact comparison of two result sets (no tolerances anywhere).
+fn assert_bit_identical(seq: &[ThresholdResult], bat: &[ThresholdResult], ctx: &str) {
+    assert_eq!(bat.len(), seq.len(), "{ctx}: result count diverged");
+    for (a, b) in bat.iter().zip(seq.iter()) {
+        assert_eq!(a.id, b.id, "{ctx}: membership/order diverged");
+        assert_eq!(
+            a.prob_lower.to_bits(),
+            b.prob_lower.to_bits(),
+            "{ctx}: lower bound diverged for {:?}",
+            a.id
+        );
+        assert_eq!(
+            a.prob_upper.to_bits(),
+            b.prob_upper.to_bits(),
+            "{ctx}: upper bound diverged for {:?}",
+            a.id
+        );
+        assert_eq!(
+            a.iterations, b.iterations,
+            "{ctx}: iteration count diverged for {:?}",
+            a.id
+        );
+    }
+}
+
+fn config_with_lanes(lanes: usize) -> IdcaConfig {
+    IdcaConfig {
+        max_iterations: 4,
+        uncertainty_target: 0.0,
+        batch_threads: lanes,
+        ..Default::default()
+    }
+}
+
+/// The full oracle for one randomized workload: build a mixed batch of
+/// kNN / RkNN / top-`m` queries over shared and distinct query objects,
+/// run it at 1/2/4 batch lanes, and demand bit-identity with the
+/// per-query entry points.
+fn check_mixed_batch(seed: u64, n: usize, queries: usize) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let db = random_db(&mut rng, n);
+    // several queries deliberately share (or nearly share) a region so
+    // candidate sets overlap and the decomposition cache is actually hit
+    let hot = random_object(&mut rng);
+    let query_objects: Vec<UncertainObject> = (0..queries)
+        .map(|i| {
+            if i % 2 == 0 {
+                hot.clone()
+            } else {
+                random_object(&mut rng)
+            }
+        })
+        .collect();
+    let (k, tau, m) = (rng.gen_range(1..4), rng.gen_range(0.05..0.8), 2);
+
+    // the sequential oracle, through the per-query entry points
+    let oracle_engine = IndexedEngine::with_config(&db, config_with_lanes(1));
+    let mut oracle: Vec<Vec<ThresholdResult>> = Vec::new();
+    for (i, q) in query_objects.iter().enumerate() {
+        oracle.push(match i % 3 {
+            0 => oracle_engine.knn_threshold(q, k, tau),
+            1 => oracle_engine.rknn_threshold(q, k, tau),
+            _ => oracle_engine.top_probable_nn(q, m),
+        });
+    }
+
+    for lanes in [1usize, 2, 4] {
+        let engine = IndexedEngine::with_config(&db, config_with_lanes(lanes));
+        let mut batch = QueryBatch::new();
+        for (i, q) in query_objects.iter().enumerate() {
+            match i % 3 {
+                0 => batch.knn_threshold(q, k, tau),
+                1 => batch.rknn_threshold(q, k, tau),
+                _ => batch.top_probable_nn(q, m),
+            };
+        }
+        let results = engine.run_batch(&batch);
+        assert_eq!(results.len(), oracle.len());
+        for (qi, (seq, bat)) in oracle.iter().zip(results.iter()).enumerate() {
+            assert_bit_identical(seq, bat, &format!("lanes={lanes} query={qi}"));
+        }
+    }
+}
+
+/// Grouped candidate generation must return exactly the per-query
+/// candidate sets (the grouped descent prunes with the same
+/// MinDist/MaxDist rule, just against many queries at once).
+fn check_grouped_candidates(seed: u64, n: usize, queries: usize) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let db = random_db(&mut rng, n);
+    let engine = IndexedEngine::new(&db);
+    let requests: Vec<(Rect, usize)> = (0..queries)
+        .map(|_| {
+            let q = random_object(&mut rng);
+            (q.mbr().clone(), rng.gen_range(1..5))
+        })
+        .collect();
+    let grouped = engine.knn_candidates_batch(&requests);
+    assert_eq!(grouped.len(), requests.len());
+    for ((q, k), batch_set) in requests.iter().zip(grouped.iter()) {
+        let mut single = engine.knn_candidates(q, *k);
+        single.sort_unstable();
+        assert_eq!(
+            &single, batch_set,
+            "candidate set diverged for k={k} (grouped descent vs per-query stream)"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn batched_queries_bit_identical_at_1_2_4_lanes(seed in 0u64..10_000) {
+        check_mixed_batch(seed, 60, 6);
+    }
+
+    #[test]
+    fn grouped_candidates_match_per_query_candidates(seed in 0u64..10_000) {
+        check_grouped_candidates(seed, 120, 8);
+    }
+}
+
+/// A deterministic larger case on the paper-shaped synthetic workload
+/// (denser candidate sets than the randomized mixed-family databases).
+#[test]
+fn batched_synthetic_workload_matches_sequential() {
+    let object_cfg = SyntheticConfig {
+        n: 300,
+        max_extent: 0.02,
+        ..Default::default()
+    };
+    let db = object_cfg.generate();
+    let stream = QueryStreamConfig {
+        batches: 2,
+        batch_size: 5,
+        k: 3,
+        hotspots: 1,
+        hotspot_fraction: 0.8,
+        ..Default::default()
+    }
+    .generate(&object_cfg);
+    for lanes in [1usize, 2, 4] {
+        let engine = IndexedEngine::with_config(&db, config_with_lanes(lanes));
+        let seq = serve_stream(&engine, &stream, ServeMode::Sequential);
+        let bat = serve_stream(&engine, &stream, ServeMode::Batched);
+        assert_eq!(seq, bat, "lanes={lanes}");
+    }
+}
