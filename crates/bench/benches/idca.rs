@@ -8,7 +8,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use udb_bench::Scale;
-use udb_core::{IdcaConfig, IndexedEngine, ObjRef, Predicate, QueryEngine, Refiner};
+use udb_core::{Engine, IdcaConfig, ObjRef, Predicate, QueryEngine, Refiner};
 
 fn bench_idca(c: &mut Criterion) {
     let scale = match std::env::var("UDB_BENCH_SCALE").as_deref() {
@@ -145,10 +145,14 @@ fn bench_idca(c: &mut Criterion) {
     g.sample_size(20);
     let knn_cfg = IdcaConfig {
         max_iterations: scale.max_iterations,
+        // per-call caches: this group isolates the early-exit refinement
+        // machinery itself, not cross-call warmth (the serve bench's
+        // warm-vs-cold pair measures that)
+        decomp_cache_entries: 0,
         ..Default::default()
     };
     let scan_engine = QueryEngine::with_config(&db, knn_cfg.clone());
-    let indexed_engine = IndexedEngine::with_config(&db, knn_cfg);
+    let indexed_engine = Engine::with_config(db.clone(), knn_cfg);
     let (k, tau) = (5usize, 0.3f64);
     // the "bitter end" baseline: every candidate refined to convergence
     // (no threshold to decide against mid-loop), classified vs tau only
@@ -201,11 +205,12 @@ fn bench_idca(c: &mut Criterion) {
     let mut g = c.benchmark_group("idca_early_exit_candidate_threads");
     g.sample_size(20);
     for threads in [1usize, 2, 4] {
-        let engine = IndexedEngine::with_config(
-            &db,
+        let engine = Engine::with_config(
+            db.clone(),
             IdcaConfig {
                 candidate_threads: threads,
                 max_iterations: scale.max_iterations,
+                decomp_cache_entries: 0,
                 ..Default::default()
             },
         );

@@ -1,42 +1,47 @@
-//! Query-stream serving throughput: the batched engine
-//! ([`udb_core::IndexedEngine::run_batch`] via
-//! [`udb_workload::serve_stream`]) against the per-query entry points,
-//! on a hot-spot-skewed mixed stream — the workload shape the batched
-//! path's shared work (grouped R-tree descent, cross-query
-//! decomposition cache, recycled refiner arenas) is built for. Both
-//! modes return bit-identical results (property-tested in
-//! `tests/batch_equivalence.rs`); the ratio of the two medians is the
-//! `serve_stream_batched_vs_sequential` pair `bench_gate --relative`
-//! tracks.
+//! Query-stream serving throughput on the owned engine
+//! ([`udb_core::Engine`] via [`udb_workload::serve_stream`]), on a
+//! hot-spot-skewed mixed stream — the workload shape the shared-work
+//! machinery (grouped R-tree descent, cross-query decomposition cache,
+//! recycled refiner arenas) is built for. Two tracked comparisons:
+//!
+//! * **batched vs sequential** — one `run_batch` per arrival batch
+//!   against the per-query entry points, both with the cross-batch
+//!   cache *off* (`decomp_cache_entries = 0`), so the pair isolates
+//!   **within-batch** work sharing exactly as it did on the borrowed
+//!   engine.
+//! * **warm vs cold** — the same batched stream served by an engine
+//!   whose persistent decomposition cache survives across batches
+//!   (warm, the serving default) against one rebuilding the cache
+//!   every batch (cold, `UDB_DECOMP_CACHE_CAP=0` semantics). This is
+//!   the cross-batch win the owned engine exists for: hot objects are
+//!   decomposed once per *stream*, not once per batch.
+//!
+//! All modes return bit-identical results (property-tested in
+//! `tests/batch_equivalence.rs` / `tests/owned_engine.rs`); the ratios
+//! of per-run sample minima are the `serve_*` pairs
+//! `bench_gate --relative` tracks.
 //!
 //! `UDB_BENCH_SCALE=ci` switches from the smoke workload to the larger
 //! CI scale (2,000 objects), `paper` to the full 10,000.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use udb_bench::Scale;
-use udb_core::{IdcaConfig, IndexedEngine};
+use udb_core::{Engine, IdcaConfig};
 use udb_workload::{serve_stream, PdfKind, QueryStreamConfig, ServeMode, SyntheticConfig};
 
-/// Benches one workload's sequential-vs-batched serving pair.
-fn serve_pair(c: &mut Criterion, group: &str, object_cfg: &SyntheticConfig, max_iterations: usize) {
-    let db = object_cfg.generate();
-    let engine = IndexedEngine::with_config(
-        &db,
-        IdcaConfig {
-            max_iterations,
-            ..Default::default()
-        },
-    );
-    // two arrival batches of mixed traffic around two hot spots: the
-    // candidate overlap across queries is what the decomposition cache
-    // amortizes. RkNN/top-m weights are the lighter share, mirroring a
-    // read-heavy serving mix.
-    let stream_cfg = QueryStreamConfig {
+/// The hot-spot stream every serve bench replays: two arrival batches
+/// of mixed traffic around two hot spots — the candidate overlap across
+/// queries is what the decomposition cache amortizes. RkNN/top-m
+/// weights are the lighter share, mirroring a read-heavy serving mix.
+fn stream_config() -> QueryStreamConfig {
+    QueryStreamConfig {
         batches: 2,
         batch_size: 6,
         knn_weight: 0.5,
         rknn_weight: 0.25,
         top_m_weight: 0.25,
+        insert_weight: 0.0,
+        delete_weight: 0.0,
         k: 5,
         tau: 0.3,
         m: 3,
@@ -44,16 +49,86 @@ fn serve_pair(c: &mut Criterion, group: &str, object_cfg: &SyntheticConfig, max_
         hotspot_fraction: 0.75,
         hotspot_spread: 0.02,
         seed: 0x57EA_u64,
+    }
+}
+
+/// Benches one workload's sequential-vs-batched serving pair, both
+/// sides with the cross-batch cache off (within-batch sharing only).
+fn serve_pair(c: &mut Criterion, group: &str, object_cfg: &SyntheticConfig, max_iterations: usize) {
+    let db = object_cfg.generate();
+    let cfg = IdcaConfig {
+        max_iterations,
+        decomp_cache_entries: 0,
+        ..Default::default()
     };
-    let stream = stream_cfg.generate(object_cfg);
+    let stream = stream_config().generate(object_cfg);
+    let mut seq_engine = Engine::with_config(db.clone(), cfg.clone());
+    let mut bat_engine = Engine::with_config(db, cfg);
 
     let mut g = c.benchmark_group(group);
     g.sample_size(10);
     g.bench_function("sequential", |bench| {
-        bench.iter(|| black_box(serve_stream(&engine, &stream, ServeMode::Sequential)))
+        bench.iter(|| {
+            black_box(serve_stream(
+                &mut seq_engine,
+                &stream,
+                ServeMode::Sequential,
+            ))
+        })
     });
     g.bench_function("batched", |bench| {
-        bench.iter(|| black_box(serve_stream(&engine, &stream, ServeMode::Batched)))
+        bench.iter(|| black_box(serve_stream(&mut bat_engine, &stream, ServeMode::Batched)))
+    });
+    g.finish();
+}
+
+/// Benches one workload's warm-vs-cold cross-batch pair: the same
+/// batched hot-spot stream against an engine whose persistent
+/// decomposition cache survives across batches (warm — it also
+/// survives across bench iterations, which is the steady serving
+/// state) and one with per-batch caches (cold).
+fn serve_cache_pair(
+    c: &mut Criterion,
+    group: &str,
+    object_cfg: &SyntheticConfig,
+    max_iterations: usize,
+) {
+    let db = object_cfg.generate();
+    // same query mix, but arriving as many small all-hot batches:
+    // per-batch sharing covers little, so the pair isolates what only
+    // *cross-batch* persistence can amortize (the cold engine
+    // re-decomposes the hot working set every arrival batch)
+    let stream = QueryStreamConfig {
+        batches: 6,
+        batch_size: 2,
+        hotspot_fraction: 1.0,
+        ..stream_config()
+    }
+    .generate(object_cfg);
+    let mut warm_engine = Engine::with_config(
+        db.clone(),
+        IdcaConfig {
+            max_iterations,
+            decomp_cache_entries: 1024,
+            ..Default::default()
+        },
+    );
+    let mut cold_engine = Engine::with_config(
+        db,
+        IdcaConfig {
+            max_iterations,
+            decomp_cache_entries: 0,
+            ..Default::default()
+        },
+    );
+
+    let mut g = c.benchmark_group(group);
+    g.sample_size(10);
+    g.bench_function("warm", |bench| {
+        bench.iter(|| black_box(serve_stream(&mut warm_engine, &stream, ServeMode::Batched)))
+    });
+    g.bench_function("cold", |bench| {
+        bench.iter(|| black_box(serve_stream(&mut cold_engine, &stream, ServeMode::Batched)))
     });
     g.finish();
 }
@@ -68,9 +143,10 @@ fn bench_serve(c: &mut Criterion) {
     // realistic influence-object set into refinement
     let uniform_cfg = scale.synthetic_config(0.05);
     serve_pair(c, "serve_stream", &uniform_cfg, scale.max_iterations);
+    serve_cache_pair(c, "serve_stream_cache", &uniform_cfg, scale.max_iterations);
     // the Gaussian variant makes decomposition genuinely expensive
-    // (inverse-CDF splits), so the cross-query decomposition cache
-    // carries a larger share of the batched win
+    // (inverse-CDF splits), so both the cross-query and the cross-batch
+    // decomposition cache carry a larger share of the win
     let gaussian_cfg = SyntheticConfig {
         pdf: PdfKind::Gaussian,
         ..uniform_cfg
@@ -78,6 +154,12 @@ fn bench_serve(c: &mut Criterion) {
     serve_pair(
         c,
         "serve_stream_gaussian",
+        &gaussian_cfg,
+        scale.max_iterations,
+    );
+    serve_cache_pair(
+        c,
+        "serve_stream_cache_gaussian",
         &gaussian_cfg,
         scale.max_iterations,
     );

@@ -5,7 +5,7 @@
 //! `indexed_early_exit_knn_vs_scan` baseline in `BENCH_idca.json`.
 use std::time::Instant;
 use udb_bench::Scale;
-use udb_core::{IdcaConfig, IndexedEngine, ObjRef, QueryEngine, RefineGoal};
+use udb_core::{Engine, IdcaConfig, ObjRef, QueryEngine, RefineGoal};
 
 fn main() {
     let scale = Scale::ci();
@@ -18,7 +18,7 @@ fn main() {
         ..Default::default()
     };
     let scan = QueryEngine::with_config(&db, knn_cfg.clone());
-    let indexed = IndexedEngine::with_config(&db, knn_cfg);
+    let indexed = Engine::with_config(db.clone(), knn_cfg);
     let (k, tau) = (5usize, 0.3f64);
     let goal = RefineGoal::threshold(k, tau);
 

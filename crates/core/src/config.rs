@@ -65,6 +65,27 @@ pub struct IdcaConfig {
     /// default honours the `UDB_BATCH_THREADS` environment variable (CI
     /// shim, mirroring the other two).
     pub batch_threads: usize,
+    /// Capacity (in objects) of the owned [`crate::Engine`]'s
+    /// **persistent** cross-batch decomposition cache: how many objects'
+    /// kd-decomposition expansion levels survive between `run_batch` /
+    /// per-query calls, so a stream of arrival batches re-hitting the
+    /// same hot objects replays their decompositions instead of
+    /// recomputing them. Least-recently-used entries beyond the capacity
+    /// are evicted after each call; [`crate::Engine::remove`] /
+    /// [`crate::Engine::update`] invalidate their object's entry.
+    ///
+    /// `0` disables cross-batch persistence entirely: every call builds
+    /// a fresh per-call cache, exactly the pre-owned-engine semantics.
+    /// Sharing is work-only either way — results are bit-identical at
+    /// every capacity (property-tested), this knob trades memory for
+    /// warm-serving throughput.
+    ///
+    /// The default (1024) honours the `UDB_DECOMP_CACHE_CAP` environment
+    /// variable (CI shim: the `{0, 64}` matrix keeps the cache-off and
+    /// eviction paths exercised on every push). The borrowed
+    /// [`crate::IndexedEngine`] shim ignores this knob — it has no
+    /// cross-call state.
+    pub decomp_cache_entries: usize,
 }
 
 /// Reads a thread-count environment variable once (values `< 1` and junk
@@ -94,6 +115,19 @@ fn default_batch_threads() -> usize {
     env_threads(&THREADS, "UDB_BATCH_THREADS")
 }
 
+/// Default capacity of the engine-owned decomposition cache; unlike the
+/// thread shims, `0` is a meaningful value (cache off, per-call
+/// semantics), so only unparsable input falls back to the default.
+fn default_decomp_cache_entries() -> usize {
+    static CAP: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *CAP.get_or_init(|| {
+        std::env::var("UDB_DECOMP_CACHE_CAP")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or(1024)
+    })
+}
+
 impl Default for IdcaConfig {
     fn default() -> Self {
         IdcaConfig {
@@ -105,6 +139,7 @@ impl Default for IdcaConfig {
             snapshot_threads: default_snapshot_threads(),
             candidate_threads: default_candidate_threads(),
             batch_threads: default_batch_threads(),
+            decomp_cache_entries: default_decomp_cache_entries(),
         }
     }
 }

@@ -1,0 +1,1124 @@
+//! The owned, lifetime-free serving engine — and the one internal query
+//! pipeline every entry point (owned or borrowed, per-query or batched)
+//! runs through.
+//!
+//! [`Engine`] owns its [`Database`], R-tree, worker pool and — unlike
+//! the borrowed [`crate::IndexedEngine`] snapshot it replaces — a
+//! **persistent, bounded, invalidation-aware** decomposition cache
+//! ([`crate::DecompCache`]) plus scratch pool that live *across*
+//! `run_batch` calls. A serving system re-hitting the same hot objects
+//! over a stream of arrival batches replays their kd-decomposition
+//! expansions from the cache instead of recomputing them every batch;
+//! [`crate::IdcaConfig::decomp_cache_entries`] bounds the memory (LRU
+//! eviction after every call, `0` = per-call caches, the old
+//! semantics).
+//!
+//! The engine is **mutable in place**: [`Engine::insert`] /
+//! [`Engine::remove`] / [`Engine::update`] maintain the R-tree
+//! incrementally (R*-flavoured insert, condensing delete) and
+//! invalidate exactly the touched object's cache entry — no rebuild,
+//! no full cache flush. Queries take `&self`, mutations `&mut self`;
+//! the borrow checker serializes them, so no query can observe a
+//! half-applied mutation.
+//!
+//! All sharing is work-only: query results are bit-identical to the
+//! scan-based [`crate::QueryEngine`] reference paths and to the borrowed
+//! shim,
+//! at every thread count and every cache capacity (property-tested in
+//! `tests/owned_engine.rs`, `tests/batch_equivalence.rs` and
+//! `tests/early_exit_equivalence.rs`).
+
+use udb_domination::PairClassifier;
+use udb_geometry::Rect;
+use udb_index::{NodeDecision, RTree};
+use udb_object::{Database, ObjectId, UncertainObject};
+
+use std::sync::Arc;
+
+use crate::batch::{DecompCache, QueryBatch, QueryView, SharedDecomp, SharedRefineCtx};
+use crate::config::{IdcaConfig, ObjRef, Predicate, RefineGoal};
+use crate::parallel::PoolHandle;
+use crate::queries::ThresholdResult;
+use crate::refiner::{refine_lockstep, refine_top_m, Refiner, ScratchPool};
+
+/// The batch-sharing state a query pipeline may run under: the batch's
+/// shared context plus the query object's per-query shared
+/// decomposition. `None` is the plain per-query execution.
+pub(crate) type BatchShared<'s> = Option<(&'s SharedRefineCtx, &'s SharedDecomp)>;
+
+/// Entry-count cutoff of the per-candidate subtree filter: a `Descend`
+/// verdict on a subtree holding at most this many entries switches to
+/// the scan filter (per-entry tests, no interior MBR tests below).
+/// Results are cutoff-invariant for the monotone domination criterion —
+/// this is purely a cost knob: near the decision boundary small subtrees
+/// overwhelmingly answer `Descend` at every level, so their interior
+/// node tests are wasted work. One leaf level (fan-out 16) plus slack.
+const SUBTREE_SCAN_CUTOFF: usize = 24;
+
+/// Joins a refiner to a batch's shared state, or leaves it untouched for
+/// plain per-query execution (the only difference between the two
+/// pipeline shapes).
+fn attach<'b>(refiner: Refiner<'b>, shared: BatchShared<'_>) -> Refiner<'b> {
+    match shared {
+        Some((ctx, q_dec)) => refiner.with_shared_ctx(ctx).with_external_decomp(q_dec),
+        None => refiner,
+    }
+}
+
+/// Maintains the `k` smallest MaxDists seen over *certainly existing*
+/// objects (`k_smallest`, kept sorted ascending): inserts `max_d` if it
+/// belongs, and returns the updated pruning radius `d_k` once `k` values
+/// are held. Shared by the per-query candidate stream and the grouped
+/// batch descent so the pruning rule cannot diverge between them.
+fn tighten_dk(k_smallest: &mut Vec<f64>, k: usize, max_d: f64) -> Option<f64> {
+    let pos = k_smallest
+        .binary_search_by(|d| d.partial_cmp(&max_d).expect("NaN"))
+        .unwrap_or_else(|p| p);
+    if pos < k {
+        k_smallest.insert(pos, max_d);
+        k_smallest.truncate(k);
+        if k_smallest.len() == k {
+            return Some(k_smallest[k - 1]);
+        }
+    }
+    None
+}
+
+/// The borrowed parts every query pipeline runs against. Both engine
+/// flavours — the owned [`Engine`] and the borrowed
+/// [`crate::IndexedEngine`] shim — assemble one of these per call and
+/// execute the *same* methods, so the two public surfaces cannot drift:
+/// their equality is structural, not a convention kept in sync by hand.
+#[derive(Clone, Copy)]
+pub(crate) struct EngineRef<'a> {
+    pub(crate) db: &'a Database,
+    pub(crate) cfg: &'a IdcaConfig,
+    pub(crate) pool: &'a PoolHandle,
+    pub(crate) tree: &'a RTree<ObjectId>,
+    pub(crate) scratch: &'a ScratchPool,
+}
+
+/// Per-query execution slot of one batch run (the `fan_each` item).
+struct QueryTask<'a> {
+    query: QueryView<'a>,
+    /// Index-driven candidates from the grouped descent (kNN-style
+    /// queries only; RkNN prefilters per database object instead).
+    candidates: Vec<ObjectId>,
+    out: Vec<ThresholdResult>,
+}
+
+impl<'a> EngineRef<'a> {
+    /// Index-accelerated domination-count refiner: the complete-domination
+    /// filter of Algorithm 1 applied to whole R-tree subtrees instead of a
+    /// linear scan. Sound because both criteria are monotone under MBR
+    /// containment: shrinking an object's rectangle only decreases its
+    /// MaxDist and increases its MinDist terms, so a subtree-level
+    /// `dominates` / `never_dominates` verdict holds for every object
+    /// below. Existentially uncertain objects accepted at subtree level
+    /// are demoted to influence objects (they are never *certain*
+    /// dominators).
+    ///
+    /// The traversal checks a reusable traversal scratch out of the
+    /// engine's [`ScratchPool`] (no allocation per candidate, no
+    /// serialization across concurrent batch lanes), precomputes the
+    /// `(B, R)` criterion halves once per candidate ([`PairClassifier`]
+    /// — every node and entry test then evaluates only the subtree-side
+    /// terms) and scans small undecided subtrees flat instead of testing
+    /// their interior nodes (`SUBTREE_SCAN_CUTOFF`).
+    pub(crate) fn refiner(
+        &self,
+        target: ObjRef<'a>,
+        reference: ObjRef<'a>,
+        predicate: Predicate,
+    ) -> Refiner<'a> {
+        let db = self.db;
+        let cfg = self.cfg;
+        let target_obj = target.resolve(db);
+        let reference_obj = reference.resolve(db);
+        let (b_mbr, r_mbr) = (target_obj.mbr(), reference_obj.mbr());
+        let excluded = [target.id(), reference.id()];
+
+        let pc = PairClassifier::new(b_mbr, r_mbr, cfg.criterion, cfg.norm);
+        let (complete, influence) = self.scratch.with_classify(|scratch| {
+            self.tree
+                .classify_entries_with(scratch, SUBTREE_SCAN_CUTOFF, |mbr| {
+                    // same decisions as the scan filter's classify (the
+                    // criterion tests are mutually exclusive)
+                    match pc.classify(mbr).decision {
+                        Some(false) => NodeDecision::DropAll,
+                        Some(true) => NodeDecision::TakeAll,
+                        None => NodeDecision::Descend,
+                    }
+                });
+            let mut complete = 0usize;
+            let mut influence = Vec::with_capacity(scratch.undecided.len());
+            for &id in &scratch.taken {
+                if excluded.contains(&Some(id)) {
+                    continue;
+                }
+                if db.get(id).existence() >= 1.0 {
+                    complete += 1;
+                } else {
+                    influence.push(id);
+                }
+            }
+            influence.extend(
+                scratch
+                    .undecided
+                    .iter()
+                    .copied()
+                    .filter(|id| !excluded.contains(&Some(*id))),
+            );
+            (complete, influence)
+        });
+        let mut influence = influence;
+        influence.sort_unstable();
+        Refiner::with_filter_result(
+            db,
+            target,
+            reference,
+            cfg.clone(),
+            predicate,
+            complete,
+            influence,
+        )
+        .with_pool(self.pool.clone())
+    }
+
+    /// Index-driven spatial kNN candidate set: all objects that are *not*
+    /// certainly dominated by at least `k` others w.r.t. `q` under the
+    /// MinDist/MaxDist filter. Sound superset of every object with
+    /// non-zero kNN probability. Only certainly existing objects tighten
+    /// the pruning bound `d_k` (an object that may be absent guarantees
+    /// no domination), matching [`crate::QueryEngine::knn_candidates`].
+    pub(crate) fn knn_candidates(&self, q: &Rect, k: usize) -> Vec<ObjectId> {
+        assert!(k >= 1);
+        let norm = self.cfg.norm;
+        let mut seen: Vec<(ObjectId, f64)> = Vec::new(); // (id, max_dist)
+        let mut kth_max = f64::INFINITY;
+        let mut k_smallest: Vec<f64> = Vec::with_capacity(k + 1);
+        let db = self.db;
+        for n in self.tree.knn_iter(q, norm) {
+            if n.dist > kth_max {
+                break; // every further object has MinDist > d_k
+            }
+            let obj = db.get(n.payload);
+            seen.push((n.payload, n.dist));
+            if obj.existence() < 1.0 {
+                continue; // cannot contribute to d_k
+            }
+            let max_d = obj.mbr().max_dist_rect(q, norm);
+            if let Some(d_k) = tighten_dk(&mut k_smallest, k, max_d) {
+                kth_max = d_k;
+            }
+        }
+        seen.into_iter()
+            .filter(|(_, min_d)| *min_d <= kth_max)
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Grouped spatial kNN candidate generation: the candidate sets of
+    /// many `(query MBR, k)` requests from **one** best-first R-tree
+    /// descent ([`RTree::for_each_grouped`]) instead of one descent per
+    /// query. Each request's set equals [`EngineRef::knn_candidates`]
+    /// for the same `(q, k)` — the per-query pruning rule (only certainly
+    /// existing objects tighten `d_k`; survivors have `MinDist ≤ d_k`) is
+    /// applied with per-query state while the tree is walked once, so
+    /// subtrees shared by clustered queries are tested once. Returned
+    /// sets are sorted by id (candidate order does not affect query
+    /// results; a deterministic order keeps the batched pipeline
+    /// reproducible).
+    ///
+    /// # Panics
+    /// Panics if any request has `k == 0`.
+    pub(crate) fn knn_candidates_batch(&self, queries: &[(Rect, usize)]) -> Vec<Vec<ObjectId>> {
+        struct QState {
+            /// `(id, MinDist)` of every object visited within the
+            /// query's (then-current) radius; filtered by the final
+            /// radius at the end, like the per-query stream.
+            seen: Vec<(ObjectId, f64)>,
+            /// The `k` smallest MaxDists over certain objects so far.
+            k_smallest: Vec<f64>,
+        }
+        for (_, k) in queries {
+            assert!(*k >= 1, "k must be positive");
+        }
+        let norm = self.cfg.norm;
+        let db = self.db;
+        let rects: Vec<Rect> = queries.iter().map(|(r, _)| r.clone()).collect();
+        let mut radii = vec![f64::INFINITY; queries.len()];
+        let mut states: Vec<QState> = queries
+            .iter()
+            .map(|(_, k)| QState {
+                seen: Vec::new(),
+                k_smallest: Vec::with_capacity(k + 1),
+            })
+            .collect();
+        self.tree
+            .for_each_grouped(&rects, norm, &mut radii, |i, &id, min_d, radii| {
+                let st = &mut states[i];
+                st.seen.push((id, min_d));
+                let obj = db.get(id);
+                if obj.existence() < 1.0 {
+                    return; // cannot contribute to d_k
+                }
+                let (q, k) = &queries[i];
+                let max_d = obj.mbr().max_dist_rect(q, norm);
+                if let Some(d_k) = tighten_dk(&mut st.k_smallest, *k, max_d) {
+                    radii[i] = d_k;
+                }
+            });
+        states
+            .into_iter()
+            .zip(radii)
+            .map(|(st, d_k)| {
+                let mut out: Vec<ObjectId> = st
+                    .seen
+                    .into_iter()
+                    .filter(|(_, min_d)| *min_d <= d_k)
+                    .map(|(id, _)| id)
+                    .collect();
+                out.sort_unstable();
+                out
+            })
+            .collect()
+    }
+
+    /// The kNN-threshold refinement pipeline: index-driven candidates,
+    /// subtree-filtered refiners, and lock-step early-exit refinement
+    /// that retires candidates mid-loop as soon as their
+    /// `P(DomCount < k) ≷ τ` outcome is decided. Shared verbatim by
+    /// every entry point so the surfaces cannot drift.
+    pub(crate) fn knn_threshold_pipeline(
+        &self,
+        q: &'a UncertainObject,
+        k: usize,
+        tau: f64,
+        candidates: Vec<ObjectId>,
+        shared: BatchShared<'_>,
+    ) -> Vec<ThresholdResult> {
+        let goal = RefineGoal::threshold(k, tau);
+        let refiners = candidates
+            .into_iter()
+            .map(|id| {
+                (
+                    id,
+                    attach(
+                        self.refiner(ObjRef::Db(id), ObjRef::External(q), goal.predicate()),
+                        shared,
+                    ),
+                )
+            })
+            .collect();
+        refine_lockstep(refiners, goal)
+    }
+
+    /// The RkNN-threshold pipeline (Corollary 5): every database object
+    /// `B` is prefiltered with an index probe — counting objects that
+    /// certainly dominate `q` w.r.t. `B` without building a refiner —
+    /// and the survivors refine in lock-step with mid-loop retirement.
+    pub(crate) fn rknn_threshold_pipeline(
+        &self,
+        q: &'a UncertainObject,
+        k: usize,
+        tau: f64,
+        shared: BatchShared<'_>,
+    ) -> Vec<ThresholdResult> {
+        let goal = RefineGoal::threshold(k, tau);
+        let mut refiners = Vec::new();
+        for (b_id, b_obj) in self.db.iter() {
+            if self.certain_dominators_reach(q, b_obj, b_id, k) {
+                continue; // P(DomCount < k) is certainly 0
+            }
+            refiners.push((
+                b_id,
+                attach(
+                    self.refiner(ObjRef::External(q), ObjRef::Db(b_id), goal.predicate()),
+                    shared,
+                ),
+            ));
+        }
+        refine_lockstep(refiners, goal)
+    }
+
+    /// The top-`m` pipeline: candidates certainly outside the top `m`
+    /// retire mid-loop instead of refining to convergence.
+    pub(crate) fn top_probable_nn_pipeline(
+        &self,
+        q: &'a UncertainObject,
+        m: usize,
+        candidates: Vec<ObjectId>,
+        shared: BatchShared<'_>,
+    ) -> Vec<ThresholdResult> {
+        let goal = RefineGoal::count_below(1);
+        let refiners = candidates
+            .into_iter()
+            .map(|id| {
+                (
+                    id,
+                    attach(
+                        self.refiner(ObjRef::Db(id), ObjRef::External(q), goal.predicate()),
+                        shared,
+                    ),
+                )
+            })
+            .collect();
+        refine_top_m(refiners, m)
+    }
+
+    /// Index probe of the RkNN prefilter: `true` once `k` objects (other
+    /// than `B`) certainly dominate `q` w.r.t. reference `B`. Any
+    /// dominating `A` satisfies `MinDist(A, B) < MinDist(q, B)` (for
+    /// every placement `a`, `b`: `d(a, b) < d(q, b)`), so a bounded tree
+    /// probe within that radius — recursive and allocation-free via
+    /// [`RTree::for_each_within_distance`] — covers every possible
+    /// dominator; the criterion test itself matches the scan path's, so
+    /// the two prefilters skip exactly the same objects.
+    fn certain_dominators_reach(
+        &self,
+        q: &UncertainObject,
+        b_obj: &UncertainObject,
+        b_id: ObjectId,
+        k: usize,
+    ) -> bool {
+        let cfg = self.cfg;
+        let radius = q.mbr().min_dist_rect(b_obj.mbr(), cfg.norm);
+        if radius <= 0.0 {
+            // overlapping MBRs: in some world q is at distance 0 from B,
+            // which no object can strictly beat
+            return false;
+        }
+        let db = self.db;
+        let mut count = 0usize;
+        self.tree
+            .for_each_within_distance(b_obj.mbr(), radius, cfg.norm, &mut |&id| {
+                let a = db.get(id);
+                // only certainly existing objects are certain dominators
+                if id != b_id
+                    && a.existence() >= 1.0
+                    && cfg
+                        .criterion
+                        .dominates(a.mbr(), q.mbr(), b_obj.mbr(), cfg.norm)
+                {
+                    count += 1;
+                }
+                count < k
+            });
+        count >= k
+    }
+
+    /// Executes a set of query views through one shared pass: grouped
+    /// candidate generation, the context's decomposition cache, recycled
+    /// refiner scratch, and query-level fan-out over
+    /// [`crate::IdcaConfig::batch_threads`] worker-pool lanes. Returns
+    /// one result vector per query, aligned with input order; each
+    /// vector is exactly what the corresponding per-query entry point
+    /// returns — bit-identical bounds, iteration counts and ordering, at
+    /// every lane count and cache capacity.
+    pub(crate) fn run_views(
+        &self,
+        views: &[QueryView<'a>],
+        ctx: &SharedRefineCtx,
+    ) -> Vec<Vec<ThresholdResult>> {
+        // one grouped descent for every kNN-style candidate set
+        let requests: Vec<(Rect, usize)> = views
+            .iter()
+            .filter_map(|view| match *view {
+                QueryView::Knn { q, k, .. } => Some((q.mbr().clone(), k)),
+                QueryView::TopM { q, .. } => Some((q.mbr().clone(), 1)),
+                QueryView::Rknn { .. } => None,
+            })
+            .collect();
+        // the grouped descent only pays off when there is sharing to
+        // group: a batch-of-one (every per-query entry point) takes the
+        // plain best-first stream instead — same candidate set (property
+        // -tested), sorted to match the grouped path's deterministic
+        // order, without the grouped walker's per-node bookkeeping
+        let candidate_sets: Vec<Vec<ObjectId>> = if requests.len() <= 1 {
+            requests
+                .iter()
+                .map(|(q, k)| {
+                    let mut set = self.knn_candidates(q, *k);
+                    set.sort_unstable();
+                    set
+                })
+                .collect()
+        } else {
+            self.knn_candidates_batch(&requests)
+        };
+        let mut candidate_sets = candidate_sets.into_iter();
+        let mut tasks: Vec<QueryTask<'a>> = views
+            .iter()
+            .map(|&query| QueryTask {
+                query,
+                candidates: match query {
+                    QueryView::Rknn { .. } => Vec::new(),
+                    _ => candidate_sets
+                        .next()
+                        .expect("one candidate set per request"),
+                },
+                out: Vec::new(),
+            })
+            .collect();
+        let lanes = self.cfg.batch_threads;
+        self.pool.clone().fan_each(lanes, &mut tasks, |task| {
+            task.out = self.run_one(task.query, std::mem::take(&mut task.candidates), ctx);
+        });
+        tasks.into_iter().map(|t| t.out).collect()
+    }
+
+    /// Executes one query against the shared context: the *same*
+    /// pipeline function the per-query entry points run, joined to the
+    /// context's decomposition cache, scratch pool and the query
+    /// object's shared decomposition.
+    fn run_one(
+        &self,
+        query: QueryView<'a>,
+        candidates: Vec<ObjectId>,
+        ctx: &SharedRefineCtx,
+    ) -> Vec<ThresholdResult> {
+        match query {
+            QueryView::Knn { q, k, tau } => {
+                let q_dec = ctx.external_decomp(q.pdf());
+                self.knn_threshold_pipeline(q, k, tau, candidates, Some((ctx, &q_dec)))
+            }
+            QueryView::Rknn { q, k, tau } => {
+                let q_dec = ctx.external_decomp(q.pdf());
+                self.rknn_threshold_pipeline(q, k, tau, Some((ctx, &q_dec)))
+            }
+            QueryView::TopM { q, m } => {
+                let q_dec = ctx.external_decomp(q.pdf());
+                self.top_probable_nn_pipeline(q, m, candidates, Some((ctx, &q_dec)))
+            }
+        }
+    }
+}
+
+/// The owned, lifetime-free serving engine: owns its [`Database`],
+/// R-tree, worker pool and the persistent cross-batch decomposition
+/// cache / scratch pool (see the module docs). Mutate in place with
+/// [`Engine::insert`] / [`Engine::remove`] / [`Engine::update`]; query
+/// with the per-query entry points or [`Engine::run_batch`] — the
+/// per-query methods are batch-of-one wrappers over the same internal
+/// pipeline, so everything benefits from the warm cache.
+///
+/// ```
+/// use udb_core::{Engine, QueryBatch};
+/// use udb_geometry::Point;
+/// use udb_object::{Database, UncertainObject};
+///
+/// let db = Database::from_objects(vec![
+///     UncertainObject::certain(Point::from([1.0, 0.0])),
+///     UncertainObject::certain(Point::from([2.0, 0.0])),
+/// ]);
+/// let mut engine = Engine::new(db);
+/// let q = UncertainObject::certain(Point::from([0.0, 0.0]));
+/// let hits = engine.knn_threshold(&q, 1, 0.5);
+/// assert_eq!(hits.len(), 1);
+///
+/// // in-place mutation: no rebuild, the index and caches follow along
+/// let id = engine.insert(UncertainObject::certain(Point::from([0.5, 0.0])));
+/// let hits = engine.knn_threshold(&q, 1, 0.5);
+/// assert!(hits.iter().any(|r| r.id == id && r.is_hit(0.5)));
+/// engine.remove(id);
+/// ```
+pub struct Engine {
+    db: Database,
+    cfg: IdcaConfig,
+    pool: PoolHandle,
+    tree: RTree<ObjectId>,
+    /// The persistent cross-batch decomposition cache (unused when
+    /// [`IdcaConfig::decomp_cache_entries`] is 0).
+    decomps: Arc<DecompCache>,
+    /// The persistent refiner/filter scratch pool.
+    scratch: Arc<ScratchPool>,
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("objects", &self.db.len())
+            .field("tree_entries", &self.tree.len())
+            .field("decomp_cache_len", &self.decomps.len())
+            .field("cfg", &self.cfg)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Engine {
+    /// Takes ownership of `db` and builds the index (STR bulk load) over
+    /// its MBRs, with the default configuration.
+    pub fn new(db: Database) -> Self {
+        Engine::with_config(db, IdcaConfig::default())
+    }
+
+    /// Takes ownership of `db` with an explicit configuration.
+    pub fn with_config(db: Database, cfg: IdcaConfig) -> Self {
+        let tree = RTree::bulk_load(db.mbrs().map(|(id, r)| (r.clone(), id)).collect(), 16);
+        Engine {
+            db,
+            tree,
+            decomps: Arc::new(DecompCache::new(cfg.split_strategy)),
+            scratch: Arc::new(ScratchPool::new()),
+            pool: PoolHandle::default(),
+            cfg,
+        }
+    }
+
+    /// The owned database.
+    pub fn db(&self) -> &Database {
+        &self.db
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &IdcaConfig {
+        &self.cfg
+    }
+
+    /// The underlying R-tree.
+    pub fn tree(&self) -> &RTree<ObjectId> {
+        &self.tree
+    }
+
+    /// The engine's shared worker-pool handle.
+    pub fn pool_handle(&self) -> &PoolHandle {
+        &self.pool
+    }
+
+    /// Consumes the engine, handing the database back.
+    pub fn into_db(self) -> Database {
+        self.db
+    }
+
+    /// Number of objects currently held by the persistent decomposition
+    /// cache (0 when [`IdcaConfig::decomp_cache_entries`] is 0 —
+    /// per-call caches never land here).
+    pub fn decomp_cache_len(&self) -> usize {
+        self.decomps.len()
+    }
+
+    /// The borrowed parts the internal pipeline runs against.
+    pub(crate) fn parts(&self) -> EngineRef<'_> {
+        EngineRef {
+            db: &self.db,
+            cfg: &self.cfg,
+            pool: &self.pool,
+            tree: &self.tree,
+            scratch: &self.scratch,
+        }
+    }
+
+    /// The shared context for one call: the engine's persistent cache
+    /// when cross-batch caching is on, a fresh per-call cache when it is
+    /// off (`decomp_cache_entries == 0` — the pre-owned-engine
+    /// decomposition semantics). The scratch pool is the engine's
+    /// persistent one either way: buffer recycling is pure allocation
+    /// reuse (it cannot change results or skip work), so the cache knob
+    /// governs only what it names.
+    fn ctx(&self) -> SharedRefineCtx {
+        if self.cfg.decomp_cache_entries == 0 {
+            SharedRefineCtx::from_parts(
+                Arc::new(DecompCache::new(self.cfg.split_strategy)),
+                Arc::clone(&self.scratch),
+            )
+        } else {
+            SharedRefineCtx::from_parts(Arc::clone(&self.decomps), Arc::clone(&self.scratch))
+        }
+    }
+
+    /// Post-call cache maintenance: LRU-trim the persistent cache back
+    /// to its configured capacity.
+    fn trim_cache(&self) {
+        if self.cfg.decomp_cache_entries > 0 {
+            self.decomps.trim(self.cfg.decomp_cache_entries);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // In-place mutation
+    // ------------------------------------------------------------------
+
+    /// Inserts an object, returning its fresh id: the database appends,
+    /// the R-tree takes the new MBR incrementally (R*-flavoured
+    /// insertion) — no rebuild. The decomposition cache needs no
+    /// invalidation: ids are never reused, so the fresh id cannot alias
+    /// stale cached state.
+    ///
+    /// # Panics
+    /// Panics on dimensionality mismatch with the database.
+    pub fn insert(&mut self, object: UncertainObject) -> ObjectId {
+        let id = self.db.insert(object);
+        self.tree.insert(self.db.get(id).mbr().clone(), id);
+        id
+    }
+
+    /// Removes an object in place, returning it: the database slot
+    /// becomes a tombstone (the id is dead forever), the R-tree entry is
+    /// deleted with condensing, and the object's decomposition cache
+    /// entry is invalidated — its cached expansions describe a PDF that
+    /// no longer exists.
+    ///
+    /// # Panics
+    /// Panics if `id` is not a live object.
+    pub fn remove(&mut self, id: ObjectId) -> UncertainObject {
+        let object = self.db.remove(id);
+        let removed = self.tree.remove(object.mbr(), &id);
+        assert!(removed, "index entry missing for {id:?}");
+        self.decomps.invalidate(id);
+        object
+    }
+
+    /// Replaces the object behind a live id in place, returning the
+    /// previous object: the R-tree entry moves to the new MBR
+    /// (delete + insert) and the id's decomposition cache entry is
+    /// invalidated so no stale expansion of the old PDF can ever replay.
+    ///
+    /// # Panics
+    /// Panics if `id` is dead or the dimensionality differs.
+    pub fn update(&mut self, id: ObjectId, object: UncertainObject) -> UncertainObject {
+        let old = self.db.replace(id, object);
+        let removed = self.tree.remove(old.mbr(), &id);
+        assert!(removed, "index entry missing for {id:?}");
+        self.tree.insert(self.db.get(id).mbr().clone(), id);
+        self.decomps.invalidate(id);
+        old
+    }
+
+    // ------------------------------------------------------------------
+    // Queries
+    // ------------------------------------------------------------------
+
+    /// Index-accelerated domination-count refiner (see
+    /// [`crate::IndexedEngine::refiner`] — same semantics, owned
+    /// surface). Batch-shared state is not attached; use the query
+    /// entry points for cached execution.
+    pub fn refiner<'b>(
+        &'b self,
+        target: ObjRef<'b>,
+        reference: ObjRef<'b>,
+        predicate: Predicate,
+    ) -> Refiner<'b> {
+        self.parts().refiner(target, reference, predicate)
+    }
+
+    /// Index-driven spatial kNN candidate set (sound superset of every
+    /// object with non-zero kNN probability).
+    pub fn knn_candidates(&self, q: &Rect, k: usize) -> Vec<ObjectId> {
+        self.parts().knn_candidates(q, k)
+    }
+
+    /// The id of the live object whose MBR is nearest to `probe` by
+    /// MinDist (`None` on an empty database). Deterministic for a fixed
+    /// engine state — workload drivers use it to pick mutation targets
+    /// reproducibly (e.g. "delete the object nearest this hot spot").
+    pub fn nearest(&self, probe: &Rect) -> Option<ObjectId> {
+        self.tree
+            .knn_iter(probe, self.cfg.norm)
+            .next()
+            .map(|n| n.payload)
+    }
+
+    /// Grouped spatial kNN candidate generation for many `(MBR, k)`
+    /// requests through one best-first descent; each returned set equals
+    /// [`Engine::knn_candidates`] for that request, sorted by id.
+    pub fn knn_candidates_batch(&self, queries: &[(Rect, usize)]) -> Vec<Vec<ObjectId>> {
+        self.parts().knn_candidates_batch(queries)
+    }
+
+    /// Probabilistic threshold kNN (Corollary 4), fully index-integrated
+    /// and warm-cache-served: a batch-of-one through the same internal
+    /// pipeline as [`Engine::run_batch`]. Results are identical to
+    /// [`crate::QueryEngine::knn_threshold`] (sorted by id) at every
+    /// cache capacity.
+    pub fn knn_threshold(&self, q: &UncertainObject, k: usize, tau: f64) -> Vec<ThresholdResult> {
+        assert!(k >= 1, "k must be positive");
+        assert!((0.0..1.0).contains(&tau), "tau must be in [0, 1)");
+        self.run_single(QueryView::Knn { q, k, tau })
+    }
+
+    /// Probabilistic threshold reverse kNN (Corollary 5), semantics of
+    /// [`crate::QueryEngine::rknn_threshold`] (sorted by id).
+    pub fn rknn_threshold(&self, q: &UncertainObject, k: usize, tau: f64) -> Vec<ThresholdResult> {
+        assert!(k >= 1, "k must be positive");
+        assert!((0.0..1.0).contains(&tau), "tau must be in [0, 1)");
+        self.run_single(QueryView::Rknn { q, k, tau })
+    }
+
+    /// Top-`m` probable nearest neighbours, semantics of
+    /// [`crate::QueryEngine::top_probable_nn`].
+    pub fn top_probable_nn(&self, q: &UncertainObject, m: usize) -> Vec<ThresholdResult> {
+        assert!(m >= 1, "m must be positive");
+        self.run_single(QueryView::TopM { q, m })
+    }
+
+    /// Executes a mixed [`QueryBatch`] through one shared pass (grouped
+    /// candidate generation, the engine's persistent decomposition
+    /// cache, recycled refiner scratch, query-level fan-out over
+    /// [`IdcaConfig::batch_threads`] lanes). Returns one result vector
+    /// per query, aligned with the batch's insertion order; each vector
+    /// is exactly what the corresponding per-query entry point returns.
+    pub fn run_batch(&self, batch: &QueryBatch) -> Vec<Vec<ThresholdResult>> {
+        let views: Vec<QueryView<'_>> = batch.queries().iter().map(|spec| spec.view()).collect();
+        let ctx = self.ctx();
+        let out = self.parts().run_views(&views, &ctx);
+        self.trim_cache();
+        out
+    }
+
+    /// One query through the internal batch pipeline.
+    fn run_single(&self, view: QueryView<'_>) -> Vec<ThresholdResult> {
+        let ctx = self.ctx();
+        let mut out = self.parts().run_views(&[view], &ctx);
+        self.trim_cache();
+        out.pop().expect("one result set per query")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queries::QueryEngine;
+    use udb_geometry::{LpNorm, Point};
+    use udb_pdf::Pdf;
+    use udb_workload::{QuerySet, SyntheticConfig};
+
+    /// The whole point of the lifetime-free redesign: an engine (and an
+    /// owned batch) can move across threads — into a spawned serving
+    /// task, a shard worker, a queue consumer.
+    #[test]
+    fn engine_and_batch_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<Engine>();
+        assert_send::<QueryBatch>();
+    }
+
+    fn synthetic(n: usize) -> (Database, SyntheticConfig) {
+        let cfg = SyntheticConfig {
+            n,
+            max_extent: 0.01,
+            ..Default::default()
+        };
+        (cfg.generate(), cfg)
+    }
+
+    #[test]
+    fn indexed_filter_matches_scan_filter() {
+        let (db, cfg) = synthetic(600);
+        let qs = QuerySet::generate(&db, &cfg, 5, 10, LpNorm::L2, 79);
+        let engine = Engine::new(db.clone());
+        let scan = QueryEngine::new(&db);
+        for (r, b) in qs.iter() {
+            let via_index = engine.refiner(ObjRef::Db(b), ObjRef::External(r), Predicate::FullPdf);
+            let via_scan = scan.refiner(ObjRef::Db(b), ObjRef::External(r), Predicate::FullPdf);
+            assert_eq!(via_index.complete_count(), via_scan.complete_count());
+            let mut a: Vec<_> = via_index.influence_ids().collect();
+            let mut s: Vec<_> = via_scan.influence_ids().collect();
+            a.sort_unstable();
+            s.sort_unstable();
+            assert_eq!(a, s);
+        }
+    }
+
+    #[test]
+    fn indexed_refiner_produces_identical_bounds() {
+        let (db, cfg) = synthetic(300);
+        let qs = QuerySet::generate(&db, &cfg, 2, 10, LpNorm::L2, 80);
+        let idca = IdcaConfig {
+            max_iterations: 4,
+            uncertainty_target: 0.0,
+            ..Default::default()
+        };
+        let engine = Engine::with_config(db.clone(), idca.clone());
+        let scan = QueryEngine::with_config(&db, idca);
+        for (r, b) in qs.iter() {
+            let snap_a = engine
+                .refiner(ObjRef::Db(b), ObjRef::External(r), Predicate::FullPdf)
+                .run();
+            let snap_b = scan
+                .refiner(ObjRef::Db(b), ObjRef::External(r), Predicate::FullPdf)
+                .run();
+            assert_eq!(snap_a.bounds.len(), snap_b.bounds.len());
+            for k in 0..snap_a.bounds.len() {
+                assert!((snap_a.bounds.lower(k) - snap_b.bounds.lower(k)).abs() < 1e-12);
+                assert!((snap_a.bounds.upper(k) - snap_b.bounds.upper(k)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn indexed_filter_demotes_existential_dominators() {
+        // a certain dominator with existence 0.5 must land in the
+        // influence set, not the complete count
+        let dominator = UncertainObject::with_existence(
+            Pdf::uniform(Rect::from_point(&Point::from([1.0, 0.0]))),
+            0.5,
+        );
+        let target = UncertainObject::certain(Point::from([3.0, 0.0]));
+        let db = Database::from_objects(vec![dominator, target]);
+        let engine = Engine::new(db);
+        let q = UncertainObject::certain(Point::from([0.0, 0.0]));
+        let refiner = engine.refiner(
+            ObjRef::Db(ObjectId(1)),
+            ObjRef::External(&q),
+            Predicate::FullPdf,
+        );
+        assert_eq!(refiner.complete_count(), 0);
+        assert_eq!(
+            refiner.influence_ids().collect::<Vec<_>>(),
+            vec![ObjectId(0)]
+        );
+    }
+
+    #[test]
+    fn indexed_candidates_match_scan_filter() {
+        let (db, cfg) = synthetic(500);
+        let qs = QuerySet::generate(&db, &cfg, 4, 10, LpNorm::L2, 77);
+        let engine = Engine::new(db.clone());
+        let scan = QueryEngine::new(&db);
+        for (r, _) in qs.iter() {
+            for k in [1usize, 5, 10] {
+                let mut a = engine.knn_candidates(r.mbr(), k);
+                // scan-based candidates via the threshold query at tau = 0
+                let mut b: Vec<ObjectId> = scan
+                    .knn_threshold(r, k, 0.0)
+                    .into_iter()
+                    .map(|res| res.id)
+                    .collect();
+                a.sort_unstable();
+                b.sort_unstable();
+                // indexed candidate set must cover the scan-based one (it
+                // is computed from the identical MinDist/MaxDist rule, so
+                // it must actually be a superset of the surviving objects)
+                for id in &b {
+                    assert!(
+                        a.contains(id),
+                        "k={k}: {id} missing from indexed candidates"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn owned_knn_threshold_matches_scan_exactly() {
+        let (db, cfg) = synthetic(400);
+        let qs = QuerySet::generate(&db, &cfg, 3, 10, LpNorm::L2, 78);
+        let engine = Engine::new(db.clone());
+        let scan = QueryEngine::new(&db);
+        for (r, _) in qs.iter() {
+            let a = engine.knn_threshold(r, 3, 0.5);
+            let mut b = scan.knn_threshold(r, 3, 0.5);
+            b.sort_by_key(|x| x.id);
+            // the early-exit path replicates run()'s per-candidate
+            // operation sequence: same result set, bit-identical bounds
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(b.iter()) {
+                assert_eq!(x.id, y.id);
+                assert_eq!(x.prob_lower, y.prob_lower);
+                assert_eq!(x.prob_upper, y.prob_upper);
+                assert_eq!(x.iterations, y.iterations);
+            }
+        }
+    }
+
+    #[test]
+    fn owned_rknn_threshold_matches_scan_exactly() {
+        let (db, cfg) = synthetic(250);
+        let qs = QuerySet::generate(&db, &cfg, 3, 10, LpNorm::L2, 81);
+        let engine = Engine::new(db.clone());
+        let scan = QueryEngine::new(&db);
+        for (r, _) in qs.iter() {
+            let a = engine.rknn_threshold(r, 2, 0.5);
+            let mut b = scan.rknn_threshold(r, 2, 0.5);
+            b.sort_by_key(|x| x.id);
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(b.iter()) {
+                assert_eq!(x.id, y.id);
+                assert_eq!(x.prob_lower, y.prob_lower);
+                assert_eq!(x.prob_upper, y.prob_upper);
+            }
+        }
+    }
+
+    #[test]
+    fn owned_top_probable_nn_matches_scan_set() {
+        let (db, cfg) = synthetic(300);
+        let qs = QuerySet::generate(&db, &cfg, 4, 10, LpNorm::L2, 82);
+        let idca = IdcaConfig {
+            max_iterations: 5,
+            uncertainty_target: 0.0,
+            ..Default::default()
+        };
+        let engine = Engine::with_config(db.clone(), idca.clone());
+        let scan = QueryEngine::with_config(&db, idca);
+        for (r, _) in qs.iter() {
+            for m in [1usize, 3] {
+                let a = engine.top_probable_nn(r, m);
+                let b = scan.top_probable_nn(r, m);
+                let mut a_ids: Vec<ObjectId> = a.iter().map(|x| x.id).collect();
+                let mut b_ids: Vec<ObjectId> = b.iter().map(|x| x.id).collect();
+                a_ids.sort_unstable();
+                b_ids.sort_unstable();
+                // cross-candidate retirement may freeze an also-ran's
+                // bounds early, but the returned top-m *set* must match
+                // the run-to-convergence path
+                assert_eq!(a_ids, b_ids, "m={m}");
+                // and the winners' own bounds are fully refined in both
+                for x in &a {
+                    let y = b.iter().find(|y| y.id == x.id).unwrap();
+                    assert_eq!(x.prob_lower, y.prob_lower);
+                    assert_eq!(x.prob_upper, y.prob_upper);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rknn_prefilter_probe_matches_scan_prefilter() {
+        // the within-distance probe must skip exactly the objects the
+        // scan path's certain-dominator cap skips: compare the surviving
+        // id sets end-to-end at a tau where everything undecided survives
+        let (db, cfg) = synthetic(200);
+        let qs = QuerySet::generate(&db, &cfg, 2, 10, LpNorm::L2, 83);
+        let engine = Engine::new(db.clone());
+        let scan = QueryEngine::new(&db);
+        for (r, _) in qs.iter() {
+            let a: Vec<ObjectId> = engine
+                .rknn_threshold(r, 1, 0.0)
+                .iter()
+                .map(|x| x.id)
+                .collect();
+            let mut b: Vec<ObjectId> = scan
+                .rknn_threshold(r, 1, 0.0)
+                .iter()
+                .map(|x| x.id)
+                .collect();
+            b.sort_unstable();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn candidate_stream_terminates_early() {
+        // a dense cluster near the query and a huge far-away bulk: the
+        // index must not touch the far objects
+        let mut objects = Vec::new();
+        for i in 0..5 {
+            objects.push(UncertainObject::certain(Point::from([
+                i as f64 * 0.01,
+                0.0,
+            ])));
+        }
+        for i in 0..200 {
+            objects.push(UncertainObject::certain(Point::from([
+                100.0 + i as f64,
+                100.0,
+            ])));
+        }
+        let engine = Engine::new(Database::from_objects(objects));
+        let q = Rect::from_point(&Point::from([0.0, 0.0]));
+        let cands = engine.knn_candidates(&q, 2);
+        assert!(cands.len() <= 5, "far bulk leaked in: {}", cands.len());
+    }
+
+    #[test]
+    fn works_with_uncertain_query_region() {
+        let engine = Engine::new(Database::from_objects(vec![
+            UncertainObject::new(Pdf::uniform(Rect::centered(
+                &Point::from([1.0, 0.0]),
+                &[0.3, 0.3],
+            ))),
+            UncertainObject::certain(Point::from([5.0, 0.0])),
+        ]));
+        let q = UncertainObject::new(Pdf::uniform(Rect::centered(
+            &Point::from([0.0, 0.0]),
+            &[0.5, 0.5],
+        )));
+        let res = engine.knn_threshold(&q, 1, 0.5);
+        assert!(res.iter().any(|r| r.id == ObjectId(0) && r.is_hit(0.5)));
+    }
+
+    #[test]
+    fn batch_results_align_with_insertion_order() {
+        let (db, cfg) = synthetic(250);
+        let qs = QuerySet::generate(&db, &cfg, 3, 10, LpNorm::L2, 91);
+        let engine = Engine::new(db);
+        let mut batch = QueryBatch::new();
+        batch
+            .knn_threshold(qs.references[0].clone(), 3, 0.5)
+            .top_probable_nn(qs.references[1].clone(), 2)
+            .rknn_threshold(qs.references[2].clone(), 2, 0.5);
+        assert_eq!(batch.len(), 3);
+        let results = engine.run_batch(&batch);
+        assert_eq!(results.len(), 3);
+        assert_eq!(results[0], engine.knn_threshold(&qs.references[0], 3, 0.5));
+        assert_eq!(results[1], engine.top_probable_nn(&qs.references[1], 2));
+        assert_eq!(results[2], engine.rknn_threshold(&qs.references[2], 2, 0.5));
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let (db, _) = synthetic(50);
+        let engine = Engine::new(db);
+        assert!(engine.run_batch(&QueryBatch::new()).is_empty());
+    }
+
+    #[test]
+    fn mutations_maintain_index_and_results() {
+        let (db, cfg) = synthetic(120);
+        let qs = QuerySet::generate(&db, &cfg, 2, 10, LpNorm::L2, 92);
+        let mut engine = Engine::new(db.clone());
+        let q = &qs.references[0];
+        // remove a handful, update one, insert one
+        engine.remove(ObjectId(3));
+        engine.remove(ObjectId(77));
+        let moved = db.get(ObjectId(10)).clone();
+        engine.update(ObjectId(11), moved);
+        let new_id = engine.insert(db.get(ObjectId(5)).clone());
+        assert_eq!(new_id, ObjectId(120));
+        engine.tree().check_invariants();
+        assert_eq!(engine.db().len(), 119);
+        assert_eq!(engine.tree().len(), 119);
+        // a freshly built engine over the mutated database is the oracle
+        let fresh = Engine::new(engine.db().clone());
+        assert_eq!(
+            engine.knn_threshold(q, 3, 0.4),
+            fresh.knn_threshold(q, 3, 0.4)
+        );
+        assert_eq!(
+            engine.rknn_threshold(q, 2, 0.4),
+            fresh.rknn_threshold(q, 2, 0.4)
+        );
+        assert_eq!(engine.top_probable_nn(q, 2), fresh.top_probable_nn(q, 2));
+    }
+
+    #[test]
+    fn persistent_cache_fills_and_trims() {
+        let (db, cfg) = synthetic(150);
+        let qs = QuerySet::generate(&db, &cfg, 2, 10, LpNorm::L2, 93);
+        let idca = IdcaConfig {
+            max_iterations: 3,
+            decomp_cache_entries: 4,
+            ..Default::default()
+        };
+        let engine = Engine::with_config(db, idca);
+        let warm = engine.knn_threshold(&qs.references[0], 3, 0.3);
+        assert!(engine.decomp_cache_len() <= 4, "trim respects capacity");
+        // repeat batch: warm-cache results must be bit-identical
+        let again = engine.knn_threshold(&qs.references[0], 3, 0.3);
+        assert_eq!(warm, again);
+        // cache off: nothing persists
+        let (db2, _) = synthetic(150);
+        let cold = Engine::with_config(
+            db2,
+            IdcaConfig {
+                max_iterations: 3,
+                decomp_cache_entries: 0,
+                ..Default::default()
+            },
+        );
+        cold.knn_threshold(&qs.references[0], 3, 0.3);
+        assert_eq!(cold.decomp_cache_len(), 0);
+    }
+}

@@ -1,113 +1,80 @@
-//! Index-supported query processing (the paper's §VIII future-work item:
-//! "we will integrate our concepts into existing index supported kNN-
-//! and RkNN-query algorithms").
+//! The borrowed index-supported engine — now a thin compatibility shim
+//! over the owned [`crate::Engine`]'s internal pipeline.
 //!
-//! An [`IndexedEngine`] wraps a [`QueryEngine`] with an R-tree over the
-//! object MBRs and keeps the index *inside* the refinement loop, not just
-//! in front of it:
+//! [`IndexedEngine`] predates the owned engine: it borrows a
+//! [`Database`] snapshot for `'a`, cannot mutate it, and rebuilds all
+//! shared state (decomposition cache, scratch pool) on every
+//! [`IndexedEngine::run_batch`] call. It survives for one release as a
+//! migration shim — every method delegates to the *same* internal
+//! pipeline ([`crate::engine`]) the owned engine runs, so results are
+//! structurally identical — and will be removed afterwards.
 //!
-//! * **Candidate generation** for kNN queries uses the best-first MinDist
-//!   stream instead of a full scan: stream objects in MinDist order,
-//!   maintaining the `k` smallest *MaxDist* values seen; once the
-//!   stream's next MinDist exceeds the current `k`-th smallest MaxDist
-//!   `d_k`, every remaining object is dominated by at least `k` objects
-//!   in every possible world and is pruned soundly.
-//! * **Per-candidate filtering** applies the complete-domination filter
-//!   of Algorithm 1 to whole R-tree subtrees ([`IndexedEngine::refiner`])
-//!   instead of scanning the database once per candidate.
-//! * **Mid-loop pruning**: the threshold and top-`m` queries drive all
-//!   candidate refiners in lock-step through [`crate::refine_lockstep`] /
-//!   [`crate::refine_top_m`], retiring candidates the moment their
-//!   outcome is decided (freeing their caches) instead of refining each
-//!   one to its bitter end — the candidate set shrinks *during*
-//!   refinement. Results are identical to the scan-based
-//!   [`QueryEngine`] paths, which stay as the reference oracles.
-//! * **RkNN prefiltering** probes the tree with
-//!   [`RTree::within_distance_iter`] (no per-candidate allocation) to
-//!   count certain dominators before a refiner is even built.
+//! # Migration
+//!
+//! | borrowed | owned |
+//! | --- | --- |
+//! | `IndexedEngine::new(&db)` | [`crate::Engine::new`]`(db)` (takes ownership; `db.clone()` to keep a copy) |
+//! | `IndexedEngine::with_config(&db, cfg)` | [`crate::Engine::with_config`]`(db, cfg)` |
+//! | rebuild on data change | [`crate::Engine::insert`] / [`crate::Engine::remove`] / [`crate::Engine::update`] (in place) |
+//! | per-batch decomposition cache | engine-owned persistent cache ([`crate::IdcaConfig::decomp_cache_entries`]) |
+//!
+//! Query methods carry over verbatim (`knn_threshold`, `rknn_threshold`,
+//! `top_probable_nn`, `run_batch`, `knn_candidates`, `refiner`). One
+//! batch-construction change applies to shim users too:
+//! [`QueryBatch`] is now owned and lifetime-free, so its push methods
+//! take the query object **by value** (`batch.knn_threshold(q.clone(),
+//! k, tau)` where a borrow was passed before), and the borrowed
+//! `BatchQuery<'a>` enum is replaced by the owned [`crate::QuerySpec`].
 
-use std::sync::Mutex;
-
-use udb_domination::PairClassifier;
 use udb_geometry::Rect;
-use udb_index::{ClassifyScratch, NodeDecision, RTree};
+use udb_index::RTree;
 use udb_object::{Database, ObjectId, UncertainObject};
 
-use crate::batch::{SharedDecomp, SharedRefineCtx};
-use crate::config::{IdcaConfig, ObjRef, Predicate, RefineGoal};
+use crate::batch::{QueryBatch, QueryView, SharedRefineCtx};
+use crate::config::{IdcaConfig, ObjRef, Predicate};
+use crate::engine::EngineRef;
 use crate::queries::{QueryEngine, ThresholdResult};
-use crate::refiner::{refine_lockstep, refine_top_m, Refiner};
+use crate::refiner::{Refiner, ScratchPool};
 
-/// The batch-sharing state a query pipeline may run under: the batch's
-/// shared context plus the query object's per-query shared
-/// decomposition. `None` is the plain per-query execution.
-pub(crate) type BatchShared<'s> = Option<(&'s SharedRefineCtx, &'s SharedDecomp)>;
-
-/// Entry-count cutoff of the per-candidate subtree filter: a `Descend`
-/// verdict on a subtree holding at most this many entries switches to
-/// the scan filter (per-entry tests, no interior MBR tests below).
-/// Results are cutoff-invariant for the monotone domination criterion —
-/// this is purely a cost knob: near the decision boundary small subtrees
-/// overwhelmingly answer `Descend` at every level, so their interior
-/// node tests are wasted work. One leaf level (fan-out 16) plus slack.
-const SUBTREE_SCAN_CUTOFF: usize = 24;
-
-/// Joins a refiner to a batch's shared state, or leaves it untouched for
-/// plain per-query execution (the only difference between the two
-/// pipeline shapes).
-fn attach<'b>(refiner: Refiner<'b>, shared: BatchShared<'_>) -> Refiner<'b> {
-    match shared {
-        Some((ctx, q_dec)) => refiner.with_shared_ctx(ctx).with_external_decomp(q_dec),
-        None => refiner,
-    }
-}
-
-/// Maintains the `k` smallest MaxDists seen over *certainly existing*
-/// objects (`k_smallest`, kept sorted ascending): inserts `max_d` if it
-/// belongs, and returns the updated pruning radius `d_k` once `k` values
-/// are held. Shared by the per-query candidate stream and the grouped
-/// batch descent so the pruning rule cannot diverge between them.
-fn tighten_dk(k_smallest: &mut Vec<f64>, k: usize, max_d: f64) -> Option<f64> {
-    let pos = k_smallest
-        .binary_search_by(|d| d.partial_cmp(&max_d).expect("NaN"))
-        .unwrap_or_else(|p| p);
-    if pos < k {
-        k_smallest.insert(pos, max_d);
-        k_smallest.truncate(k);
-        if k_smallest.len() == k {
-            return Some(k_smallest[k - 1]);
-        }
-    }
-    None
-}
-
-/// A query engine with an R-tree accelerating spatial candidate
-/// generation.
+/// A query engine over a **borrowed** database snapshot, with an R-tree
+/// accelerating spatial candidate generation.
+///
+/// Deprecated in favour of the owned [`crate::Engine`], which adds
+/// in-place mutation and cross-batch caching on the same pipeline; see
+/// the [module docs](self) for the migration table.
 #[derive(Debug)]
 pub struct IndexedEngine<'a> {
     engine: QueryEngine<'a>,
     tree: RTree<ObjectId>,
-    /// Reusable traversal state for the per-candidate subtree filter
-    /// ([`IndexedEngine::refiner`] classifies the whole tree once per
-    /// candidate; the scratch makes that allocation-free). Behind a
-    /// mutex only so the engine stays `Sync` — the lock is uncontended
-    /// in the drivers, which build refiners on the query thread.
-    scratch: Mutex<ClassifyScratch<ObjectId>>,
+    /// Reusable traversal/arena scratch for the subtree filters (checked
+    /// out per call — concurrent batch lanes never serialize on it).
+    scratch: ScratchPool,
 }
 
 impl<'a> IndexedEngine<'a> {
     /// Builds the index (STR bulk load) over the database MBRs.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use the owned `udb_core::Engine::new(db)` — it adds in-place \
+                mutation and a persistent cross-batch decomposition cache \
+                on the same query pipeline"
+    )]
     pub fn new(db: &'a Database) -> Self {
+        #[allow(deprecated)]
         IndexedEngine::with_config(db, IdcaConfig::default())
     }
 
     /// Builds with an explicit configuration.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use the owned `udb_core::Engine::with_config(db, cfg)`"
+    )]
     pub fn with_config(db: &'a Database, cfg: IdcaConfig) -> Self {
         let tree = RTree::bulk_load(db.mbrs().map(|(id, r)| (r.clone(), id)).collect(), 16);
         IndexedEngine {
             engine: QueryEngine::with_config(db, cfg),
             tree,
-            scratch: Mutex::new(ClassifyScratch::new()),
+            scratch: ScratchPool::new(),
         }
     }
 
@@ -121,22 +88,22 @@ impl<'a> IndexedEngine<'a> {
         &self.tree
     }
 
-    /// Index-accelerated domination-count refiner: the complete-domination
-    /// filter of Algorithm 1 applied to whole R-tree subtrees instead of a
-    /// linear scan. Sound because both criteria are monotone under MBR
-    /// containment: shrinking an object's rectangle only decreases its
-    /// MaxDist and increases its MinDist terms, so a subtree-level
-    /// `dominates` / `never_dominates` verdict holds for every object
-    /// below. Existentially uncertain objects accepted at subtree level
-    /// are demoted to influence objects (they are never *certain*
-    /// dominators).
-    ///
-    /// The traversal reuses the engine's [`ClassifyScratch`] (no
-    /// allocation per candidate), precomputes the `(B, R)` criterion
-    /// halves once per candidate ([`PairClassifier`] — every node and
-    /// entry test then evaluates only the subtree-side terms) and scans
-    /// small undecided subtrees flat instead of testing their interior
-    /// nodes (`SUBTREE_SCAN_CUTOFF`).
+    /// The borrowed parts the shared internal pipeline runs against.
+    fn parts<'b>(&'b self) -> EngineRef<'b>
+    where
+        'a: 'b,
+    {
+        EngineRef {
+            db: self.engine.db(),
+            cfg: self.engine.config(),
+            pool: self.engine.pool_handle(),
+            tree: &self.tree,
+            scratch: &self.scratch,
+        }
+    }
+
+    /// Index-accelerated domination-count refiner (see
+    /// [`crate::Engine::refiner`]).
     pub fn refiner<'b>(
         &'b self,
         target: ObjRef<'b>,
@@ -146,329 +113,84 @@ impl<'a> IndexedEngine<'a> {
     where
         'a: 'b,
     {
-        let db = self.engine.db();
-        let cfg = self.engine.config();
-        let target_obj = target.resolve(db);
-        let reference_obj = reference.resolve(db);
-        let (b_mbr, r_mbr) = (target_obj.mbr(), reference_obj.mbr());
-        let excluded = [target.id(), reference.id()];
-
-        let pc = PairClassifier::new(b_mbr, r_mbr, cfg.criterion, cfg.norm);
-        let mut scratch = self
-            .scratch
-            .lock()
-            .unwrap_or_else(|poisoned| poisoned.into_inner());
-        self.tree
-            .classify_entries_with(&mut scratch, SUBTREE_SCAN_CUTOFF, |mbr| {
-                // same decisions as the scan filter's classify (the
-                // criterion tests are mutually exclusive)
-                match pc.classify(mbr).decision {
-                    Some(false) => NodeDecision::DropAll,
-                    Some(true) => NodeDecision::TakeAll,
-                    None => NodeDecision::Descend,
-                }
-            });
-        let mut complete = 0usize;
-        let mut influence = Vec::with_capacity(scratch.undecided.len());
-        for &id in &scratch.taken {
-            if excluded.contains(&Some(id)) {
-                continue;
-            }
-            if db.get(id).existence() >= 1.0 {
-                complete += 1;
-            } else {
-                influence.push(id);
-            }
-        }
-        influence.extend(
-            scratch
-                .undecided
-                .iter()
-                .copied()
-                .filter(|id| !excluded.contains(&Some(*id))),
-        );
-        drop(scratch);
-        influence.sort_unstable();
-        Refiner::with_filter_result(
-            db,
-            target,
-            reference,
-            cfg.clone(),
-            predicate,
-            complete,
-            influence,
-        )
-        .with_pool(self.engine.pool_handle().clone())
+        self.parts().refiner(target, reference, predicate)
     }
 
-    /// Index-driven spatial kNN candidate set: all objects that are *not*
-    /// certainly dominated by at least `k` others w.r.t. `q` under the
-    /// MinDist/MaxDist filter. Sound superset of every object with
-    /// non-zero kNN probability. Only certainly existing objects tighten
-    /// the pruning bound `d_k` (an object that may be absent guarantees
-    /// no domination), matching [`QueryEngine::knn_candidates`].
+    /// Index-driven spatial kNN candidate set (see
+    /// [`crate::Engine::knn_candidates`]).
     pub fn knn_candidates(&self, q: &Rect, k: usize) -> Vec<ObjectId> {
-        assert!(k >= 1);
-        let norm = self.engine.config().norm;
-        let mut seen: Vec<(ObjectId, f64)> = Vec::new(); // (id, max_dist)
-        let mut kth_max = f64::INFINITY;
-        let mut k_smallest: Vec<f64> = Vec::with_capacity(k + 1);
-        let db = self.engine.db();
-        for n in self.tree.knn_iter(q, norm) {
-            if n.dist > kth_max {
-                break; // every further object has MinDist > d_k
-            }
-            let obj = db.get(n.payload);
-            seen.push((n.payload, n.dist));
-            if obj.existence() < 1.0 {
-                continue; // cannot contribute to d_k
-            }
-            let max_d = obj.mbr().max_dist_rect(q, norm);
-            if let Some(d_k) = tighten_dk(&mut k_smallest, k, max_d) {
-                kth_max = d_k;
-            }
-        }
-        seen.into_iter()
-            .filter(|(_, min_d)| *min_d <= kth_max)
-            .map(|(id, _)| id)
-            .collect()
+        self.parts().knn_candidates(q, k)
     }
 
-    /// Grouped spatial kNN candidate generation: the candidate sets of
-    /// many `(query MBR, k)` requests from **one** best-first R-tree
-    /// descent ([`RTree::for_each_grouped`]) instead of one descent per
-    /// query. Each request's set equals [`IndexedEngine::knn_candidates`]
-    /// for the same `(q, k)` — the per-query pruning rule (only certainly
-    /// existing objects tighten `d_k`; survivors have `MinDist ≤ d_k`) is
-    /// applied with per-query state while the tree is walked once, so
-    /// subtrees shared by clustered queries are tested once. Returned
-    /// sets are sorted by id (candidate order does not affect query
-    /// results; a deterministic order keeps the batched pipeline
-    /// reproducible).
-    ///
-    /// # Panics
-    /// Panics if any request has `k == 0`.
+    /// Grouped spatial kNN candidate generation (see
+    /// [`crate::Engine::knn_candidates_batch`]).
     pub fn knn_candidates_batch(&self, queries: &[(Rect, usize)]) -> Vec<Vec<ObjectId>> {
-        struct QState {
-            /// `(id, MinDist)` of every object visited within the
-            /// query's (then-current) radius; filtered by the final
-            /// radius at the end, like the per-query stream.
-            seen: Vec<(ObjectId, f64)>,
-            /// The `k` smallest MaxDists over certain objects so far.
-            k_smallest: Vec<f64>,
-        }
-        for (_, k) in queries {
-            assert!(*k >= 1, "k must be positive");
-        }
-        let norm = self.engine.config().norm;
-        let db = self.engine.db();
-        let rects: Vec<Rect> = queries.iter().map(|(r, _)| r.clone()).collect();
-        let mut radii = vec![f64::INFINITY; queries.len()];
-        let mut states: Vec<QState> = queries
-            .iter()
-            .map(|(_, k)| QState {
-                seen: Vec::new(),
-                k_smallest: Vec::with_capacity(k + 1),
-            })
-            .collect();
-        self.tree
-            .for_each_grouped(&rects, norm, &mut radii, |i, &id, min_d, radii| {
-                let st = &mut states[i];
-                st.seen.push((id, min_d));
-                let obj = db.get(id);
-                if obj.existence() < 1.0 {
-                    return; // cannot contribute to d_k
-                }
-                let (q, k) = &queries[i];
-                let max_d = obj.mbr().max_dist_rect(q, norm);
-                if let Some(d_k) = tighten_dk(&mut st.k_smallest, *k, max_d) {
-                    radii[i] = d_k;
-                }
-            });
-        states
-            .into_iter()
-            .zip(radii)
-            .map(|(st, d_k)| {
-                let mut out: Vec<ObjectId> = st
-                    .seen
-                    .into_iter()
-                    .filter(|(_, min_d)| *min_d <= d_k)
-                    .map(|(id, _)| id)
-                    .collect();
-                out.sort_unstable();
-                out
-            })
-            .collect()
+        self.parts().knn_candidates_batch(queries)
     }
 
-    /// Probabilistic threshold kNN, fully index-integrated: index-driven
-    /// candidates, subtree-filtered refiners, and lock-step early-exit
-    /// refinement that retires candidates mid-loop as soon as their
-    /// `P(DomCount < k) ≷ τ` outcome is decided. Results are identical to
-    /// [`QueryEngine::knn_threshold`] (sorted by id).
-    pub fn knn_threshold(
-        &self,
-        q: &'a UncertainObject,
+    /// Probabilistic threshold kNN, fully index-integrated; results are
+    /// identical to [`QueryEngine::knn_threshold`] (sorted by id).
+    pub fn knn_threshold<'b>(
+        &'b self,
+        q: &'b UncertainObject,
         k: usize,
         tau: f64,
-    ) -> Vec<ThresholdResult> {
+    ) -> Vec<ThresholdResult>
+    where
+        'a: 'b,
+    {
         assert!(k >= 1, "k must be positive");
         assert!((0.0..1.0).contains(&tau), "tau must be in [0, 1)");
-        self.knn_threshold_pipeline(q, k, tau, self.knn_candidates(q.mbr(), k), None)
-    }
-
-    /// The kNN-threshold refinement pipeline, shared verbatim by
-    /// [`IndexedEngine::knn_threshold`] and the batched executor
-    /// ([`crate::QueryBatch`]) so the two paths cannot drift — the
-    /// batched results' bit-identity with the per-query entry point is
-    /// structural, not a convention kept in sync by hand.
-    pub(crate) fn knn_threshold_pipeline(
-        &self,
-        q: &'a UncertainObject,
-        k: usize,
-        tau: f64,
-        candidates: Vec<ObjectId>,
-        shared: BatchShared<'_>,
-    ) -> Vec<ThresholdResult> {
-        let goal = RefineGoal::threshold(k, tau);
-        let refiners = candidates
-            .into_iter()
-            .map(|id| {
-                (
-                    id,
-                    attach(
-                        self.refiner(ObjRef::Db(id), ObjRef::External(q), goal.predicate()),
-                        shared,
-                    ),
-                )
-            })
-            .collect();
-        refine_lockstep(refiners, goal)
+        let parts = self.parts();
+        let candidates = parts.knn_candidates(q.mbr(), k);
+        parts.knn_threshold_pipeline(q, k, tau, candidates, None)
     }
 
     /// Probabilistic threshold reverse kNN (Corollary 5), semantics of
-    /// [`QueryEngine::rknn_threshold`] (sorted by id): every database
-    /// object `B` is prefiltered with an index probe — counting objects
-    /// that certainly dominate `q` w.r.t. `B` without building a refiner
-    /// — and the survivors refine in lock-step with mid-loop retirement.
-    pub fn rknn_threshold(
-        &self,
-        q: &'a UncertainObject,
+    /// [`QueryEngine::rknn_threshold`] (sorted by id).
+    pub fn rknn_threshold<'b>(
+        &'b self,
+        q: &'b UncertainObject,
         k: usize,
         tau: f64,
-    ) -> Vec<ThresholdResult> {
+    ) -> Vec<ThresholdResult>
+    where
+        'a: 'b,
+    {
         assert!(k >= 1, "k must be positive");
         assert!((0.0..1.0).contains(&tau), "tau must be in [0, 1)");
-        self.rknn_threshold_pipeline(q, k, tau, None)
-    }
-
-    /// The RkNN-threshold pipeline (prefilter probe + lock-step
-    /// refinement), shared verbatim by [`IndexedEngine::rknn_threshold`]
-    /// and the batched executor.
-    pub(crate) fn rknn_threshold_pipeline(
-        &self,
-        q: &'a UncertainObject,
-        k: usize,
-        tau: f64,
-        shared: BatchShared<'_>,
-    ) -> Vec<ThresholdResult> {
-        let goal = RefineGoal::threshold(k, tau);
-        let mut refiners = Vec::new();
-        for (b_id, b_obj) in self.engine.db().iter() {
-            if self.certain_dominators_reach(q, b_obj, b_id, k) {
-                continue; // P(DomCount < k) is certainly 0
-            }
-            refiners.push((
-                b_id,
-                attach(
-                    self.refiner(ObjRef::External(q), ObjRef::Db(b_id), goal.predicate()),
-                    shared,
-                ),
-            ));
-        }
-        refine_lockstep(refiners, goal)
+        self.parts().rknn_threshold_pipeline(q, k, tau, None)
     }
 
     /// Top-`m` probable nearest neighbours, semantics of
-    /// [`QueryEngine::top_probable_nn`]: candidates certainly outside the
-    /// top `m` retire mid-loop instead of refining to convergence.
-    pub fn top_probable_nn(&self, q: &'a UncertainObject, m: usize) -> Vec<ThresholdResult> {
+    /// [`QueryEngine::top_probable_nn`].
+    pub fn top_probable_nn<'b>(&'b self, q: &'b UncertainObject, m: usize) -> Vec<ThresholdResult>
+    where
+        'a: 'b,
+    {
         assert!(m >= 1, "m must be positive");
-        self.top_probable_nn_pipeline(q, m, self.knn_candidates(q.mbr(), 1), None)
+        let parts = self.parts();
+        let candidates = parts.knn_candidates(q.mbr(), 1);
+        parts.top_probable_nn_pipeline(q, m, candidates, None)
     }
 
-    /// The top-`m` pipeline, shared verbatim by
-    /// [`IndexedEngine::top_probable_nn`] and the batched executor.
-    pub(crate) fn top_probable_nn_pipeline(
-        &self,
-        q: &'a UncertainObject,
-        m: usize,
-        candidates: Vec<ObjectId>,
-        shared: BatchShared<'_>,
-    ) -> Vec<ThresholdResult> {
-        let goal = RefineGoal::count_below(1);
-        let refiners = candidates
-            .into_iter()
-            .map(|id| {
-                (
-                    id,
-                    attach(
-                        self.refiner(ObjRef::Db(id), ObjRef::External(q), goal.predicate()),
-                        shared,
-                    ),
-                )
-            })
-            .collect();
-        refine_top_m(refiners, m)
-    }
-
-    /// Index probe of the RkNN prefilter: `true` once `k` objects (other
-    /// than `B`) certainly dominate `q` w.r.t. reference `B`. Any
-    /// dominating `A` satisfies `MinDist(A, B) < MinDist(q, B)` (for
-    /// every placement `a`, `b`: `d(a, b) < d(q, b)`), so a bounded tree
-    /// probe within that radius — recursive and allocation-free via
-    /// [`RTree::for_each_within_distance`] — covers every possible
-    /// dominator; the criterion test itself matches the scan path's, so
-    /// the two prefilters skip exactly the same objects.
-    fn certain_dominators_reach(
-        &self,
-        q: &UncertainObject,
-        b_obj: &UncertainObject,
-        b_id: ObjectId,
-        k: usize,
-    ) -> bool {
-        let cfg = self.engine.config();
-        let radius = q.mbr().min_dist_rect(b_obj.mbr(), cfg.norm);
-        if radius <= 0.0 {
-            // overlapping MBRs: in some world q is at distance 0 from B,
-            // which no object can strictly beat
-            return false;
-        }
-        let db = self.engine.db();
-        let mut count = 0usize;
-        self.tree
-            .for_each_within_distance(b_obj.mbr(), radius, cfg.norm, &mut |&id| {
-                let a = db.get(id);
-                // only certainly existing objects are certain dominators
-                if id != b_id
-                    && a.existence() >= 1.0
-                    && cfg
-                        .criterion
-                        .dominates(a.mbr(), q.mbr(), b_obj.mbr(), cfg.norm)
-                {
-                    count += 1;
-                }
-                count < k
-            });
-        count >= k
+    /// Executes a mixed [`QueryBatch`] through one shared pass. The
+    /// shim's sharing is **batch-local**: the decomposition cache and
+    /// scratch pool are created here and dropped with the call (the
+    /// owned [`crate::Engine::run_batch`] keeps them across calls).
+    pub fn run_batch(&self, batch: &QueryBatch) -> Vec<Vec<ThresholdResult>> {
+        let ctx = SharedRefineCtx::new(self.engine.config().split_strategy);
+        let views: Vec<QueryView<'_>> = batch.queries().iter().map(|spec| spec.view()).collect();
+        self.parts().run_views(&views, &ctx)
     }
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
-    use udb_geometry::{LpNorm, Point};
-    use udb_pdf::Pdf;
+    use crate::engine::Engine;
+    use udb_geometry::LpNorm;
     use udb_workload::{QuerySet, SyntheticConfig};
 
     fn synthetic(n: usize) -> (Database, SyntheticConfig) {
@@ -480,243 +202,38 @@ mod tests {
         (cfg.generate(), cfg)
     }
 
+    /// The shim and the owned engine run the same pipeline: spot-check
+    /// bit-identity end to end for all three query types.
     #[test]
-    fn indexed_filter_matches_scan_filter() {
-        let (db, cfg) = synthetic(600);
-        let qs = QuerySet::generate(&db, &cfg, 5, 10, LpNorm::L2, 79);
-        let indexed = IndexedEngine::new(&db);
-        let scan = QueryEngine::new(&db);
-        for (r, b) in qs.iter() {
-            let via_index = indexed.refiner(ObjRef::Db(b), ObjRef::External(r), Predicate::FullPdf);
-            let via_scan = scan.refiner(ObjRef::Db(b), ObjRef::External(r), Predicate::FullPdf);
-            assert_eq!(via_index.complete_count(), via_scan.complete_count());
-            let mut a: Vec<_> = via_index.influence_ids().collect();
-            let mut s: Vec<_> = via_scan.influence_ids().collect();
-            a.sort_unstable();
-            s.sort_unstable();
-            assert_eq!(a, s);
-        }
-    }
-
-    #[test]
-    fn indexed_refiner_produces_identical_bounds() {
-        let (db, cfg) = synthetic(300);
-        let qs = QuerySet::generate(&db, &cfg, 2, 10, LpNorm::L2, 80);
-        let idca = IdcaConfig {
-            max_iterations: 4,
-            uncertainty_target: 0.0,
-            ..Default::default()
-        };
-        let indexed = IndexedEngine::with_config(&db, idca.clone());
-        let scan = QueryEngine::with_config(&db, idca);
-        for (r, b) in qs.iter() {
-            let snap_a = indexed
-                .refiner(ObjRef::Db(b), ObjRef::External(r), Predicate::FullPdf)
-                .run();
-            let snap_b = scan
-                .refiner(ObjRef::Db(b), ObjRef::External(r), Predicate::FullPdf)
-                .run();
-            assert_eq!(snap_a.bounds.len(), snap_b.bounds.len());
-            for k in 0..snap_a.bounds.len() {
-                assert!((snap_a.bounds.lower(k) - snap_b.bounds.lower(k)).abs() < 1e-12);
-                assert!((snap_a.bounds.upper(k) - snap_b.bounds.upper(k)).abs() < 1e-12);
-            }
-        }
-    }
-
-    #[test]
-    fn indexed_filter_demotes_existential_dominators() {
-        // a certain dominator with existence 0.5 must land in the
-        // influence set, not the complete count
-        let dominator = UncertainObject::with_existence(
-            Pdf::uniform(Rect::from_point(&Point::from([1.0, 0.0]))),
-            0.5,
-        );
-        let target = UncertainObject::certain(Point::from([3.0, 0.0]));
-        let db = Database::from_objects(vec![dominator, target]);
-        let indexed = IndexedEngine::new(&db);
-        let q = UncertainObject::certain(Point::from([0.0, 0.0]));
-        let refiner = indexed.refiner(
-            ObjRef::Db(ObjectId(1)),
-            ObjRef::External(&q),
-            Predicate::FullPdf,
-        );
-        assert_eq!(refiner.complete_count(), 0);
-        assert_eq!(
-            refiner.influence_ids().collect::<Vec<_>>(),
-            vec![ObjectId(0)]
-        );
-    }
-
-    #[test]
-    fn indexed_candidates_match_scan_filter() {
-        let (db, cfg) = synthetic(500);
-        let qs = QuerySet::generate(&db, &cfg, 4, 10, LpNorm::L2, 77);
-        let indexed = IndexedEngine::new(&db);
-        let scan = QueryEngine::new(&db);
-        for (r, _) in qs.iter() {
-            for k in [1usize, 5, 10] {
-                let mut a = indexed.knn_candidates(r.mbr(), k);
-                // scan-based candidates via the threshold query at tau = 0
-                let mut b: Vec<ObjectId> = scan
-                    .knn_threshold(r, k, 0.0)
-                    .into_iter()
-                    .map(|res| res.id)
-                    .collect();
-                a.sort_unstable();
-                b.sort_unstable();
-                // indexed candidate set must cover the scan-based one (it
-                // is computed from the identical MinDist/MaxDist rule, so
-                // it must actually be a superset of the surviving objects)
-                for id in &b {
-                    assert!(
-                        a.contains(id),
-                        "k={k}: {id} missing from indexed candidates"
-                    );
-                }
-            }
-        }
-    }
-
-    #[test]
-    fn indexed_knn_threshold_matches_scan_exactly() {
-        let (db, cfg) = synthetic(400);
-        let qs = QuerySet::generate(&db, &cfg, 3, 10, LpNorm::L2, 78);
-        let indexed = IndexedEngine::new(&db);
-        let scan = QueryEngine::new(&db);
-        for (r, _) in qs.iter() {
-            let a = indexed.knn_threshold(r, 3, 0.5);
-            let mut b = scan.knn_threshold(r, 3, 0.5);
-            b.sort_by_key(|x| x.id);
-            // the early-exit path replicates run()'s per-candidate
-            // operation sequence: same result set, bit-identical bounds
-            assert_eq!(a.len(), b.len());
-            for (x, y) in a.iter().zip(b.iter()) {
-                assert_eq!(x.id, y.id);
-                assert_eq!(x.prob_lower, y.prob_lower);
-                assert_eq!(x.prob_upper, y.prob_upper);
-                assert_eq!(x.iterations, y.iterations);
-            }
-        }
-    }
-
-    #[test]
-    fn indexed_rknn_threshold_matches_scan_exactly() {
+    fn shim_matches_owned_engine_exactly() {
         let (db, cfg) = synthetic(250);
-        let qs = QuerySet::generate(&db, &cfg, 3, 10, LpNorm::L2, 81);
-        let indexed = IndexedEngine::new(&db);
-        let scan = QueryEngine::new(&db);
+        let qs = QuerySet::generate(&db, &cfg, 3, 10, LpNorm::L2, 84);
+        let shim = IndexedEngine::new(&db);
+        let owned = Engine::new(db.clone());
         for (r, _) in qs.iter() {
-            let a = indexed.rknn_threshold(r, 2, 0.5);
-            let mut b = scan.rknn_threshold(r, 2, 0.5);
-            b.sort_by_key(|x| x.id);
-            assert_eq!(a.len(), b.len());
-            for (x, y) in a.iter().zip(b.iter()) {
-                assert_eq!(x.id, y.id);
-                assert_eq!(x.prob_lower, y.prob_lower);
-                assert_eq!(x.prob_upper, y.prob_upper);
-            }
+            assert_eq!(
+                shim.knn_threshold(r, 3, 0.5),
+                owned.knn_threshold(r, 3, 0.5)
+            );
+            assert_eq!(
+                shim.rknn_threshold(r, 2, 0.5),
+                owned.rknn_threshold(r, 2, 0.5)
+            );
+            assert_eq!(shim.top_probable_nn(r, 2), owned.top_probable_nn(r, 2));
         }
     }
 
     #[test]
-    fn indexed_top_probable_nn_matches_scan_set() {
-        let (db, cfg) = synthetic(300);
-        let qs = QuerySet::generate(&db, &cfg, 4, 10, LpNorm::L2, 82);
-        let idca = IdcaConfig {
-            max_iterations: 5,
-            uncertainty_target: 0.0,
-            ..Default::default()
-        };
-        let indexed = IndexedEngine::with_config(&db, idca.clone());
-        let scan = QueryEngine::with_config(&db, idca);
-        for (r, _) in qs.iter() {
-            for m in [1usize, 3] {
-                let a = indexed.top_probable_nn(r, m);
-                let b = scan.top_probable_nn(r, m);
-                let mut a_ids: Vec<ObjectId> = a.iter().map(|x| x.id).collect();
-                let mut b_ids: Vec<ObjectId> = b.iter().map(|x| x.id).collect();
-                a_ids.sort_unstable();
-                b_ids.sort_unstable();
-                // cross-candidate retirement may freeze an also-ran's
-                // bounds early, but the returned top-m *set* must match
-                // the run-to-convergence path
-                assert_eq!(a_ids, b_ids, "m={m}");
-                // and the winners' own bounds are fully refined in both
-                for x in &a {
-                    let y = b.iter().find(|y| y.id == x.id).unwrap();
-                    assert_eq!(x.prob_lower, y.prob_lower);
-                    assert_eq!(x.prob_upper, y.prob_upper);
-                }
-            }
-        }
-    }
-
-    #[test]
-    fn rknn_prefilter_probe_matches_scan_prefilter() {
-        // the within_distance_iter probe must skip exactly the objects
-        // the scan path's certain-dominator cap skips: compare the
-        // surviving id sets end-to-end at a tau where everything
-        // undecided survives
+    fn shim_batch_matches_owned_batch() {
         let (db, cfg) = synthetic(200);
-        let qs = QuerySet::generate(&db, &cfg, 2, 10, LpNorm::L2, 83);
-        let indexed = IndexedEngine::new(&db);
-        let scan = QueryEngine::new(&db);
-        for (r, _) in qs.iter() {
-            let a: Vec<ObjectId> = indexed
-                .rknn_threshold(r, 1, 0.0)
-                .iter()
-                .map(|x| x.id)
-                .collect();
-            let mut b: Vec<ObjectId> = scan
-                .rknn_threshold(r, 1, 0.0)
-                .iter()
-                .map(|x| x.id)
-                .collect();
-            b.sort_unstable();
-            assert_eq!(a, b);
-        }
-    }
-
-    #[test]
-    fn candidate_stream_terminates_early() {
-        // a dense cluster near the query and a huge far-away bulk: the
-        // index must not touch the far objects
-        let mut objects = Vec::new();
-        for i in 0..5 {
-            objects.push(UncertainObject::certain(Point::from([
-                i as f64 * 0.01,
-                0.0,
-            ])));
-        }
-        for i in 0..200 {
-            objects.push(UncertainObject::certain(Point::from([
-                100.0 + i as f64,
-                100.0,
-            ])));
-        }
-        let db = Database::from_objects(objects);
-        let indexed = IndexedEngine::new(&db);
-        let q = Rect::from_point(&Point::from([0.0, 0.0]));
-        let cands = indexed.knn_candidates(&q, 2);
-        assert!(cands.len() <= 5, "far bulk leaked in: {}", cands.len());
-    }
-
-    #[test]
-    fn works_with_uncertain_query_region() {
-        let db = Database::from_objects(vec![
-            UncertainObject::new(Pdf::uniform(Rect::centered(
-                &Point::from([1.0, 0.0]),
-                &[0.3, 0.3],
-            ))),
-            UncertainObject::certain(Point::from([5.0, 0.0])),
-        ]);
-        let indexed = IndexedEngine::new(&db);
-        let q = UncertainObject::new(Pdf::uniform(Rect::centered(
-            &Point::from([0.0, 0.0]),
-            &[0.5, 0.5],
-        )));
-        let res = indexed.knn_threshold(&q, 1, 0.5);
-        assert!(res.iter().any(|r| r.id == ObjectId(0) && r.is_hit(0.5)));
+        let qs = QuerySet::generate(&db, &cfg, 3, 10, LpNorm::L2, 85);
+        let mut batch = QueryBatch::new();
+        batch
+            .knn_threshold(qs.references[0].clone(), 3, 0.5)
+            .top_probable_nn(qs.references[1].clone(), 2)
+            .rknn_threshold(qs.references[2].clone(), 2, 0.5);
+        let shim = IndexedEngine::new(&db);
+        let owned = Engine::new(db.clone());
+        assert_eq!(shim.run_batch(&batch), owned.run_batch(&batch));
     }
 }

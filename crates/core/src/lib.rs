@@ -25,13 +25,15 @@
 
 pub mod batch;
 pub mod config;
+pub mod engine;
 pub mod indexed;
 pub mod parallel;
 pub mod queries;
 pub mod refiner;
 
-pub use batch::{BatchQuery, DecompCache, QueryBatch, SharedDecomp, SharedRefineCtx};
+pub use batch::{DecompCache, QueryBatch, QuerySpec, SharedDecomp, SharedRefineCtx};
 pub use config::{IdcaConfig, ObjRef, Predicate, RefineGoal};
+pub use engine::Engine;
 pub use indexed::IndexedEngine;
 pub use parallel::{par_knn_threshold, PoolHandle, WorkerPool};
 pub use queries::{ExpectedRankEntry, QueryEngine, RankDistribution, ThresholdResult};

@@ -112,7 +112,7 @@ use udb_domination::{pdom_bounds_vs_fixed, PDomBounds, PairClassifier};
 use udb_genfunc::{CountDistributionBounds, Ugf};
 use udb_object::{Database, Decomposition, ObjectId, Partition, Pdf, UncertainObject};
 
-use crate::batch::{ObjDecomp, SharedRefineCtx};
+use crate::batch::{DecompCache, ObjDecomp, SharedRefineCtx};
 use crate::config::{IdcaConfig, ObjRef, Predicate, RefineGoal};
 use crate::parallel::PoolHandle;
 use crate::queries::ThresholdResult;
@@ -130,11 +130,41 @@ enum DecSource {
     /// Privately owned (the non-batched paths).
     Own(Decomposition),
     /// A cursor into a shared cache entry: `applied` counts the
-    /// expansion levels this refiner has consumed so far.
+    /// expansion levels this refiner has consumed so far. The handle
+    /// resolves **lazily** — see [`SharedHandle`].
     Shared {
-        entry: Arc<Mutex<ObjDecomp>>,
+        handle: SharedHandle,
         applied: usize,
     },
+}
+
+/// How a shared [`DecSource`] finds its cache entry. Most early-exit
+/// refiners decide at iteration 0 and never expand anything; a deferred
+/// handle costs them *nothing* (no map lock, no [`ObjDecomp`]
+/// allocation), where eagerly registering every region of every refiner
+/// in the [`crate::batch::DecompCache`] measurably taxed the
+/// many-refiner queries (RkNN builds one refiner per database object).
+/// The entry is looked up — and created on first touch — only when an
+/// expansion is actually requested.
+enum SharedHandle {
+    /// Already looked up (the per-query external decomposition, or a
+    /// deferred handle after its first expansion).
+    Resolved(Arc<Mutex<ObjDecomp>>),
+    /// Not looked up yet: the cache and the id to ask it for.
+    Deferred(Arc<DecompCache>, ObjectId),
+}
+
+impl SharedHandle {
+    /// The cache entry, looked up (and created) on first use.
+    fn resolve(&mut self, pdf: &Pdf) -> &Arc<Mutex<ObjDecomp>> {
+        if let SharedHandle::Deferred(cache, id) = self {
+            *self = SharedHandle::Resolved(cache.entry(*id, pdf));
+        }
+        match self {
+            SharedHandle::Resolved(entry) => entry,
+            SharedHandle::Deferred(..) => unreachable!("resolved above"),
+        }
+    }
 }
 
 impl DecSource {
@@ -146,7 +176,8 @@ impl DecSource {
     fn expand(&mut self, pdf: &Pdf) -> Option<(Vec<Partition>, Vec<u32>)> {
         match self {
             DecSource::Own(dec) => dec.expand_with_map(pdf).map(|map| (dec.partitions(), map)),
-            DecSource::Shared { entry, applied } => {
+            DecSource::Shared { handle, applied } => {
+                let entry = handle.resolve(pdf);
                 let mut cached = entry.lock().unwrap_or_else(|p| p.into_inner());
                 let out = cached.expand_from(*applied, pdf);
                 if out.is_some() {
@@ -169,22 +200,41 @@ pub struct RefinerScratch {
     cache: Vec<FactorCache>,
 }
 
-/// A shared pool of [`RefinerScratch`] buffers: refiners built through a
-/// [`SharedRefineCtx`] pop a scratch at construction and return their
-/// buffers on drop, so a batch allocates each arena once per *concurrent*
-/// refiner instead of once per refiner.
+/// A shared pool of reusable scratch buffers: refiners built through a
+/// [`SharedRefineCtx`] pop a [`RefinerScratch`] at construction and
+/// return their buffers on drop, so a batch allocates each arena once
+/// per *concurrent* refiner instead of once per refiner. The pool also
+/// recycles the engines' subtree-filter traversal scratch
+/// ([`udb_index::ClassifyScratch`], via an internal check-out helper):
+/// each concurrent filter pass checks one out and returns it, so batch
+/// lanes building refiners in parallel never serialize on a single
+/// shared scratch — the lock is held only for the pop/push, never
+/// across a traversal.
 pub struct ScratchPool {
     pool: Mutex<Vec<RefinerScratch>>,
+    classify: Mutex<Vec<udb_index::ClassifyScratch<ObjectId>>>,
 }
 
 /// Retained scratches are capped so a huge candidate wave cannot pin its
 /// peak memory forever; excess buffers just drop.
 const SCRATCH_POOL_CAP: usize = 64;
 
+impl std::fmt::Debug for ScratchPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let pooled = self.pool.lock().map(|p| p.len()).unwrap_or(0);
+        let classify = self.classify.lock().map(|p| p.len()).unwrap_or(0);
+        f.debug_struct("ScratchPool")
+            .field("refiner_buffers", &pooled)
+            .field("classify_buffers", &classify)
+            .finish()
+    }
+}
+
 impl Default for ScratchPool {
     fn default() -> Self {
         ScratchPool {
             pool: Mutex::new(Vec::new()),
+            classify: Mutex::new(Vec::new()),
         }
     }
 }
@@ -207,6 +257,27 @@ impl ScratchPool {
         if pool.len() < SCRATCH_POOL_CAP {
             pool.push(scratch);
         }
+    }
+
+    /// Runs `f` with a pooled subtree-filter traversal scratch, checked
+    /// out for the duration of the call (concurrent callers each get
+    /// their own; buffers are recycled afterwards).
+    pub(crate) fn with_classify<R>(
+        &self,
+        f: impl FnOnce(&mut udb_index::ClassifyScratch<ObjectId>) -> R,
+    ) -> R {
+        let mut scratch = self
+            .classify
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .pop()
+            .unwrap_or_default();
+        let out = f(&mut scratch);
+        let mut pool = self.classify.lock().unwrap_or_else(|p| p.into_inner());
+        if pool.len() < SCRATCH_POOL_CAP {
+            pool.push(scratch);
+        }
+        out
     }
 }
 
@@ -677,7 +748,7 @@ impl<'a> Refiner<'a> {
             self.iteration == 0 && !self.cache_valid,
             "shared context must be attached before refinement starts"
         );
-        let cache = ctx.decomps();
+        let cache = ctx.decomps_arc();
         // a cached level replays only for the split strategy it was
         // computed with; a mismatch would compose lineage maps across
         // two different split trees and corrupt the bounds silently
@@ -685,20 +756,22 @@ impl<'a> Refiner<'a> {
             cache.strategy() == self.cfg.split_strategy,
             "shared context split strategy differs from the refiner's"
         );
-        let attach = |source: &mut DecSource, id: Option<ObjectId>, obj: &UncertainObject| {
+        // deferred handles: no cache lookup (or entry creation) happens
+        // until a region actually expands — refiners deciding at
+        // iteration 0 never touch the cache at all
+        let attach = |source: &mut DecSource, id: Option<ObjectId>| {
             if let Some(id) = id {
                 *source = DecSource::Shared {
-                    entry: cache.entry(id, obj.pdf()),
+                    handle: SharedHandle::Deferred(Arc::clone(&cache), id),
                     applied: 0,
                 };
             }
         };
-        attach(&mut self.b_dec, self.target_id, self.target);
-        attach(&mut self.r_dec, self.reference_id, self.reference);
+        attach(&mut self.b_dec, self.target_id);
+        attach(&mut self.r_dec, self.reference_id);
         for inf in &mut self.influence {
-            let obj = self.db.get(inf.id);
             inf.dec = DecSource::Shared {
-                entry: cache.entry(inf.id, obj.pdf()),
+                handle: SharedHandle::Deferred(Arc::clone(&cache), inf.id),
                 applied: 0,
             };
         }
@@ -742,7 +815,7 @@ impl<'a> Refiner<'a> {
             _ => panic!("with_external_decomp needs exactly one external side"),
         };
         *slot = DecSource::Shared {
-            entry: Arc::clone(&shared.entry),
+            handle: SharedHandle::Resolved(Arc::clone(&shared.entry)),
             applied: 0,
         };
         self

@@ -95,6 +95,50 @@ impl<T: Clone> RTree<T> {
         }
     }
 
+    /// Removes the entry with exactly this `(mbr, payload)` pair,
+    /// returning whether it was found. Deletion condenses the tree the
+    /// classic way (Guttman): the search descends only into subtrees
+    /// whose box covers `mbr`; removing the entry re-tightens the MBRs
+    /// along the path, and any node underflowing below the 40 % minimum
+    /// is dissolved — its remaining data entries re-enter through the
+    /// normal insertion path. Cached subtree entry counts stay exact
+    /// along the whole path ([`RTree::check_invariants`] verifies them),
+    /// and a root left with a single child collapses, so the tree
+    /// shrinks back as entries leave.
+    pub fn remove(&mut self, mbr: &Rect, payload: &T) -> bool
+    where
+        T: PartialEq,
+    {
+        let Some(mut root) = self.root.take() else {
+            return false;
+        };
+        let mut orphans: Vec<(Rect, T)> = Vec::new();
+        if remove_rec(&mut root, mbr, payload, self.min_entries, &mut orphans).is_none() {
+            self.root = Some(root);
+            return false;
+        }
+        // orphans re-enter via insert below
+        self.size -= 1 + orphans.len();
+        // root fix-ups: an empty root disappears, a single-child inner
+        // root collapses one level (repeatedly, after deep condensing)
+        self.root = loop {
+            match root {
+                Node::Leaf(ref entries) if entries.is_empty() => break None,
+                Node::Inner { ref children, .. } if children.is_empty() => break None,
+                Node::Inner {
+                    ref mut children, ..
+                } if children.len() == 1 => {
+                    root = children.pop().expect("single child").1;
+                }
+                _ => break Some(root),
+            }
+        };
+        for (mbr, payload) in orphans {
+            self.insert(mbr, payload);
+        }
+        true
+    }
+
     /// All payloads whose MBR intersects `query`.
     pub fn range(&self, query: &Rect) -> Vec<T> {
         self.range_iter(query).cloned().collect()
@@ -368,6 +412,64 @@ impl<T: Clone> RTree<T> {
     }
 }
 
+/// Recursive deletion: descends every child whose box covers `mbr` until
+/// the entry is found, removes it, and condenses on the way back up —
+/// a child dropping below `min` entries is dissolved into `orphans`
+/// (all its data entries), a surviving child's box is re-tightened.
+/// Cached counts are adjusted exactly along the search path.
+fn remove_rec<T: Clone + PartialEq>(
+    node: &mut Node<T>,
+    mbr: &Rect,
+    payload: &T,
+    min: usize,
+    orphans: &mut Vec<(Rect, T)>,
+) -> Option<usize> {
+    match node {
+        Node::Leaf(entries) => {
+            let pos = entries.iter().position(|(m, p)| p == payload && m == mbr)?;
+            entries.remove(pos);
+            Some(1)
+        }
+        Node::Inner { count, children } => {
+            for i in 0..children.len() {
+                if !children[i].0.contains_rect(mbr) {
+                    continue;
+                }
+                if let Some(mut removed) =
+                    remove_rec(&mut children[i].1, mbr, payload, min, orphans)
+                {
+                    if children[i].1.len() < min {
+                        // condense: dissolve the underflowed child; its
+                        // entries leave this subtree and re-enter through
+                        // the normal insertion path — every ancestor's
+                        // cached count drops by them too
+                        let (_, child) = children.swap_remove(i);
+                        removed += child.count();
+                        collect_entries(child, orphans);
+                    } else {
+                        children[i].0 = children[i].1.mbr();
+                    }
+                    *count -= removed;
+                    return Some(removed);
+                }
+            }
+            None
+        }
+    }
+}
+
+/// Drains every data entry below `node` into `out` (condense helper).
+fn collect_entries<T>(node: Node<T>, out: &mut Vec<(Rect, T)>) {
+    match node {
+        Node::Leaf(entries) => out.extend(entries),
+        Node::Inner { children, .. } => {
+            for (_, child) in children {
+                collect_entries(child, out);
+            }
+        }
+    }
+}
+
 /// Recursive insertion; returns `Some((a, b))` when the node split.
 fn insert_rec<T>(
     node: &mut Node<T>,
@@ -582,6 +684,73 @@ mod tests {
         }
         assert_eq!(t.len(), 500);
         t.check_invariants();
+    }
+
+    #[test]
+    fn remove_maintains_invariants_and_queries() {
+        // interleave removals with range checks against a scan oracle,
+        // validating structural invariants (incl. cached counts) after
+        // every deletion
+        let items = random_rects(300, 21);
+        let mut t = RTree::bulk_load(items.clone(), 8);
+        let mut live = items.clone();
+        let mut rng = StdRng::seed_from_u64(99);
+        let q = Rect::new(vec![Interval::new(10.0, 60.0), Interval::new(10.0, 60.0)]);
+        while !live.is_empty() {
+            let idx = rng.gen_range(0..live.len());
+            let (mbr, payload) = live.swap_remove(idx);
+            assert!(t.remove(&mbr, &payload), "entry {payload} not found");
+            assert_eq!(t.len(), live.len());
+            t.check_invariants();
+            if live.len().is_multiple_of(37) {
+                let mut got = t.range(&q);
+                got.sort_unstable();
+                let mut want: Vec<usize> = live
+                    .iter()
+                    .filter(|(r, _)| r.intersects(&q))
+                    .map(|(_, i)| *i)
+                    .collect();
+                want.sort_unstable();
+                assert_eq!(got, want);
+            }
+        }
+        assert!(t.is_empty());
+        assert_eq!(t.height(), 0);
+    }
+
+    #[test]
+    fn remove_missing_entry_is_noop() {
+        let items = random_rects(40, 23);
+        let mut t = RTree::bulk_load(items.clone(), 8);
+        assert!(!t.remove(&pt_rect(1000.0, 1000.0), &0));
+        // right box, wrong payload
+        assert!(!t.remove(&items[0].0, &usize::MAX));
+        assert_eq!(t.len(), 40);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn remove_then_insert_round_trips() {
+        let items = random_rects(120, 29);
+        let mut t = RTree::bulk_load(items.clone(), 8);
+        for (mbr, payload) in items.iter().take(60) {
+            assert!(t.remove(mbr, payload));
+        }
+        for (mbr, payload) in items.iter().take(60) {
+            t.insert(mbr.clone(), *payload);
+        }
+        assert_eq!(t.len(), 120);
+        t.check_invariants();
+        let q = Rect::new(vec![Interval::new(0.0, 100.0), Interval::new(0.0, 100.0)]);
+        let mut got = t.range(&q);
+        got.sort_unstable();
+        let mut want: Vec<usize> = items
+            .iter()
+            .filter(|(r, _)| r.intersects(&q))
+            .map(|(_, i)| *i)
+            .collect();
+        want.sort_unstable();
+        assert_eq!(got, want);
     }
 
     #[test]

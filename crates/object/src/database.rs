@@ -1,15 +1,51 @@
 //! The uncertain database `D = {o_1, ..., o_N}`.
 
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Error as SerdeError, Serialize, Value};
 use udb_geometry::Rect;
 
 use crate::object::{ObjectId, UncertainObject};
 
-/// An in-memory uncertain database. Object ids are stable positions in the
-/// underlying vector.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+/// An in-memory uncertain database supporting in-place mutation. Object
+/// ids are stable positions in the underlying vector; [`Database::remove`]
+/// leaves a tombstone, so an id is never reused — a removed id stays
+/// invalid forever, and every id handed out by [`Database::insert`] is
+/// fresh. That stability is what lets engine-level caches key on
+/// [`ObjectId`] across mutations: an id either still names the same
+/// object, was explicitly replaced ([`Database::replace`]), or is dead.
+#[derive(Debug, Clone, Default, Serialize)]
 pub struct Database {
-    objects: Vec<UncertainObject>,
+    /// Slot per ever-inserted object; `None` marks a removed object.
+    objects: Vec<Option<UncertainObject>>,
+    /// Number of live (non-tombstoned) objects.
+    live: usize,
+    /// Dimensionality of the stored objects, fixed by the first object
+    /// ever inserted (an O(1) cache: deriving it from the first *live*
+    /// object would scan the tombstone prefix on churn-heavy streams).
+    dims: Option<usize>,
+}
+
+// Hand-written so stored datasets survive the tombstone redesign: the
+// pre-mutation wire format (`objects` as a plain object list, no
+// `live`/`dims` fields) still loads, and the counters are *recomputed*
+// from the slots rather than trusted, so both shapes deserialize into a
+// consistent database.
+impl Deserialize for Database {
+    fn from_value(v: &Value) -> Result<Self, SerdeError> {
+        let slots = match v.field("objects")? {
+            Value::Seq(entries) => entries
+                .iter()
+                .map(Option::<UncertainObject>::from_value)
+                .collect::<Result<Vec<_>, _>>()?,
+            other => return Err(SerdeError::msg(format!("`objects`: not a list: {other:?}"))),
+        };
+        let live = slots.iter().filter(|s| s.is_some()).count();
+        let dims = slots.iter().flatten().next().map(UncertainObject::dims);
+        Ok(Database {
+            objects: slots,
+            live,
+            dims,
+        })
+    }
 }
 
 impl Database {
@@ -30,68 +66,123 @@ impl Database {
                 "all database objects must share dimensionality"
             );
         }
-        Database { objects }
+        let live = objects.len();
+        Database {
+            dims: objects.first().map(UncertainObject::dims),
+            objects: objects.into_iter().map(Some).collect(),
+            live,
+        }
     }
 
-    /// Appends an object, returning its id.
+    /// Appends an object, returning its (fresh, never-reused) id.
     ///
     /// # Panics
     /// Panics on dimensionality mismatch with existing objects.
     pub fn insert(&mut self, object: UncertainObject) -> ObjectId {
-        if let Some(first) = self.objects.first() {
+        if let Some(d) = self.dims() {
             assert_eq!(
-                first.dims(),
+                d,
                 object.dims(),
                 "object dimensionality must match the database"
             );
         }
+        self.dims = Some(object.dims());
         let id = ObjectId(u32::try_from(self.objects.len()).expect("database too large"));
-        self.objects.push(object);
+        self.objects.push(Some(object));
+        self.live += 1;
         id
     }
 
-    /// Number of objects.
-    pub fn len(&self) -> usize {
-        self.objects.len()
+    /// Removes an object in place, returning it. The slot becomes a
+    /// tombstone: the id is invalid from here on and never reused.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range or already removed.
+    pub fn remove(&mut self, id: ObjectId) -> UncertainObject {
+        let slot = self
+            .objects
+            .get_mut(id.index())
+            .unwrap_or_else(|| panic!("{id:?} out of range"));
+        let object = slot
+            .take()
+            .unwrap_or_else(|| panic!("{id:?} already removed"));
+        self.live -= 1;
+        object
     }
 
-    /// Whether the database is empty.
+    /// Replaces the object behind a live id in place, returning the
+    /// previous object. The id keeps naming the (new) object.
+    ///
+    /// # Panics
+    /// Panics if `id` is dead or the new object's dimensionality differs.
+    pub fn replace(&mut self, id: ObjectId, object: UncertainObject) -> UncertainObject {
+        let old = self
+            .objects
+            .get_mut(id.index())
+            .and_then(Option::as_mut)
+            .unwrap_or_else(|| panic!("{id:?} is not a live object"));
+        assert_eq!(
+            old.dims(),
+            object.dims(),
+            "object dimensionality must match the database"
+        );
+        std::mem::replace(old, object)
+    }
+
+    /// Whether `id` names a live object.
+    pub fn contains(&self, id: ObjectId) -> bool {
+        matches!(self.objects.get(id.index()), Some(Some(_)))
+    }
+
+    /// Number of live objects.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Whether the database holds no live objects.
     pub fn is_empty(&self) -> bool {
-        self.objects.is_empty()
+        self.live == 0
     }
 
     /// Dimensionality of the stored objects (`None` when empty).
     pub fn dims(&self) -> Option<usize> {
-        self.objects.first().map(UncertainObject::dims)
+        if self.live > 0 {
+            self.dims
+        } else {
+            None
+        }
     }
 
     /// The object with the given id.
     ///
     /// # Panics
-    /// Panics if the id is out of range.
+    /// Panics if the id is out of range or removed.
     pub fn get(&self, id: ObjectId) -> &UncertainObject {
-        &self.objects[id.index()]
+        self.objects[id.index()]
+            .as_ref()
+            .unwrap_or_else(|| panic!("{id:?} was removed"))
     }
 
-    /// The object with the given id, if present.
+    /// The object with the given id, if live.
     pub fn try_get(&self, id: ObjectId) -> Option<&UncertainObject> {
-        self.objects.get(id.index())
+        self.objects.get(id.index()).and_then(Option::as_ref)
     }
 
-    /// Iterates `(id, object)` pairs.
+    /// Iterates `(id, object)` pairs over the live objects.
     pub fn iter(&self) -> impl Iterator<Item = (ObjectId, &UncertainObject)> {
         self.objects
             .iter()
             .enumerate()
-            .map(|(i, o)| (ObjectId(i as u32), o))
+            .filter_map(|(i, o)| o.as_ref().map(|o| (ObjectId(i as u32), o)))
     }
 
-    /// All object ids.
-    pub fn ids(&self) -> impl Iterator<Item = ObjectId> {
-        (0..self.objects.len() as u32).map(ObjectId)
+    /// All live object ids.
+    pub fn ids(&self) -> impl Iterator<Item = ObjectId> + '_ {
+        self.iter().map(|(id, _)| id)
     }
 
-    /// `(id, mbr)` pairs, the input to spatial index construction.
+    /// `(id, mbr)` pairs of the live objects, the input to spatial index
+    /// construction.
     pub fn mbrs(&self) -> impl Iterator<Item = (ObjectId, &Rect)> {
         self.iter().map(|(id, o)| (id, o.mbr()))
     }
@@ -144,6 +235,58 @@ mod tests {
         assert_eq!(ids, vec![ObjectId(0), ObjectId(1), ObjectId(2)]);
         assert_eq!(db.ids().count(), 3);
         assert_eq!(db.mbrs().count(), 3);
+    }
+
+    #[test]
+    fn remove_tombstones_and_ids_are_never_reused() {
+        let mut db = Database::from_objects(vec![obj(0.0), obj(1.0), obj(2.0)]);
+        let gone = db.remove(ObjectId(1));
+        assert_eq!(gone.mbr().lo(), Point::from([1.0, 0.0]));
+        assert_eq!(db.len(), 2);
+        assert!(!db.contains(ObjectId(1)));
+        assert!(db.try_get(ObjectId(1)).is_none());
+        let ids: Vec<ObjectId> = db.ids().collect();
+        assert_eq!(ids, vec![ObjectId(0), ObjectId(2)]);
+        // a fresh insert does not resurrect the removed id
+        let new_id = db.insert(obj(9.0));
+        assert_eq!(new_id, ObjectId(3));
+        assert!(!db.contains(ObjectId(1)));
+        assert_eq!(db.len(), 3);
+    }
+
+    #[test]
+    fn replace_swaps_in_place() {
+        let mut db = Database::from_objects(vec![obj(0.0), obj(1.0)]);
+        let old = db.replace(ObjectId(0), obj(7.0));
+        assert_eq!(old.mbr().lo(), Point::from([0.0, 0.0]));
+        assert_eq!(db.get(ObjectId(0)).mbr().lo(), Point::from([7.0, 0.0]));
+        assert_eq!(db.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "already removed")]
+    fn double_remove_panics() {
+        let mut db = Database::from_objects(vec![obj(0.0)]);
+        db.remove(ObjectId(0));
+        db.remove(ObjectId(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a live object")]
+    fn replace_dead_id_panics() {
+        let mut db = Database::from_objects(vec![obj(0.0)]);
+        db.remove(ObjectId(0));
+        db.replace(ObjectId(0), obj(1.0));
+    }
+
+    #[test]
+    fn dims_skips_tombstones() {
+        let mut db = Database::from_objects(vec![obj(0.0), obj(1.0)]);
+        db.remove(ObjectId(0));
+        assert_eq!(db.dims(), Some(2));
+        db.remove(ObjectId(1));
+        assert_eq!(db.dims(), None);
+        assert!(db.is_empty());
     }
 
     #[test]

@@ -24,5 +24,7 @@ pub mod synthetic;
 
 pub use iceberg::IcebergConfig;
 pub use query::{target_by_min_dist_rank, QuerySet};
-pub use stream::{serve_stream, QueryStream, QueryStreamConfig, ServeMode, StreamOp, StreamQuery};
+pub use stream::{
+    serve_stream, MixCounts, QueryStream, QueryStreamConfig, ServeMode, StreamOp, StreamQuery,
+};
 pub use synthetic::{PdfKind, SyntheticConfig};

@@ -1,27 +1,30 @@
-//! Query-stream workloads: sustained multi-user traffic instead of
-//! single queries.
+//! Query-stream workloads: sustained multi-user traffic — queries *and*
+//! mutations — instead of single queries.
 //!
 //! The paper's evaluation protocol measures one query at a time; a
-//! serving system sees *streams* — queries arriving in batches, with a
-//! mix of operation types and (realistically) spatial skew: many users
-//! ask about the same hot regions. [`QueryStreamConfig`] generates such
-//! a stream deterministically (same seed ⇒ same stream), and
-//! [`serve_stream`] drives it through an [`IndexedEngine`] either
+//! serving system sees *streams* — operations arriving in batches, with
+//! a mix of query types, data mutations (inserts and deletes trickling
+//! in between queries) and (realistically) spatial skew: many users ask
+//! about the same hot regions. [`QueryStreamConfig`] generates such a
+//! stream deterministically (same seed ⇒ same stream), and
+//! [`serve_stream`] drives it through an owned [`Engine`] either
 //! query-by-query ([`ServeMode::Sequential`], the per-query entry
 //! points) or batch-by-batch ([`ServeMode::Batched`], the shared-work
-//! [`QueryBatch`] pass). Both modes return bit-identical results; the
-//! `serve_stream` bench group records the throughput ratio.
+//! [`QueryBatch`] pass). Mutations are applied identically in both
+//! modes, so the two return bit-identical results; the `serve` bench
+//! group records the throughput ratios (batched vs sequential, and
+//! warm vs cold decomposition cache).
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
-use udb_core::{IndexedEngine, QueryBatch, ThresholdResult};
+use udb_core::{Engine, QueryBatch, ThresholdResult};
 use udb_geometry::Point;
 use udb_object::UncertainObject;
 
 use crate::synthetic::SyntheticConfig;
 
-/// The operation one stream query performs, with its parameters.
+/// The operation one stream entry performs, with its parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum StreamOp {
     /// Probabilistic threshold kNN.
@@ -43,25 +46,42 @@ pub enum StreamOp {
         /// Result-set size.
         m: usize,
     },
+    /// Insert the entry's object into the database (an arrival).
+    Insert,
+    /// Delete the live object nearest the entry's object (a departure).
+    /// The probe object follows the same spatial distribution as query
+    /// objects — including hot-spot skew — so deletions target the hot
+    /// working set exactly like the queries hammering it.
+    Delete,
 }
 
-/// One query of the stream: an uncertain query object plus the operation
-/// to run against it.
+impl StreamOp {
+    /// Whether this entry mutates the database instead of querying it.
+    pub fn is_mutation(&self) -> bool {
+        matches!(self, StreamOp::Insert | StreamOp::Delete)
+    }
+}
+
+/// One entry of the stream: an uncertain object plus the operation to
+/// run against it (for queries the object is the query region; for
+/// [`StreamOp::Insert`] it is the new database object; for
+/// [`StreamOp::Delete`] it is the probe whose nearest live object is
+/// removed).
 #[derive(Debug, Clone)]
 pub struct StreamQuery {
-    /// The query object (drawn from the data distribution, or around a
-    /// hot-spot center).
+    /// The operation's object (drawn from the data distribution, or
+    /// around a hot-spot center).
     pub object: UncertainObject,
     /// The operation and its parameters.
     pub op: StreamOp,
 }
 
-/// Configuration of a synthetic query stream.
+/// Configuration of a synthetic query/mutation stream.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct QueryStreamConfig {
     /// Number of arrival batches.
     pub batches: usize,
-    /// Queries per arrival batch.
+    /// Operations per arrival batch.
     pub batch_size: usize,
     /// Relative weight of kNN-threshold queries in the mix.
     pub knn_weight: f64,
@@ -69,17 +89,23 @@ pub struct QueryStreamConfig {
     pub rknn_weight: f64,
     /// Relative weight of top-`m` queries.
     pub top_m_weight: f64,
+    /// Relative weight of object insertions (mutation arrivals); `0`
+    /// (the default) keeps the stream read-only.
+    pub insert_weight: f64,
+    /// Relative weight of object deletions (hot-spot-skewed targets);
+    /// `0` (the default) keeps the stream read-only.
+    pub delete_weight: f64,
     /// The `k` of generated kNN/RkNN queries.
     pub k: usize,
     /// The `τ` of generated threshold queries.
     pub tau: f64,
     /// The `m` of generated top-`m` queries.
     pub m: usize,
-    /// Number of hot-spot centers; `0` disables hot spots (every query
-    /// object follows the data distribution).
+    /// Number of hot-spot centers; `0` disables hot spots (every
+    /// generated object follows the data distribution).
     pub hotspots: usize,
-    /// Fraction of queries drawn near a hot-spot center (the rest follow
-    /// the data distribution).
+    /// Fraction of operations drawn near a hot-spot center (the rest
+    /// follow the data distribution).
     pub hotspot_fraction: f64,
     /// Half-extent of the uniform offset around a hot-spot center.
     pub hotspot_spread: f64,
@@ -95,6 +121,8 @@ impl Default for QueryStreamConfig {
             knn_weight: 0.5,
             rknn_weight: 0.25,
             top_m_weight: 0.25,
+            insert_weight: 0.0,
+            delete_weight: 0.0,
             k: 5,
             tau: 0.3,
             m: 3,
@@ -106,10 +134,43 @@ impl Default for QueryStreamConfig {
     }
 }
 
-/// A generated stream: queries grouped into arrival batches.
+/// Operation counts of a stream, by kind (see
+/// [`QueryStream::mix_counts`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MixCounts {
+    /// kNN-threshold queries.
+    pub knn: usize,
+    /// RkNN-threshold queries.
+    pub rknn: usize,
+    /// Top-`m` queries.
+    pub top_m: usize,
+    /// Insert mutations.
+    pub insert: usize,
+    /// Delete mutations.
+    pub delete: usize,
+}
+
+impl MixCounts {
+    /// Total operations counted.
+    pub fn total(&self) -> usize {
+        self.knn + self.rknn + self.top_m + self.insert + self.delete
+    }
+
+    /// Query operations only (everything but mutations).
+    pub fn queries(&self) -> usize {
+        self.knn + self.rknn + self.top_m
+    }
+
+    /// Mutation operations only.
+    pub fn mutations(&self) -> usize {
+        self.insert + self.delete
+    }
+}
+
+/// A generated stream: operations grouped into arrival batches.
 #[derive(Debug)]
 pub struct QueryStream {
-    /// The arrival batches, each a mixed set of queries.
+    /// The arrival batches, each a mixed set of operations.
     pub batches: Vec<Vec<StreamQuery>>,
 }
 
@@ -124,19 +185,31 @@ impl QueryStream {
         self.batches.is_empty()
     }
 
-    /// Total queries across all batches.
-    pub fn total_queries(&self) -> usize {
+    /// Total operations across all batches (queries *and* mutations;
+    /// [`QueryStream::mix_counts`] separates the two).
+    pub fn total_ops(&self) -> usize {
         self.batches.iter().map(Vec::len).sum()
     }
 
-    /// `(knn, rknn, top_m)` operation counts across the stream.
-    pub fn mix_counts(&self) -> (usize, usize, usize) {
-        let mut counts = (0, 0, 0);
+    /// Total operations across all batches.
+    #[deprecated(
+        since = "0.2.0",
+        note = "renamed to `total_ops` — the count                  includes mutation entries, not just queries"
+    )]
+    pub fn total_queries(&self) -> usize {
+        self.total_ops()
+    }
+
+    /// Operation counts across the stream, by kind.
+    pub fn mix_counts(&self) -> MixCounts {
+        let mut counts = MixCounts::default();
         for q in self.batches.iter().flatten() {
             match q.op {
-                StreamOp::KnnThreshold { .. } => counts.0 += 1,
-                StreamOp::RknnThreshold { .. } => counts.1 += 1,
-                StreamOp::TopProbableNn { .. } => counts.2 += 1,
+                StreamOp::KnnThreshold { .. } => counts.knn += 1,
+                StreamOp::RknnThreshold { .. } => counts.rknn += 1,
+                StreamOp::TopProbableNn { .. } => counts.top_m += 1,
+                StreamOp::Insert => counts.insert += 1,
+                StreamOp::Delete => counts.delete += 1,
             }
         }
         counts
@@ -144,21 +217,31 @@ impl QueryStream {
 }
 
 impl QueryStreamConfig {
-    /// Generates the stream. Query objects follow `object_config`'s data
-    /// distribution (the paper's protocol for reference objects), except
-    /// that a `hotspot_fraction` of them — when `hotspots > 0` — center
-    /// near one of `hotspots` randomly placed hot-spot points, modelling
-    /// many users querying the same region (and maximizing the shared
-    /// work a batched executor can exploit).
+    /// Generates the stream. Operation objects follow `object_config`'s
+    /// data distribution (the paper's protocol for reference objects),
+    /// except that a `hotspot_fraction` of them — when `hotspots > 0` —
+    /// center near one of `hotspots` randomly placed hot-spot points,
+    /// modelling many users querying (and churning) the same region,
+    /// which maximizes both the shared work a batched executor can
+    /// exploit and the cache invalidation pressure mutations put on an
+    /// engine-owned decomposition cache.
     ///
     /// # Panics
     /// Panics if every mix weight is zero or any weight is negative.
     pub fn generate(&self, object_config: &SyntheticConfig) -> QueryStream {
         assert!(
-            self.knn_weight >= 0.0 && self.rknn_weight >= 0.0 && self.top_m_weight >= 0.0,
+            self.knn_weight >= 0.0
+                && self.rknn_weight >= 0.0
+                && self.top_m_weight >= 0.0
+                && self.insert_weight >= 0.0
+                && self.delete_weight >= 0.0,
             "mix weights must be non-negative"
         );
-        let total = self.knn_weight + self.rknn_weight + self.top_m_weight;
+        let total = self.knn_weight
+            + self.rknn_weight
+            + self.top_m_weight
+            + self.insert_weight
+            + self.delete_weight;
         assert!(total > 0.0, "at least one mix weight must be positive");
         let mut rng = StdRng::seed_from_u64(self.seed);
         let dims = object_config.dims;
@@ -194,8 +277,17 @@ impl QueryStreamConfig {
                                 k: self.k,
                                 tau: self.tau,
                             }
-                        } else {
+                        } else if pick < self.knn_weight + self.rknn_weight + self.top_m_weight {
                             StreamOp::TopProbableNn { m: self.m }
+                        } else if pick
+                            < self.knn_weight
+                                + self.rknn_weight
+                                + self.top_m_weight
+                                + self.insert_weight
+                        {
+                            StreamOp::Insert
+                        } else {
+                            StreamOp::Delete
                         };
                         StreamQuery { object, op }
                     })
@@ -205,9 +297,9 @@ impl QueryStreamConfig {
         QueryStream { batches }
     }
 
-    /// A query object centered within `hotspot_spread` of a hot-spot
-    /// center; extents and density family follow the data
-    /// distribution's, exactly like uniform-drawn query objects.
+    /// An object centered within `hotspot_spread` of a hot-spot center;
+    /// extents and density family follow the data distribution's,
+    /// exactly like uniform-drawn objects.
     fn hotspot_object(
         &self,
         center: &Point,
@@ -221,56 +313,98 @@ impl QueryStreamConfig {
     }
 }
 
-/// How [`serve_stream`] executes each arrival batch.
+/// How [`serve_stream`] executes the queries of each arrival batch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ServeMode {
     /// One call per query through the per-query entry points (the
     /// baseline a serving system without batching would run).
     Sequential,
-    /// One [`IndexedEngine::run_batch`] per arrival batch (grouped
-    /// descent, cross-query decomposition cache, scratch reuse,
-    /// `batch_threads` fan-out).
+    /// One [`Engine::run_batch`] per arrival batch (grouped descent,
+    /// cross-query decomposition cache, scratch reuse, `batch_threads`
+    /// fan-out).
     Batched,
 }
 
-/// Drives a query stream through the engine, batch by batch, and returns
-/// the per-batch, per-query results (aligned with the stream). The two
-/// modes return bit-identical results; they differ only in how the work
-/// is shared — which is exactly what the `serve_stream` benchmark
-/// measures as sustained queries/sec.
-pub fn serve_stream<'a>(
-    engine: &IndexedEngine<'a>,
-    stream: &'a QueryStream,
+/// Drives a stream through the owned engine, batch by batch, and
+/// returns the per-batch, per-entry results (aligned with the stream;
+/// mutation entries yield an empty result vector).
+///
+/// Each arrival batch applies its **mutations first, in stream order**
+/// — [`StreamOp::Insert`] adds the entry's object,
+/// [`StreamOp::Delete`] removes the live object nearest the entry's
+/// probe ([`Engine::nearest`]; a no-op on an empty database) — then
+/// executes the batch's queries against the settled state. Both modes
+/// apply mutations identically, so they return bit-identical results;
+/// they differ only in how query work is shared, which is exactly what
+/// the `serve` benchmark measures as sustained operations/sec. With
+/// [`udb_core::IdcaConfig::decomp_cache_entries`] > 0 the engine's
+/// decomposition cache stays warm *across* batches — the serving
+/// default this driver is built to measure.
+pub fn serve_stream(
+    engine: &mut Engine,
+    stream: &QueryStream,
     mode: ServeMode,
 ) -> Vec<Vec<Vec<ThresholdResult>>> {
     stream
         .batches
         .iter()
-        .map(|batch| match mode {
-            ServeMode::Sequential => batch
-                .iter()
-                .map(|q| match q.op {
-                    StreamOp::KnnThreshold { k, tau } => engine.knn_threshold(&q.object, k, tau),
-                    StreamOp::RknnThreshold { k, tau } => engine.rknn_threshold(&q.object, k, tau),
-                    StreamOp::TopProbableNn { m } => engine.top_probable_nn(&q.object, m),
-                })
-                .collect(),
-            ServeMode::Batched => {
-                let mut qb = QueryBatch::new();
-                for q in batch {
-                    match q.op {
-                        StreamOp::KnnThreshold { k, tau } => {
-                            qb.knn_threshold(&q.object, k, tau);
-                        }
-                        StreamOp::RknnThreshold { k, tau } => {
-                            qb.rknn_threshold(&q.object, k, tau);
-                        }
-                        StreamOp::TopProbableNn { m } => {
-                            qb.top_probable_nn(&q.object, m);
+        .map(|batch| {
+            // mutations settle first (identically in both modes)
+            for entry in batch {
+                match entry.op {
+                    StreamOp::Insert => {
+                        engine.insert(entry.object.clone());
+                    }
+                    StreamOp::Delete => {
+                        if let Some(id) = engine.nearest(entry.object.mbr()) {
+                            engine.remove(id);
                         }
                     }
+                    _ => {}
                 }
-                engine.run_batch(&qb)
+            }
+            match mode {
+                ServeMode::Sequential => batch
+                    .iter()
+                    .map(|q| match q.op {
+                        StreamOp::KnnThreshold { k, tau } => {
+                            engine.knn_threshold(&q.object, k, tau)
+                        }
+                        StreamOp::RknnThreshold { k, tau } => {
+                            engine.rknn_threshold(&q.object, k, tau)
+                        }
+                        StreamOp::TopProbableNn { m } => engine.top_probable_nn(&q.object, m),
+                        StreamOp::Insert | StreamOp::Delete => Vec::new(),
+                    })
+                    .collect(),
+                ServeMode::Batched => {
+                    let mut qb = QueryBatch::new();
+                    for q in batch {
+                        match q.op {
+                            StreamOp::KnnThreshold { k, tau } => {
+                                qb.knn_threshold(q.object.clone(), k, tau);
+                            }
+                            StreamOp::RknnThreshold { k, tau } => {
+                                qb.rknn_threshold(q.object.clone(), k, tau);
+                            }
+                            StreamOp::TopProbableNn { m } => {
+                                qb.top_probable_nn(q.object.clone(), m);
+                            }
+                            StreamOp::Insert | StreamOp::Delete => {}
+                        }
+                    }
+                    let mut results = engine.run_batch(&qb).into_iter();
+                    batch
+                        .iter()
+                        .map(|q| {
+                            if q.op.is_mutation() {
+                                Vec::new()
+                            } else {
+                                results.next().expect("one result set per query")
+                            }
+                        })
+                        .collect()
+                }
             }
         })
         .collect()
@@ -279,6 +413,7 @@ pub fn serve_stream<'a>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use udb_core::IdcaConfig;
 
     fn small_cfg() -> QueryStreamConfig {
         QueryStreamConfig {
@@ -301,9 +436,26 @@ mod tests {
         let a = cfg.generate(&object_cfg());
         let b = cfg.generate(&object_cfg());
         assert_eq!(a.len(), b.len());
-        assert_eq!(a.total_queries(), 15);
+        assert_eq!(a.total_ops(), 15);
         for (ba, bb) in a.batches.iter().zip(b.batches.iter()) {
             assert_eq!(ba.len(), bb.len());
+            for (x, y) in ba.iter().zip(bb.iter()) {
+                assert_eq!(x.op, y.op);
+                assert_eq!(x.object.mbr(), y.object.mbr());
+            }
+        }
+    }
+
+    #[test]
+    fn mutating_stream_is_seed_stable() {
+        let cfg = QueryStreamConfig {
+            insert_weight: 0.2,
+            delete_weight: 0.1,
+            ..small_cfg()
+        };
+        let a = cfg.generate(&object_cfg());
+        let b = cfg.generate(&object_cfg());
+        for (ba, bb) in a.batches.iter().zip(b.batches.iter()) {
             for (x, y) in ba.iter().zip(bb.iter()) {
                 assert_eq!(x.op, y.op);
                 assert_eq!(x.object.mbr(), y.object.mbr());
@@ -331,22 +483,40 @@ mod tests {
     #[test]
     fn mix_ratios_are_respected() {
         // a large stream: empirical mix within a loose tolerance of the
-        // configured weights
+        // configured weights, mutations included
         let cfg = QueryStreamConfig {
             batches: 40,
             batch_size: 25,
-            knn_weight: 0.5,
-            rknn_weight: 0.3,
+            knn_weight: 0.4,
+            rknn_weight: 0.2,
             top_m_weight: 0.2,
+            insert_weight: 0.12,
+            delete_weight: 0.08,
             ..Default::default()
         };
         let stream = cfg.generate(&object_cfg());
-        let (knn, rknn, top_m) = stream.mix_counts();
-        let total = stream.total_queries() as f64;
-        assert_eq!(knn + rknn + top_m, stream.total_queries());
-        assert!((knn as f64 / total - 0.5).abs() < 0.08, "knn {knn}");
-        assert!((rknn as f64 / total - 0.3).abs() < 0.08, "rknn {rknn}");
-        assert!((top_m as f64 / total - 0.2).abs() < 0.08, "top_m {top_m}");
+        let counts = stream.mix_counts();
+        let total = stream.total_ops() as f64;
+        assert_eq!(counts.total(), stream.total_ops());
+        assert!((counts.knn as f64 / total - 0.4).abs() < 0.08, "{counts:?}");
+        assert!(
+            (counts.rknn as f64 / total - 0.2).abs() < 0.08,
+            "{counts:?}"
+        );
+        assert!(
+            (counts.top_m as f64 / total - 0.2).abs() < 0.08,
+            "{counts:?}"
+        );
+        assert!(
+            (counts.insert as f64 / total - 0.12).abs() < 0.06,
+            "{counts:?}"
+        );
+        assert!(
+            (counts.delete as f64 / total - 0.08).abs() < 0.06,
+            "{counts:?}"
+        );
+        assert_eq!(counts.mutations(), counts.insert + counts.delete);
+        assert_eq!(counts.queries() + counts.mutations(), counts.total());
     }
 
     #[test]
@@ -359,10 +529,11 @@ mod tests {
             top_m_weight: 0.0,
             ..Default::default()
         };
-        let (knn, rknn, top_m) = cfg.generate(&object_cfg()).mix_counts();
-        assert_eq!(knn, 100);
-        assert_eq!(rknn, 0);
-        assert_eq!(top_m, 0);
+        let counts = cfg.generate(&object_cfg()).mix_counts();
+        assert_eq!(counts.knn, 100);
+        assert_eq!(counts.rknn, 0);
+        assert_eq!(counts.top_m, 0);
+        assert_eq!(counts.mutations(), 0);
     }
 
     #[test]
@@ -379,7 +550,7 @@ mod tests {
 
     #[test]
     fn hotspot_queries_cluster_around_centers() {
-        // all-hot-spot stream with a tiny spread: query centers must
+        // all-hot-spot stream with a tiny spread: operation centers must
         // cluster on at most `hotspots` distinct locations
         let cfg = QueryStreamConfig {
             batches: 4,
@@ -420,25 +591,21 @@ mod tests {
             ..small_cfg()
         };
         let stream = cfg.generate(&object_cfg());
-        assert_eq!(stream.total_queries(), 15);
+        assert_eq!(stream.total_ops(), 15);
     }
 
     #[test]
     fn serve_modes_agree_end_to_end() {
-        use udb_core::{IdcaConfig, IndexedEngine};
         let object_cfg = SyntheticConfig {
             n: 150,
             max_extent: 0.02,
             ..Default::default()
         };
         let db = object_cfg.generate();
-        let engine = IndexedEngine::with_config(
-            &db,
-            IdcaConfig {
-                max_iterations: 4,
-                ..Default::default()
-            },
-        );
+        let idca = IdcaConfig {
+            max_iterations: 4,
+            ..Default::default()
+        };
         let stream = QueryStreamConfig {
             batches: 2,
             batch_size: 4,
@@ -446,8 +613,49 @@ mod tests {
             ..Default::default()
         }
         .generate(&object_cfg);
-        let seq = serve_stream(&engine, &stream, ServeMode::Sequential);
-        let bat = serve_stream(&engine, &stream, ServeMode::Batched);
+        let mut seq_engine = Engine::with_config(db.clone(), idca.clone());
+        let mut bat_engine = Engine::with_config(db, idca);
+        let seq = serve_stream(&mut seq_engine, &stream, ServeMode::Sequential);
+        let bat = serve_stream(&mut bat_engine, &stream, ServeMode::Batched);
         assert_eq!(seq, bat);
+    }
+
+    #[test]
+    fn serve_modes_agree_with_mutations() {
+        let object_cfg = SyntheticConfig {
+            n: 120,
+            max_extent: 0.02,
+            ..Default::default()
+        };
+        let db = object_cfg.generate();
+        let idca = IdcaConfig {
+            max_iterations: 3,
+            ..Default::default()
+        };
+        let stream = QueryStreamConfig {
+            batches: 3,
+            batch_size: 6,
+            k: 3,
+            insert_weight: 0.25,
+            delete_weight: 0.2,
+            ..Default::default()
+        }
+        .generate(&object_cfg);
+        assert!(
+            stream.mix_counts().mutations() > 0,
+            "stream must exercise the mutation path"
+        );
+        let mut seq_engine = Engine::with_config(db.clone(), idca.clone());
+        let mut bat_engine = Engine::with_config(db.clone(), idca.clone());
+        let seq = serve_stream(&mut seq_engine, &stream, ServeMode::Sequential);
+        let bat = serve_stream(&mut bat_engine, &stream, ServeMode::Batched);
+        assert_eq!(seq, bat);
+        // both engines converged to the same mutated database; the db
+        // never empties mid-stream, so every delete found a victim
+        let counts = stream.mix_counts();
+        let expected = db.len() + counts.insert - counts.delete;
+        assert_eq!(seq_engine.db().len(), expected);
+        assert_eq!(bat_engine.db().len(), expected);
+        seq_engine.tree().check_invariants();
     }
 }

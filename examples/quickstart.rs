@@ -38,8 +38,11 @@ fn main() {
     // A certain query point.
     let q = UncertainObject::certain(Point::from([0.0, 0.0]));
 
+    // The owned serving engine: takes the database, builds the R-tree,
+    // and keeps a persistent decomposition cache across queries. The
+    // scan-based QueryEngine remains available as the reference oracle.
     println!("== probabilistic threshold 2NN query (tau = 0.5) ==");
-    let engine = QueryEngine::new(&db);
+    let mut engine = Engine::new(db);
     for r in engine.knn_threshold(&q, 2, 0.5) {
         let verdict = if r.is_hit(0.5) {
             "HIT"
@@ -53,6 +56,20 @@ fn main() {
             r.id, r.prob_lower, r.prob_upper, verdict, r.iterations
         );
     }
+
+    // In-place mutation: a fifth sensor comes online near the query; no
+    // index rebuild, the R-tree and caches are maintained incrementally.
+    println!("\n== sensor 4 comes online at (0.6, 0.2) ==");
+    let new_id = engine.insert(UncertainObject::new(Pdf::uniform(Rect::centered(
+        &Point::from([0.6, 0.2]),
+        &[0.1, 0.1],
+    ))));
+    for r in engine.knn_threshold(&q, 2, 0.5) {
+        if r.id == new_id && r.is_hit(0.5) {
+            println!("  {}: immediately a certain 2NN member", r.id);
+        }
+    }
+    engine.remove(new_id); // ...and goes away again, in place
 
     println!("\n== full domination-count refinement for sensor 1 ==");
     let mut refiner = engine.refiner(

@@ -42,10 +42,15 @@
 //! let q = UncertainObject::certain(Point::from([0.0, 0.0]));
 //!
 //! // probabilistic threshold 1NN: which objects are the nearest
-//! // neighbour of q with probability > 0.5?
-//! let engine = QueryEngine::new(&db);
+//! // neighbour of q with probability > 0.5? The owned engine keeps the
+//! // R-tree and a persistent decomposition cache, and mutates in place.
+//! let mut engine = Engine::new(db);
 //! let results = engine.knn_threshold(&q, 1, 0.5);
 //! assert!(results.iter().any(|r| r.id == ObjectId(0) && r.is_hit(0.5)));
+//!
+//! // an arrival: no rebuild, the index follows along
+//! let id = engine.insert(UncertainObject::certain(Point::from([0.4, 0.0])));
+//! assert!(engine.knn_threshold(&q, 1, 0.5)[0].id == id);
 //! ```
 
 pub use udb_core as core;
@@ -61,10 +66,10 @@ pub use udb_workload as workload;
 /// The commonly used types in one import.
 pub mod prelude {
     pub use udb_core::{
-        par_knn_threshold, refine_lockstep, refine_top_m, BatchQuery, DomCountSnapshot,
+        par_knn_threshold, refine_lockstep, refine_top_m, DomCountSnapshot, Engine,
         ExpectedRankEntry, IdcaConfig, IndexedEngine, ObjRef, PoolHandle, Predicate, QueryBatch,
-        QueryEngine, RankDistribution, RefineGoal, Refiner, SharedRefineCtx, ThresholdResult,
-        WorkerPool,
+        QueryEngine, QuerySpec, RankDistribution, RefineGoal, Refiner, SharedRefineCtx,
+        ThresholdResult, WorkerPool,
     };
     pub use udb_domination::{DominationCriterion, PDomBounds};
     pub use udb_genfunc::{CountDistributionBounds, Ugf};
@@ -74,7 +79,7 @@ pub mod prelude {
     pub use udb_object::{Database, Decomposition, ObjectId, SplitStrategy, UncertainObject};
     pub use udb_pdf::{DiscretePdf, GaussianPdf, HistogramPdf, MixturePdf, Pdf, UniformPdf};
     pub use udb_workload::{
-        serve_stream, IcebergConfig, QuerySet, QueryStream, QueryStreamConfig, ServeMode, StreamOp,
-        StreamQuery, SyntheticConfig,
+        serve_stream, IcebergConfig, MixCounts, QuerySet, QueryStream, QueryStreamConfig,
+        ServeMode, StreamOp, StreamQuery, SyntheticConfig,
     };
 }

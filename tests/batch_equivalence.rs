@@ -1,13 +1,14 @@
 //! Equivalence oracle for the batched query engine: a mixed
 //! [`QueryBatch`] must produce **bit-identical** results — membership,
 //! probability bounds, iteration counts, result order — to running the
-//! same queries one by one through the per-query [`IndexedEngine`] entry
+//! same queries one by one through the per-query [`Engine`] entry
 //! points, at every [`IdcaConfig::batch_threads`] lane count. The
 //! batched pass shares *work* across queries (one grouped R-tree
 //! descent, a cross-query decomposition cache, recycled refiner
 //! arenas) but never numeric state, so 1, 2 and 4 lanes must agree with
 //! the sequential entry points to the last bit, for all three query
-//! types at once.
+//! types at once — with the owned engine's persistent cross-batch
+//! cache on (the serving default) and off.
 
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -86,8 +87,8 @@ fn config_with_lanes(lanes: usize) -> IdcaConfig {
 
 /// The full oracle for one randomized workload: build a mixed batch of
 /// kNN / RkNN / top-`m` queries over shared and distinct query objects,
-/// run it at 1/2/4 batch lanes, and demand bit-identity with the
-/// per-query entry points.
+/// run it at 1/2/4 batch lanes — with the cross-batch cache on and off
+/// — and demand bit-identity with the per-query entry points.
 fn check_mixed_batch(seed: u64, n: usize, queries: usize) {
     let mut rng = StdRng::seed_from_u64(seed);
     let db = random_db(&mut rng, n);
@@ -106,7 +107,7 @@ fn check_mixed_batch(seed: u64, n: usize, queries: usize) {
     let (k, tau, m) = (rng.gen_range(1..4), rng.gen_range(0.05..0.8), 2);
 
     // the sequential oracle, through the per-query entry points
-    let oracle_engine = IndexedEngine::with_config(&db, config_with_lanes(1));
+    let oracle_engine = Engine::with_config(db.clone(), config_with_lanes(1));
     let mut oracle: Vec<Vec<ThresholdResult>> = Vec::new();
     for (i, q) in query_objects.iter().enumerate() {
         oracle.push(match i % 3 {
@@ -116,20 +117,41 @@ fn check_mixed_batch(seed: u64, n: usize, queries: usize) {
         });
     }
 
+    let mut batch = QueryBatch::new();
+    for (i, q) in query_objects.iter().enumerate() {
+        match i % 3 {
+            0 => batch.knn_threshold(q.clone(), k, tau),
+            1 => batch.rknn_threshold(q.clone(), k, tau),
+            _ => batch.top_probable_nn(q.clone(), m),
+        };
+    }
     for lanes in [1usize, 2, 4] {
-        let engine = IndexedEngine::with_config(&db, config_with_lanes(lanes));
-        let mut batch = QueryBatch::new();
-        for (i, q) in query_objects.iter().enumerate() {
-            match i % 3 {
-                0 => batch.knn_threshold(q, k, tau),
-                1 => batch.rknn_threshold(q, k, tau),
-                _ => batch.top_probable_nn(q, m),
-            };
-        }
-        let results = engine.run_batch(&batch);
-        assert_eq!(results.len(), oracle.len());
-        for (qi, (seq, bat)) in oracle.iter().zip(results.iter()).enumerate() {
-            assert_bit_identical(seq, bat, &format!("lanes={lanes} query={qi}"));
+        for cache_cap in [0usize, 1024] {
+            let engine = Engine::with_config(
+                db.clone(),
+                IdcaConfig {
+                    decomp_cache_entries: cache_cap,
+                    ..config_with_lanes(lanes)
+                },
+            );
+            let results = engine.run_batch(&batch);
+            assert_eq!(results.len(), oracle.len());
+            for (qi, (seq, bat)) in oracle.iter().zip(results.iter()).enumerate() {
+                assert_bit_identical(
+                    seq,
+                    bat,
+                    &format!("lanes={lanes} cache={cache_cap} query={qi}"),
+                );
+            }
+            // a warm repeat of the same batch must replay identically
+            let again = engine.run_batch(&batch);
+            for (qi, (seq, bat)) in oracle.iter().zip(again.iter()).enumerate() {
+                assert_bit_identical(
+                    seq,
+                    bat,
+                    &format!("warm repeat lanes={lanes} cache={cache_cap} query={qi}"),
+                );
+            }
         }
     }
 }
@@ -140,7 +162,7 @@ fn check_mixed_batch(seed: u64, n: usize, queries: usize) {
 fn check_grouped_candidates(seed: u64, n: usize, queries: usize) {
     let mut rng = StdRng::seed_from_u64(seed);
     let db = random_db(&mut rng, n);
-    let engine = IndexedEngine::new(&db);
+    let engine = Engine::new(db);
     let requests: Vec<(Rect, usize)> = (0..queries)
         .map(|_| {
             let q = random_object(&mut rng);
@@ -193,9 +215,10 @@ fn batched_synthetic_workload_matches_sequential() {
     }
     .generate(&object_cfg);
     for lanes in [1usize, 2, 4] {
-        let engine = IndexedEngine::with_config(&db, config_with_lanes(lanes));
-        let seq = serve_stream(&engine, &stream, ServeMode::Sequential);
-        let bat = serve_stream(&engine, &stream, ServeMode::Batched);
+        let mut seq_engine = Engine::with_config(db.clone(), config_with_lanes(lanes));
+        let mut bat_engine = Engine::with_config(db.clone(), config_with_lanes(lanes));
+        let seq = serve_stream(&mut seq_engine, &stream, ServeMode::Sequential);
+        let bat = serve_stream(&mut bat_engine, &stream, ServeMode::Batched);
         assert_eq!(seq, bat, "lanes={lanes}");
     }
 }

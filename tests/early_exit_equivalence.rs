@@ -1,5 +1,5 @@
 //! Equivalence oracle for index-integrated early-exit refinement: on
-//! randomized workloads, the [`IndexedEngine`] paths (index-driven
+//! randomized workloads, the owned [`Engine`] paths (index-driven
 //! candidates, subtree filters, lock-step mid-loop retirement) must
 //! classify every object exactly like the scan-based full-refinement
 //! [`QueryEngine`] paths — identical hit/drop/undecided sets *and*
@@ -116,7 +116,7 @@ proptest! {
             ..Default::default()
         };
         let scan = QueryEngine::with_config(&db, cfg.clone());
-        let indexed = IndexedEngine::with_config(&db, cfg);
+        let indexed = Engine::with_config(db.clone(), cfg);
         assert_equivalent(
             scan.knn_threshold(&q, k, tau),
             indexed.knn_threshold(&q, k, tau),
@@ -141,7 +141,7 @@ proptest! {
             ..Default::default()
         };
         let scan = QueryEngine::with_config(&db, cfg.clone());
-        let indexed = IndexedEngine::with_config(&db, cfg);
+        let indexed = Engine::with_config(db.clone(), cfg);
         assert_equivalent(
             scan.rknn_threshold(&q, k, tau),
             indexed.rknn_threshold(&q, k, tau),

@@ -1,0 +1,280 @@
+//! Property suite for the owned serving engine: the persistent
+//! cross-batch decomposition cache and the in-place mutation API must
+//! never change *what* is computed, only how much of it is recomputed.
+//!
+//! * **Warm ≡ cold** — repeating the same batches against one engine
+//!   (cache filling up and replaying across batches) returns results
+//!   bit-identical to a cold engine with per-batch caches.
+//! * **Mutate-then-query ≡ rebuild** — after any interleaving of
+//!   inserts, removes and updates, every query answers exactly like a
+//!   freshly built engine over the mutated database (index maintained
+//!   incrementally, caches invalidated per object).
+//! * **Eviction-safe** — tiny cache capacities (constant churn,
+//!   every batch evicting most entries) never change results.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use uncertain_db::prelude::*;
+
+/// A random uncertain object: mixed density families, occasional
+/// existential uncertainty (mirrors the other equivalence oracles).
+fn random_object(rng: &mut StdRng) -> UncertainObject {
+    let cx: f64 = rng.gen_range(0.0..4.0);
+    let cy: f64 = rng.gen_range(0.0..4.0);
+    let hx: f64 = rng.gen_range(0.02..0.5);
+    let hy: f64 = rng.gen_range(0.02..0.5);
+    let center = Point::from([cx, cy]);
+    let support = Rect::centered(&center, &[hx, hy]);
+    let pdf: Pdf = match rng.gen_range(0..3) {
+        0 => Pdf::uniform(support),
+        1 => GaussianPdf::new(center, vec![hx / 2.0, hy / 2.0], support).into(),
+        _ => {
+            let n = rng.gen_range(2..5);
+            let pts: Vec<Point> = (0..n)
+                .map(|_| {
+                    Point::from([
+                        rng.gen_range(cx - hx..cx + hx),
+                        rng.gen_range(cy - hy..cy + hy),
+                    ])
+                })
+                .collect();
+            DiscretePdf::equally_weighted(pts).into()
+        }
+    };
+    if rng.gen_range(0..4) == 0 {
+        UncertainObject::with_existence(pdf, rng.gen_range(0.3..1.0))
+    } else {
+        UncertainObject::new(pdf)
+    }
+}
+
+fn random_db(rng: &mut StdRng, n: usize) -> Database {
+    Database::from_objects((0..n).map(|_| random_object(rng)).collect())
+}
+
+fn config(cache_cap: usize) -> IdcaConfig {
+    IdcaConfig {
+        max_iterations: 4,
+        uncertainty_target: 0.0,
+        decomp_cache_entries: cache_cap,
+        ..Default::default()
+    }
+}
+
+/// Bit-exact comparison of two per-batch result sets.
+fn assert_runs_identical(a: &[Vec<ThresholdResult>], b: &[Vec<ThresholdResult>], ctx: &str) {
+    assert_eq!(a.len(), b.len(), "{ctx}: result count diverged");
+    for (qi, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+        assert_eq!(x.len(), y.len(), "{ctx} query={qi}: set size diverged");
+        for (ra, rb) in x.iter().zip(y.iter()) {
+            assert_eq!(ra.id, rb.id, "{ctx} query={qi}");
+            assert_eq!(
+                ra.prob_lower.to_bits(),
+                rb.prob_lower.to_bits(),
+                "{ctx} query={qi} id={:?}",
+                ra.id
+            );
+            assert_eq!(
+                ra.prob_upper.to_bits(),
+                rb.prob_upper.to_bits(),
+                "{ctx} query={qi} id={:?}",
+                ra.id
+            );
+            assert_eq!(ra.iterations, rb.iterations, "{ctx} query={qi}");
+        }
+    }
+}
+
+/// A mixed batch over part-shared, part-fresh query objects (shared
+/// regions are what make the cache actually replay across batches).
+fn mixed_batch(rng: &mut StdRng, hot: &UncertainObject, queries: usize) -> QueryBatch {
+    let (k, tau, m) = (rng.gen_range(1..4), rng.gen_range(0.05..0.8), 2);
+    let mut batch = QueryBatch::new();
+    for i in 0..queries {
+        let q = if i % 2 == 0 {
+            hot.clone()
+        } else {
+            random_object(rng)
+        };
+        match i % 3 {
+            0 => batch.knn_threshold(q, k, tau),
+            1 => batch.rknn_threshold(q, k, tau),
+            _ => batch.top_probable_nn(q, m),
+        };
+    }
+    batch
+}
+
+/// (a) Warm-cache results are bit-identical to cold-cache results
+/// across repeated batches — including re-running the *same* batch
+/// against an already-hot cache.
+fn check_warm_equals_cold(seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let db = random_db(&mut rng, 50);
+    let hot = random_object(&mut rng);
+    let batches: Vec<QueryBatch> = (0..3).map(|_| mixed_batch(&mut rng, &hot, 5)).collect();
+    let warm = Engine::with_config(db.clone(), config(1024));
+    let cold = Engine::with_config(db, config(0));
+    for (bi, batch) in batches.iter().enumerate() {
+        let w = warm.run_batch(batch);
+        let c = cold.run_batch(batch);
+        assert_runs_identical(&w, &c, &format!("batch {bi}"));
+        // replay against the now-hot cache: still identical
+        let w2 = warm.run_batch(batch);
+        assert_runs_identical(&w2, &c, &format!("warm replay of batch {bi}"));
+    }
+    assert!(warm.decomp_cache_len() > 0, "cache never filled");
+    assert_eq!(cold.decomp_cache_len(), 0, "cold engine must not persist");
+}
+
+/// (b) Any interleaving of mutations and queries equals a freshly built
+/// engine over the mutated database — warm caches and incremental index
+/// maintenance included.
+fn check_mutate_then_query(seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let db = random_db(&mut rng, 30);
+    let mut engine = Engine::with_config(db, config(1024));
+    let q = random_object(&mut rng);
+    // warm the cache so stale decompositions would be observable
+    engine.knn_threshold(&q, 2, 0.3);
+    for round in 0..3 {
+        // a few random mutations (ids drawn from the live set)
+        for _ in 0..rng.gen_range(1..4) {
+            let live: Vec<ObjectId> = engine.db().ids().collect();
+            match rng.gen_range(0..3) {
+                0 => {
+                    let obj = random_object(&mut rng);
+                    engine.insert(obj);
+                }
+                1 if live.len() > 5 => {
+                    let id = live[rng.gen_range(0..live.len())];
+                    engine.remove(id);
+                }
+                _ => {
+                    let id = live[rng.gen_range(0..live.len())];
+                    let obj = random_object(&mut rng);
+                    engine.update(id, obj);
+                }
+            }
+        }
+        engine.tree().check_invariants();
+        let fresh = Engine::with_config(engine.db().clone(), config(0));
+        let qq = if rng.gen_range(0..2) == 0 {
+            q.clone()
+        } else {
+            random_object(&mut rng)
+        };
+        let (k, tau) = (rng.gen_range(1..4), rng.gen_range(0.05..0.8));
+        assert_runs_identical(
+            &[engine.knn_threshold(&qq, k, tau)],
+            &[fresh.knn_threshold(&qq, k, tau)],
+            &format!("round {round} knn"),
+        );
+        assert_runs_identical(
+            &[engine.rknn_threshold(&qq, k, tau)],
+            &[fresh.rknn_threshold(&qq, k, tau)],
+            &format!("round {round} rknn"),
+        );
+        assert_runs_identical(
+            &[engine.top_probable_nn(&qq, 2)],
+            &[fresh.top_probable_nn(&qq, 2)],
+            &format!("round {round} top_m"),
+        );
+    }
+}
+
+/// (c) Cache eviction at tiny capacities never changes results: an
+/// engine whose cache can hold almost nothing (constant churn) agrees
+/// bit-for-bit with the cold engine on every batch.
+fn check_tiny_capacities(seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let db = random_db(&mut rng, 40);
+    let hot = random_object(&mut rng);
+    let batches: Vec<QueryBatch> = (0..2).map(|_| mixed_batch(&mut rng, &hot, 4)).collect();
+    let cold = Engine::with_config(db.clone(), config(0));
+    let oracles: Vec<Vec<Vec<ThresholdResult>>> =
+        batches.iter().map(|b| cold.run_batch(b)).collect();
+    for cap in [1usize, 2, 3] {
+        let tiny = Engine::with_config(db.clone(), config(cap));
+        for (bi, (batch, oracle)) in batches.iter().zip(oracles.iter()).enumerate() {
+            let got = tiny.run_batch(batch);
+            assert_runs_identical(&got, oracle, &format!("cap={cap} batch={bi}"));
+            assert!(
+                tiny.decomp_cache_len() <= cap,
+                "cap={cap}: {} entries survived trimming",
+                tiny.decomp_cache_len()
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn warm_cache_results_equal_cold_cache(seed in 0u64..10_000) {
+        check_warm_equals_cold(seed);
+    }
+
+    #[test]
+    fn mutate_then_query_equals_fresh_engine(seed in 0u64..10_000) {
+        check_mutate_then_query(seed);
+    }
+
+    #[test]
+    fn tiny_cache_capacities_never_change_results(seed in 0u64..10_000) {
+        check_tiny_capacities(seed);
+    }
+}
+
+/// Deterministic end-to-end case: a mutating hot-spot stream served
+/// warm equals the same stream served cold, sequential and batched.
+#[test]
+fn mutating_stream_warm_equals_cold_all_modes() {
+    let object_cfg = SyntheticConfig {
+        n: 150,
+        max_extent: 0.02,
+        ..Default::default()
+    };
+    let db = object_cfg.generate();
+    let stream = QueryStreamConfig {
+        batches: 3,
+        batch_size: 5,
+        k: 3,
+        insert_weight: 0.15,
+        delete_weight: 0.1,
+        hotspots: 1,
+        hotspot_fraction: 0.8,
+        ..Default::default()
+    }
+    .generate(&object_cfg);
+    let mk = |cap: usize| {
+        Engine::with_config(
+            db.clone(),
+            IdcaConfig {
+                max_iterations: 4,
+                decomp_cache_entries: cap,
+                ..Default::default()
+            },
+        )
+    };
+    let runs: Vec<_> = [
+        (1024, ServeMode::Batched),
+        (0, ServeMode::Batched),
+        (1024, ServeMode::Sequential),
+        (0, ServeMode::Sequential),
+        (2, ServeMode::Batched), // constant eviction churn
+    ]
+    .into_iter()
+    .map(|(cap, mode)| {
+        let mut engine = mk(cap);
+        let out = serve_stream(&mut engine, &stream, mode);
+        engine.tree().check_invariants();
+        out
+    })
+    .collect();
+    for (i, run) in runs.iter().enumerate().skip(1) {
+        assert_eq!(&runs[0], run, "run {i} diverged");
+    }
+}

@@ -99,10 +99,10 @@ proptest! {
         let db = random_db(&mut rng, n);
         let q = random_object(&mut rng);
         let sequential =
-            IndexedEngine::with_config(&db, config_with_lanes(1)).knn_threshold(&q, k, tau);
+            Engine::with_config(db.clone(), config_with_lanes(1)).knn_threshold(&q, k, tau);
         for lanes in [2usize, 4] {
             let parallel =
-                IndexedEngine::with_config(&db, config_with_lanes(lanes)).knn_threshold(&q, k, tau);
+                Engine::with_config(db.clone(), config_with_lanes(lanes)).knn_threshold(&q, k, tau);
             assert_bit_identical(&sequential, &parallel, lanes);
         }
     }
@@ -120,9 +120,9 @@ proptest! {
         let db = random_db(&mut rng, n);
         let q = random_object(&mut rng);
         let sequential =
-            IndexedEngine::with_config(&db, config_with_lanes(1)).rknn_threshold(&q, k, tau);
+            Engine::with_config(db.clone(), config_with_lanes(1)).rknn_threshold(&q, k, tau);
         for lanes in [2usize, 4] {
-            let parallel = IndexedEngine::with_config(&db, config_with_lanes(lanes))
+            let parallel = Engine::with_config(db.clone(), config_with_lanes(lanes))
                 .rknn_threshold(&q, k, tau);
             assert_bit_identical(&sequential, &parallel, lanes);
         }
@@ -141,10 +141,10 @@ proptest! {
         let db = random_db(&mut rng, n);
         let q = random_object(&mut rng);
         let sequential =
-            IndexedEngine::with_config(&db, config_with_lanes(1)).top_probable_nn(&q, m);
+            Engine::with_config(db.clone(), config_with_lanes(1)).top_probable_nn(&q, m);
         for lanes in [2usize, 4] {
             let parallel =
-                IndexedEngine::with_config(&db, config_with_lanes(lanes)).top_probable_nn(&q, m);
+                Engine::with_config(db.clone(), config_with_lanes(lanes)).top_probable_nn(&q, m);
             assert_bit_identical(&sequential, &parallel, lanes);
         }
     }
@@ -163,12 +163,12 @@ proptest! {
         let db = random_db(&mut rng, n);
         let q = random_object(&mut rng);
         let sequential =
-            IndexedEngine::with_config(&db, config_with_lanes(1)).knn_threshold(&q, 2, 0.3);
+            Engine::with_config(db.clone(), config_with_lanes(1)).knn_threshold(&q, 2, 0.3);
         let nested_cfg = IdcaConfig {
             snapshot_threads: 2,
             ..config_with_lanes(2)
         };
-        let nested = IndexedEngine::with_config(&db, nested_cfg).knn_threshold(&q, 2, 0.3);
+        let nested = Engine::with_config(db.clone(), nested_cfg).knn_threshold(&q, 2, 0.3);
         prop_assert_eq!(nested.len(), sequential.len());
         for (a, b) in nested.iter().zip(sequential.iter()) {
             prop_assert_eq!(a.id, b.id);

@@ -104,3 +104,41 @@ fn workload_configs_round_trip() {
     let back: IcebergConfig = serde_json::from_str(&json).unwrap();
     assert_eq!(back.n, ic.n);
 }
+
+#[test]
+fn database_with_tombstones_round_trips() {
+    let cfg = SyntheticConfig {
+        n: 20,
+        ..Default::default()
+    };
+    let mut db = cfg.generate();
+    db.remove(ObjectId(0));
+    db.remove(ObjectId(7));
+    let back = round_trip(&db);
+    assert_eq!(back.len(), db.len());
+    assert!(!back.contains(ObjectId(0)));
+    assert!(!back.contains(ObjectId(7)));
+    assert_eq!(back.dims(), db.dims());
+    let ids: Vec<ObjectId> = back.ids().collect();
+    assert_eq!(ids, db.ids().collect::<Vec<_>>());
+}
+
+/// The pre-mutation wire format — `objects` as a plain object list, no
+/// `live`/`dims` fields — still loads (the counters are recomputed from
+/// the slots on deserialization).
+#[test]
+fn pre_tombstone_wire_format_still_loads() {
+    let objects = [
+        UncertainObject::certain(Point::from([1.0, 2.0])),
+        UncertainObject::certain(Point::from([3.0, 4.0])),
+    ];
+    let old_json = format!(
+        "{{\"objects\":[{},{}]}}",
+        serde_json::to_string(&objects[0]).unwrap(),
+        serde_json::to_string(&objects[1]).unwrap()
+    );
+    let db: Database = serde_json::from_str(&old_json).expect("old format deserializes");
+    assert_eq!(db.len(), 2);
+    assert_eq!(db.dims(), Some(2));
+    assert_eq!(db.get(ObjectId(1)).mean(), Point::from([3.0, 4.0]));
+}
