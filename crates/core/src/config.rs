@@ -86,6 +86,22 @@ pub struct IdcaConfig {
     /// [`crate::IndexedEngine`] shim ignores this knob — it has no
     /// cross-call state.
     pub decomp_cache_entries: usize,
+    /// Enables the tier-1 min/max bound prefilter in front of the exact
+    /// UGF refinement: each round first computes O(n)-per-pair CDF
+    /// brackets ([`udb_genfunc::MinMaxCdf`]) and skips the exact
+    /// aggregation whenever the brackets *prove* the round could neither
+    /// decide the query nor meet the stop criterion. The cheap tier only
+    /// ever decides whether the exact tier runs — never what it returns —
+    /// so results are bit-identical with the prefilter on or off
+    /// (property-tested); the knob trades a cheap extra pass on
+    /// terminal rounds for skipping the O(k²)-per-pair UGF work on
+    /// non-terminal ones.
+    ///
+    /// `false` (the default) keeps the exact-only semantics of previous
+    /// releases. The default honours the `UDB_PREFILTER` environment
+    /// variable (CI shim: the `{0, 1}` matrix runs every default-config
+    /// test through both tiers).
+    pub prefilter: bool,
 }
 
 /// Reads a thread-count environment variable once (values `< 1` and junk
@@ -128,6 +144,19 @@ fn default_decomp_cache_entries() -> usize {
     })
 }
 
+/// Default prefilter setting: `UDB_PREFILTER=1` (or any non-zero
+/// integer) switches the two-tier pipeline on; `0`, junk or an unset
+/// variable keep the exact-only path.
+fn default_prefilter() -> bool {
+    static ON: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ON.get_or_init(|| {
+        std::env::var("UDB_PREFILTER")
+            .ok()
+            .and_then(|v| v.parse::<i64>().ok())
+            .is_some_and(|v| v != 0)
+    })
+}
+
 impl Default for IdcaConfig {
     fn default() -> Self {
         IdcaConfig {
@@ -140,6 +169,7 @@ impl Default for IdcaConfig {
             candidate_threads: default_candidate_threads(),
             batch_threads: default_batch_threads(),
             decomp_cache_entries: default_decomp_cache_entries(),
+            prefilter: default_prefilter(),
         }
     }
 }

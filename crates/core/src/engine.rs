@@ -39,7 +39,7 @@ use crate::batch::{DecompCache, QueryBatch, QueryView, SharedDecomp, SharedRefin
 use crate::config::{IdcaConfig, ObjRef, Predicate, RefineGoal};
 use crate::parallel::PoolHandle;
 use crate::queries::ThresholdResult;
-use crate::refiner::{refine_lockstep, refine_top_m, Refiner, ScratchPool};
+use crate::refiner::{refine_lockstep, refine_top_m, RefineStats, Refiner, ScratchPool};
 
 /// The batch-sharing state a query pipeline may run under: the batch's
 /// shared context plus the query object's per-query shared
@@ -96,6 +96,7 @@ pub(crate) struct EngineRef<'a> {
     pub(crate) pool: &'a PoolHandle,
     pub(crate) tree: &'a RTree<ObjectId>,
     pub(crate) scratch: &'a ScratchPool,
+    pub(crate) stats: &'a Arc<RefineStats>,
 }
 
 /// Per-query execution slot of one batch run (the `fan_each` item).
@@ -183,6 +184,7 @@ impl<'a> EngineRef<'a> {
             influence,
         )
         .with_pool(self.pool.clone())
+        .with_stats(Arc::clone(self.stats))
     }
 
     /// Index-driven spatial kNN candidate set: all objects that are *not*
@@ -533,6 +535,9 @@ pub struct Engine {
     decomps: Arc<DecompCache>,
     /// The persistent refiner/filter scratch pool.
     scratch: Arc<ScratchPool>,
+    /// Two-tier refinement counters, shared by every refiner the engine
+    /// builds across all calls.
+    stats: Arc<RefineStats>,
 }
 
 impl std::fmt::Debug for Engine {
@@ -562,8 +567,16 @@ impl Engine {
             decomps: Arc::new(DecompCache::new(cfg.split_strategy)),
             scratch: Arc::new(ScratchPool::new()),
             pool: PoolHandle::default(),
+            stats: Arc::new(RefineStats::default()),
             cfg,
         }
+    }
+
+    /// The engine's two-tier refinement counters: how many rounds across
+    /// all refiners were decided by the tier-1 prefilter vs. computed by
+    /// the exact tier-2 UGF snapshot (see [`IdcaConfig::prefilter`]).
+    pub fn refine_stats(&self) -> &Arc<RefineStats> {
+        &self.stats
     }
 
     /// The owned database.
@@ -606,6 +619,7 @@ impl Engine {
             pool: &self.pool,
             tree: &self.tree,
             scratch: &self.scratch,
+            stats: &self.stats,
         }
     }
 

@@ -2,11 +2,12 @@
 //! over the owned [`crate::Engine`]'s internal pipeline.
 //!
 //! [`IndexedEngine`] predates the owned engine: it borrows a
-//! [`Database`] snapshot for `'a`, cannot mutate it, and rebuilds all
-//! shared state (decomposition cache, scratch pool) on every
-//! [`IndexedEngine::run_batch`] call. It survives for one release as a
-//! migration shim — every method delegates to the *same* internal
-//! pipeline ([`crate::engine`]) the owned engine runs, so results are
+//! [`Database`] snapshot for `'a`, cannot mutate it, and builds a fresh
+//! decomposition cache on every [`IndexedEngine::run_batch`] call (only
+//! its refiner/filter scratch pool persists across calls — buffer reuse
+//! cannot change results). It survives for one release as a migration
+//! shim — every method delegates to the *same* internal pipeline
+//! ([`crate::engine`]) the owned engine runs, so results are
 //! structurally identical — and will be removed afterwards.
 //!
 //! # Migration
@@ -99,6 +100,7 @@ impl<'a> IndexedEngine<'a> {
             pool: self.engine.pool_handle(),
             tree: &self.tree,
             scratch: &self.scratch,
+            stats: self.engine.refine_stats(),
         }
     }
 

@@ -37,4 +37,6 @@ pub use engine::Engine;
 pub use indexed::IndexedEngine;
 pub use parallel::{par_knn_threshold, PoolHandle, WorkerPool};
 pub use queries::{ExpectedRankEntry, QueryEngine, RankDistribution, ThresholdResult};
-pub use refiner::{refine_lockstep, refine_top_m, DomCountSnapshot, Refiner, ScratchPool};
+pub use refiner::{
+    refine_lockstep, refine_top_m, DomCountSnapshot, RefineStats, Refiner, ScratchPool,
+};

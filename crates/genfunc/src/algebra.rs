@@ -1,0 +1,346 @@
+//! The [`ProbAlgebra`] abstraction and the O(n) min/max bound instance.
+//!
+//! The refiner consumes a candidate as a stream of per-influence
+//! probability intervals `(p_lb, p_ub)` and needs bounds on the CDF
+//! `P(Σ < k)` of the domination count. The exact algebra is the
+//! uncertain generating function ([`Ugf`]): O(k) work per factor, O(k²)
+//! state. This module abstracts that contract behind a trait so a *cheap*
+//! algebra can run the same stream first and decide rounds where the
+//! exact answer is not needed.
+//!
+//! [`MinMaxCdf`] is that cheap instance: O(1) amortised work per factor
+//! (a size-`k` min-heap-style buffer plus two running reductions) and
+//! O(k) state. It brackets the two *exact* endpoints the UGF would
+//! return. The key identity making this sound: the UGF CDF bounds at `k`
+//! are themselves exact Poisson-binomial CDFs of the endpoint streams,
+//!
+//! * `cdf_lo(k) = P(Σ_ub < k)` — every unknown resolved *up* (`y → x`),
+//! * `cdf_hi(k) = P(Σ_lb < k)` — every unknown resolved *down* (`y → 1`),
+//!
+//! so bracketing `P(Σ < k)` for a Poisson binomial with known
+//! probabilities `v_1..v_n` brackets the UGF output. Per stream, with
+//! `S = Σ v_i` and `1 ≤ k ≤ n`:
+//!
+//! * **Lower bounds on `P(Σ < k)`**
+//!   * Markov on `Σ`: `P(Σ ≥ k) ≤ S/k`, hence `P(Σ < k) ≥ 1 − S/k`.
+//!   * Product: if every variable outside the `k−1` largest is 0 then
+//!     `Σ ≤ k − 1`, hence `P(Σ < k) ≥ Π_{i ∉ top-(k−1)} (1 − v_i)`.
+//! * **Upper bounds on `P(Σ < k)`**
+//!   * Markov on the complement count: `P(Σ < k) = P(n − Σ ≥ n − k + 1)
+//!     ≤ (n − S)/(n − k + 1)`.
+//!   * Product: if the `k` largest are all 1 then `Σ ≥ k`, hence
+//!     `P(Σ < k) ≤ 1 − Π_{top-k} v_i`.
+//!
+//! The edge cases are exact: `k = 0 ⇒ (0, 0)` and `n < k ⇒ (1, 1)`.
+//!
+//! The min/max-probability provenance semiring of scallop computes the
+//! same O(n) top-k shape for `P(count ≥ k)`; this instance extends it to
+//! a two-sided bracket of both UGF endpoints.
+
+use crate::ugf::Ugf;
+
+/// The probability-stream contract shared by the exact UGF and cheap
+/// bounding algebras.
+///
+/// An implementation consumes one `(p_lb, p_ub)` factor per influence
+/// object and answers CDF queries `P(Σ < k)` as a `(lower, upper)` pair
+/// that contains the true interval. The exact [`Ugf`] returns the
+/// tightest bounds derivable from the intervals (Lemma 4 of the paper);
+/// [`MinMaxCdf`] returns a looser superset in O(n) total work.
+pub trait ProbAlgebra {
+    /// Clears all accumulated factors; `truncate_at` bounds the largest
+    /// `k` that will be queried (must be `Some` for bounded-state
+    /// algebras).
+    fn reset(&mut self, truncate_at: Option<usize>);
+
+    /// Multiplies in one factor with probability interval `[p_lb, p_ub]`.
+    fn multiply(&mut self, p_lb: f64, p_ub: f64);
+
+    /// Number of factors multiplied since the last reset.
+    fn factors(&self) -> usize;
+
+    /// `(lower, upper)` bounds on the CDF `P(Σ < k)`.
+    fn cdf_bounds(&self, k: usize) -> (f64, f64);
+}
+
+impl ProbAlgebra for Ugf {
+    fn reset(&mut self, truncate_at: Option<usize>) {
+        Ugf::reset(self, truncate_at);
+    }
+
+    fn multiply(&mut self, p_lb: f64, p_ub: f64) {
+        Ugf::multiply(self, p_lb, p_ub);
+    }
+
+    fn factors(&self) -> usize {
+        Ugf::factors(self)
+    }
+
+    fn cdf_bounds(&self, k: usize) -> (f64, f64) {
+        Ugf::cdf_bounds(self, k)
+    }
+}
+
+/// One endpoint stream (all `p_lb` or all `p_ub`): the running sum, the
+/// `cap` largest values (sorted ascending), and the complement product
+/// of everything evicted from that buffer.
+#[derive(Debug, Clone)]
+struct Envelope {
+    sum: f64,
+    /// The `min(n, cap)` largest values seen, sorted ascending.
+    top: Vec<f64>,
+    /// `Π (1 − v)` over every value *not* retained in `top`.
+    evicted_comp: f64,
+}
+
+impl Envelope {
+    fn new(cap: usize) -> Self {
+        Envelope {
+            sum: 0.0,
+            top: Vec::with_capacity(cap),
+            evicted_comp: 1.0,
+        }
+    }
+
+    fn clear(&mut self) {
+        self.sum = 0.0;
+        self.top.clear();
+        self.evicted_comp = 1.0;
+    }
+
+    fn push(&mut self, v: f64, cap: usize) {
+        self.sum += v;
+        if cap == 0 {
+            self.evicted_comp *= 1.0 - v;
+            return;
+        }
+        if self.top.len() == cap {
+            if v <= self.top[0] {
+                self.evicted_comp *= 1.0 - v;
+                return;
+            }
+            self.evicted_comp *= 1.0 - self.top[0];
+            self.top.remove(0);
+        }
+        let at = self.top.partition_point(|&t| t < v);
+        self.top.insert(at, v);
+    }
+
+    /// Brackets `P(Σ < k)` for the Poisson binomial over the pushed
+    /// values (`n` of them). Requires `k ≤ cap` so the top-`k` values
+    /// are all retained.
+    fn bracket(&self, k: usize, n: usize) -> (f64, f64) {
+        if k == 0 {
+            return (0.0, 0.0);
+        }
+        if n < k {
+            return (1.0, 1.0);
+        }
+        let top = &self.top;
+        debug_assert!(
+            top.len() >= k,
+            "query k={k} exceeds retained top-{}",
+            top.len()
+        );
+        let mut top_prod = 1.0;
+        for &v in &top[top.len() - k..] {
+            top_prod *= v;
+        }
+        let mut out_comp = self.evicted_comp;
+        for &v in &top[..top.len() - (k - 1)] {
+            out_comp *= 1.0 - v;
+        }
+        let lower = (1.0 - self.sum / k as f64).max(out_comp).max(0.0);
+        let markov_hi = (n as f64 - self.sum) / (n - k + 1) as f64;
+        let upper = markov_hi.min(1.0 - top_prod).min(1.0);
+        (lower, upper)
+    }
+}
+
+/// O(n) min/max bracket of the exact UGF CDF bounds (see module docs).
+///
+/// Tracks both endpoint streams of the factor intervals. For a query
+/// `k`, [`MinMaxCdf::cdf_brackets`] returns an interval around *each*
+/// exact UGF endpoint; the [`ProbAlgebra::cdf_bounds`] impl returns the
+/// outer hull (guaranteed to contain the exact `(lo, hi)` pair).
+#[derive(Debug, Clone)]
+pub struct MinMaxCdf {
+    /// Largest `k` that may be queried (buffer capacity per stream).
+    cap: usize,
+    n: usize,
+    ones_lb: usize,
+    lb: Envelope,
+    ub: Envelope,
+}
+
+impl MinMaxCdf {
+    /// A fresh bracket algebra; `truncate_at` must be `Some(cap)` with
+    /// `cap` at least the largest `k` that will be queried.
+    pub fn new(truncate_at: Option<usize>) -> Self {
+        let cap = truncate_at.expect("MinMaxCdf requires a truncation point");
+        MinMaxCdf {
+            cap,
+            n: 0,
+            ones_lb: 0,
+            lb: Envelope::new(cap),
+            ub: Envelope::new(cap),
+        }
+    }
+
+    /// Number of factors whose scaled `p_lb` is exactly `1.0` — i.e.
+    /// influences that *certainly* dominate. Used by the top-m driver to
+    /// drop candidates whose exact predicate probability is exactly 0.
+    pub fn ones_lb(&self) -> usize {
+        self.ones_lb
+    }
+
+    /// Brackets around both exact UGF endpoints at `k`:
+    /// `((lo_lo, lo_hi), (hi_lo, hi_hi))` with
+    /// `lo_lo ≤ cdf_lo(k) ≤ lo_hi` and `hi_lo ≤ cdf_hi(k) ≤ hi_hi`
+    /// (up to float rounding — callers guard decisions with a margin).
+    pub fn cdf_brackets(&self, k: usize) -> ((f64, f64), (f64, f64)) {
+        assert!(k <= self.cap, "query k={k} exceeds capacity {}", self.cap);
+        // cdf_lo is the Poisson-binomial CDF of the *upper* endpoints,
+        // cdf_hi that of the *lower* endpoints.
+        (self.ub.bracket(k, self.n), self.lb.bracket(k, self.n))
+    }
+}
+
+impl ProbAlgebra for MinMaxCdf {
+    fn reset(&mut self, truncate_at: Option<usize>) {
+        let cap = truncate_at.expect("MinMaxCdf requires a truncation point");
+        if cap > self.cap {
+            self.lb.top.reserve(cap - self.lb.top.capacity().min(cap));
+            self.ub.top.reserve(cap - self.ub.top.capacity().min(cap));
+        }
+        self.cap = cap;
+        self.n = 0;
+        self.ones_lb = 0;
+        self.lb.clear();
+        self.ub.clear();
+    }
+
+    fn multiply(&mut self, p_lb: f64, p_ub: f64) {
+        debug_assert!(
+            (-1e-9..=1.0 + 1e-9).contains(&p_lb)
+                && (-1e-9..=1.0 + 1e-9).contains(&p_ub)
+                && p_lb <= p_ub + 1e-9,
+            "invalid probability bounds [{p_lb}, {p_ub}]"
+        );
+        let p_lb = p_lb.clamp(0.0, 1.0);
+        let p_ub = p_ub.clamp(p_lb, 1.0);
+        self.n += 1;
+        if p_lb == 1.0 {
+            self.ones_lb += 1;
+        }
+        self.lb.push(p_lb, self.cap);
+        self.ub.push(p_ub, self.cap);
+    }
+
+    fn factors(&self) -> usize {
+        self.n
+    }
+
+    fn cdf_bounds(&self, k: usize) -> (f64, f64) {
+        let ((lo_lo, _), (_, hi_hi)) = self.cdf_brackets(k);
+        (lo_lo, hi_hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn stream_strategy() -> impl Strategy<Value = Vec<(f64, f64)>> {
+        proptest::collection::vec(
+            (0.0f64..=1.0, 0.0f64..=1.0).prop_map(|(a, b)| if a <= b { (a, b) } else { (b, a) }),
+            1..24,
+        )
+    }
+
+    proptest! {
+        /// The min/max brackets always contain the exact UGF CDF bounds,
+        /// and the inner edges are on the correct side of each endpoint.
+        #[test]
+        fn brackets_contain_exact_ugf_bounds(
+            stream in stream_strategy(),
+            k in 0usize..12,
+        ) {
+            let cap = k.max(1);
+            let mut exact = Ugf::new(Some(cap));
+            let mut cheap = MinMaxCdf::new(Some(cap));
+            for &(l, u) in &stream {
+                ProbAlgebra::multiply(&mut exact, l, u);
+                cheap.multiply(l, u);
+            }
+            let (elo, ehi) = ProbAlgebra::cdf_bounds(&exact, k);
+            let ((lo_lo, lo_hi), (hi_lo, hi_hi)) = cheap.cdf_brackets(k);
+            prop_assert!(lo_lo <= elo + 1e-12, "lo_lo {lo_lo} > exact lo {elo}");
+            prop_assert!(lo_hi >= elo - 1e-12, "lo_hi {lo_hi} < exact lo {elo}");
+            prop_assert!(hi_lo <= ehi + 1e-12, "hi_lo {hi_lo} > exact hi {ehi}");
+            prop_assert!(hi_hi >= ehi - 1e-12, "hi_hi {hi_hi} < exact hi {ehi}");
+            let (clo, chi) = cheap.cdf_bounds(k);
+            prop_assert!(clo <= elo + 1e-12 && chi >= ehi - 1e-12);
+        }
+
+        /// With tight factors (p_lb == p_ub) both exact endpoints agree
+        /// and every bracket surrounds that single CDF value.
+        #[test]
+        fn tight_streams_bracket_the_true_cdf(
+            probs in proptest::collection::vec(0.0f64..=1.0, 1..20),
+            k in 1usize..10,
+        ) {
+            let mut exact = Ugf::new(Some(k));
+            let mut cheap = MinMaxCdf::new(Some(k));
+            for &p in &probs {
+                ProbAlgebra::multiply(&mut exact, p, p);
+                cheap.multiply(p, p);
+            }
+            let (elo, ehi) = ProbAlgebra::cdf_bounds(&exact, k);
+            prop_assert!((elo - ehi).abs() < 1e-12);
+            let ((lo_lo, lo_hi), (hi_lo, hi_hi)) = cheap.cdf_brackets(k);
+            prop_assert!(lo_lo <= elo + 1e-12 && lo_hi >= elo - 1e-12);
+            prop_assert!(hi_lo <= ehi + 1e-12 && hi_hi >= ehi - 1e-12);
+        }
+    }
+
+    #[test]
+    fn edge_cases_are_exact() {
+        let mut cheap = MinMaxCdf::new(Some(3));
+        cheap.multiply(0.2, 0.5);
+        // k = 0: P(Σ < 0) is the empty event on both streams.
+        assert_eq!(cheap.cdf_brackets(0), ((0.0, 0.0), (0.0, 0.0)));
+        // n < k: P(Σ < k) = 1 exactly.
+        assert_eq!(cheap.cdf_brackets(2), ((1.0, 1.0), (1.0, 1.0)));
+    }
+
+    #[test]
+    fn ones_lb_counts_certain_factors() {
+        let mut cheap = MinMaxCdf::new(Some(2));
+        cheap.multiply(1.0, 1.0);
+        cheap.multiply(0.3, 1.0);
+        cheap.multiply(1.0, 1.0);
+        assert_eq!(cheap.ones_lb(), 2);
+        ProbAlgebra::reset(&mut cheap, Some(2));
+        assert_eq!(cheap.ones_lb(), 0);
+        assert_eq!(ProbAlgebra::factors(&cheap), 0);
+    }
+
+    #[test]
+    fn reset_can_grow_capacity() {
+        let mut cheap = MinMaxCdf::new(Some(1));
+        cheap.multiply(0.9, 0.9);
+        ProbAlgebra::reset(&mut cheap, Some(4));
+        for _ in 0..6 {
+            cheap.multiply(0.5, 0.7);
+        }
+        let ((lo_lo, _), (_, hi_hi)) = cheap.cdf_brackets(4);
+        let mut exact = Ugf::new(Some(4));
+        for _ in 0..6 {
+            ProbAlgebra::multiply(&mut exact, 0.5, 0.7);
+        }
+        let (elo, ehi) = ProbAlgebra::cdf_bounds(&exact, 4);
+        assert!(lo_lo <= elo + 1e-12 && hi_hi >= ehi - 1e-12);
+    }
+}

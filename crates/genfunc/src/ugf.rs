@@ -188,29 +188,65 @@ impl Ugf {
         self.scratch.clear();
         self.scratch.resize(Self::arena_size(new_rows, new_l0), 0.0);
 
-        let next = &mut self.scratch[..];
-        let mut add = |i: usize, j: usize, v: f64| {
-            if v == 0.0 {
-                return;
+        // Dense path: while the triangle is still growing (untruncated, or
+        // conv ≤ k under truncation) the new geometry is exactly
+        // (conv + 1, conv + 1) and no coefficient clamps into a cap row or
+        // cap column. Every destination row is then three contiguous
+        // streams — `x`-carry from the row above, `1`-stay and `y`-shift
+        // from the old row — with no branches, so the inner loops
+        // vectorize (see `convolve_row_dense`).
+        if new_rows == self.conv + 1 && new_l0 == self.conv + 1 {
+            let src = &self.buf[..];
+            let dst = &mut self.scratch[..];
+            let mut src_base = 0usize;
+            let mut dst_base = 0usize;
+            for i in 0..old_rows {
+                let cur_len = old_l0 - i;
+                let cur = &src[src_base..src_base + cur_len];
+                // dst row i has cur_len + 1 slots
+                let d = &mut dst[dst_base..dst_base + cur_len + 1];
+                let prev = (i > 0).then(|| {
+                    // src row i − 1, exactly as long as the dst row
+                    &src[src_base - (cur_len + 1)..src_base]
+                });
+                convolve_row_dense(d, cur, prev, p_lb, zero, unknown);
+                src_base += cur_len;
+                dst_base += cur_len + 1;
             }
-            let i = i.min(new_rows - 1);
-            let len = new_l0 - i;
-            let slot = Self::offset(i, new_l0) + j.min(len - 1);
-            next[slot] += v;
-        };
-        let mut base = 0usize;
-        for i in 0..old_rows {
-            let len = old_l0 - i;
-            for j in 0..len {
-                let c = self.buf[base + j];
-                if c == 0.0 {
-                    continue;
+            // last dst row: pure x-carry of the last src row
+            let last_src = &src[src_base - (old_l0 - old_rows + 1)..src_base];
+            let d = &mut dst[dst_base..dst_base + last_src.len()];
+            for (d, &p) in d.iter_mut().zip(last_src) {
+                *d = p_lb * p;
+            }
+        } else {
+            // Saturated truncated state (conv > k): rows/columns clamp
+            // into the caps. The state is only O(k²) here, so the scalar
+            // scatter loop stays.
+            let next = &mut self.scratch[..];
+            let mut add = |i: usize, j: usize, v: f64| {
+                if v == 0.0 {
+                    return;
                 }
-                add(i + 1, j, c * p_lb);
-                add(i, j + 1, c * unknown);
-                add(i, j, c * zero);
+                let i = i.min(new_rows - 1);
+                let len = new_l0 - i;
+                let slot = Self::offset(i, new_l0) + j.min(len - 1);
+                next[slot] += v;
+            };
+            let mut base = 0usize;
+            for i in 0..old_rows {
+                let len = old_l0 - i;
+                for j in 0..len {
+                    let c = self.buf[base + j];
+                    if c == 0.0 {
+                        continue;
+                    }
+                    add(i + 1, j, c * p_lb);
+                    add(i, j + 1, c * unknown);
+                    add(i, j, c * zero);
+                }
+                base += len;
             }
-            base += len;
         }
         std::mem::swap(&mut self.buf, &mut self.scratch);
     }
@@ -312,13 +348,21 @@ impl Ugf {
             let row_len = l0 - i;
             let logical_i = i + self.shift;
             if logical_i < len {
-                for j in 0..row_len {
-                    let c = self.buf[base + j];
-                    if c != 0.0 {
-                        diff[logical_i] += c;
-                        diff[(logical_i + j + 1).min(len)] -= c;
-                    }
+                // c_{i,j} covers `upper_k` for k ∈ [logical_i, logical_i+j]:
+                // one += of the row total at the range starts, a contiguous
+                // vector subtract at the range ends, and the clamped tail
+                // (ranges reaching past `len`) lumped into the sentinel.
+                let row = &self.buf[base..base + row_len];
+                let in_range = row_len.min(len - logical_i);
+                let ends = &mut diff[logical_i + 1..logical_i + 1 + in_range];
+                let mut head_sum = 0.0;
+                for (d, &c) in ends.iter_mut().zip(&row[..in_range]) {
+                    *d -= c;
+                    head_sum += c;
                 }
+                let tail_sum: f64 = row[in_range..].iter().sum();
+                diff[logical_i] += head_sum + tail_sum;
+                diff[len] -= tail_sum;
             }
             base += row_len;
         }
@@ -327,7 +371,18 @@ impl Ugf {
         for k in 0..len {
             running += diff[k];
             upper[k] += weight * running.min(1.0);
-            lower[k] += weight * self.lower_bound(k);
+        }
+        // lower lane: Lemma 4's `P(Σ = k) ≥ c_{k,0}` is the j = 0 column —
+        // one strided pass over the row starts instead of a geometry
+        // lookup per k
+        let mut base = 0usize;
+        for i in 0..rows {
+            let logical_i = i + self.shift;
+            if logical_i >= len {
+                break;
+            }
+            lower[logical_i] += weight * self.buf[base];
+            base += l0 - i;
         }
     }
 
@@ -369,6 +424,66 @@ impl Ugf {
     /// bound tests and the allocation-count test).
     pub fn state_len(&self) -> usize {
         self.buf.len()
+    }
+}
+
+/// Lane width of the chunked convolution/accumulation kernels: four f64
+/// fit one AVX2 register, and LLVM unrolls the fixed-width chunk body
+/// into straight-line SIMD.
+const LANES: usize = 4;
+
+/// One dense destination row of the UGF convolution:
+///
+/// ```text
+/// d[0]         = zero·cur[0]                         (+ p_lb·prev[0])
+/// d[j]         = zero·cur[j] + unknown·cur[j−1]      (+ p_lb·prev[j])
+/// d[cur_len]   =              unknown·cur[cur_len−1] (+ p_lb·prev[cur_len])
+/// ```
+///
+/// `cur` is the same-index source row (the `1`-stay and `y`-shift
+/// streams), `prev` the row above (the `x`-carry stream, exactly
+/// `cur.len() + 1` long, `None` for row 0). All three streams are
+/// contiguous and branch-free, so the chunked interior loop autovectorizes.
+#[inline]
+fn convolve_row_dense(
+    d: &mut [f64],
+    cur: &[f64],
+    prev: Option<&[f64]>,
+    p_lb: f64,
+    zero: f64,
+    unknown: f64,
+) {
+    let n = cur.len();
+    debug_assert_eq!(d.len(), n + 1);
+    match prev {
+        Some(prev) => {
+            debug_assert_eq!(prev.len(), n + 1);
+            d[0] = zero * cur[0] + p_lb * prev[0];
+            let (dm, pm, cm, cl) = (&mut d[1..n], &prev[1..n], &cur[1..n], &cur[..n - 1]);
+            let mut chunks = dm
+                .chunks_exact_mut(LANES)
+                .zip(pm.chunks_exact(LANES))
+                .zip(cm.chunks_exact(LANES))
+                .zip(cl.chunks_exact(LANES));
+            for (((d, p), c), l) in chunks.by_ref() {
+                for t in 0..LANES {
+                    d[t] = p_lb * p[t] + zero * c[t] + unknown * l[t];
+                }
+            }
+            let done = (n - 1) / LANES * LANES;
+            for t in done..n - 1 {
+                dm[t] = p_lb * pm[t] + zero * cm[t] + unknown * cl[t];
+            }
+            d[n] = p_lb * prev[n] + unknown * cur[n - 1];
+        }
+        None => {
+            d[0] = zero * cur[0];
+            let (dm, cm, cl) = (&mut d[1..n], &cur[1..n], &cur[..n - 1]);
+            for t in 0..n - 1 {
+                dm[t] = zero * cm[t] + unknown * cl[t];
+            }
+            d[n] = unknown * cur[n - 1];
+        }
     }
 }
 
@@ -747,6 +862,104 @@ mod tests {
             let two_unc = two.uncertainty();
             prop_assert!(ugf_unc <= two_unc + 1e-9,
                 "UGF uncertainty {ugf_unc} vs two-GF {two_unc}");
+        }
+
+        /// Long factor streams (rows far wider than one SIMD chunk) agree
+        /// with the nested oracle on every bound and CDF query — the
+        /// dense chunked kernel's interior, remainder and boundary lanes
+        /// all get exercised, including decided factors riding along.
+        #[test]
+        fn prop_long_streams_match_reference(
+            pairs in proptest::collection::vec((0.0..1.0f64, 0.0..1.0f64, 0..8u8), 16..40)
+        ) {
+            let pairs: Vec<(f64, f64)> = pairs
+                .into_iter()
+                .map(|(a, b, kind)| match kind {
+                    0 => (0.0, 0.0),
+                    1 => (1.0, 1.0),
+                    _ => (a.min(b), a.max(b)),
+                })
+                .collect();
+            let mut flat = Ugf::new(None);
+            let mut nested = NestedUgf::new(None);
+            for &(l, u) in &pairs {
+                flat.multiply(l, u);
+                nested.multiply(l, u);
+            }
+            for k in 0..=pairs.len() {
+                prop_assert!((flat.lower_bound(k) - nested.lower_bound(k)).abs() < 1e-12);
+                prop_assert!((flat.upper_bound(k) - nested.upper_bound(k)).abs() < 1e-12);
+                let (flo, fhi) = flat.cdf_bounds(k);
+                let (nlo, nhi) = nested.cdf_bounds(k);
+                prop_assert!((flo - nlo).abs() < 1e-12 && (fhi - nhi).abs() < 1e-12);
+            }
+            let len = pairs.len() + 1;
+            let mut fused = CountDistributionBounds::zero(len);
+            flat.add_bounds_weighted(&mut fused, 0.5);
+            let nb = nested.count_bounds(len);
+            for k in 0..len {
+                prop_assert!((fused.lower(k) - 0.5 * nb.lower(k)).abs() < 1e-12);
+                prop_assert!((fused.upper(k) - 0.5 * nb.upper(k)).abs() < 1e-12);
+            }
+        }
+
+        /// The dense kernel hands over to the saturated scalar path when
+        /// the factor count crosses the truncation point; the transition
+        /// must be seamless against the oracle for every (stream, k).
+        #[test]
+        fn prop_dense_to_saturated_transition_matches_reference(
+            pairs in arb_factors(),
+            extra in proptest::collection::vec((0.01..0.99f64, 0.01..0.99f64), 4..16),
+            t in 1usize..5,
+        ) {
+            let mut flat = Ugf::new(Some(t));
+            let mut nested = NestedUgf::new(Some(t));
+            for (l, u) in pairs.iter().copied().chain(
+                extra.iter().map(|(a, b)| (a.min(*b), a.max(*b))),
+            ) {
+                flat.multiply(l, u);
+                nested.multiply(l, u);
+                // compare mid-stream too: the handover itself must agree
+                let (flo, fhi) = flat.cdf_bounds(t);
+                let (nlo, nhi) = nested.cdf_bounds(t);
+                prop_assert!((flo - nlo).abs() < 1e-12 && (fhi - nhi).abs() < 1e-12);
+            }
+            let fb = flat.count_bounds(t);
+            let nb = nested.count_bounds(t);
+            for k in 0..t {
+                prop_assert!((fb.lower(k) - nb.lower(k)).abs() < 1e-12);
+                prop_assert!((fb.upper(k) - nb.upper(k)).abs() < 1e-12);
+            }
+        }
+
+        /// The fused accumulation handles the lazy x-shift (certain
+        /// factors absorbed as a counter): bounds equal the unshifted
+        /// product's bounds shifted right, and match the oracle.
+        #[test]
+        fn prop_shifted_accumulation_matches_shift_right(
+            pairs in proptest::collection::vec((0.0..1.0f64, 0.0..1.0f64), 1..10),
+            shifts in 1usize..4,
+        ) {
+            let mut shifted = Ugf::new(None);
+            let mut plain = Ugf::new(None);
+            for _ in 0..shifts {
+                shifted.multiply(1.0, 1.0);
+            }
+            for (a, b) in &pairs {
+                shifted.multiply(a.min(*b), a.max(*b));
+                plain.multiply(a.min(*b), a.max(*b));
+            }
+            assert_eq!(plain.state_len(), shifted.state_len(), "shift must stay lazy");
+            let len = pairs.len() + shifts + 1;
+            let mut via_shift = CountDistributionBounds::zero(len - shifts);
+            plain.add_bounds_weighted(&mut via_shift, 1.0);
+            via_shift.shift_right(shifts);
+            let mut direct = CountDistributionBounds::zero(len);
+            shifted.add_bounds_weighted(&mut direct, 1.0);
+            for k in 0..len {
+                prop_assert!((direct.lower(k) - via_shift.lower(k)).abs() < 1e-12);
+                prop_assert!((direct.upper(k) - via_shift.upper(k)).abs() < 1e-12);
+            }
         }
 
         #[test]

@@ -191,15 +191,6 @@ impl QueryStream {
         self.batches.iter().map(Vec::len).sum()
     }
 
-    /// Total operations across all batches.
-    #[deprecated(
-        since = "0.2.0",
-        note = "renamed to `total_ops` — the count                  includes mutation entries, not just queries"
-    )]
-    pub fn total_queries(&self) -> usize {
-        self.total_ops()
-    }
-
     /// Operation counts across the stream, by kind.
     pub fn mix_counts(&self) -> MixCounts {
         let mut counts = MixCounts::default();

@@ -68,11 +68,11 @@ pub mod prelude {
     pub use udb_core::{
         par_knn_threshold, refine_lockstep, refine_top_m, DomCountSnapshot, Engine,
         ExpectedRankEntry, IdcaConfig, IndexedEngine, ObjRef, PoolHandle, Predicate, QueryBatch,
-        QueryEngine, QuerySpec, RankDistribution, RefineGoal, Refiner, SharedRefineCtx,
-        ThresholdResult, WorkerPool,
+        QueryEngine, QuerySpec, RankDistribution, RefineGoal, RefineStats, Refiner,
+        SharedRefineCtx, ThresholdResult, WorkerPool,
     };
     pub use udb_domination::{DominationCriterion, PDomBounds};
-    pub use udb_genfunc::{CountDistributionBounds, Ugf};
+    pub use udb_genfunc::{CountDistributionBounds, MinMaxCdf, ProbAlgebra, Ugf};
     pub use udb_geometry::{Interval, LpNorm, Point, Rect};
     pub use udb_index::RTree;
     pub use udb_mc::MonteCarlo;
