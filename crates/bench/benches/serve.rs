@@ -15,11 +15,15 @@
 //!   every batch (cold, `UDB_DECOMP_CACHE_CAP=0` semantics). This is
 //!   the cross-batch win the owned engine exists for: hot objects are
 //!   decomposed once per *stream*, not once per batch.
+//! * **durable vs memory** — the same stream with a mutation trickle,
+//!   served by a WAL-backed engine (log + fsync before every applied
+//!   mutation) against an in-memory one: the end-to-end durability tax
+//!   (recorded, never gated — fsync latency is hardware-dependent).
 //!
 //! All modes return bit-identical results (property-tested in
-//! `tests/batch_equivalence.rs` / `tests/owned_engine.rs`); the ratios
-//! of per-run sample minima are the `serve_*` pairs
-//! `bench_gate --relative` tracks.
+//! `tests/batch_equivalence.rs` / `tests/owned_engine.rs` /
+//! `tests/durability.rs`); the ratios of per-run sample minima are the
+//! `serve_*` pairs `bench_gate --relative` tracks.
 //!
 //! `UDB_BENCH_SCALE=ci` switches from the smoke workload to the larger
 //! CI scale (2,000 objects), `paper` to the full 10,000.
@@ -133,6 +137,54 @@ fn serve_cache_pair(
     g.finish();
 }
 
+/// Benches the WAL tax: the same *mutating* batched stream served by a
+/// durable engine (every mutation logged and fsynced before it applies)
+/// against an in-memory one. Mutation entries are a minority of the mix
+/// (as in serving), so the pair reports the end-to-end overhead of
+/// durability, not raw fsync throughput. The ratio is recorded in
+/// `BENCH_idca.json` under `ratio_pairs_untracked` — documented, never
+/// gated: fsync latency is hardware-dependent in a way compute is not.
+fn serve_durable_pair(
+    c: &mut Criterion,
+    group: &str,
+    object_cfg: &SyntheticConfig,
+    max_iterations: usize,
+) {
+    let db = object_cfg.generate();
+    let stream = QueryStreamConfig {
+        insert_weight: 0.15,
+        delete_weight: 0.15,
+        ..stream_config()
+    }
+    .generate(object_cfg);
+    let cfg = IdcaConfig {
+        max_iterations,
+        decomp_cache_entries: 1024,
+        wal_sync_every: 1,
+        checkpoint_every: 0, // steady-state logging, no checkpoint spikes
+        ..Default::default()
+    };
+    let mut memory = Engine::with_config(db.clone(), cfg.clone());
+    let dir = std::env::temp_dir().join(format!("udb-bench-serve-durable-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut durable = Engine::open_with_config(&dir, cfg).expect("open durable engine");
+    for (_, obj) in db.iter() {
+        durable.insert(obj.clone());
+    }
+
+    let mut g = c.benchmark_group(group);
+    g.sample_size(10);
+    g.bench_function("memory", |bench| {
+        bench.iter(|| black_box(serve_stream(&mut memory, &stream, ServeMode::Batched)))
+    });
+    g.bench_function("durable", |bench| {
+        bench.iter(|| black_box(serve_stream(&mut durable, &stream, ServeMode::Batched)))
+    });
+    g.finish();
+    drop(durable);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 fn bench_serve(c: &mut Criterion) {
     let scale = match std::env::var("UDB_BENCH_SCALE").as_deref() {
         Ok("ci") => Scale::ci(),
@@ -144,6 +196,12 @@ fn bench_serve(c: &mut Criterion) {
     let uniform_cfg = scale.synthetic_config(0.05);
     serve_pair(c, "serve_stream", &uniform_cfg, scale.max_iterations);
     serve_cache_pair(c, "serve_stream_cache", &uniform_cfg, scale.max_iterations);
+    serve_durable_pair(
+        c,
+        "serve_stream_durable",
+        &uniform_cfg,
+        scale.max_iterations,
+    );
     // the Gaussian variant makes decomposition genuinely expensive
     // (inverse-CDF splits), so both the cross-query and the cross-batch
     // decomposition cache carry a larger share of the win

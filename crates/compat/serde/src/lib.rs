@@ -270,6 +270,20 @@ impl<T: Deserialize> Deserialize for Box<[T]> {
     }
 }
 
+// `T: Sized` (the implicit bound) keeps this from overlapping the
+// dedicated `Box<[T]>` impls above.
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(Box::new(T::from_value(v)?))
+    }
+}
+
 impl<T: Serialize> Serialize for Option<T> {
     fn to_value(&self) -> Value {
         match self {

@@ -34,8 +34,7 @@
 //! scratch pool are **engine-owned and persistent** — bounded by
 //! [`crate::IdcaConfig::decomp_cache_entries`], invalidated per object
 //! by the mutation API — so the sharing amortizes *across* arrival
-//! batches, not just within one. The borrowed [`crate::IndexedEngine`]
-//! shim keeps the old per-call cache lifetime.
+//! batches, not just within one.
 //!
 //! Results are **bit-identical** to running the same queries through the
 //! sequential per-query entry points, at every `batch_threads` count and
@@ -132,8 +131,8 @@ struct CacheState {
 /// the per-object lock, so refiners expanding *different* objects never
 /// contend.
 ///
-/// A batch-local cache (the [`crate::IndexedEngine`] shim, or an owned
-/// engine with [`crate::IdcaConfig::decomp_cache_entries`] `== 0`) is
+/// A batch-local cache (an engine with
+/// [`crate::IdcaConfig::decomp_cache_entries`] `== 0`) is
 /// simply dropped after its batch. The owned [`crate::Engine`] keeps
 /// one cache alive **across** calls and maintains it:
 ///

@@ -51,7 +51,7 @@ pub struct IdcaConfig {
     /// shim, mirroring `UDB_SNAPSHOT_THREADS`).
     pub candidate_threads: usize,
     /// Parallel lanes for *query-level* fan-out in the batched execution
-    /// path ([`crate::IndexedEngine::run_batch`]): the queries of a
+    /// path ([`crate::Engine::run_batch`]): the queries of a
     /// [`crate::QueryBatch`] run as lane-bounded chunks on the engine's
     /// persistent worker pool. Composes with the two knobs above — a
     /// query job may fan its candidate rounds
@@ -82,9 +82,7 @@ pub struct IdcaConfig {
     ///
     /// The default (1024) honours the `UDB_DECOMP_CACHE_CAP` environment
     /// variable (CI shim: the `{0, 64}` matrix keeps the cache-off and
-    /// eviction paths exercised on every push). The borrowed
-    /// [`crate::IndexedEngine`] shim ignores this knob — it has no
-    /// cross-call state.
+    /// eviction paths exercised on every push).
     pub decomp_cache_entries: usize,
     /// Enables the tier-1 min/max bound prefilter in front of the exact
     /// UGF refinement: each round first computes O(n)-per-pair CDF
@@ -102,6 +100,30 @@ pub struct IdcaConfig {
     /// variable (CI shim: the `{0, 1}` matrix runs every default-config
     /// test through both tiers).
     pub prefilter: bool,
+    /// Fsync cadence of a durable engine's WAL: the segment is forced
+    /// to stable storage every this many appended records. `1` (the
+    /// default: every record is durable the moment the mutation call
+    /// returns) is the paper-trail-honest setting; larger values batch
+    /// fsyncs — a crash may lose up to `wal_sync_every - 1` of the most
+    /// recent acknowledged mutations (never a prefix gap, never a
+    /// reorder). `0` syncs only at checkpoints and explicit
+    /// [`crate::Engine::wal_sync`] calls. Ignored by in-memory engines.
+    ///
+    /// The default honours the `UDB_WAL_SYNC_EVERY` environment
+    /// variable; like the cache knob, `0` is meaningful, so only
+    /// unparsable input falls back to the default.
+    pub wal_sync_every: usize,
+    /// Automatic checkpoint cadence of a durable engine: after this
+    /// many logged mutations the engine takes a checkpoint (database
+    /// snapshot + WAL rotation + tombstone compaction + R-tree
+    /// rebuild). `0` disables automatic checkpoints — only
+    /// [`crate::Engine::checkpoint`] and the open-time checkpoint run.
+    /// Ignored by in-memory engines.
+    ///
+    /// The default (1024) honours the `UDB_CHECKPOINT_EVERY`
+    /// environment variable (`0` meaningful, unparsable input falls
+    /// back).
+    pub checkpoint_every: usize,
 }
 
 /// Reads a thread-count environment variable once (values `< 1` and junk
@@ -144,6 +166,30 @@ fn default_decomp_cache_entries() -> usize {
     })
 }
 
+/// Default WAL fsync cadence; `0` is meaningful (sync only at
+/// checkpoints), so only unparsable input falls back to 1.
+fn default_wal_sync_every() -> usize {
+    static EVERY: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *EVERY.get_or_init(|| {
+        std::env::var("UDB_WAL_SYNC_EVERY")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or(1)
+    })
+}
+
+/// Default automatic-checkpoint cadence; `0` is meaningful (manual
+/// checkpoints only), so only unparsable input falls back to 1024.
+fn default_checkpoint_every() -> usize {
+    static EVERY: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *EVERY.get_or_init(|| {
+        std::env::var("UDB_CHECKPOINT_EVERY")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or(1024)
+    })
+}
+
 /// Default prefilter setting: `UDB_PREFILTER=1` (or any non-zero
 /// integer) switches the two-tier pipeline on; `0`, junk or an unset
 /// variable keep the exact-only path.
@@ -170,6 +216,8 @@ impl Default for IdcaConfig {
             batch_threads: default_batch_threads(),
             decomp_cache_entries: default_decomp_cache_entries(),
             prefilter: default_prefilter(),
+            wal_sync_every: default_wal_sync_every(),
+            checkpoint_every: default_checkpoint_every(),
         }
     }
 }
@@ -207,7 +255,7 @@ impl Predicate {
 }
 
 /// The query-outcome context threaded through early-exit candidate
-/// refinement (the mid-loop pruning of [`crate::IndexedEngine`]): the `k`
+/// refinement (the mid-loop pruning of [`crate::Engine`]): the `k`
 /// every candidate's predicate shares, plus the decision threshold when
 /// the query has one.
 ///

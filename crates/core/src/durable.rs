@@ -1,0 +1,558 @@
+//! Checkpoint + WAL durability for the owned [`crate::Engine`]: file
+//! layout, the checkpoint/rotate/prune protocol, and crash recovery.
+//!
+//! ## File layout
+//!
+//! A durable engine owns one directory:
+//!
+//! ```text
+//! checkpoint-000007.ckpt   8-byte magic "UDBCKPT1" + one frame holding
+//!                          {seq, mutations, db} as compat-serde JSON
+//! wal-000007.log           frames of WalRecord applied AFTER
+//!                          checkpoint 7 was taken
+//! checkpoint-000006.ckpt   the previous checkpoint (fallback basis)
+//! wal-000006.log           records between checkpoints 6 and 7
+//! ```
+//!
+//! Invariants: checkpoint `N` captures the database *after* every record
+//! in segments `< N`; segment `wal-N.log` holds exactly the records
+//! applied after checkpoint `N`. So recovery from basis `N` replays
+//! segments `>= N` in ascending order and nothing else. Pruning keeps
+//! the two newest checkpoints and every segment `>=` the older one, so
+//! a corrupt newest checkpoint can always fall back one step and
+//! re-reach the same state through the retained log.
+//!
+//! ## Checkpoint protocol
+//!
+//! 1. fsync the current WAL segment (completes the fallback chain);
+//! 2. write `checkpoint-{N+1}.ckpt.tmp`, fsync it;
+//! 3. rename over the final name, fsync the directory — the atomic
+//!    commit point;
+//! 4. rotate: new records go to `wal-{N+1}.log`;
+//! 5. prune checkpoints `< N` and segments `< N`.
+//!
+//! A crash at any step leaves either the old basis (steps 1–3, tmp
+//! files are ignored by recovery) or the new one (steps 4–5, pruning is
+//! re-run by the next checkpoint) — never a broken state. Recovery
+//! itself ends by taking a fresh checkpoint (*checkpoint-on-open*), so
+//! a torn WAL tail is never appended to and crashing during recovery is
+//! idempotent.
+//!
+//! ## Recovery rules
+//!
+//! * Checkpoints are tried newest-first; a corrupt one is skipped with a
+//!   warning ([`RecoveryReport::fallback`] counts the skips).
+//! * WAL segments `>=` the basis replay in order. A **torn** final
+//!   record is dropped with a warning (its write never completed, so it
+//!   was never acknowledged). A **corrupt** record — or any record that
+//!   no longer applies cleanly — stops replay *entirely* (later records
+//!   were logged against a state that includes the bad one; applying
+//!   them would fabricate a state that never existed). Nothing is
+//!   silently wrong: every degradation lands in
+//!   [`RecoveryReport::warnings`].
+
+use udb_index::RTree;
+use udb_object::{Database, ObjectId};
+
+use serde::{Deserialize, Serialize};
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::wal::{
+    decode_frames, encode_frame, read_wal_bytes, CrashPoint, DurableIo, WalDefect, WalRecord,
+};
+
+/// Magic prefix of a checkpoint file.
+pub const CHECKPOINT_MAGIC: &[u8; 8] = b"UDBCKPT1";
+
+/// Anything the durability layer can fail with.
+#[derive(Debug)]
+pub enum DurableError {
+    /// An IO operation failed (includes simulated crashes from
+    /// [`crate::wal::FaultIo`]).
+    Io(io::Error),
+    /// Checkpoint files exist but none of them could be loaded: there
+    /// is no sound basis to recover from. Degrading to an empty
+    /// database here would be a silent wrong answer, so it is an error.
+    NoValidCheckpoint {
+        /// Why each candidate checkpoint was rejected, newest first.
+        warnings: Vec<String>,
+    },
+    /// A value failed to serialize (non-finite floats — cannot happen
+    /// for objects that passed construction validation).
+    Encode(String),
+}
+
+impl std::fmt::Display for DurableError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DurableError::Io(e) => write!(f, "durability IO error: {e}"),
+            DurableError::NoValidCheckpoint { warnings } => {
+                write!(
+                    f,
+                    "no valid checkpoint to recover from ({} candidates rejected)",
+                    warnings.len()
+                )
+            }
+            DurableError::Encode(m) => write!(f, "durability encode error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DurableError {}
+
+impl From<io::Error> for DurableError {
+    fn from(e: io::Error) -> Self {
+        DurableError::Io(e)
+    }
+}
+
+/// What recovery found and did — the paper trail proving no degradation
+/// happened silently. [`crate::Engine::recovery_report`] exposes it.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryReport {
+    /// Sequence number of the checkpoint recovery loaded (`None`: the
+    /// directory held no checkpoints — a fresh database).
+    pub checkpoint_seq: Option<u64>,
+    /// Corrupt checkpoints skipped before a loadable basis was found.
+    pub fallback: usize,
+    /// WAL records replayed on top of the basis.
+    pub replayed: u64,
+    /// Total mutations the recovered state embodies (checkpointed +
+    /// replayed) — comparable against a live engine's
+    /// [`crate::Engine::mutations`].
+    pub applied_mutations: u64,
+    /// Every degradation encountered: torn tails dropped, corrupt
+    /// records/checkpoints skipped. Empty = clean recovery.
+    pub warnings: Vec<String>,
+}
+
+/// The checkpoint payload: the full database plus the bookkeeping
+/// recovery needs to line the WAL back up.
+#[derive(Debug, Serialize, Deserialize)]
+struct CheckpointData {
+    /// This checkpoint's sequence number (also in the file name; stored
+    /// inside too so a renamed file cannot lie about its position).
+    seq: u64,
+    /// Mutations applied over the engine's lifetime up to this snapshot.
+    mutations: u64,
+    /// The serialized database (tombstones compacted at write time).
+    db: Database,
+}
+
+fn checkpoint_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("checkpoint-{seq:06}.ckpt"))
+}
+
+fn wal_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("wal-{seq:06}.log"))
+}
+
+/// Parses `prefix-NNNNNN.suffix` file names back to sequence numbers.
+fn parse_seq(name: &str, prefix: &str, suffix: &str) -> Option<u64> {
+    let rest = name.strip_prefix(prefix)?;
+    let digits = rest.strip_suffix(suffix)?;
+    if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+/// The durable directory's current contents, by kind.
+struct DirListing {
+    checkpoints: Vec<u64>,
+    segments: Vec<u64>,
+}
+
+fn list_dir(dir: &Path) -> io::Result<DirListing> {
+    let mut checkpoints = Vec::new();
+    let mut segments = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(seq) = parse_seq(name, "checkpoint-", ".ckpt") {
+            checkpoints.push(seq);
+        } else if let Some(seq) = parse_seq(name, "wal-", ".log") {
+            segments.push(seq);
+        }
+        // anything else (".tmp" leftovers, foreign files) is ignored
+    }
+    checkpoints.sort_unstable();
+    segments.sort_unstable();
+    Ok(DirListing {
+        checkpoints,
+        segments,
+    })
+}
+
+/// Loads and validates one checkpoint file.
+fn load_checkpoint(path: &Path) -> Result<CheckpointData, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("unreadable: {e}"))?;
+    if bytes.len() < CHECKPOINT_MAGIC.len() || &bytes[..CHECKPOINT_MAGIC.len()] != CHECKPOINT_MAGIC
+    {
+        return Err("bad magic".into());
+    }
+    let (frames, defect) = decode_frames(&bytes[CHECKPOINT_MAGIC.len()..]);
+    if let Some(defect) = defect {
+        return Err(defect.to_string());
+    }
+    if frames.len() != 1 {
+        return Err(format!("expected one frame, found {}", frames.len()));
+    }
+    let text = std::str::from_utf8(frames[0]).map_err(|e| format!("not UTF-8: {e}"))?;
+    serde_json::from_str(text).map_err(|e| format!("undecodable: {e}"))
+}
+
+/// Replays one record onto the database, mirroring the engine's
+/// pre-validation: a record that does not apply cleanly is reported as
+/// an error (replay then stops) instead of panicking.
+fn apply_record(db: &mut Database, rec: &WalRecord) -> Result<(), String> {
+    match rec {
+        WalRecord::Insert { object } => {
+            if let Some(d) = db.dims() {
+                if d != object.dims() {
+                    return Err(format!(
+                        "insert dimensionality {} does not match database ({d})",
+                        object.dims()
+                    ));
+                }
+            }
+            db.insert((**object).clone());
+            Ok(())
+        }
+        WalRecord::Remove { id } => {
+            let id = ObjectId(*id);
+            if !db.contains(id) {
+                return Err(format!("remove of non-live {id:?}"));
+            }
+            db.remove(id);
+            Ok(())
+        }
+        WalRecord::Update { id, object } => {
+            let id = ObjectId(*id);
+            if !db.contains(id) {
+                return Err(format!("update of non-live {id:?}"));
+            }
+            if db.get(id).dims() != object.dims() {
+                return Err(format!("update dimensionality mismatch for {id:?}"));
+            }
+            db.replace(id, (**object).clone());
+            Ok(())
+        }
+    }
+}
+
+/// What recovery reconstructed from a durable directory.
+pub(crate) struct RecoveredState {
+    pub(crate) db: Database,
+    pub(crate) mutations: u64,
+    /// Highest sequence number seen anywhere in the directory — the
+    /// next checkpoint must go above it.
+    pub(crate) max_seq: u64,
+    pub(crate) report: RecoveryReport,
+}
+
+/// Recovers the latest consistent state from `dir` (created if
+/// missing): newest loadable checkpoint + ordered WAL tail replay, with
+/// the degradation rules documented in the module header.
+pub(crate) fn recover(dir: &Path) -> Result<RecoveredState, DurableError> {
+    std::fs::create_dir_all(dir)?;
+    let listing = list_dir(dir)?;
+    let max_seq = listing
+        .checkpoints
+        .iter()
+        .chain(listing.segments.iter())
+        .copied()
+        .max()
+        .unwrap_or(0);
+
+    let mut report = RecoveryReport::default();
+
+    // newest loadable checkpoint wins
+    let mut basis: Option<CheckpointData> = None;
+    for &seq in listing.checkpoints.iter().rev() {
+        match load_checkpoint(&checkpoint_path(dir, seq)) {
+            Ok(data) => {
+                if data.seq != seq {
+                    report.warnings.push(format!(
+                        "checkpoint-{seq:06}.ckpt skipped: embedded seq {} disagrees with name",
+                        data.seq
+                    ));
+                    report.fallback += 1;
+                    continue;
+                }
+                basis = Some(data);
+                break;
+            }
+            Err(reason) => {
+                report
+                    .warnings
+                    .push(format!("checkpoint-{seq:06}.ckpt skipped: {reason}"));
+                report.fallback += 1;
+            }
+        }
+    }
+    if basis.is_none() && !listing.checkpoints.is_empty() {
+        return Err(DurableError::NoValidCheckpoint {
+            warnings: report.warnings,
+        });
+    }
+    let (mut db, mut mutations, basis_seq) = match basis {
+        Some(data) => {
+            report.checkpoint_seq = Some(data.seq);
+            (data.db, data.mutations, data.seq)
+        }
+        None => (Database::new(), 0, 0),
+    };
+
+    // ordered tail replay: segments >= basis
+    let replay: Vec<u64> = listing
+        .segments
+        .iter()
+        .copied()
+        .filter(|&s| s >= basis_seq)
+        .collect();
+    'segments: for (i, &seg) in replay.iter().enumerate() {
+        let path = wal_path(dir, seg);
+        let bytes = std::fs::read(&path)?;
+        let outcome = read_wal_bytes(&bytes);
+        for rec in &outcome.records {
+            if let Err(reason) = apply_record(&mut db, rec) {
+                report.warnings.push(format!(
+                    "wal-{seg:06}.log: record does not apply ({reason}); replay stopped"
+                ));
+                break 'segments;
+            }
+            mutations += 1;
+            report.replayed += 1;
+        }
+        match outcome.defect {
+            None => {}
+            Some(WalDefect::Torn { offset }) if i == replay.len() - 1 => {
+                // the expected crash signature: a half-written final
+                // record that was never acknowledged
+                report
+                    .warnings
+                    .push(format!("wal-{seg:06}.log: {}", WalDefect::Torn { offset }));
+            }
+            Some(defect) => {
+                report
+                    .warnings
+                    .push(format!("wal-{seg:06}.log: {defect}; replay stopped"));
+                break 'segments;
+            }
+        }
+    }
+
+    report.applied_mutations = mutations;
+    Ok(RecoveredState {
+        db,
+        mutations,
+        max_seq,
+        report,
+    })
+}
+
+/// The engine's durability sidecar: owns the directory, the IO layer
+/// and the WAL/checkpoint bookkeeping. Mutation logging and
+/// checkpointing route through here; the engine applies state changes
+/// only after the log accepts them.
+pub(crate) struct Durability {
+    dir: PathBuf,
+    io: Box<dyn DurableIo>,
+    /// Basis sequence: records append to `wal-{seq}.log`, the next
+    /// checkpoint is `seq + 1`.
+    seq: u64,
+    /// Records appended since the last fsync of the current segment.
+    unsynced: usize,
+    /// Records logged since the last checkpoint.
+    since_checkpoint: u64,
+    /// Fsync the segment every this many records (`0`: only at
+    /// checkpoints and explicit [`Durability::sync`] calls).
+    sync_every: usize,
+    /// Remove the whole directory on drop (the `UDB_WAL=1` auto-dir
+    /// test shim only — explicit directories are never cleaned up).
+    auto_cleanup: bool,
+}
+
+impl std::fmt::Debug for Durability {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Durability")
+            .field("dir", &self.dir)
+            .field("seq", &self.seq)
+            .field("unsynced", &self.unsynced)
+            .field("since_checkpoint", &self.since_checkpoint)
+            .field("sync_every", &self.sync_every)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Durability {
+    pub(crate) fn new(dir: PathBuf, io: Box<dyn DurableIo>, seq: u64, sync_every: usize) -> Self {
+        Durability {
+            dir,
+            io,
+            seq,
+            unsynced: 0,
+            since_checkpoint: 0,
+            sync_every,
+            auto_cleanup: false,
+        }
+    }
+
+    pub(crate) fn with_auto_cleanup(mut self) -> Self {
+        self.auto_cleanup = true;
+        self
+    }
+
+    pub(crate) fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    pub(crate) fn since_checkpoint(&self) -> u64 {
+        self.since_checkpoint
+    }
+
+    /// Appends one record to the current segment, honouring the
+    /// mid-record, before-sync and after-sync crash gates, and fsyncing
+    /// per `sync_every`.
+    pub(crate) fn log(&mut self, record: &WalRecord) -> Result<(), DurableError> {
+        let frame = record.encode();
+        let path = wal_path(&self.dir, self.seq);
+        let mid = frame.len() / 2;
+        self.io.append(&path, &frame[..mid])?;
+        self.io.gate(CrashPoint::WalMidRecord)?;
+        self.io.append(&path, &frame[mid..])?;
+        self.unsynced += 1;
+        self.since_checkpoint += 1;
+        self.io.gate(CrashPoint::WalBeforeSync)?;
+        if self.sync_every > 0 && self.unsynced >= self.sync_every {
+            self.sync()?;
+            self.io.gate(CrashPoint::WalAfterSync)?;
+        }
+        Ok(())
+    }
+
+    /// Forces every appended record to stable storage.
+    pub(crate) fn sync(&mut self) -> Result<(), DurableError> {
+        if self.unsynced > 0 {
+            self.io.sync(&wal_path(&self.dir, self.seq))?;
+            self.unsynced = 0;
+        }
+        Ok(())
+    }
+
+    /// Takes checkpoint `seq + 1` of `db` (see the module header for
+    /// the write/rename/rotate/prune protocol and its crash gates).
+    pub(crate) fn checkpoint(&mut self, db: &Database, mutations: u64) -> Result<(), DurableError> {
+        // 1. complete the fallback chain: the retained old segment must
+        //    hold everything this snapshot includes
+        self.sync()?;
+
+        let new_seq = self.seq + 1;
+        let data = CheckpointData {
+            seq: new_seq,
+            mutations,
+            db: db.clone(),
+        };
+        let json = serde_json::to_string(&data).map_err(|e| DurableError::Encode(e.to_string()))?;
+        drop(data); // give the snapshot's database copy back promptly
+        let mut bytes = Vec::with_capacity(CHECKPOINT_MAGIC.len() + 8 + json.len());
+        bytes.extend_from_slice(CHECKPOINT_MAGIC);
+        bytes.extend_from_slice(&encode_frame(json.as_bytes()));
+
+        // 2. temp write + fsync
+        let final_path = checkpoint_path(&self.dir, new_seq);
+        let tmp_path = final_path.with_extension("ckpt.tmp");
+        let mid = bytes.len() / 2;
+        self.io.write_new(&tmp_path, &bytes[..mid])?;
+        self.io.gate(CrashPoint::CheckpointMidWrite)?;
+        self.io.append(&tmp_path, &bytes[mid..])?;
+        self.io.sync(&tmp_path)?;
+        self.io.gate(CrashPoint::CheckpointBeforeRename)?;
+
+        // 3. atomic commit
+        self.io.rename(&tmp_path, &final_path)?;
+        self.io.sync_dir(&self.dir)?;
+        self.io.gate(CrashPoint::CheckpointAfterRename)?;
+
+        // 4. rotate
+        let prev_seq = self.seq;
+        self.seq = new_seq;
+        self.unsynced = 0;
+        self.since_checkpoint = 0;
+        self.io.gate(CrashPoint::CheckpointBeforePrune)?;
+
+        // 5. prune: keep this checkpoint, the previous one, and every
+        //    segment the previous one may need
+        let listing = list_dir(&self.dir)?;
+        for seq in listing.checkpoints {
+            if seq != new_seq && seq != prev_seq {
+                self.io.remove_file(&checkpoint_path(&self.dir, seq))?;
+            }
+        }
+        for seq in listing.segments {
+            if seq < prev_seq {
+                self.io.remove_file(&wal_path(&self.dir, seq))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Drop for Durability {
+    fn drop(&mut self) {
+        // no flush, no final checkpoint: dropping a durable engine must
+        // be indistinguishable from a crash (shutdown flushing is the
+        // *caller's* explicit act — `wal_sync`/`checkpoint`), so the
+        // recovery path stays honest in every test that drops and
+        // reopens. Auto-dir engines (the UDB_WAL shim) additionally
+        // remove their temp directory.
+        if self.auto_cleanup {
+            let _ = std::fs::remove_dir_all(&self.dir);
+        }
+    }
+}
+
+/// Rebuilds the R-tree over a (possibly compacted) database — the
+/// checkpoint-time structural reset shared by durable and in-memory
+/// engines.
+pub(crate) fn rebuild_tree(db: &Database) -> RTree<ObjectId> {
+    RTree::bulk_load(db.mbrs().map(|(id, r)| (r.clone(), id)).collect(), 16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seq_file_names_round_trip() {
+        assert_eq!(
+            parse_seq("checkpoint-000017.ckpt", "checkpoint-", ".ckpt"),
+            Some(17)
+        );
+        assert_eq!(parse_seq("wal-000003.log", "wal-", ".log"), Some(3));
+        assert_eq!(
+            parse_seq("checkpoint-000017.ckpt.tmp", "checkpoint-", ".ckpt"),
+            None
+        );
+        assert_eq!(parse_seq("wal-.log", "wal-", ".log"), None);
+        assert_eq!(parse_seq("wal-12x4.log", "wal-", ".log"), None);
+        assert_eq!(parse_seq("other.txt", "wal-", ".log"), None);
+    }
+
+    #[test]
+    fn recover_empty_dir_is_fresh() {
+        let dir = std::env::temp_dir().join(format!("udb-rec-fresh-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let state = recover(&dir).unwrap();
+        assert!(state.db.is_empty());
+        assert_eq!(state.mutations, 0);
+        assert_eq!(state.max_seq, 0);
+        assert_eq!(state.report.checkpoint_seq, None);
+        assert!(state.report.warnings.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

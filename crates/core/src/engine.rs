@@ -3,7 +3,7 @@
 //! runs through.
 //!
 //! [`Engine`] owns its [`Database`], R-tree, worker pool and — unlike
-//! the borrowed [`crate::IndexedEngine`] snapshot it replaces — a
+//! the borrowed snapshot engine it replaced — a
 //! **persistent, bounded, invalidation-aware** decomposition cache
 //! ([`crate::DecompCache`]) plus scratch pool that live *across*
 //! `run_batch` calls. A serving system re-hitting the same hot objects
@@ -22,24 +22,33 @@
 //! half-applied mutation.
 //!
 //! All sharing is work-only: query results are bit-identical to the
-//! scan-based [`crate::QueryEngine`] reference paths and to the borrowed
-//! shim,
-//! at every thread count and every cache capacity (property-tested in
+//! scan-based [`crate::QueryEngine`] reference paths at every thread
+//! count and every cache capacity (property-tested in
 //! `tests/owned_engine.rs`, `tests/batch_equivalence.rs` and
 //! `tests/early_exit_equivalence.rs`).
+//!
+//! An engine can also be **durable**: [`Engine::open`] binds it to a
+//! directory holding a checkpoint + write-ahead log
+//! ([`crate::durable`]), every mutation is logged before it is applied,
+//! and reopening the directory after a crash recovers a state that
+//! answers queries bit-identically to the never-crashed engine
+//! (adversarially tested in `tests/crash_recovery.rs`).
 
 use udb_domination::PairClassifier;
 use udb_geometry::Rect;
 use udb_index::{NodeDecision, RTree};
 use udb_object::{Database, ObjectId, UncertainObject};
 
+use std::path::Path;
 use std::sync::Arc;
 
 use crate::batch::{DecompCache, QueryBatch, QueryView, SharedDecomp, SharedRefineCtx};
 use crate::config::{IdcaConfig, ObjRef, Predicate, RefineGoal};
+use crate::durable::{rebuild_tree, recover, Durability, DurableError, RecoveryReport};
 use crate::parallel::PoolHandle;
 use crate::queries::ThresholdResult;
 use crate::refiner::{refine_lockstep, refine_top_m, RefineStats, Refiner, ScratchPool};
+use crate::wal::{DurableIo, FileIo, WalRecord};
 
 /// The batch-sharing state a query pipeline may run under: the batch's
 /// shared context plus the query object's per-query shared
@@ -84,10 +93,9 @@ fn tighten_dk(k_smallest: &mut Vec<f64>, k: usize, max_d: f64) -> Option<f64> {
     None
 }
 
-/// The borrowed parts every query pipeline runs against. Both engine
-/// flavours — the owned [`Engine`] and the borrowed
-/// [`crate::IndexedEngine`] shim — assemble one of these per call and
-/// execute the *same* methods, so the two public surfaces cannot drift:
+/// The borrowed parts every query pipeline runs against. Every entry
+/// point — per-query or batched — assembles one of these per call and
+/// executes the *same* methods, so the public surfaces cannot drift:
 /// their equality is structural, not a convention kept in sync by hand.
 #[derive(Clone, Copy)]
 pub(crate) struct EngineRef<'a> {
@@ -538,6 +546,15 @@ pub struct Engine {
     /// Two-tier refinement counters, shared by every refiner the engine
     /// builds across all calls.
     stats: Arc<RefineStats>,
+    /// The WAL + checkpoint sidecar of a durable engine; `None` keeps
+    /// the engine purely in-memory.
+    durable: Option<Durability>,
+    /// Mutations applied over the engine's lifetime (checkpointed +
+    /// live) — in-memory engines count from construction, recovered
+    /// engines continue the persisted count.
+    mutations: u64,
+    /// What recovery found, when this engine came from [`Engine::open`].
+    recovery: Option<RecoveryReport>,
 }
 
 impl std::fmt::Debug for Engine {
@@ -551,6 +568,22 @@ impl std::fmt::Debug for Engine {
     }
 }
 
+/// Test-suite shim: `UDB_WAL=1` (any non-zero integer) makes every
+/// engine built through [`Engine::new`] / [`Engine::with_config`]
+/// durable, backed by a fresh auto-removed temp directory — the CI
+/// matrix's lever for routing the *entire* suite (every mutation
+/// oracle, every serve equivalence test) through the WAL path.
+/// Durability is work-only, so all results are unchanged.
+fn wal_autodir_enabled() -> bool {
+    static ON: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ON.get_or_init(|| {
+        std::env::var("UDB_WAL")
+            .ok()
+            .and_then(|v| v.parse::<i64>().ok())
+            .is_some_and(|v| v != 0)
+    })
+}
+
 impl Engine {
     /// Takes ownership of `db` and builds the index (STR bulk load) over
     /// its MBRs, with the default configuration.
@@ -558,9 +591,36 @@ impl Engine {
         Engine::with_config(db, IdcaConfig::default())
     }
 
-    /// Takes ownership of `db` with an explicit configuration.
+    /// Takes ownership of `db` with an explicit configuration. The
+    /// engine is in-memory — unless the `UDB_WAL` CI shim is set, which
+    /// backs it by an auto-removed temp WAL directory so the whole test
+    /// suite exercises the durable path; [`Engine::open`] makes a real
+    /// durable engine.
     pub fn with_config(db: Database, cfg: IdcaConfig) -> Self {
-        let tree = RTree::bulk_load(db.mbrs().map(|(id, r)| (r.clone(), id)).collect(), 16);
+        let mut engine = Engine::assemble(db, cfg);
+        if wal_autodir_enabled() {
+            use std::sync::atomic::{AtomicU64, Ordering};
+            static COUNTER: AtomicU64 = AtomicU64::new(0);
+            let dir = std::env::temp_dir().join(format!(
+                "udb-wal-auto-{}-{}",
+                std::process::id(),
+                COUNTER.fetch_add(1, Ordering::Relaxed)
+            ));
+            std::fs::create_dir_all(&dir).expect("UDB_WAL auto dir");
+            let sync_every = engine.cfg.wal_sync_every;
+            engine.durable = Some(
+                Durability::new(dir, Box::new(FileIo::new()), 0, sync_every).with_auto_cleanup(),
+            );
+            engine
+                .checkpoint()
+                .expect("UDB_WAL auto-dir initial checkpoint");
+        }
+        engine
+    }
+
+    /// The shared construction path: indexes `db`, no durability.
+    fn assemble(db: Database, cfg: IdcaConfig) -> Self {
+        let tree = rebuild_tree(&db);
         Engine {
             db,
             tree,
@@ -569,7 +629,57 @@ impl Engine {
             pool: PoolHandle::default(),
             stats: Arc::new(RefineStats::default()),
             cfg,
+            durable: None,
+            mutations: 0,
+            recovery: None,
         }
+    }
+
+    /// Opens (creating or recovering) a durable engine over `dir` with
+    /// the default configuration: loads the newest valid checkpoint,
+    /// replays the WAL tail, then takes a fresh checkpoint
+    /// (*checkpoint-on-open* — recovery never appends to a possibly
+    /// torn tail, and crashing during open is idempotent). The
+    /// recovered state answers queries bit-identically to an engine
+    /// that never crashed; [`Engine::recovery_report`] documents every
+    /// degradation (torn tail dropped, corrupt checkpoint skipped).
+    ///
+    /// # Errors
+    /// Fails on IO errors, or when checkpoints exist but none can be
+    /// loaded ([`DurableError::NoValidCheckpoint`] — recovering an
+    /// empty database over existing data would be a silent wrong
+    /// answer).
+    pub fn open(dir: impl AsRef<Path>) -> Result<Engine, DurableError> {
+        Engine::open_with_config(dir, IdcaConfig::default())
+    }
+
+    /// [`Engine::open`] with an explicit configuration
+    /// ([`IdcaConfig::wal_sync_every`] / [`IdcaConfig::checkpoint_every`]
+    /// govern the durability cadence).
+    pub fn open_with_config(
+        dir: impl AsRef<Path>,
+        cfg: IdcaConfig,
+    ) -> Result<Engine, DurableError> {
+        Engine::open_with_io(dir, cfg, Box::new(FileIo::new()))
+    }
+
+    /// [`Engine::open`] with an injected IO layer — the fault-injection
+    /// hook: [`crate::wal::FaultIo`] simulates crashes at any
+    /// [`crate::wal::CrashPoint`] deterministically in-process.
+    pub fn open_with_io(
+        dir: impl AsRef<Path>,
+        cfg: IdcaConfig,
+        io: Box<dyn DurableIo>,
+    ) -> Result<Engine, DurableError> {
+        let dir = dir.as_ref().to_path_buf();
+        let state = recover(&dir)?;
+        let mut engine = Engine::assemble(state.db, cfg);
+        engine.mutations = state.mutations;
+        engine.recovery = Some(state.report);
+        let sync_every = engine.cfg.wal_sync_every;
+        engine.durable = Some(Durability::new(dir, io, state.max_seq, sync_every));
+        engine.checkpoint()?;
+        Ok(engine)
     }
 
     /// The engine's two-tier refinement counters: how many rounds across
@@ -602,6 +712,32 @@ impl Engine {
     /// Consumes the engine, handing the database back.
     pub fn into_db(self) -> Database {
         self.db
+    }
+
+    /// Whether this engine logs mutations to a WAL directory.
+    pub fn is_durable(&self) -> bool {
+        self.durable.is_some()
+    }
+
+    /// The durable directory, when the engine is durable.
+    pub fn wal_dir(&self) -> Option<&Path> {
+        self.durable.as_ref().map(Durability::dir)
+    }
+
+    /// Mutations applied over the engine's lifetime: in-memory engines
+    /// count from construction, recovered engines continue the
+    /// persisted count — so a recovered engine and the live engine it
+    /// crashed from can be diffed op-for-op.
+    pub fn mutations(&self) -> u64 {
+        self.mutations
+    }
+
+    /// What recovery found and did, when this engine came from
+    /// [`Engine::open`]: basis checkpoint, fallback count, replayed
+    /// records and every degradation warning. `None` for engines that
+    /// were constructed, not opened.
+    pub fn recovery_report(&self) -> Option<&RecoveryReport> {
+        self.recovery.as_ref()
     }
 
     /// Number of objects currently held by the persistent decomposition
@@ -652,6 +788,14 @@ impl Engine {
     // ------------------------------------------------------------------
     // In-place mutation
     // ------------------------------------------------------------------
+    //
+    // Durable engines are write-ahead: each mutation is pre-validated
+    // (so a logged record is guaranteed to replay cleanly), logged,
+    // *then* applied. The `try_*` variants surface WAL IO errors; the
+    // plain variants keep the infallible in-memory signatures and
+    // panic if the log rejects a write (a durable engine that cannot
+    // log must not silently keep serving acknowledged-but-volatile
+    // state).
 
     /// Inserts an object, returning its fresh id: the database appends,
     /// the R-tree takes the new MBR incrementally (R*-flavoured
@@ -660,11 +804,38 @@ impl Engine {
     /// stale cached state.
     ///
     /// # Panics
-    /// Panics on dimensionality mismatch with the database.
+    /// Panics on dimensionality mismatch with the database, or when a
+    /// durable engine fails to log ([`Engine::try_insert`] to handle).
     pub fn insert(&mut self, object: UncertainObject) -> ObjectId {
+        self.try_insert(object).expect("WAL append failed")
+    }
+
+    /// [`Engine::insert`], surfacing WAL errors instead of panicking.
+    ///
+    /// # Errors
+    /// Fails when the durable engine cannot log the record; the
+    /// mutation is then **not** applied.
+    ///
+    /// # Panics
+    /// Panics on dimensionality mismatch with the database.
+    pub fn try_insert(&mut self, object: UncertainObject) -> Result<ObjectId, DurableError> {
+        if let Some(d) = self.db.dims() {
+            assert_eq!(
+                d,
+                object.dims(),
+                "object dimensionality must match the database"
+            );
+        }
+        if let Some(d) = &mut self.durable {
+            let rec = WalRecord::Insert {
+                object: Box::new(object.clone()),
+            };
+            d.log(&rec)?;
+        }
         let id = self.db.insert(object);
         self.tree.insert(self.db.get(id).mbr().clone(), id);
-        id
+        self.after_mutation()?;
+        Ok(id)
     }
 
     /// Removes an object in place, returning it: the database slot
@@ -674,13 +845,31 @@ impl Engine {
     /// no longer exists.
     ///
     /// # Panics
-    /// Panics if `id` is not a live object.
+    /// Panics if `id` is not a live object, or when a durable engine
+    /// fails to log ([`Engine::try_remove`] to handle).
     pub fn remove(&mut self, id: ObjectId) -> UncertainObject {
+        self.try_remove(id).expect("WAL append failed")
+    }
+
+    /// [`Engine::remove`], surfacing WAL errors instead of panicking.
+    ///
+    /// # Errors
+    /// Fails when the durable engine cannot log the record; the
+    /// mutation is then **not** applied.
+    ///
+    /// # Panics
+    /// Panics if `id` is not a live object.
+    pub fn try_remove(&mut self, id: ObjectId) -> Result<UncertainObject, DurableError> {
+        assert!(self.db.contains(id), "{id:?} is not a live object");
+        if let Some(d) = &mut self.durable {
+            d.log(&WalRecord::Remove { id: id.0 })?;
+        }
         let object = self.db.remove(id);
         let removed = self.tree.remove(object.mbr(), &id);
         assert!(removed, "index entry missing for {id:?}");
         self.decomps.invalidate(id);
-        object
+        self.after_mutation()?;
+        Ok(object)
     }
 
     /// Replaces the object behind a live id in place, returning the
@@ -689,24 +878,113 @@ impl Engine {
     /// invalidated so no stale expansion of the old PDF can ever replay.
     ///
     /// # Panics
-    /// Panics if `id` is dead or the dimensionality differs.
+    /// Panics if `id` is dead or the dimensionality differs, or when a
+    /// durable engine fails to log ([`Engine::try_update`] to handle).
     pub fn update(&mut self, id: ObjectId, object: UncertainObject) -> UncertainObject {
+        self.try_update(id, object).expect("WAL append failed")
+    }
+
+    /// [`Engine::update`], surfacing WAL errors instead of panicking.
+    ///
+    /// # Errors
+    /// Fails when the durable engine cannot log the record; the
+    /// mutation is then **not** applied.
+    ///
+    /// # Panics
+    /// Panics if `id` is dead or the dimensionality differs.
+    pub fn try_update(
+        &mut self,
+        id: ObjectId,
+        object: UncertainObject,
+    ) -> Result<UncertainObject, DurableError> {
+        let old_dims = self
+            .db
+            .try_get(id)
+            .unwrap_or_else(|| panic!("{id:?} is not a live object"))
+            .dims();
+        assert_eq!(
+            old_dims,
+            object.dims(),
+            "object dimensionality must match the database"
+        );
+        if let Some(d) = &mut self.durable {
+            let rec = WalRecord::Update {
+                id: id.0,
+                object: Box::new(object.clone()),
+            };
+            d.log(&rec)?;
+        }
         let old = self.db.replace(id, object);
         let removed = self.tree.remove(old.mbr(), &id);
         assert!(removed, "index entry missing for {id:?}");
         self.tree.insert(self.db.get(id).mbr().clone(), id);
         self.decomps.invalidate(id);
-        old
+        self.after_mutation()?;
+        Ok(old)
+    }
+
+    /// Post-apply bookkeeping shared by every mutation: the lifetime
+    /// counter, plus the automatic checkpoint cadence of durable
+    /// engines ([`IdcaConfig::checkpoint_every`]).
+    fn after_mutation(&mut self) -> Result<(), DurableError> {
+        self.mutations += 1;
+        let due = self.cfg.checkpoint_every > 0
+            && self
+                .durable
+                .as_ref()
+                .is_some_and(|d| d.since_checkpoint() >= self.cfg.checkpoint_every as u64);
+        if due {
+            self.checkpoint()?;
+        }
+        Ok(())
+    }
+
+    /// Takes a checkpoint **now**: compacts leading tombstones
+    /// ([`Database::compact`] — ids stay stable), rebuilds the R-tree
+    /// from scratch (undoing any degradation accumulated through
+    /// incremental maintenance under churn), and — on a durable engine
+    /// — snapshots the database, rotates the WAL and prunes superseded
+    /// files. Queries before and after are bit-identical: candidate
+    /// *sets* are tree-structure-independent (the same MinDist/MaxDist
+    /// pruning rule decides membership), and refinement never depends
+    /// on the tree shape.
+    ///
+    /// In-memory engines get the compaction + rebuild half — the churn
+    /// maintenance hook — with no durability side effects.
+    ///
+    /// # Errors
+    /// Fails when the durable snapshot cannot be written; the engine's
+    /// in-memory state is still valid (and the previous checkpoint +
+    /// WAL still recover it).
+    pub fn checkpoint(&mut self) -> Result<(), DurableError> {
+        self.db.compact();
+        self.tree = rebuild_tree(&self.db);
+        if let Some(d) = &mut self.durable {
+            d.checkpoint(&self.db, self.mutations)?;
+        }
+        Ok(())
+    }
+
+    /// Forces every logged record to stable storage now — the explicit
+    /// flush for `wal_sync_every > 1` / `= 0` cadences (clean shutdown,
+    /// end-of-stream). A no-op on in-memory engines.
+    ///
+    /// # Errors
+    /// Fails when the fsync fails.
+    pub fn wal_sync(&mut self) -> Result<(), DurableError> {
+        match &mut self.durable {
+            Some(d) => d.sync(),
+            None => Ok(()),
+        }
     }
 
     // ------------------------------------------------------------------
     // Queries
     // ------------------------------------------------------------------
 
-    /// Index-accelerated domination-count refiner (see
-    /// [`crate::IndexedEngine::refiner`] — same semantics, owned
-    /// surface). Batch-shared state is not attached; use the query
-    /// entry points for cached execution.
+    /// Index-accelerated domination-count refiner over this engine's
+    /// database and index. Batch-shared state is not attached; use the
+    /// query entry points for cached execution.
     pub fn refiner<'b>(
         &'b self,
         target: ObjRef<'b>,

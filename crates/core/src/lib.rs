@@ -25,18 +25,22 @@
 
 pub mod batch;
 pub mod config;
+pub mod durable;
 pub mod engine;
-pub mod indexed;
 pub mod parallel;
 pub mod queries;
 pub mod refiner;
+pub mod wal;
 
 pub use batch::{DecompCache, QueryBatch, QuerySpec, SharedDecomp, SharedRefineCtx};
 pub use config::{IdcaConfig, ObjRef, Predicate, RefineGoal};
+pub use durable::{DurableError, RecoveryReport};
 pub use engine::Engine;
-pub use indexed::IndexedEngine;
 pub use parallel::{par_knn_threshold, PoolHandle, WorkerPool};
 pub use queries::{ExpectedRankEntry, QueryEngine, RankDistribution, ThresholdResult};
 pub use refiner::{
     refine_lockstep, refine_top_m, DomCountSnapshot, RefineStats, Refiner, ScratchPool,
+};
+pub use wal::{
+    read_wal_bytes, CrashPoint, DurableIo, FaultIo, FaultMode, FileIo, WalDefect, WalRecord,
 };

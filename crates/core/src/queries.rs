@@ -339,7 +339,7 @@ impl<'a> QueryEngine<'a> {
     /// Existentially uncertain objects must not contribute to `d_k` —
     /// they are absent in some worlds and therefore guarantee nothing.
     /// The reference implementation the index-driven
-    /// [`crate::IndexedEngine::knn_candidates`] is checked against.
+    /// [`crate::Engine::knn_candidates`] is checked against.
     pub fn knn_candidates(&self, q: &Rect, k: usize) -> Vec<ObjectId> {
         let n = self.db.len();
         if n == 0 {

@@ -92,7 +92,7 @@
 //! mid-loop the moment their query outcome is decided (via
 //! [`DomCountSnapshot::decided`] and the [`RefineGoal`] context) — the
 //! candidate set shrinks *during* refinement, and retired refiners free
-//! their factor cache and arena immediately. [`crate::IndexedEngine`]
+//! their factor cache and arena immediately. [`crate::Engine`]
 //! drives its threshold and top-`m` queries through these paths.
 //!
 //! Candidates refine independently, so each round is batch-parallel:

@@ -6,15 +6,22 @@ use udb_geometry::Rect;
 use crate::object::{ObjectId, UncertainObject};
 
 /// An in-memory uncertain database supporting in-place mutation. Object
-/// ids are stable positions in the underlying vector; [`Database::remove`]
-/// leaves a tombstone, so an id is never reused — a removed id stays
-/// invalid forever, and every id handed out by [`Database::insert`] is
-/// fresh. That stability is what lets engine-level caches key on
-/// [`ObjectId`] across mutations: an id either still names the same
-/// object, was explicitly replaced ([`Database::replace`]), or is dead.
+/// ids are stable; [`Database::remove`] leaves a tombstone, so an id is
+/// never reused — a removed id stays invalid forever, and every id
+/// handed out by [`Database::insert`] is fresh. That stability is what
+/// lets engine-level caches key on [`ObjectId`] across mutations: an id
+/// either still names the same object, was explicitly replaced
+/// ([`Database::replace`]), or is dead.
+///
+/// Id `i` lives in slot `i - base`. [`Database::compact`] reclaims the
+/// *leading* run of tombstones by advancing `base` — the ids stay dead
+/// (they are below `base` forever), interior tombstones stay in place
+/// (dropping them would shift live ids), and `base + objects.len()`
+/// (the next fresh id) is preserved, so a compacted database hands out
+/// exactly the same ids as an uncompacted one.
 #[derive(Debug, Clone, Default, Serialize)]
 pub struct Database {
-    /// Slot per ever-inserted object; `None` marks a removed object.
+    /// Slot per not-yet-compacted object; `None` marks a removed object.
     objects: Vec<Option<UncertainObject>>,
     /// Number of live (non-tombstoned) objects.
     live: usize,
@@ -22,12 +29,16 @@ pub struct Database {
     /// ever inserted (an O(1) cache: deriving it from the first *live*
     /// object would scan the tombstone prefix on churn-heavy streams).
     dims: Option<usize>,
+    /// Ids below this are compacted-away tombstones: dead forever, no
+    /// slot. Slot index of id `i` is `i - base`.
+    base: u32,
 }
 
-// Hand-written so stored datasets survive the tombstone redesign: the
-// pre-mutation wire format (`objects` as a plain object list, no
-// `live`/`dims` fields) still loads, and the counters are *recomputed*
-// from the slots rather than trusted, so both shapes deserialize into a
+// Hand-written so stored datasets survive the tombstone and compaction
+// redesigns: the pre-mutation wire format (`objects` as a plain object
+// list, no `live`/`dims`/`base` fields) still loads — a missing `base`
+// means 0 — and the counters are *recomputed* from the slots rather
+// than trusted, so every historical shape deserializes into a
 // consistent database.
 impl Deserialize for Database {
     fn from_value(v: &Value) -> Result<Self, SerdeError> {
@@ -38,12 +49,17 @@ impl Deserialize for Database {
                 .collect::<Result<Vec<_>, _>>()?,
             other => return Err(SerdeError::msg(format!("`objects`: not a list: {other:?}"))),
         };
+        let base = match v.field("base") {
+            Ok(b) => u32::from_value(b)?,
+            Err(_) => 0,
+        };
         let live = slots.iter().filter(|s| s.is_some()).count();
         let dims = slots.iter().flatten().next().map(UncertainObject::dims);
         Ok(Database {
             objects: slots,
             live,
             dims,
+            base,
         })
     }
 }
@@ -71,7 +87,15 @@ impl Database {
             dims: objects.first().map(UncertainObject::dims),
             objects: objects.into_iter().map(Some).collect(),
             live,
+            base: 0,
         }
+    }
+
+    /// Slot index of `id`, if the id was ever issued and not compacted
+    /// away (`None` below `base`; out-of-range indices are the caller's
+    /// concern, exactly like the pre-compaction direct indexing).
+    fn slot(&self, id: ObjectId) -> Option<usize> {
+        id.index().checked_sub(self.base as usize)
     }
 
     /// Appends an object, returning its (fresh, never-reused) id.
@@ -87,10 +111,35 @@ impl Database {
             );
         }
         self.dims = Some(object.dims());
-        let id = ObjectId(u32::try_from(self.objects.len()).expect("database too large"));
+        let next = (self.base as usize)
+            .checked_add(self.objects.len())
+            .and_then(|n| u32::try_from(n).ok())
+            .expect("database too large");
+        let id = ObjectId(next);
         self.objects.push(Some(object));
         self.live += 1;
         id
+    }
+
+    /// Reclaims the leading run of tombstones by advancing the id base,
+    /// returning how many slots were dropped. Ids stay stable: compacted
+    /// ids were already dead and remain dead, live ids keep their slots
+    /// (only *leading* tombstones compact — dropping interior ones would
+    /// shift live ids), and the next fresh id is unchanged. Engines call
+    /// this at checkpoint time, where the index is rebuilt anyway.
+    pub fn compact(&mut self) -> usize {
+        let lead = self.objects.iter().take_while(|s| s.is_none()).count();
+        if lead > 0 {
+            self.objects.drain(..lead);
+            self.base += u32::try_from(lead).expect("database too large");
+        }
+        lead
+    }
+
+    /// Ids below this were compacted away ([`Database::compact`]); they
+    /// are dead and hold no slot.
+    pub fn base_id(&self) -> u32 {
+        self.base
     }
 
     /// Removes an object in place, returning it. The slot becomes a
@@ -99,9 +148,12 @@ impl Database {
     /// # Panics
     /// Panics if `id` is out of range or already removed.
     pub fn remove(&mut self, id: ObjectId) -> UncertainObject {
+        let idx = self
+            .slot(id)
+            .unwrap_or_else(|| panic!("{id:?} already removed"));
         let slot = self
             .objects
-            .get_mut(id.index())
+            .get_mut(idx)
             .unwrap_or_else(|| panic!("{id:?} out of range"));
         let object = slot
             .take()
@@ -117,8 +169,8 @@ impl Database {
     /// Panics if `id` is dead or the new object's dimensionality differs.
     pub fn replace(&mut self, id: ObjectId, object: UncertainObject) -> UncertainObject {
         let old = self
-            .objects
-            .get_mut(id.index())
+            .slot(id)
+            .and_then(|idx| self.objects.get_mut(idx))
             .and_then(Option::as_mut)
             .unwrap_or_else(|| panic!("{id:?} is not a live object"));
         assert_eq!(
@@ -131,7 +183,10 @@ impl Database {
 
     /// Whether `id` names a live object.
     pub fn contains(&self, id: ObjectId) -> bool {
-        matches!(self.objects.get(id.index()), Some(Some(_)))
+        matches!(
+            self.slot(id).and_then(|idx| self.objects.get(idx)),
+            Some(Some(_))
+        )
     }
 
     /// Number of live objects.
@@ -158,22 +213,28 @@ impl Database {
     /// # Panics
     /// Panics if the id is out of range or removed.
     pub fn get(&self, id: ObjectId) -> &UncertainObject {
-        self.objects[id.index()]
+        let idx = self
+            .slot(id)
+            .unwrap_or_else(|| panic!("{id:?} was removed"));
+        self.objects[idx]
             .as_ref()
             .unwrap_or_else(|| panic!("{id:?} was removed"))
     }
 
     /// The object with the given id, if live.
     pub fn try_get(&self, id: ObjectId) -> Option<&UncertainObject> {
-        self.objects.get(id.index()).and_then(Option::as_ref)
+        self.slot(id)
+            .and_then(|idx| self.objects.get(idx))
+            .and_then(Option::as_ref)
     }
 
     /// Iterates `(id, object)` pairs over the live objects.
     pub fn iter(&self) -> impl Iterator<Item = (ObjectId, &UncertainObject)> {
+        let base = self.base;
         self.objects
             .iter()
             .enumerate()
-            .filter_map(|(i, o)| o.as_ref().map(|o| (ObjectId(i as u32), o)))
+            .filter_map(move |(i, o)| o.as_ref().map(|o| (ObjectId(base + i as u32), o)))
     }
 
     /// All live object ids.
@@ -287,6 +348,51 @@ mod tests {
         db.remove(ObjectId(1));
         assert_eq!(db.dims(), None);
         assert!(db.is_empty());
+    }
+
+    #[test]
+    fn compact_drops_leading_tombstones_only() {
+        let mut db = Database::from_objects(vec![obj(0.0), obj(1.0), obj(2.0), obj(3.0)]);
+        db.remove(ObjectId(0));
+        db.remove(ObjectId(1));
+        db.remove(ObjectId(3)); // interior-after-compaction tombstone
+        assert_eq!(db.compact(), 2);
+        assert_eq!(db.base_id(), 2);
+        assert_eq!(db.len(), 1);
+        // compacted ids stay dead, with the pre-compaction behaviour
+        assert!(!db.contains(ObjectId(0)));
+        assert!(db.try_get(ObjectId(1)).is_none());
+        // live ids are untouched
+        assert_eq!(db.get(ObjectId(2)).mbr().lo(), Point::from([2.0, 0.0]));
+        assert_eq!(db.ids().collect::<Vec<_>>(), vec![ObjectId(2)]);
+        // the interior tombstone did not compact (ids must not shift)
+        assert_eq!(db.compact(), 0);
+        // fresh ids continue exactly where they would have anyway
+        assert_eq!(db.insert(obj(9.0)), ObjectId(4));
+        assert_eq!(db.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "already removed")]
+    fn compacted_id_remove_panics() {
+        let mut db = Database::from_objects(vec![obj(0.0), obj(1.0)]);
+        db.remove(ObjectId(0));
+        db.compact();
+        db.remove(ObjectId(0));
+    }
+
+    #[test]
+    fn compact_round_trips_through_serde() {
+        let mut db = Database::from_objects(vec![obj(0.0), obj(1.0), obj(2.0)]);
+        db.remove(ObjectId(0));
+        db.compact();
+        let json = serde_json::to_string(&db).unwrap();
+        let back: Database = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.base_id(), 1);
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.ids().collect::<Vec<_>>(), db.ids().collect::<Vec<_>>());
+        let mut b2 = back;
+        assert_eq!(b2.insert(obj(5.0)), ObjectId(3));
     }
 
     #[test]

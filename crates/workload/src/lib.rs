@@ -25,6 +25,7 @@ pub mod synthetic;
 pub use iceberg::IcebergConfig;
 pub use query::{target_by_min_dist_rank, QuerySet};
 pub use stream::{
-    serve_stream, MixCounts, QueryStream, QueryStreamConfig, ServeMode, StreamOp, StreamQuery,
+    serve_stream, serve_stream_with_report, MixCounts, QueryStream, QueryStreamConfig, ServeMode,
+    ServeReport, ServeResults, StreamOp, StreamQuery,
 };
 pub use synthetic::{PdfKind, SyntheticConfig};

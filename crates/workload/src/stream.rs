@@ -331,11 +331,66 @@ pub enum ServeMode {
 /// [`udb_core::IdcaConfig::decomp_cache_entries`] > 0 the engine's
 /// decomposition cache stays warm *across* batches — the serving
 /// default this driver is built to measure.
-pub fn serve_stream(
+pub fn serve_stream(engine: &mut Engine, stream: &QueryStream, mode: ServeMode) -> ServeResults {
+    serve_batches(engine, stream, mode, &mut ServeReport::default())
+}
+
+/// Per-batch, per-entry query results from a served stream, aligned
+/// with the stream's entries (mutation entries yield an empty vector).
+pub type ServeResults = Vec<Vec<Vec<ThresholdResult>>>;
+
+/// What [`serve_stream_with_report`] did to the engine, alongside the
+/// query results: the applied-mutation counts a serving operator
+/// reconciles against the upstream feed, and whether the end-of-stream
+/// durability handshake ran.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServeReport {
+    /// Objects inserted from [`StreamOp::Insert`] entries.
+    pub inserts: u64,
+    /// Objects removed by [`StreamOp::Delete`] entries. Can trail the
+    /// stream's delete count: a delete against an empty database is a
+    /// no-op.
+    pub removes: u64,
+    /// Query entries executed (threshold kNN/RkNN + top-`m`).
+    pub queries: u64,
+    /// Whether the graceful-shutdown handshake ran at stream end: WAL
+    /// fsync + final checkpoint on a durable engine, so a crash *after*
+    /// the stream loses nothing. Always `true` after
+    /// [`serve_stream_with_report`] returns `Ok`; in-memory engines
+    /// still get the checkpoint's compaction + index rebuild.
+    pub flushed: bool,
+}
+
+/// [`serve_stream`] with a graceful shutdown: after the last batch the
+/// engine's WAL is fsynced and a final checkpoint is taken
+/// ([`Engine::wal_sync`] + [`Engine::checkpoint`]), so every
+/// acknowledged mutation is on stable storage and recovery replays
+/// nothing. Returns the per-batch results plus a [`ServeReport`] of
+/// applied mutation counts.
+///
+/// # Errors
+/// Fails when the durable engine cannot flush or checkpoint; results
+/// and counts up to that point are lost to the caller, but the WAL
+/// still holds every mutation that was acknowledged mid-stream.
+pub fn serve_stream_with_report(
     engine: &mut Engine,
     stream: &QueryStream,
     mode: ServeMode,
-) -> Vec<Vec<Vec<ThresholdResult>>> {
+) -> Result<(ServeResults, ServeReport), udb_core::DurableError> {
+    let mut report = ServeReport::default();
+    let results = serve_batches(engine, stream, mode, &mut report);
+    engine.wal_sync()?;
+    engine.checkpoint()?;
+    report.flushed = true;
+    Ok((results, report))
+}
+
+fn serve_batches(
+    engine: &mut Engine,
+    stream: &QueryStream,
+    mode: ServeMode,
+    report: &mut ServeReport,
+) -> ServeResults {
     stream
         .batches
         .iter()
@@ -345,15 +400,18 @@ pub fn serve_stream(
                 match entry.op {
                     StreamOp::Insert => {
                         engine.insert(entry.object.clone());
+                        report.inserts += 1;
                     }
                     StreamOp::Delete => {
                         if let Some(id) = engine.nearest(entry.object.mbr()) {
                             engine.remove(id);
+                            report.removes += 1;
                         }
                     }
                     _ => {}
                 }
             }
+            report.queries += batch.iter().filter(|q| !q.op.is_mutation()).count() as u64;
             match mode {
                 ServeMode::Sequential => batch
                     .iter()

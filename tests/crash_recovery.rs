@@ -1,0 +1,517 @@
+//! Adversarial recovery suite: the durable engine is crashed — by
+//! in-process fault injection at every registered [`CrashPoint`], and
+//! by hand-mangled on-disk corpora (truncated tails, flipped bytes,
+//! corrupt checkpoints) — and every recovery must land on a state that
+//! is **bit-identical** to an oracle engine that applied exactly the
+//! surviving mutation prefix.
+//!
+//! Durable-WAL semantics under crash:
+//!
+//! * Every mutation acknowledged (`Ok`) before the crash survives.
+//! * The in-flight mutation may survive (logged, crash before the ack
+//!   reached the caller) or vanish (torn / unsynced) — never half-apply.
+//! * Degradation is loud: torn tails and corrupt records surface in
+//!   [`Engine::recovery_report`], and an unrecoverable directory is an
+//!   error, not an empty database.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::path::{Path, PathBuf};
+use uncertain_db::core::{CrashPoint, FaultIo, FaultMode};
+use uncertain_db::prelude::*;
+
+// ---------------------------------------------------------------------
+// Shared scaffolding
+// ---------------------------------------------------------------------
+
+fn random_object(rng: &mut StdRng) -> UncertainObject {
+    let cx: f64 = rng.gen_range(0.0..4.0);
+    let cy: f64 = rng.gen_range(0.0..4.0);
+    let hx: f64 = rng.gen_range(0.02..0.5);
+    let hy: f64 = rng.gen_range(0.02..0.5);
+    let center = Point::from([cx, cy]);
+    let support = Rect::centered(&center, &[hx, hy]);
+    let pdf: Pdf = match rng.gen_range(0..3) {
+        0 => Pdf::uniform(support),
+        1 => GaussianPdf::new(center, vec![hx / 2.0, hy / 2.0], support).into(),
+        _ => {
+            let n = rng.gen_range(2..5);
+            let pts: Vec<Point> = (0..n)
+                .map(|_| {
+                    Point::from([
+                        rng.gen_range(cx - hx..cx + hx),
+                        rng.gen_range(cy - hy..cy + hy),
+                    ])
+                })
+                .collect();
+            DiscretePdf::equally_weighted(pts).into()
+        }
+    };
+    if rng.gen_range(0..4) == 0 {
+        UncertainObject::with_existence(pdf, rng.gen_range(0.3..1.0))
+    } else {
+        UncertainObject::new(pdf)
+    }
+}
+
+fn cfg() -> IdcaConfig {
+    IdcaConfig {
+        max_iterations: 3,
+        uncertainty_target: 0.0,
+        wal_sync_every: 1,
+        checkpoint_every: 0, // checkpoints only where the script says so
+        ..Default::default()
+    }
+}
+
+/// A fresh per-test directory under the system temp dir.
+fn test_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("udb-crash-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// One scripted step against the engine: the three mutations, plus an
+/// explicit checkpoint (the only way the checkpoint crash gates fire
+/// with `checkpoint_every = 0`).
+#[derive(Clone)]
+enum Op {
+    Insert(UncertainObject),
+    Remove(ObjectId),
+    Update(ObjectId, UncertainObject),
+    Checkpoint,
+}
+
+impl Op {
+    fn is_mutation(&self) -> bool {
+        !matches!(self, Op::Checkpoint)
+    }
+}
+
+/// A deterministic mutation script whose ids are precomputed: fresh ids
+/// are sequential (`base + len` is invariant under compaction), so an
+/// oracle replaying any prefix assigns identical ids.
+fn script(rng: &mut StdRng, baseline: usize, steps: usize) -> Vec<Op> {
+    let mut next_id = baseline as u32;
+    let mut live: Vec<u32> = (0..baseline as u32).collect();
+    let mut ops = Vec::with_capacity(steps);
+    for step in 0..steps {
+        if step % 5 == 4 {
+            ops.push(Op::Checkpoint);
+            continue;
+        }
+        match rng.gen_range(0..3) {
+            0 => {
+                ops.push(Op::Insert(random_object(rng)));
+                live.push(next_id);
+                next_id += 1;
+            }
+            1 if live.len() > 3 => {
+                let id = live.remove(rng.gen_range(0..live.len()));
+                ops.push(Op::Remove(ObjectId(id)));
+            }
+            _ => {
+                let id = live[rng.gen_range(0..live.len())];
+                ops.push(Op::Update(ObjectId(id), random_object(rng)));
+            }
+        }
+    }
+    ops
+}
+
+fn apply_fallible(engine: &mut Engine, op: &Op) -> Result<(), DurableError> {
+    match op {
+        Op::Insert(o) => engine.try_insert(o.clone()).map(|_| ()),
+        Op::Remove(id) => engine.try_remove(*id).map(|_| ()),
+        Op::Update(id, o) => engine.try_update(*id, o.clone()).map(|_| ()),
+        Op::Checkpoint => engine.checkpoint(),
+    }
+}
+
+/// The never-crashed oracle: a fresh engine that applies the baseline
+/// and then exactly `muts` mutations of the script.
+fn oracle_after(baseline: &[UncertainObject], ops: &[Op], muts: usize) -> Engine {
+    let mut engine = Engine::with_config(Database::new(), cfg());
+    for o in baseline {
+        engine.insert(o.clone());
+    }
+    let mut applied = 0;
+    for op in ops {
+        if applied == muts {
+            break;
+        }
+        match op {
+            Op::Insert(o) => {
+                engine.insert(o.clone());
+            }
+            Op::Remove(id) => {
+                engine.remove(*id);
+            }
+            Op::Update(id, o) => {
+                engine.update(*id, o.clone());
+            }
+            Op::Checkpoint => continue, // not a mutation
+        }
+        applied += 1;
+    }
+    assert_eq!(applied, muts, "script exhausted before the target prefix");
+    engine
+}
+
+/// Bit-exact state + query equivalence between a recovered engine and
+/// the oracle.
+fn assert_engines_identical(recovered: &Engine, oracle: &mut Engine, ctx: &str) {
+    // compact the oracle too (recovery checkpoints on open), then the
+    // databases must serialize identically — same base, same slots,
+    // same floats to the last bit
+    oracle.checkpoint().expect("oracle checkpoint");
+    let a = serde_json::to_string(recovered.db()).expect("serialize recovered");
+    let b = serde_json::to_string(oracle.db()).expect("serialize oracle");
+    assert_eq!(a, b, "{ctx}: databases diverged");
+
+    // and the query layer must agree bit-for-bit on every query family
+    let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+    for qi in 0..2 {
+        let q = random_object(&mut rng);
+        let (k, tau) = (rng.gen_range(1..3), rng.gen_range(0.1..0.7));
+        let knn_a = recovered.knn_threshold(&q, k, tau);
+        let knn_b = oracle.knn_threshold(&q, k, tau);
+        assert_results_identical(&knn_a, &knn_b, &format!("{ctx} knn q{qi}"));
+        let rk_a = recovered.rknn_threshold(&q, k, tau);
+        let rk_b = oracle.rknn_threshold(&q, k, tau);
+        assert_results_identical(&rk_a, &rk_b, &format!("{ctx} rknn q{qi}"));
+        let top_a = recovered.top_probable_nn(&q, 2);
+        let top_b = oracle.top_probable_nn(&q, 2);
+        assert_results_identical(&top_a, &top_b, &format!("{ctx} top_m q{qi}"));
+    }
+}
+
+fn assert_results_identical(a: &[ThresholdResult], b: &[ThresholdResult], ctx: &str) {
+    assert_eq!(a.len(), b.len(), "{ctx}: set size diverged");
+    for (ra, rb) in a.iter().zip(b.iter()) {
+        assert_eq!(ra.id, rb.id, "{ctx}");
+        assert_eq!(ra.prob_lower.to_bits(), rb.prob_lower.to_bits(), "{ctx}");
+        assert_eq!(ra.prob_upper.to_bits(), rb.prob_upper.to_bits(), "{ctx}");
+        assert_eq!(ra.iterations, rb.iterations, "{ctx}");
+    }
+}
+
+/// Seeds a durable directory: `baseline` objects inserted, synced and
+/// checkpointed — the committed state every crash scenario starts from.
+fn seed_dir(dir: &Path, baseline: &[UncertainObject]) {
+    let mut engine = Engine::open_with_config(dir, cfg()).expect("seed open");
+    for o in baseline {
+        engine.insert(o.clone());
+    }
+    engine.wal_sync().expect("seed sync");
+    engine.checkpoint().expect("seed checkpoint");
+    // dropped without further flushing: drop == crash, but everything
+    // above is already on stable storage
+}
+
+// ---------------------------------------------------------------------
+// Fault-injection sweep: every crash point x both fault modes
+// ---------------------------------------------------------------------
+
+/// Crashes a scripted run at `point` (in `mode`) and proves recovery
+/// lands on the acknowledged prefix — or the acknowledged prefix plus
+/// the single in-flight record, when the log survived the crash.
+fn crash_and_recover_case(point: CrashPoint, mode: FaultMode, seed: u64) {
+    let name = format!("{}-{:?}-{seed}", point.name(), mode);
+    let dir = test_dir(&name);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let baseline: Vec<UncertainObject> = (0..8).map(|_| random_object(&mut rng)).collect();
+    seed_dir(&dir, &baseline);
+
+    // opening checkpoints once, so the checkpoint gates' first crossing
+    // happens during open; arm the second crossing to crash the
+    // mid-script checkpoint instead
+    let nth = match point {
+        CrashPoint::WalMidRecord | CrashPoint::WalBeforeSync | CrashPoint::WalAfterSync => 3,
+        _ => 2,
+    };
+    let io = FaultIo::armed(mode, point, nth);
+    let mut engine = Engine::open_with_io(&dir, cfg(), Box::new(io)).expect("armed open");
+
+    let ops = script(&mut rng, baseline.len(), 20);
+    let mut acked = 0usize; // acknowledged *mutations*
+    let mut in_flight: Option<&Op> = None;
+    let mut crashed = false;
+    for op in &ops {
+        match apply_fallible(&mut engine, op) {
+            Ok(()) => {
+                if op.is_mutation() {
+                    acked += 1;
+                }
+            }
+            Err(_) => {
+                crashed = true;
+                if op.is_mutation() {
+                    in_flight = Some(op);
+                }
+                break;
+            }
+        }
+    }
+    assert!(crashed, "{name}: the armed crash point never fired");
+    drop(engine); // no flush on drop: exactly the crashed process's files
+
+    let recovered = Engine::open_with_config(&dir, cfg())
+        .unwrap_or_else(|e| panic!("{name}: recovery failed: {e}"));
+    let survived = (recovered.mutations() as usize)
+        .checked_sub(baseline.len())
+        .expect("recovered fewer mutations than the committed baseline");
+
+    // the acknowledged prefix always survives; at most the one
+    // in-flight record may ride along (logged, never acknowledged)
+    assert!(
+        survived == acked || (survived == acked + 1 && in_flight.is_some()),
+        "{name}: {acked} acked, {survived} survived"
+    );
+    let mut oracle = oracle_after(&baseline, &ops, survived);
+    assert_engines_identical(&recovered, &mut oracle, &name);
+
+    // and the recovered engine keeps serving: a fresh durable mutation
+    let mut recovered = recovered;
+    let extra = random_object(&mut rng);
+    recovered.insert(extra.clone());
+    oracle.insert(extra);
+    assert_engines_identical(&recovered, &mut oracle, &format!("{name} post-recovery"));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn crash_sweep_every_point_both_modes() {
+    for &point in CrashPoint::ALL.iter() {
+        for mode in [FaultMode::WriteThrough, FaultMode::WriteBack] {
+            crash_and_recover_case(point, mode, 7 + point as u64);
+        }
+    }
+}
+
+/// Crashing during `open` itself (the checkpoint-on-open) must leave a
+/// directory that the next open recovers — recovery is idempotent.
+#[test]
+fn crash_during_open_is_idempotent() {
+    for &point in &[
+        CrashPoint::CheckpointMidWrite,
+        CrashPoint::CheckpointBeforeRename,
+        CrashPoint::CheckpointAfterRename,
+        CrashPoint::CheckpointBeforePrune,
+    ] {
+        for mode in [FaultMode::WriteThrough, FaultMode::WriteBack] {
+            let name = format!("open-{}-{:?}", point.name(), mode);
+            let dir = test_dir(&name);
+            let mut rng = StdRng::seed_from_u64(99);
+            let baseline: Vec<UncertainObject> = (0..6).map(|_| random_object(&mut rng)).collect();
+            seed_dir(&dir, &baseline);
+
+            let io = FaultIo::armed(mode, point, 1);
+            let err = Engine::open_with_io(&dir, cfg(), Box::new(io));
+            assert!(err.is_err(), "{name}: open should report the crash");
+
+            let recovered = Engine::open_with_config(&dir, cfg())
+                .unwrap_or_else(|e| panic!("{name}: second open failed: {e}"));
+            assert_eq!(recovered.mutations() as usize, baseline.len(), "{name}");
+            let mut oracle = oracle_after(&baseline, &[], 0);
+            assert_engines_identical(&recovered, &mut oracle, &name);
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Hand-mangled corpora: truncation, bit flips, corrupt checkpoints
+// ---------------------------------------------------------------------
+
+/// The newest WAL segment in a durable directory.
+fn newest_segment(dir: &Path) -> PathBuf {
+    let mut segs: Vec<PathBuf> = std::fs::read_dir(dir)
+        .expect("read dir")
+        .map(|e| e.expect("entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "log"))
+        .collect();
+    segs.sort();
+    segs.pop().expect("no WAL segment")
+}
+
+fn newest_checkpoint(dir: &Path) -> PathBuf {
+    let mut ckpts: Vec<PathBuf> = std::fs::read_dir(dir)
+        .expect("read dir")
+        .map(|e| e.expect("entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "ckpt"))
+        .collect();
+    ckpts.sort();
+    ckpts.pop().expect("no checkpoint")
+}
+
+/// Seeds a dir, then appends `tail` extra synced inserts to the WAL
+/// without checkpointing them. Returns (baseline ++ tail) as the op
+/// stream an oracle can replay.
+fn seed_with_tail(dir: &Path, rng: &mut StdRng, tail: usize) -> (Vec<UncertainObject>, Vec<Op>) {
+    let baseline: Vec<UncertainObject> = (0..6).map(|_| random_object(rng)).collect();
+    seed_dir(dir, &baseline);
+    let mut engine = Engine::open_with_config(dir, cfg()).expect("tail open");
+    let ops: Vec<Op> = (0..tail).map(|_| Op::Insert(random_object(rng))).collect();
+    for op in &ops {
+        apply_fallible(&mut engine, op).expect("tail insert");
+    }
+    engine.wal_sync().expect("tail sync");
+    drop(engine); // no checkpoint: the tail lives only in the WAL
+    (baseline, ops)
+}
+
+/// Truncating the final record at every byte offset: recovery drops it
+/// (with a torn-tail warning), keeps everything before it, and never
+/// panics.
+#[test]
+fn truncated_tail_recovers_prefix_at_every_cut() {
+    let dir = test_dir("truncate");
+    let mut rng = StdRng::seed_from_u64(3);
+    let (baseline, ops) = seed_with_tail(&dir, &mut rng, 3);
+    let seg = newest_segment(&dir);
+    let intact = std::fs::read(&seg).expect("read segment");
+
+    // sample cuts across the whole tail record (and a few earlier ones)
+    let cuts: Vec<usize> = (1..intact.len())
+        .step_by(37)
+        .chain([intact.len() - 1])
+        .collect();
+    for cut in cuts {
+        std::fs::write(&seg, &intact[..cut]).expect("truncate");
+        let recovered = Engine::open_with_config(&dir, cfg())
+            .unwrap_or_else(|e| panic!("cut={cut}: recovery failed: {e}"));
+        let survived = recovered.mutations() as usize - baseline.len();
+        assert!(survived <= ops.len(), "cut={cut}: invented mutations");
+        let report = recovered.recovery_report().expect("opened engine");
+        // a cut strictly inside a frame must be reported; a cut exactly
+        // on a frame boundary is a legitimately shorter, clean log
+        if uncertain_db::core::read_wal_bytes(&intact[..cut])
+            .defect
+            .is_some()
+        {
+            assert!(
+                report.warnings.iter().any(|w| w.contains("torn")),
+                "cut={cut}: silent truncation: {report:?}"
+            );
+        }
+        let mut oracle = oracle_after(&baseline, &ops, survived);
+        assert_engines_identical(&recovered, &mut oracle, &format!("cut={cut}"));
+        // recovery checkpointed on open, changing the directory; restore
+        // the corpus for the next cut
+        let _ = std::fs::remove_dir_all(&dir);
+        let (b2, o2) = seed_with_tail(&dir, &mut StdRng::seed_from_u64(3), 3);
+        assert_eq!(b2.len(), baseline.len());
+        assert_eq!(o2.len(), ops.len());
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A flipped byte mid-log: replay applies the records before the
+/// corruption, stops there loudly, and never applies anything after it
+/// (later records were logged against a state containing the bad one).
+#[test]
+fn corrupt_record_stops_replay_loudly() {
+    let dir = test_dir("flip");
+    let mut rng = StdRng::seed_from_u64(4);
+    let (baseline, ops) = seed_with_tail(&dir, &mut rng, 4);
+    let seg = newest_segment(&dir);
+    let intact = std::fs::read(&seg).expect("read segment");
+
+    for offset in (9..intact.len()).step_by(101) {
+        let mut mangled = intact.clone();
+        mangled[offset] ^= 0x20;
+        std::fs::write(&seg, &mangled).expect("flip byte");
+        let recovered = Engine::open_with_config(&dir, cfg())
+            .unwrap_or_else(|e| panic!("offset={offset}: recovery failed: {e}"));
+        let survived = recovered.mutations() as usize - baseline.len();
+        assert!(
+            survived < ops.len(),
+            "offset={offset}: corruption unnoticed"
+        );
+        let report = recovered.recovery_report().expect("opened engine");
+        assert!(
+            !report.warnings.is_empty(),
+            "offset={offset}: silent corruption"
+        );
+        let mut oracle = oracle_after(&baseline, &ops, survived);
+        assert_engines_identical(&recovered, &mut oracle, &format!("offset={offset}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        seed_with_tail(&dir, &mut StdRng::seed_from_u64(4), 4);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A corrupt newest checkpoint: recovery falls back to the previous
+/// checkpoint and replays the full WAL from there — same final state,
+/// with the fallback on record.
+#[test]
+fn corrupt_checkpoint_falls_back_to_previous() {
+    let dir = test_dir("ckpt-fallback");
+    let mut rng = StdRng::seed_from_u64(5);
+    let baseline: Vec<UncertainObject> = (0..6).map(|_| random_object(&mut rng)).collect();
+    seed_dir(&dir, &baseline);
+    // a second generation: more inserts + another checkpoint, so the
+    // directory holds two checkpoints (prune keeps the previous one)
+    let mut engine = Engine::open_with_config(&dir, cfg()).expect("gen2 open");
+    let gen2: Vec<Op> = (0..3)
+        .map(|_| Op::Insert(random_object(&mut rng)))
+        .collect();
+    for op in &gen2 {
+        apply_fallible(&mut engine, op).expect("gen2 insert");
+    }
+    engine.checkpoint().expect("gen2 checkpoint");
+    drop(engine);
+
+    let newest = newest_checkpoint(&dir);
+    let mut bytes = std::fs::read(&newest).expect("read checkpoint");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    std::fs::write(&newest, &bytes).expect("corrupt checkpoint");
+
+    let recovered = Engine::open_with_config(&dir, cfg()).expect("fallback recovery");
+    let report = recovered.recovery_report().expect("opened engine").clone();
+    assert!(report.fallback >= 1, "fallback not recorded: {report:?}");
+    assert!(!report.warnings.is_empty(), "silent fallback");
+    assert_eq!(
+        recovered.mutations() as usize,
+        baseline.len() + gen2.len(),
+        "fallback + full replay must reach the same state"
+    );
+    let mut oracle = oracle_after(&baseline, &gen2, gen2.len());
+    assert_engines_identical(&recovered, &mut oracle, "checkpoint fallback");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// When checkpoints exist but none loads, recovery must refuse: an
+/// empty database over existing data would be a silent wrong answer.
+#[test]
+fn unrecoverable_directory_is_an_error_not_empty() {
+    let dir = test_dir("unrecoverable");
+    let mut rng = StdRng::seed_from_u64(6);
+    let baseline: Vec<UncertainObject> = (0..4).map(|_| random_object(&mut rng)).collect();
+    seed_dir(&dir, &baseline);
+
+    // corrupt every checkpoint in the directory
+    for entry in std::fs::read_dir(&dir).expect("read dir") {
+        let path = entry.expect("entry").path();
+        if path.extension().is_some_and(|e| e == "ckpt") {
+            let mut bytes = std::fs::read(&path).expect("read");
+            let mid = bytes.len() / 2;
+            bytes[mid] ^= 0xFF;
+            std::fs::write(&path, &bytes).expect("write");
+        }
+    }
+    match Engine::open_with_config(&dir, cfg()) {
+        Err(DurableError::NoValidCheckpoint { warnings }) => {
+            assert!(!warnings.is_empty(), "refusal must explain itself");
+        }
+        Err(other) => panic!("wrong error: {other}"),
+        Ok(engine) => panic!(
+            "recovered {} objects from an unrecoverable directory",
+            engine.db().len()
+        ),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

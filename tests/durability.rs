@@ -1,0 +1,317 @@
+//! Property suite for the durable engine's happy path: durability is
+//! free of observable side effects. A WAL-backed engine answers every
+//! query bit-identically to an in-memory one, and an engine recovered
+//! by replay-on-open answers bit-identically to the live engine it was
+//! dropped from — warm or cold caches, every query family.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::path::PathBuf;
+use uncertain_db::prelude::*;
+
+fn random_object(rng: &mut StdRng) -> UncertainObject {
+    let cx: f64 = rng.gen_range(0.0..4.0);
+    let cy: f64 = rng.gen_range(0.0..4.0);
+    let hx: f64 = rng.gen_range(0.02..0.5);
+    let hy: f64 = rng.gen_range(0.02..0.5);
+    let center = Point::from([cx, cy]);
+    let support = Rect::centered(&center, &[hx, hy]);
+    let pdf: Pdf = match rng.gen_range(0..3) {
+        0 => Pdf::uniform(support),
+        1 => GaussianPdf::new(center, vec![hx / 2.0, hy / 2.0], support).into(),
+        _ => {
+            let n = rng.gen_range(2..5);
+            let pts: Vec<Point> = (0..n)
+                .map(|_| {
+                    Point::from([
+                        rng.gen_range(cx - hx..cx + hx),
+                        rng.gen_range(cy - hy..cy + hy),
+                    ])
+                })
+                .collect();
+            DiscretePdf::equally_weighted(pts).into()
+        }
+    };
+    if rng.gen_range(0..4) == 0 {
+        UncertainObject::with_existence(pdf, rng.gen_range(0.3..1.0))
+    } else {
+        UncertainObject::new(pdf)
+    }
+}
+
+fn cfg(cache: usize) -> IdcaConfig {
+    IdcaConfig {
+        max_iterations: 4,
+        uncertainty_target: 0.0,
+        decomp_cache_entries: cache,
+        wal_sync_every: 1,
+        checkpoint_every: 0,
+        ..Default::default()
+    }
+}
+
+fn test_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("udb-durab-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn assert_results_identical(a: &[ThresholdResult], b: &[ThresholdResult], ctx: &str) {
+    assert_eq!(a.len(), b.len(), "{ctx}: set size diverged");
+    for (ra, rb) in a.iter().zip(b.iter()) {
+        assert_eq!(ra.id, rb.id, "{ctx}");
+        assert_eq!(ra.prob_lower.to_bits(), rb.prob_lower.to_bits(), "{ctx}");
+        assert_eq!(ra.prob_upper.to_bits(), rb.prob_upper.to_bits(), "{ctx}");
+        assert_eq!(ra.iterations, rb.iterations, "{ctx}");
+    }
+}
+
+/// Applies the same random mutation workload to both engines: the ids
+/// line up because fresh-id assignment is deterministic.
+fn churn(rng: &mut StdRng, a: &mut Engine, b: &mut Engine, steps: usize) {
+    for _ in 0..steps {
+        let live: Vec<ObjectId> = a.db().ids().collect();
+        match rng.gen_range(0..3) {
+            0 => {
+                let o = random_object(rng);
+                let ia = a.insert(o.clone());
+                let ib = b.insert(o);
+                assert_eq!(ia, ib, "id assignment diverged");
+            }
+            1 if live.len() > 4 => {
+                let id = live[rng.gen_range(0..live.len())];
+                a.remove(id);
+                b.remove(id);
+            }
+            _ => {
+                let id = live[rng.gen_range(0..live.len())];
+                let o = random_object(rng);
+                a.update(id, o.clone());
+                b.update(id, o);
+            }
+        }
+    }
+}
+
+/// Cross-checks every query family bit-for-bit on `queries` random
+/// probes.
+fn assert_same_answers(rng: &mut StdRng, a: &Engine, b: &Engine, queries: usize, ctx: &str) {
+    for qi in 0..queries {
+        let q = random_object(rng);
+        let (k, tau) = (rng.gen_range(1..4), rng.gen_range(0.05..0.8));
+        assert_results_identical(
+            &a.knn_threshold(&q, k, tau),
+            &b.knn_threshold(&q, k, tau),
+            &format!("{ctx} q{qi} knn"),
+        );
+        assert_results_identical(
+            &a.rknn_threshold(&q, k, tau),
+            &b.rknn_threshold(&q, k, tau),
+            &format!("{ctx} q{qi} rknn"),
+        );
+        assert_results_identical(
+            &a.top_probable_nn(&q, 2),
+            &b.top_probable_nn(&q, 2),
+            &format!("{ctx} q{qi} top_m"),
+        );
+    }
+}
+
+/// (a) WAL-backed == in-memory under interleaved churn and queries: the
+/// log is invisible to the query layer.
+fn check_durable_equals_in_memory(seed: u64) {
+    let dir = test_dir(&format!("mirror-{seed}"));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let objects: Vec<UncertainObject> = (0..25).map(|_| random_object(&mut rng)).collect();
+
+    let mut durable = Engine::open_with_config(&dir, cfg(1024)).expect("open durable");
+    let mut memory = Engine::with_config(Database::new(), cfg(1024));
+    for o in &objects {
+        durable.insert(o.clone());
+        memory.insert(o.clone());
+    }
+    for round in 0..3 {
+        churn(&mut rng, &mut durable, &mut memory, 4);
+        assert_same_answers(
+            &mut rng,
+            &durable,
+            &memory,
+            2,
+            &format!("seed={seed} round={round}"),
+        );
+    }
+    assert!(durable.is_durable() && !memory.is_durable());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// (b) Drop (== crash with a synced log) and reopen at any point:
+/// the recovered engine answers bit-identically to the live one,
+/// with a warm cache on one side and a cold cache on the other.
+fn check_replay_equals_live(seed: u64) {
+    let dir = test_dir(&format!("replay-{seed}"));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let objects: Vec<UncertainObject> = (0..25).map(|_| random_object(&mut rng)).collect();
+
+    let mut live = Engine::open_with_config(&dir, cfg(1024)).expect("open");
+    let mut shadow = Engine::with_config(Database::new(), cfg(0)); // cold forever
+    for o in &objects {
+        live.insert(o.clone());
+        shadow.insert(o.clone());
+    }
+    for round in 0..3 {
+        churn(&mut rng, &mut live, &mut shadow, 3);
+        // warm the live engine's cache so replay must prove the cache
+        // holds no answer-shaping state
+        let warmup = random_object(&mut rng);
+        live.knn_threshold(&warmup, 2, 0.3);
+        shadow.knn_threshold(&warmup, 2, 0.3);
+
+        // every record is synced (wal_sync_every = 1): dropping here is
+        // a crash that loses nothing
+        drop(live);
+        live = Engine::open_with_config(&dir, cfg(1024)).expect("reopen");
+        let report = live.recovery_report().expect("reopened").clone();
+        assert!(
+            report.warnings.is_empty(),
+            "seed={seed} round={round}: clean log recovered with warnings: {report:?}"
+        );
+        assert_eq!(live.mutations(), shadow.mutations(), "mutation counts");
+        assert_same_answers(
+            &mut rng,
+            &live,
+            &shadow,
+            2,
+            &format!("seed={seed} round={round} recovered"),
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// (c) Serving a mutating stream durably == serving it in memory, and
+/// the graceful shutdown leaves a directory that recovers to the exact
+/// post-stream state without replaying a single record.
+fn check_durable_serving(seed: u64) {
+    let dir = test_dir(&format!("serve-{seed}"));
+    let object_cfg = SyntheticConfig {
+        n: 120,
+        max_extent: 0.02,
+        seed,
+        ..Default::default()
+    };
+    let db = object_cfg.generate();
+    let stream = QueryStreamConfig {
+        batches: 3,
+        batch_size: 5,
+        k: 3,
+        insert_weight: 0.2,
+        delete_weight: 0.1,
+        seed: seed ^ 0xD15C,
+        ..Default::default()
+    }
+    .generate(&object_cfg);
+
+    // the durable engine starts from the same objects, inserted through
+    // the WAL (open starts empty; from_objects and insert assign the
+    // same sequential ids)
+    let mut durable = Engine::open_with_config(&dir, cfg(1024)).expect("open");
+    for (_, obj) in db.iter() {
+        durable.insert(obj.clone());
+    }
+    let mut memory = Engine::with_config(db, cfg(1024));
+
+    let (res_durable, rep_durable) =
+        serve_stream_with_report(&mut durable, &stream, ServeMode::Batched).expect("durable serve");
+    let (res_memory, rep_memory) =
+        serve_stream_with_report(&mut memory, &stream, ServeMode::Batched).expect("memory serve");
+    assert_eq!(res_durable, res_memory, "seed={seed}: serving diverged");
+    assert_eq!(rep_durable, rep_memory, "seed={seed}: reports diverged");
+    assert!(rep_durable.flushed, "shutdown handshake skipped");
+
+    let final_mutations = durable.mutations();
+    drop(durable);
+    let recovered = Engine::open_with_config(&dir, cfg(1024)).expect("reopen");
+    let report = recovered.recovery_report().expect("reopened");
+    assert_eq!(
+        report.replayed, 0,
+        "graceful shutdown must leave nothing to replay: {report:?}"
+    );
+    assert!(report.warnings.is_empty(), "{report:?}");
+    assert_eq!(recovered.mutations(), final_mutations);
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    assert_same_answers(
+        &mut rng,
+        &recovered,
+        &memory,
+        2,
+        &format!("seed={seed} post-serve"),
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn durable_engine_answers_like_in_memory(seed in 0u64..10_000) {
+        check_durable_equals_in_memory(seed);
+    }
+
+    #[test]
+    fn replay_on_open_answers_like_live_engine(seed in 0u64..10_000) {
+        check_replay_equals_live(seed);
+    }
+
+    #[test]
+    fn durable_serving_equals_in_memory_serving(seed in 0u64..10_000) {
+        check_durable_serving(seed);
+    }
+}
+
+/// Deterministic smoke checks on the report plumbing: counts add up and
+/// the in-memory serve handshake still reports `flushed`.
+#[test]
+fn serve_report_counts_mutations() {
+    let object_cfg = SyntheticConfig {
+        n: 80,
+        max_extent: 0.02,
+        ..Default::default()
+    };
+    let db = object_cfg.generate();
+    let stream = QueryStreamConfig {
+        batches: 2,
+        batch_size: 6,
+        insert_weight: 0.3,
+        delete_weight: 0.2,
+        ..Default::default()
+    }
+    .generate(&object_cfg);
+    let expected_inserts: u64 = stream
+        .batches
+        .iter()
+        .flatten()
+        .filter(|e| matches!(e.op, StreamOp::Insert))
+        .count() as u64;
+    let expected_queries: u64 = stream
+        .batches
+        .iter()
+        .flatten()
+        .filter(|e| !e.op.is_mutation())
+        .count() as u64;
+
+    let mut engine = Engine::with_config(db, cfg(1024));
+    let before = engine.mutations();
+    let (results, report) =
+        serve_stream_with_report(&mut engine, &stream, ServeMode::Sequential).expect("serve");
+    assert_eq!(results.len(), stream.batches.len());
+    assert_eq!(report.inserts, expected_inserts);
+    assert_eq!(report.queries, expected_queries);
+    assert!(report.flushed);
+    // deletes against a non-empty database all land
+    assert_eq!(
+        engine.mutations() - before,
+        report.inserts + report.removes,
+        "engine mutation counter must match the report"
+    );
+}
