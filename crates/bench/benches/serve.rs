@@ -19,18 +19,25 @@
 //!   served by a WAL-backed engine (log + fsync before every applied
 //!   mutation) against an in-memory one: the end-to-end durability tax
 //!   (recorded, never gated — fsync latency is hardware-dependent).
+//! * **sharded vs single** — the same mutating batched stream served by
+//!   a 4-shard [`udb_core::ShardedEngine`] (hash-routed mutations,
+//!   queries fanned across per-shard trees and merged under one global
+//!   pruning bound) against the single engine: the routing overhead of
+//!   the sharded serving tier on one host, where no shard parallelism
+//!   can hide it.
 //!
 //! All modes return bit-identical results (property-tested in
 //! `tests/batch_equivalence.rs` / `tests/owned_engine.rs` /
-//! `tests/durability.rs`); the ratios of per-run sample minima are the
-//! `serve_*` pairs `bench_gate --relative` tracks.
+//! `tests/durability.rs` / `tests/sharded_equivalence.rs`); the ratios
+//! of per-run sample minima are the `serve_*` pairs
+//! `bench_gate --relative` tracks.
 //!
 //! `UDB_BENCH_SCALE=ci` switches from the smoke workload to the larger
 //! CI scale (2,000 objects), `paper` to the full 10,000.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use udb_bench::Scale;
-use udb_core::{Engine, IdcaConfig};
+use udb_core::{Engine, IdcaConfig, ShardedEngine};
 use udb_workload::{serve_stream, PdfKind, QueryStreamConfig, ServeMode, SyntheticConfig};
 
 /// The hot-spot stream every serve bench replays: two arrival batches
@@ -185,6 +192,46 @@ fn serve_durable_pair(
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Benches the per-host routing overhead of the sharded serving tier:
+/// the same *mutating* batched stream served by a 4-shard
+/// [`ShardedEngine`] against the single [`Engine`]. Both sides keep the
+/// cross-batch decomposition cache on (the serving default); the
+/// sharded side pays id routing, per-shard candidate streams merged
+/// under one global bound, and the RkNN veto exchange. The ratio is
+/// gated relative (`sharded_vs_single`): both sides share the run's
+/// clock, so the tight band holds even on noisy CI hosts.
+fn serve_sharded_pair(
+    c: &mut Criterion,
+    group: &str,
+    object_cfg: &SyntheticConfig,
+    max_iterations: usize,
+) {
+    let db = object_cfg.generate();
+    let stream = QueryStreamConfig {
+        insert_weight: 0.15,
+        delete_weight: 0.15,
+        ..stream_config()
+    }
+    .generate(object_cfg);
+    let cfg = IdcaConfig {
+        max_iterations,
+        decomp_cache_entries: 1024,
+        ..Default::default()
+    };
+    let mut single = Engine::with_config(db.clone(), cfg.clone());
+    let mut sharded = ShardedEngine::with_config(db, cfg, 4);
+
+    let mut g = c.benchmark_group(group);
+    g.sample_size(10);
+    g.bench_function("single", |bench| {
+        bench.iter(|| black_box(serve_stream(&mut single, &stream, ServeMode::Batched)))
+    });
+    g.bench_function("sharded", |bench| {
+        bench.iter(|| black_box(serve_stream(&mut sharded, &stream, ServeMode::Batched)))
+    });
+    g.finish();
+}
+
 fn bench_serve(c: &mut Criterion) {
     let scale = match std::env::var("UDB_BENCH_SCALE").as_deref() {
         Ok("ci") => Scale::ci(),
@@ -199,6 +246,12 @@ fn bench_serve(c: &mut Criterion) {
     serve_durable_pair(
         c,
         "serve_stream_durable",
+        &uniform_cfg,
+        scale.max_iterations,
+    );
+    serve_sharded_pair(
+        c,
+        "serve_stream_sharded",
         &uniform_cfg,
         scale.max_iterations,
     );

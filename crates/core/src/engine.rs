@@ -43,11 +43,12 @@ use std::path::Path;
 use std::sync::Arc;
 
 use crate::batch::{DecompCache, QueryBatch, QueryView, SharedDecomp, SharedRefineCtx};
-use crate::config::{IdcaConfig, ObjRef, Predicate, RefineGoal};
+use crate::config::{IdcaConfig, ObjRef, Predicate};
 use crate::durable::{rebuild_tree, recover, Durability, DurableError, RecoveryReport};
 use crate::parallel::PoolHandle;
 use crate::queries::ThresholdResult;
-use crate::refiner::{refine_lockstep, refine_top_m, RefineStats, Refiner, ScratchPool};
+use crate::refiner::{RefineStats, Refiner, ScratchPool};
+use crate::router::QueryPlane;
 use crate::wal::{DurableIo, FileIo, WalRecord};
 
 /// The batch-sharing state a query pipeline may run under: the batch's
@@ -62,12 +63,12 @@ pub(crate) type BatchShared<'s> = Option<(&'s SharedRefineCtx, &'s SharedDecomp)
 /// this is purely a cost knob: near the decision boundary small subtrees
 /// overwhelmingly answer `Descend` at every level, so their interior
 /// node tests are wasted work. One leaf level (fan-out 16) plus slack.
-const SUBTREE_SCAN_CUTOFF: usize = 24;
+pub(crate) const SUBTREE_SCAN_CUTOFF: usize = 24;
 
 /// Joins a refiner to a batch's shared state, or leaves it untouched for
 /// plain per-query execution (the only difference between the two
 /// pipeline shapes).
-fn attach<'b>(refiner: Refiner<'b>, shared: BatchShared<'_>) -> Refiner<'b> {
+pub(crate) fn attach<'b>(refiner: Refiner<'b>, shared: BatchShared<'_>) -> Refiner<'b> {
     match shared {
         Some((ctx, q_dec)) => refiner.with_shared_ctx(ctx).with_external_decomp(q_dec),
         None => refiner,
@@ -77,9 +78,10 @@ fn attach<'b>(refiner: Refiner<'b>, shared: BatchShared<'_>) -> Refiner<'b> {
 /// Maintains the `k` smallest MaxDists seen over *certainly existing*
 /// objects (`k_smallest`, kept sorted ascending): inserts `max_d` if it
 /// belongs, and returns the updated pruning radius `d_k` once `k` values
-/// are held. Shared by the per-query candidate stream and the grouped
-/// batch descent so the pruning rule cannot diverge between them.
-fn tighten_dk(k_smallest: &mut Vec<f64>, k: usize, max_d: f64) -> Option<f64> {
+/// are held. Shared by the per-query candidate stream, the grouped
+/// batch descent and the sharded merged stream so the pruning rule
+/// cannot diverge between them.
+pub(crate) fn tighten_dk(k_smallest: &mut Vec<f64>, k: usize, max_d: f64) -> Option<f64> {
     let pos = k_smallest
         .binary_search_by(|d| d.partial_cmp(&max_d).expect("NaN"))
         .unwrap_or_else(|p| p);
@@ -107,16 +109,15 @@ pub(crate) struct EngineRef<'a> {
     pub(crate) stats: &'a Arc<RefineStats>,
 }
 
-/// Per-query execution slot of one batch run (the `fan_each` item).
-struct QueryTask<'a> {
-    query: QueryView<'a>,
-    /// Index-driven candidates from the grouped descent (kNN-style
-    /// queries only; RkNN prefilters per database object instead).
-    candidates: Vec<ObjectId>,
-    out: Vec<ThresholdResult>,
-}
+impl<'a> QueryPlane<'a> for EngineRef<'a> {
+    fn cfg(&self) -> &'a IdcaConfig {
+        self.cfg
+    }
 
-impl<'a> EngineRef<'a> {
+    fn pool(&self) -> &'a PoolHandle {
+        self.pool
+    }
+
     /// Index-accelerated domination-count refiner: the complete-domination
     /// filter of Algorithm 1 applied to whole R-tree subtrees instead of a
     /// linear scan. Sound because both criteria are monotone under MBR
@@ -134,7 +135,7 @@ impl<'a> EngineRef<'a> {
     /// — every node and entry test then evaluates only the subtree-side
     /// terms) and scans small undecided subtrees flat instead of testing
     /// their interior nodes (`SUBTREE_SCAN_CUTOFF`).
-    pub(crate) fn refiner(
+    fn refiner(
         &self,
         target: ObjRef<'a>,
         reference: ObjRef<'a>,
@@ -201,7 +202,7 @@ impl<'a> EngineRef<'a> {
     /// non-zero kNN probability. Only certainly existing objects tighten
     /// the pruning bound `d_k` (an object that may be absent guarantees
     /// no domination), matching [`crate::QueryEngine::knn_candidates`].
-    pub(crate) fn knn_candidates(&self, q: &Rect, k: usize) -> Vec<ObjectId> {
+    fn knn_candidates(&self, q: &Rect, k: usize) -> Vec<ObjectId> {
         assert!(k >= 1);
         let norm = self.cfg.norm;
         let mut seen: Vec<(ObjectId, f64)> = Vec::new(); // (id, max_dist)
@@ -242,7 +243,7 @@ impl<'a> EngineRef<'a> {
     ///
     /// # Panics
     /// Panics if any request has `k == 0`.
-    pub(crate) fn knn_candidates_batch(&self, queries: &[(Rect, usize)]) -> Vec<Vec<ObjectId>> {
+    fn knn_candidates_batch(&self, queries: &[(Rect, usize)]) -> Vec<Vec<ObjectId>> {
         struct QState {
             /// `(id, MinDist)` of every object visited within the
             /// query's (then-current) radius; filtered by the final
@@ -295,86 +296,11 @@ impl<'a> EngineRef<'a> {
             .collect()
     }
 
-    /// The kNN-threshold refinement pipeline: index-driven candidates,
-    /// subtree-filtered refiners, and lock-step early-exit refinement
-    /// that retires candidates mid-loop as soon as their
-    /// `P(DomCount < k) ≷ τ` outcome is decided. Shared verbatim by
-    /// every entry point so the surfaces cannot drift.
-    pub(crate) fn knn_threshold_pipeline(
-        &self,
-        q: &'a UncertainObject,
-        k: usize,
-        tau: f64,
-        candidates: Vec<ObjectId>,
-        shared: BatchShared<'_>,
-    ) -> Vec<ThresholdResult> {
-        let goal = RefineGoal::threshold(k, tau);
-        let refiners = candidates
-            .into_iter()
-            .map(|id| {
-                (
-                    id,
-                    attach(
-                        self.refiner(ObjRef::Db(id), ObjRef::External(q), goal.predicate()),
-                        shared,
-                    ),
-                )
-            })
-            .collect();
-        refine_lockstep(refiners, goal)
-    }
-
-    /// The RkNN-threshold pipeline (Corollary 5): every database object
-    /// `B` is prefiltered with an index probe — counting objects that
-    /// certainly dominate `q` w.r.t. `B` without building a refiner —
-    /// and the survivors refine in lock-step with mid-loop retirement.
-    pub(crate) fn rknn_threshold_pipeline(
-        &self,
-        q: &'a UncertainObject,
-        k: usize,
-        tau: f64,
-        shared: BatchShared<'_>,
-    ) -> Vec<ThresholdResult> {
-        let goal = RefineGoal::threshold(k, tau);
-        let mut refiners = Vec::new();
-        for (b_id, b_obj) in self.db.iter() {
-            if self.certain_dominators_reach(q, b_obj, b_id, k) {
-                continue; // P(DomCount < k) is certainly 0
-            }
-            refiners.push((
-                b_id,
-                attach(
-                    self.refiner(ObjRef::External(q), ObjRef::Db(b_id), goal.predicate()),
-                    shared,
-                ),
-            ));
+    /// Ascending id order: the database's slot order.
+    fn for_each_object(&self, mut f: impl FnMut(ObjectId, &'a UncertainObject)) {
+        for (id, obj) in self.db.iter() {
+            f(id, obj);
         }
-        refine_lockstep(refiners, goal)
-    }
-
-    /// The top-`m` pipeline: candidates certainly outside the top `m`
-    /// retire mid-loop instead of refining to convergence.
-    pub(crate) fn top_probable_nn_pipeline(
-        &self,
-        q: &'a UncertainObject,
-        m: usize,
-        candidates: Vec<ObjectId>,
-        shared: BatchShared<'_>,
-    ) -> Vec<ThresholdResult> {
-        let goal = RefineGoal::count_below(1);
-        let refiners = candidates
-            .into_iter()
-            .map(|id| {
-                (
-                    id,
-                    attach(
-                        self.refiner(ObjRef::Db(id), ObjRef::External(q), goal.predicate()),
-                        shared,
-                    ),
-                )
-            })
-            .collect();
-        refine_top_m(refiners, m)
     }
 
     /// Index probe of the RkNN prefilter: `true` once `k` objects (other
@@ -416,92 +342,6 @@ impl<'a> EngineRef<'a> {
                 count < k
             });
         count >= k
-    }
-
-    /// Executes a set of query views through one shared pass: grouped
-    /// candidate generation, the context's decomposition cache, recycled
-    /// refiner scratch, and query-level fan-out over
-    /// [`crate::IdcaConfig::batch_threads`] worker-pool lanes. Returns
-    /// one result vector per query, aligned with input order; each
-    /// vector is exactly what the corresponding per-query entry point
-    /// returns — bit-identical bounds, iteration counts and ordering, at
-    /// every lane count and cache capacity.
-    pub(crate) fn run_views(
-        &self,
-        views: &[QueryView<'a>],
-        ctx: &SharedRefineCtx,
-    ) -> Vec<Vec<ThresholdResult>> {
-        // one grouped descent for every kNN-style candidate set
-        let requests: Vec<(Rect, usize)> = views
-            .iter()
-            .filter_map(|view| match *view {
-                QueryView::Knn { q, k, .. } => Some((q.mbr().clone(), k)),
-                QueryView::TopM { q, .. } => Some((q.mbr().clone(), 1)),
-                QueryView::Rknn { .. } => None,
-            })
-            .collect();
-        // the grouped descent only pays off when there is sharing to
-        // group: a batch-of-one (every per-query entry point) takes the
-        // plain best-first stream instead — same candidate set (property
-        // -tested), sorted to match the grouped path's deterministic
-        // order, without the grouped walker's per-node bookkeeping
-        let candidate_sets: Vec<Vec<ObjectId>> = if requests.len() <= 1 {
-            requests
-                .iter()
-                .map(|(q, k)| {
-                    let mut set = self.knn_candidates(q, *k);
-                    set.sort_unstable();
-                    set
-                })
-                .collect()
-        } else {
-            self.knn_candidates_batch(&requests)
-        };
-        let mut candidate_sets = candidate_sets.into_iter();
-        let mut tasks: Vec<QueryTask<'a>> = views
-            .iter()
-            .map(|&query| QueryTask {
-                query,
-                candidates: match query {
-                    QueryView::Rknn { .. } => Vec::new(),
-                    _ => candidate_sets
-                        .next()
-                        .expect("one candidate set per request"),
-                },
-                out: Vec::new(),
-            })
-            .collect();
-        let lanes = self.cfg.batch_threads;
-        self.pool.clone().fan_each(lanes, &mut tasks, |task| {
-            task.out = self.run_one(task.query, std::mem::take(&mut task.candidates), ctx);
-        });
-        tasks.into_iter().map(|t| t.out).collect()
-    }
-
-    /// Executes one query against the shared context: the *same*
-    /// pipeline function the per-query entry points run, joined to the
-    /// context's decomposition cache, scratch pool and the query
-    /// object's shared decomposition.
-    fn run_one(
-        &self,
-        query: QueryView<'a>,
-        candidates: Vec<ObjectId>,
-        ctx: &SharedRefineCtx,
-    ) -> Vec<ThresholdResult> {
-        match query {
-            QueryView::Knn { q, k, tau } => {
-                let q_dec = ctx.external_decomp(q.pdf());
-                self.knn_threshold_pipeline(q, k, tau, candidates, Some((ctx, &q_dec)))
-            }
-            QueryView::Rknn { q, k, tau } => {
-                let q_dec = ctx.external_decomp(q.pdf());
-                self.rknn_threshold_pipeline(q, k, tau, Some((ctx, &q_dec)))
-            }
-            QueryView::TopM { q, m } => {
-                let q_dec = ctx.external_decomp(q.pdf());
-                self.top_probable_nn_pipeline(q, m, candidates, Some((ctx, &q_dec)))
-            }
-        }
     }
 }
 

@@ -30,6 +30,8 @@ pub mod engine;
 pub mod parallel;
 pub mod queries;
 pub mod refiner;
+pub(crate) mod router;
+pub mod shard;
 pub mod wal;
 
 pub use batch::{DecompCache, QueryBatch, QuerySpec, SharedDecomp, SharedRefineCtx};
@@ -39,8 +41,9 @@ pub use engine::Engine;
 pub use parallel::{par_knn_threshold, PoolHandle, WorkerPool};
 pub use queries::{ExpectedRankEntry, QueryEngine, RankDistribution, ThresholdResult};
 pub use refiner::{
-    refine_lockstep, refine_top_m, DomCountSnapshot, RefineStats, Refiner, ScratchPool,
+    refine_lockstep, refine_top_m, DbView, DomCountSnapshot, RefineStats, Refiner, ScratchPool,
 };
+pub use shard::{env_shards, ShardedEngine};
 pub use wal::{
     read_wal_bytes, CrashPoint, DurableIo, FaultIo, FaultMode, FileIo, WalDefect, WalRecord,
 };

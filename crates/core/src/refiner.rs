@@ -418,6 +418,50 @@ impl DomCountSnapshot {
     }
 }
 
+/// The object storage a [`Refiner`] resolves ids against: one database,
+/// or the databases of N engine shards under the order-preserving
+/// interleaved global-id scheme of [`crate::ShardedEngine`]
+/// (`global = local · n + shard`, so `shard = global mod n` and
+/// `local = global div n`). Every id-to-object read of refinement goes
+/// through [`DbView::get`], which makes the refiner storage-layout
+/// agnostic: the same (global) influence ids resolve to the same
+/// objects — and UGF factors multiply in the same sorted-id order — no
+/// matter how the objects are physically partitioned, so sharded
+/// refinement is bit-identical to single-engine refinement by
+/// construction.
+#[derive(Clone, Copy)]
+pub enum DbView<'a> {
+    /// One database; ids are its own (the non-sharded entry points).
+    Single(&'a Database),
+    /// Sharded storage: global id `g` lives in `dbs[g mod n]` at local
+    /// slot `g div n`, where `n = dbs.len()`.
+    Sharded(&'a [&'a Database]),
+}
+
+impl<'a> DbView<'a> {
+    /// The live object behind a (global) id.
+    ///
+    /// # Panics
+    /// Panics if the id is dead or out of range.
+    pub fn get(&self, id: ObjectId) -> &'a UncertainObject {
+        match *self {
+            DbView::Single(db) => db.get(id),
+            DbView::Sharded(dbs) => {
+                let n = dbs.len() as u32;
+                dbs[(id.0 % n) as usize].get(ObjectId(id.0 / n))
+            }
+        }
+    }
+
+    /// Resolves an [`ObjRef`] against this view.
+    pub fn resolve(&self, r: ObjRef<'a>) -> &'a UncertainObject {
+        match r {
+            ObjRef::Db(id) => self.get(id),
+            ObjRef::External(obj) => obj,
+        }
+    }
+}
+
 /// Iteratively refines the domination count of a target object w.r.t. a
 /// reference object over a database (Algorithm 1).
 ///
@@ -444,7 +488,7 @@ impl DomCountSnapshot {
 /// assert_eq!(snapshot.bounds.lower(1), 1.0);
 /// ```
 pub struct Refiner<'a> {
-    db: &'a Database,
+    db: DbView<'a>,
     cfg: IdcaConfig,
     predicate: Predicate,
     target: &'a UncertainObject,
@@ -701,7 +745,7 @@ impl<'a> Refiner<'a> {
         let r_parts = r_dec.partitions();
 
         Refiner {
-            db,
+            db: DbView::Single(db),
             cfg,
             predicate,
             target: target_obj,
@@ -743,8 +787,33 @@ impl<'a> Refiner<'a> {
         complete_count: usize,
         influence_ids: Vec<ObjectId>,
     ) -> Self {
-        let target_obj = target.resolve(db);
-        let reference_obj = reference.resolve(db);
+        Refiner::with_filter_result_view(
+            DbView::Single(db),
+            target,
+            reference,
+            cfg,
+            predicate,
+            complete_count,
+            influence_ids,
+        )
+    }
+
+    /// [`Refiner::with_filter_result`] over an arbitrary [`DbView`] —
+    /// the sharded router's constructor: influence ids are *global* ids
+    /// resolved through the view, so one refiner refines against
+    /// influence objects scattered across shard databases exactly as if
+    /// they lived in one.
+    pub fn with_filter_result_view(
+        db: DbView<'a>,
+        target: ObjRef<'a>,
+        reference: ObjRef<'a>,
+        cfg: IdcaConfig,
+        predicate: Predicate,
+        complete_count: usize,
+        influence_ids: Vec<ObjectId>,
+    ) -> Self {
+        let target_obj = db.resolve(target);
+        let reference_obj = db.resolve(reference);
         let influence = influence_ids
             .into_iter()
             .map(|id| Influence::new(id, db.get(id), &cfg))
@@ -891,8 +960,8 @@ impl<'a> Refiner<'a> {
         self
     }
 
-    /// The database this refiner runs against.
-    pub fn db(&self) -> &Database {
+    /// The object storage this refiner resolves influence ids against.
+    pub fn db(&self) -> DbView<'a> {
         self.db
     }
 

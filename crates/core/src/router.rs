@@ -1,0 +1,516 @@
+//! The plane-generic query drivers and the sharded query plane.
+//!
+//! [`QueryPlane`] is the seam between *what a query does* and *where the
+//! objects live*. The provided methods are the complete query pipeline —
+//! candidate generation dispatch, the kNN/RkNN/top-`m` refinement
+//! drivers, batch fan-out over worker-pool lanes — moved verbatim from
+//! the single-engine `EngineRef`, which now implements only the storage
+//! primitives (classify, candidate streams, prefilter probes) the
+//! drivers are written against. [`ShardRef`] implements the same
+//! primitives over N shard databases/indexes, so the sharded router and
+//! the plain engine execute literally the same driver code: their
+//! equality is structural, not a convention kept in sync by hand.
+//!
+//! # Why sharded results are bit-identical
+//!
+//! Refinement (`crate::refiner`) multiplies UGF factors in sorted-id
+//! order, so result bits depend on *which ids* reach refinement and on
+//! the objects behind them — never on index shape or candidate
+//! discovery order. The sharded primitives preserve exactly those two
+//! inputs:
+//!
+//! * **Ids are order-isomorphic.** [`crate::ShardedEngine`] interleaves
+//!   global ids (`global = local · n + shard`, round-robin inserts), so
+//!   sorted-global-id order equals the single engine's sorted-id order
+//!   for the same arrival sequence.
+//! * **Classify outcomes are tree-shape-independent.** The subtree
+//!   filter answers per-object questions (`dominates` /
+//!   `never_dominates` on the object MBR); running it per shard and
+//!   summing the certain-dominator counts / merging the influence ids
+//!   yields the single tree's outcome exactly.
+//! * **Candidate sets are visit-order-independent.** The kNN pruning
+//!   radius converges to the k-th smallest MaxDist over certainly
+//!   existing objects — a property of the object set, not of the
+//!   best-first stream that discovers it — so merging per-shard
+//!   streams under one global `tighten_dk` bound reproduces the exact
+//!   candidate set (`tests/sharded_equivalence.rs` proves all of this
+//!   bit-for-bit at 1/2/4 shards).
+//! * **The RkNN prefilter exchange only vetoes.** Each shard reports
+//!   its capped certain-dominator count inside the probe radius; the
+//!   router sums them and drops the candidate once the sum reaches
+//!   `k`. A shard can veto a candidate, never add one, and
+//!   `Σ_s min(count_s, k) ≥ k ⇔ Σ_s count_s ≥ k`, so the sharded
+//!   prefilter skips exactly the objects the single-engine probe skips.
+
+use udb_domination::PairClassifier;
+use udb_geometry::Rect;
+use udb_index::{NodeDecision, RTree};
+use udb_object::{Database, ObjectId, UncertainObject};
+
+use std::sync::Arc;
+
+use crate::batch::{QueryView, SharedRefineCtx};
+use crate::config::{IdcaConfig, ObjRef, Predicate, RefineGoal};
+use crate::engine::{attach, tighten_dk, BatchShared, SUBTREE_SCAN_CUTOFF};
+use crate::parallel::PoolHandle;
+use crate::queries::ThresholdResult;
+use crate::refiner::{refine_lockstep, refine_top_m, DbView, RefineStats, Refiner, ScratchPool};
+
+/// Per-query execution slot of one batch run (the `fan_each` item).
+struct QueryTask<'a> {
+    query: QueryView<'a>,
+    /// Index-driven candidates from the grouped descent (kNN-style
+    /// queries only; RkNN prefilters per database object instead).
+    candidates: Vec<ObjectId>,
+    out: Vec<ThresholdResult>,
+}
+
+/// The storage primitives a query pipeline runs against, plus the
+/// pipeline itself as provided methods (see the module docs). `Copy`
+/// because tasks fan out over worker-pool lanes by value; `Sync`
+/// because those lanes borrow the plane concurrently.
+pub(crate) trait QueryPlane<'a>: Copy + Sync {
+    /// The engine configuration.
+    fn cfg(&self) -> &'a IdcaConfig;
+
+    /// The shared worker-pool handle for query-level fan-out.
+    fn pool(&self) -> &'a PoolHandle;
+
+    /// Index-accelerated domination-count refiner: the
+    /// complete-domination filter of Algorithm 1 applied through the
+    /// plane's index(es), yielding a refiner over the plane's storage.
+    fn refiner(
+        &self,
+        target: ObjRef<'a>,
+        reference: ObjRef<'a>,
+        predicate: Predicate,
+    ) -> Refiner<'a>;
+
+    /// Index-driven spatial kNN candidate set: all objects not certainly
+    /// dominated by at least `k` others w.r.t. `q` under the
+    /// MinDist/MaxDist filter. Unsorted (discovery order).
+    fn knn_candidates(&self, q: &Rect, k: usize) -> Vec<ObjectId>;
+
+    /// Candidate sets for many `(query MBR, k)` requests; each set
+    /// equals [`QueryPlane::knn_candidates`] for that request, sorted
+    /// by id.
+    fn knn_candidates_batch(&self, queries: &[(Rect, usize)]) -> Vec<Vec<ObjectId>>;
+
+    /// Visits every live object in ascending id order (the RkNN
+    /// pipeline's candidate enumeration).
+    fn for_each_object(&self, f: impl FnMut(ObjectId, &'a UncertainObject));
+
+    /// Index probe of the RkNN prefilter: `true` once `k` objects
+    /// (other than `b_id`) certainly dominate `q` w.r.t. reference
+    /// `b_obj`.
+    fn certain_dominators_reach(
+        &self,
+        q: &UncertainObject,
+        b_obj: &UncertainObject,
+        b_id: ObjectId,
+        k: usize,
+    ) -> bool;
+
+    // ------------------------------------------------------------------
+    // Provided drivers — the one query pipeline every entry point runs.
+    // ------------------------------------------------------------------
+
+    /// The kNN-threshold refinement pipeline: index-driven candidates,
+    /// subtree-filtered refiners, and lock-step early-exit refinement
+    /// that retires candidates mid-loop as soon as their
+    /// `P(DomCount < k) ≷ τ` outcome is decided. Shared verbatim by
+    /// every entry point so the surfaces cannot drift.
+    fn knn_threshold_pipeline(
+        &self,
+        q: &'a UncertainObject,
+        k: usize,
+        tau: f64,
+        candidates: Vec<ObjectId>,
+        shared: BatchShared<'_>,
+    ) -> Vec<ThresholdResult> {
+        let goal = RefineGoal::threshold(k, tau);
+        let refiners = candidates
+            .into_iter()
+            .map(|id| {
+                (
+                    id,
+                    attach(
+                        self.refiner(ObjRef::Db(id), ObjRef::External(q), goal.predicate()),
+                        shared,
+                    ),
+                )
+            })
+            .collect();
+        refine_lockstep(refiners, goal)
+    }
+
+    /// The RkNN-threshold pipeline (Corollary 5): every database object
+    /// `B` is prefiltered with an index probe — counting objects that
+    /// certainly dominate `q` w.r.t. `B` without building a refiner —
+    /// and the survivors refine in lock-step with mid-loop retirement.
+    fn rknn_threshold_pipeline(
+        &self,
+        q: &'a UncertainObject,
+        k: usize,
+        tau: f64,
+        shared: BatchShared<'_>,
+    ) -> Vec<ThresholdResult> {
+        let goal = RefineGoal::threshold(k, tau);
+        let mut refiners = Vec::new();
+        self.for_each_object(|b_id, b_obj| {
+            if self.certain_dominators_reach(q, b_obj, b_id, k) {
+                return; // P(DomCount < k) is certainly 0
+            }
+            refiners.push((
+                b_id,
+                attach(
+                    self.refiner(ObjRef::External(q), ObjRef::Db(b_id), goal.predicate()),
+                    shared,
+                ),
+            ));
+        });
+        refine_lockstep(refiners, goal)
+    }
+
+    /// The top-`m` pipeline: candidates certainly outside the top `m`
+    /// retire mid-loop instead of refining to convergence.
+    fn top_probable_nn_pipeline(
+        &self,
+        q: &'a UncertainObject,
+        m: usize,
+        candidates: Vec<ObjectId>,
+        shared: BatchShared<'_>,
+    ) -> Vec<ThresholdResult> {
+        let goal = RefineGoal::count_below(1);
+        let refiners = candidates
+            .into_iter()
+            .map(|id| {
+                (
+                    id,
+                    attach(
+                        self.refiner(ObjRef::Db(id), ObjRef::External(q), goal.predicate()),
+                        shared,
+                    ),
+                )
+            })
+            .collect();
+        refine_top_m(refiners, m)
+    }
+
+    /// Executes a set of query views through one shared pass: grouped
+    /// candidate generation, the context's decomposition cache, recycled
+    /// refiner scratch, and query-level fan-out over
+    /// [`crate::IdcaConfig::batch_threads`] worker-pool lanes. Returns
+    /// one result vector per query, aligned with input order; each
+    /// vector is exactly what the corresponding per-query entry point
+    /// returns — bit-identical bounds, iteration counts and ordering, at
+    /// every lane count and cache capacity.
+    fn run_views(
+        &self,
+        views: &[QueryView<'a>],
+        ctx: &SharedRefineCtx,
+    ) -> Vec<Vec<ThresholdResult>> {
+        // one grouped descent for every kNN-style candidate set
+        let requests: Vec<(Rect, usize)> = views
+            .iter()
+            .filter_map(|view| match *view {
+                QueryView::Knn { q, k, .. } => Some((q.mbr().clone(), k)),
+                QueryView::TopM { q, .. } => Some((q.mbr().clone(), 1)),
+                QueryView::Rknn { .. } => None,
+            })
+            .collect();
+        // the grouped descent only pays off when there is sharing to
+        // group: a batch-of-one (every per-query entry point) takes the
+        // plain best-first stream instead — same candidate set (property
+        // -tested), sorted to match the grouped path's deterministic
+        // order, without the grouped walker's per-node bookkeeping
+        let candidate_sets: Vec<Vec<ObjectId>> = if requests.len() <= 1 {
+            requests
+                .iter()
+                .map(|(q, k)| {
+                    let mut set = self.knn_candidates(q, *k);
+                    set.sort_unstable();
+                    set
+                })
+                .collect()
+        } else {
+            self.knn_candidates_batch(&requests)
+        };
+        let mut candidate_sets = candidate_sets.into_iter();
+        let mut tasks: Vec<QueryTask<'a>> = views
+            .iter()
+            .map(|&query| QueryTask {
+                query,
+                candidates: match query {
+                    QueryView::Rknn { .. } => Vec::new(),
+                    _ => candidate_sets
+                        .next()
+                        .expect("one candidate set per request"),
+                },
+                out: Vec::new(),
+            })
+            .collect();
+        let lanes = self.cfg().batch_threads;
+        self.pool().clone().fan_each(lanes, &mut tasks, |task| {
+            task.out = self.run_one(task.query, std::mem::take(&mut task.candidates), ctx);
+        });
+        tasks.into_iter().map(|t| t.out).collect()
+    }
+
+    /// Executes one query against the shared context: the *same*
+    /// pipeline function the per-query entry points run, joined to the
+    /// context's decomposition cache, scratch pool and the query
+    /// object's shared decomposition.
+    fn run_one(
+        &self,
+        query: QueryView<'a>,
+        candidates: Vec<ObjectId>,
+        ctx: &SharedRefineCtx,
+    ) -> Vec<ThresholdResult> {
+        match query {
+            QueryView::Knn { q, k, tau } => {
+                let q_dec = ctx.external_decomp(q.pdf());
+                self.knn_threshold_pipeline(q, k, tau, candidates, Some((ctx, &q_dec)))
+            }
+            QueryView::Rknn { q, k, tau } => {
+                let q_dec = ctx.external_decomp(q.pdf());
+                self.rknn_threshold_pipeline(q, k, tau, Some((ctx, &q_dec)))
+            }
+            QueryView::TopM { q, m } => {
+                let q_dec = ctx.external_decomp(q.pdf());
+                self.top_probable_nn_pipeline(q, m, candidates, Some((ctx, &q_dec)))
+            }
+        }
+    }
+}
+
+/// The borrowed parts the sharded query pipeline runs against: the
+/// shard databases and indexes (position = shard tag) plus the
+/// *router-owned* config, pool, scratch and stats — one refinement
+/// plane spanning all shards, assembled per call by
+/// [`crate::ShardedEngine`].
+#[derive(Clone, Copy)]
+pub(crate) struct ShardRef<'a> {
+    pub(crate) dbs: &'a [&'a Database],
+    pub(crate) trees: &'a [&'a RTree<ObjectId>],
+    pub(crate) cfg: &'a IdcaConfig,
+    pub(crate) pool: &'a PoolHandle,
+    pub(crate) scratch: &'a ScratchPool,
+    pub(crate) stats: &'a Arc<RefineStats>,
+}
+
+impl<'a> ShardRef<'a> {
+    /// Shard count (≥ 2 — a one-shard engine takes the plain path).
+    fn n(&self) -> u32 {
+        self.dbs.len() as u32
+    }
+
+    /// Global id of shard `s`'s local id (`global = local · n + s`).
+    fn global(&self, s: usize, local: ObjectId) -> ObjectId {
+        ObjectId(local.0 * self.n() + s as u32)
+    }
+}
+
+impl<'a> QueryPlane<'a> for ShardRef<'a> {
+    fn cfg(&self) -> &'a IdcaConfig {
+        self.cfg
+    }
+
+    fn pool(&self) -> &'a PoolHandle {
+        self.pool
+    }
+
+    /// The merged complete-domination filter: each shard's index is
+    /// classified independently (per-object verdicts are index-shape
+    /// independent), certain-dominator counts sum, and influence ids
+    /// map to global ids and merge sorted — exactly the single index's
+    /// filter outcome over the union.
+    fn refiner(
+        &self,
+        target: ObjRef<'a>,
+        reference: ObjRef<'a>,
+        predicate: Predicate,
+    ) -> Refiner<'a> {
+        let cfg = self.cfg;
+        let view = DbView::Sharded(self.dbs);
+        let target_obj = view.resolve(target);
+        let reference_obj = view.resolve(reference);
+        let excluded = [target.id(), reference.id()];
+
+        let pc = PairClassifier::new(
+            target_obj.mbr(),
+            reference_obj.mbr(),
+            cfg.criterion,
+            cfg.norm,
+        );
+        let mut complete = 0usize;
+        let mut influence: Vec<ObjectId> = Vec::new();
+        for (s, tree) in self.trees.iter().enumerate() {
+            let db = self.dbs[s];
+            self.scratch.with_classify(|scratch| {
+                tree.classify_entries_with(scratch, SUBTREE_SCAN_CUTOFF, |mbr| {
+                    match pc.classify(mbr).decision {
+                        Some(false) => NodeDecision::DropAll,
+                        Some(true) => NodeDecision::TakeAll,
+                        None => NodeDecision::Descend,
+                    }
+                });
+                for &local in &scratch.taken {
+                    let gid = self.global(s, local);
+                    if excluded.contains(&Some(gid)) {
+                        continue;
+                    }
+                    if db.get(local).existence() >= 1.0 {
+                        complete += 1;
+                    } else {
+                        influence.push(gid);
+                    }
+                }
+                influence.extend(
+                    scratch
+                        .undecided
+                        .iter()
+                        .map(|&local| self.global(s, local))
+                        .filter(|gid| !excluded.contains(&Some(*gid))),
+                );
+            });
+        }
+        influence.sort_unstable();
+        Refiner::with_filter_result_view(
+            view,
+            target,
+            reference,
+            cfg.clone(),
+            predicate,
+            complete,
+            influence,
+        )
+        .with_pool(self.pool.clone())
+        .with_stats(Arc::clone(self.stats))
+    }
+
+    /// K-way merge of the per-shard best-first streams under **one**
+    /// global pruning bound: the head with the smallest MinDist is
+    /// consumed next (ties break to the lowest shard — candidate
+    /// membership is visit-order independent, see the module docs), and
+    /// every certainly existing object tightens the same `d_k` the
+    /// single-engine stream maintains. The merged stream stops when the
+    /// smallest head exceeds `d_k`, so far shards stop contributing as
+    /// soon as a near shard has pinned the radius.
+    fn knn_candidates(&self, q: &Rect, k: usize) -> Vec<ObjectId> {
+        assert!(k >= 1);
+        let norm = self.cfg.norm;
+        let mut streams: Vec<_> = self
+            .trees
+            .iter()
+            .map(|tree| tree.knn_iter(q, norm).peekable())
+            .collect();
+        let mut seen: Vec<(ObjectId, f64)> = Vec::new(); // (gid, max_dist)
+        let mut kth_max = f64::INFINITY;
+        let mut k_smallest: Vec<f64> = Vec::with_capacity(k + 1);
+        loop {
+            let mut best: Option<(usize, f64)> = None;
+            for (s, stream) in streams.iter_mut().enumerate() {
+                if let Some(head) = stream.peek() {
+                    if best.is_none_or(|(_, d)| head.dist < d) {
+                        best = Some((s, head.dist));
+                    }
+                }
+            }
+            let Some((s, dist)) = best else {
+                break; // every shard stream is exhausted
+            };
+            if dist > kth_max {
+                break; // every further object has MinDist > d_k
+            }
+            let neighbor = streams[s].next().expect("peeked head");
+            let gid = self.global(s, neighbor.payload);
+            let obj = self.dbs[s].get(neighbor.payload);
+            seen.push((gid, neighbor.dist));
+            if obj.existence() < 1.0 {
+                continue; // cannot contribute to d_k
+            }
+            let max_d = obj.mbr().max_dist_rect(q, norm);
+            if let Some(d_k) = tighten_dk(&mut k_smallest, k, max_d) {
+                kth_max = d_k;
+            }
+        }
+        seen.into_iter()
+            .filter(|(_, min_d)| *min_d <= kth_max)
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Per-request merged streams (no cross-shard grouped descent yet
+    /// — grouped and per-query candidate sets are equal by the property
+    /// the single engine tests, so this is a cost choice, not a
+    /// semantic one), sorted by id like the grouped path.
+    fn knn_candidates_batch(&self, queries: &[(Rect, usize)]) -> Vec<Vec<ObjectId>> {
+        queries
+            .iter()
+            .map(|(q, k)| {
+                let mut set = self.knn_candidates(q, *k);
+                set.sort_unstable();
+                set
+            })
+            .collect()
+    }
+
+    /// Ascending *global* id order — which is ascending arrival order,
+    /// matching the single engine's ascending-id scan of the union.
+    fn for_each_object(&self, mut f: impl FnMut(ObjectId, &'a UncertainObject)) {
+        let mut ids: Vec<ObjectId> = Vec::new();
+        for (s, db) in self.dbs.iter().enumerate() {
+            ids.extend(db.ids().map(|local| self.global(s, local)));
+        }
+        ids.sort_unstable();
+        let n = self.n();
+        for gid in ids {
+            let obj = self.dbs[(gid.0 % n) as usize].get(ObjectId(gid.0 / n));
+            f(gid, obj);
+        }
+    }
+
+    /// The cross-shard veto exchange: each shard reports its
+    /// certain-dominator count inside the probe radius (capped at `k` —
+    /// its probe stops early like the single-engine one), the router
+    /// sums the reports and vetoes the candidate once the global count
+    /// reaches `k`. Capping is lossless for the veto decision:
+    /// `Σ min(count_s, k) ≥ k ⇔ Σ count_s ≥ k`.
+    fn certain_dominators_reach(
+        &self,
+        q: &UncertainObject,
+        b_obj: &UncertainObject,
+        b_id: ObjectId,
+        k: usize,
+    ) -> bool {
+        let cfg = self.cfg;
+        let radius = q.mbr().min_dist_rect(b_obj.mbr(), cfg.norm);
+        if radius <= 0.0 {
+            // overlapping MBRs: in some world q is at distance 0 from B,
+            // which no object can strictly beat — no shard is probed
+            return false;
+        }
+        let mut count = 0usize;
+        for (s, tree) in self.trees.iter().enumerate() {
+            if count >= k {
+                break; // the summed reports already veto
+            }
+            let db = self.dbs[s];
+            tree.for_each_within_distance(b_obj.mbr(), radius, cfg.norm, &mut |&local| {
+                let a = db.get(local);
+                // only certainly existing objects are certain dominators
+                if self.global(s, local) != b_id
+                    && a.existence() >= 1.0
+                    && cfg
+                        .criterion
+                        .dominates(a.mbr(), q.mbr(), b_obj.mbr(), cfg.norm)
+                {
+                    count += 1;
+                }
+                count < k
+            });
+        }
+        count >= k
+    }
+}

@@ -142,6 +142,16 @@ impl Database {
         self.base
     }
 
+    /// The id the next [`Database::insert`] will assign — equivalently,
+    /// how many objects were ever inserted (ids are never reused, so the
+    /// insertion count survives removals and compaction).
+    pub fn next_id(&self) -> u32 {
+        (self.base as usize)
+            .checked_add(self.objects.len())
+            .and_then(|n| u32::try_from(n).ok())
+            .expect("database too large")
+    }
+
     /// Removes an object in place, returning it. The slot becomes a
     /// tombstone: the id is invalid from here on and never reused.
     ///

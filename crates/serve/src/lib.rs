@@ -1,0 +1,487 @@
+//! The serving front: a line protocol over stdin or TCP, executed
+//! against a [`ShardedEngine`] (see `docs/SERVING.md`).
+//!
+//! # Line protocol
+//!
+//! One operation per line, one reply line per operation, in order.
+//! Blank lines and `#` comments are ignored (no reply). Objects travel
+//! as the JSON encoding of [`UncertainObject`]; ids are *global* ids
+//! (see [`udb_core::shard`]).
+//!
+//! | request | reply |
+//! |---|---|
+//! | `INSERT <json>` | `OK <gid>` |
+//! | `DELETE <gid>` | `OK <gid>` (`ERR` when dead) |
+//! | `DELNEAR <json>` | `OK <gid>` of the removed nearest object, `OK none` when empty |
+//! | `UPDATE <gid> <json>` | `OK <gid>` (`ERR` when dead) |
+//! | `KNN <k> <tau> <json>` | `RES id:lo:hi:iters;...` (`RES -` when empty) |
+//! | `RKNN <k> <tau> <json>` | likewise |
+//! | `TOPM <m> <json>` | likewise |
+//! | `FLUSH` | `OK flushed` (WAL fsync + checkpoint) |
+//! | `STATS` | `OK objects=<n> mutations=<m>` |
+//! | `QUIT` | `OK bye`, then the stream closes |
+//!
+//! Anything unparsable replies `ERR <reason>` without touching the
+//! engine. Floats print with Rust's shortest-round-trip `Display`, so
+//! two engines returning bit-identical results produce byte-identical
+//! reply streams — the serve-smoke CI job diffs a sharded server's
+//! output against the one-shard oracle's, byte for byte.
+//!
+//! # Batching
+//!
+//! [`Server::execute_batch`] preserves line order exactly: mutations
+//! (and `FLUSH`/`STATS`/`QUIT`) apply immediately, and each maximal run
+//! of consecutive query lines between them executes as one
+//! [`QueryBatch`] (capped at the server's `batch_cap`), sharing
+//! candidate descent, decompositions and worker-pool fan-out across the
+//! run. Batched execution is bit-identical to one-at-a-time execution
+//! (the batch-equivalence suite), so batching never changes replies —
+//! only throughput.
+
+use udb_core::{IdcaConfig, QueryBatch, ShardedEngine, ThresholdResult};
+use udb_object::{ObjectId, UncertainObject};
+use udb_workload::{QueryStreamConfig, StreamOp, SyntheticConfig};
+
+/// One parsed protocol operation.
+#[derive(Debug, Clone)]
+pub enum Op {
+    /// `INSERT <json>`: insert an arrival, reply its fresh global id.
+    Insert(UncertainObject),
+    /// `DELETE <gid>`: remove a live object by global id.
+    Delete(ObjectId),
+    /// `DELNEAR <json>`: remove the live object nearest the probe.
+    DeleteNearest(UncertainObject),
+    /// `UPDATE <gid> <json>`: replace a live object in place.
+    Update(ObjectId, UncertainObject),
+    /// `KNN <k> <tau> <json>`: probabilistic threshold kNN.
+    Knn {
+        /// The query object.
+        q: UncertainObject,
+        /// The `k` of the query.
+        k: usize,
+        /// The probability threshold `τ`.
+        tau: f64,
+    },
+    /// `RKNN <k> <tau> <json>`: probabilistic threshold reverse kNN.
+    Rknn {
+        /// The query object.
+        q: UncertainObject,
+        /// The `k` of the query.
+        k: usize,
+        /// The probability threshold `τ`.
+        tau: f64,
+    },
+    /// `TOPM <m> <json>`: top-`m` probable nearest neighbours.
+    TopM {
+        /// The query object.
+        q: UncertainObject,
+        /// Result-set size.
+        m: usize,
+    },
+    /// `FLUSH`: WAL fsync + checkpoint on every shard.
+    Flush,
+    /// `STATS`: object/mutation counters (shard-count-free, so a
+    /// sharded reply diffs clean against the single-engine oracle's).
+    Stats,
+    /// `QUIT`: acknowledge and close the stream.
+    Quit,
+}
+
+impl Op {
+    /// Whether this operation is a query (batchable in a run) rather
+    /// than a mutation/control operation (applies immediately).
+    pub fn is_query(&self) -> bool {
+        matches!(self, Op::Knn { .. } | Op::Rknn { .. } | Op::TopM { .. })
+    }
+}
+
+fn parse_object(s: &str) -> Result<UncertainObject, String> {
+    serde_json::from_str(s.trim()).map_err(|e| format!("bad object JSON: {e:?}"))
+}
+
+fn parse_id(s: &str) -> Result<ObjectId, String> {
+    s.trim()
+        .parse::<u32>()
+        .map(ObjectId)
+        .map_err(|_| format!("bad object id {:?}", s.trim()))
+}
+
+/// Parses one protocol line: `Ok(None)` for blanks and `#` comments,
+/// `Ok(Some(op))` for a well-formed operation.
+///
+/// # Errors
+/// Returns the `ERR` reason for malformed lines (unknown verb, missing
+/// fields, bad numbers, bad object JSON).
+pub fn parse_line(line: &str) -> Result<Option<Op>, String> {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return Ok(None);
+    }
+    let (verb, rest) = line.split_once(' ').unwrap_or((line, ""));
+    let op = match verb {
+        "INSERT" => Op::Insert(parse_object(rest)?),
+        "DELETE" => Op::Delete(parse_id(rest)?),
+        "DELNEAR" => Op::DeleteNearest(parse_object(rest)?),
+        "UPDATE" => {
+            let (id, json) = rest
+                .trim_start()
+                .split_once(' ')
+                .ok_or("UPDATE needs <gid> <json>")?;
+            Op::Update(parse_id(id)?, parse_object(json)?)
+        }
+        "KNN" | "RKNN" => {
+            let mut parts = rest.trim_start().splitn(3, ' ');
+            let k: usize = parts
+                .next()
+                .and_then(|s| s.parse().ok())
+                .filter(|&k| k >= 1)
+                .ok_or_else(|| format!("{verb} needs a positive <k>"))?;
+            let tau: f64 = parts
+                .next()
+                .and_then(|s| s.parse().ok())
+                .filter(|t| (0.0..1.0).contains(t))
+                .ok_or_else(|| format!("{verb} needs <tau> in [0, 1)"))?;
+            let q = parse_object(parts.next().ok_or_else(|| format!("{verb} needs <json>"))?)?;
+            if verb == "KNN" {
+                Op::Knn { q, k, tau }
+            } else {
+                Op::Rknn { q, k, tau }
+            }
+        }
+        "TOPM" => {
+            let (m, json) = rest
+                .trim_start()
+                .split_once(' ')
+                .ok_or("TOPM needs <m> <json>")?;
+            let m: usize = m
+                .parse()
+                .ok()
+                .filter(|&m| m >= 1)
+                .ok_or("TOPM needs a positive <m>")?;
+            Op::TopM {
+                q: parse_object(json)?,
+                m,
+            }
+        }
+        "FLUSH" => Op::Flush,
+        "STATS" => Op::Stats,
+        "QUIT" => Op::Quit,
+        other => return Err(format!("unknown verb {other:?}")),
+    };
+    Ok(Some(op))
+}
+
+/// The `RES` reply line for a query result set: `id:lo:hi:iters`
+/// triples joined by `;`, floats in shortest-round-trip form (so
+/// bit-identical results format byte-identically); `RES -` when empty.
+pub fn format_results(hits: &[ThresholdResult]) -> String {
+    if hits.is_empty() {
+        return "RES -".to_owned();
+    }
+    let body: Vec<String> = hits
+        .iter()
+        .map(|h| {
+            format!(
+                "{}:{}:{}:{}",
+                h.id.0, h.prob_lower, h.prob_upper, h.iterations
+            )
+        })
+        .collect();
+    format!("RES {}", body.join(";"))
+}
+
+/// The protocol executor: an owned [`ShardedEngine`] plus the cap on
+/// how many consecutive query lines fuse into one [`QueryBatch`].
+pub struct Server {
+    engine: ShardedEngine,
+    batch_cap: usize,
+}
+
+impl Server {
+    /// Wraps an engine. `batch_cap` bounds the query-run fusion width
+    /// (1 disables batching entirely; replies are identical either way).
+    ///
+    /// # Panics
+    /// Panics if `batch_cap == 0`.
+    pub fn new(engine: ShardedEngine, batch_cap: usize) -> Self {
+        assert!(batch_cap >= 1, "batch cap must be positive");
+        Server { engine, batch_cap }
+    }
+
+    /// The served engine.
+    pub fn engine(&self) -> &ShardedEngine {
+        &self.engine
+    }
+
+    /// Executes a slice of protocol lines in order and returns one
+    /// reply line per operation line (comments and blanks produce no
+    /// reply) plus whether a `QUIT` was executed — lines after a `QUIT`
+    /// are dropped unexecuted, like input after a closed stream.
+    pub fn execute_batch(&mut self, lines: &[String]) -> (Vec<String>, bool) {
+        let mut replies: Vec<String> = Vec::new();
+        // reply slots of the current run of consecutive query lines
+        let mut pending: Vec<(usize, Op)> = Vec::new();
+        for line in lines {
+            match parse_line(line) {
+                Ok(None) => {}
+                Err(e) => replies.push(format!("ERR {e}")),
+                Ok(Some(op)) if op.is_query() => {
+                    let slot = replies.len();
+                    replies.push(String::new());
+                    pending.push((slot, op));
+                    if pending.len() >= self.batch_cap {
+                        self.flush_queries(&mut replies, &mut pending);
+                    }
+                }
+                Ok(Some(op)) => {
+                    // a mutation/control op: settle queued queries
+                    // against the pre-mutation state first
+                    self.flush_queries(&mut replies, &mut pending);
+                    let quit = matches!(op, Op::Quit);
+                    replies.push(self.apply(op));
+                    if quit {
+                        return (replies, true);
+                    }
+                }
+            }
+        }
+        self.flush_queries(&mut replies, &mut pending);
+        (replies, false)
+    }
+
+    /// Runs a queued query run as one [`QueryBatch`] and fills the
+    /// reserved reply slots.
+    fn flush_queries(&mut self, replies: &mut [String], pending: &mut Vec<(usize, Op)>) {
+        if pending.is_empty() {
+            return;
+        }
+        let mut batch = QueryBatch::new();
+        for (_, op) in pending.iter() {
+            match op {
+                Op::Knn { q, k, tau } => batch.knn_threshold(q.clone(), *k, *tau),
+                Op::Rknn { q, k, tau } => batch.rknn_threshold(q.clone(), *k, *tau),
+                Op::TopM { q, m } => batch.top_probable_nn(q.clone(), *m),
+                _ => unreachable!("only queries are queued"),
+            };
+        }
+        let results = self.engine.run_batch(&batch);
+        for ((slot, _), hits) in pending.drain(..).zip(results) {
+            replies[slot] = format_results(&hits);
+        }
+    }
+
+    /// Applies one non-query operation and formats its reply.
+    fn apply(&mut self, op: Op) -> String {
+        match op {
+            Op::Insert(obj) => match self.engine.try_insert(obj) {
+                Ok(id) => format!("OK {}", id.0),
+                Err(e) => format!("ERR insert failed: {e}"),
+            },
+            Op::Delete(id) => {
+                if self.engine.try_get(id).is_none() {
+                    return format!("ERR no live object {}", id.0);
+                }
+                match self.engine.try_remove(id) {
+                    Ok(_) => format!("OK {}", id.0),
+                    Err(e) => format!("ERR delete failed: {e}"),
+                }
+            }
+            Op::DeleteNearest(probe) => match self.engine.nearest(probe.mbr()) {
+                Some(id) => match self.engine.try_remove(id) {
+                    Ok(_) => format!("OK {}", id.0),
+                    Err(e) => format!("ERR delete failed: {e}"),
+                },
+                None => "OK none".to_owned(),
+            },
+            Op::Update(id, obj) => {
+                if self.engine.try_get(id).is_none() {
+                    return format!("ERR no live object {}", id.0);
+                }
+                match self.engine.try_update(id, obj) {
+                    Ok(_) => format!("OK {}", id.0),
+                    Err(e) => format!("ERR update failed: {e}"),
+                }
+            }
+            Op::Flush => match self
+                .engine
+                .wal_sync()
+                .and_then(|()| self.engine.checkpoint())
+            {
+                Ok(()) => "OK flushed".to_owned(),
+                Err(e) => format!("ERR flush failed: {e}"),
+            },
+            Op::Stats => format!(
+                "OK objects={} mutations={}",
+                self.engine.len(),
+                self.engine.mutations()
+            ),
+            Op::Quit => "OK bye".to_owned(),
+            Op::Knn { .. } | Op::Rknn { .. } | Op::TopM { .. } => {
+                unreachable!("queries go through flush_queries")
+            }
+        }
+    }
+}
+
+/// Emits a deterministic protocol script: every object of the synthetic
+/// database as an `INSERT`, then the stream's operations in arrival
+/// order, then `STATS` + `FLUSH` + `QUIT`. The serve-smoke CI job pipes
+/// one script through servers at different shard counts and diffs the
+/// reply streams byte for byte.
+pub fn generate_script(objects: &SyntheticConfig, stream: &QueryStreamConfig) -> String {
+    let db = objects.generate();
+    let ops = stream.generate(objects);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "# uncertain-db serve script: {} seed objects, {} streamed ops\n",
+        db.len(),
+        ops.total_ops()
+    ));
+    for (_, obj) in db.iter() {
+        let json = serde_json::to_string(obj).expect("objects serialize");
+        out.push_str(&format!("INSERT {json}\n"));
+    }
+    for batch in &ops.batches {
+        out.push_str("# arrival batch\n");
+        for entry in batch {
+            let json = serde_json::to_string(&entry.object).expect("objects serialize");
+            let line = match entry.op {
+                StreamOp::KnnThreshold { k, tau } => format!("KNN {k} {tau} {json}"),
+                StreamOp::RknnThreshold { k, tau } => format!("RKNN {k} {tau} {json}"),
+                StreamOp::TopProbableNn { m } => format!("TOPM {m} {json}"),
+                StreamOp::Insert => format!("INSERT {json}"),
+                StreamOp::Delete => format!("DELNEAR {json}"),
+            };
+            out.push_str(&line);
+            out.push('\n');
+        }
+    }
+    out.push_str("STATS\nFLUSH\nQUIT\n");
+    out
+}
+
+/// A fresh in-memory server over an empty database at the given shard
+/// count — the state both the stdin front and the in-process tests
+/// start from.
+pub fn empty_server(cfg: IdcaConfig, shards: usize, batch_cap: usize) -> Server {
+    let engine =
+        ShardedEngine::with_config(udb_object::Database::from_objects(Vec::new()), cfg, shards);
+    Server::new(engine, batch_cap)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn script_lines() -> Vec<String> {
+        let objects = SyntheticConfig {
+            n: 40,
+            max_extent: 0.02,
+            ..Default::default()
+        };
+        let stream = QueryStreamConfig {
+            batches: 2,
+            batch_size: 6,
+            k: 3,
+            insert_weight: 0.2,
+            delete_weight: 0.15,
+            ..Default::default()
+        };
+        generate_script(&objects, &stream)
+            .lines()
+            .map(str::to_owned)
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_blanks_are_silent() {
+        assert!(matches!(parse_line(""), Ok(None)));
+        assert!(matches!(parse_line("   "), Ok(None)));
+        assert!(matches!(parse_line("# hello"), Ok(None)));
+    }
+
+    #[test]
+    fn malformed_lines_report_err_without_state_change() {
+        let mut server = empty_server(IdcaConfig::default(), 2, 8);
+        let (replies, quit) = server.execute_batch(&[
+            "NOPE".to_owned(),
+            "KNN 0 0.5 {}".to_owned(),
+            "KNN 3 1.5 {}".to_owned(),
+            "DELETE x".to_owned(),
+            "STATS".to_owned(),
+        ]);
+        assert!(!quit);
+        assert_eq!(replies.len(), 5);
+        assert!(replies[..4].iter().all(|r| r.starts_with("ERR ")));
+        assert_eq!(replies[4], "OK objects=0 mutations=0");
+    }
+
+    #[test]
+    fn quit_drops_trailing_lines() {
+        let mut server = empty_server(IdcaConfig::default(), 1, 8);
+        let (replies, quit) =
+            server.execute_batch(&["STATS".to_owned(), "QUIT".to_owned(), "STATS".to_owned()]);
+        assert!(quit);
+        assert_eq!(replies, vec!["OK objects=0 mutations=0", "OK bye"]);
+    }
+
+    #[test]
+    fn sharded_replies_match_single_engine_oracle() {
+        // the serve-smoke equivalence, in process: the same script
+        // through 1, 2 and 4 shards must produce byte-identical reply
+        // streams (global ids, result sets, float digits, counters)
+        let lines = script_lines();
+        let cfg = IdcaConfig {
+            max_iterations: 3,
+            ..Default::default()
+        };
+        let (oracle, quit) = empty_server(cfg.clone(), 1, 8).execute_batch(&lines);
+        assert!(quit);
+        assert!(oracle.iter().any(|r| r.starts_with("RES ")));
+        for shards in [2, 4] {
+            let (replies, _) = empty_server(cfg.clone(), shards, 8).execute_batch(&lines);
+            assert_eq!(oracle, replies, "{shards} shards diverged from oracle");
+        }
+    }
+
+    #[test]
+    fn batch_cap_does_not_change_replies() {
+        let lines = script_lines();
+        let cfg = IdcaConfig {
+            max_iterations: 3,
+            ..Default::default()
+        };
+        let (fused, _) = empty_server(cfg.clone(), 2, 64).execute_batch(&lines);
+        let (unbatched, _) = empty_server(cfg, 2, 1).execute_batch(&lines);
+        assert_eq!(fused, unbatched);
+    }
+
+    #[test]
+    fn delete_and_update_round_trip() {
+        let mut server = empty_server(IdcaConfig::default(), 2, 8);
+        let objects = SyntheticConfig {
+            n: 3,
+            max_extent: 0.02,
+            ..Default::default()
+        };
+        let db = objects.generate();
+        let lines: Vec<String> = db
+            .iter()
+            .map(|(_, o)| format!("INSERT {}", serde_json::to_string(o).unwrap()))
+            .collect();
+        let (replies, _) = server.execute_batch(&lines);
+        assert_eq!(replies, vec!["OK 0", "OK 1", "OK 2"]);
+        let json = serde_json::to_string(db.get(udb_object::ObjectId(0))).unwrap();
+        let (replies, _) = server.execute_batch(&[
+            format!("UPDATE 1 {json}"),
+            "DELETE 1".to_owned(),
+            "DELETE 1".to_owned(),
+            format!("INSERT {json}"),
+        ]);
+        assert_eq!(replies[0], "OK 1");
+        assert_eq!(replies[1], "OK 1");
+        assert!(replies[2].starts_with("ERR no live object"));
+        // dead ids are never reused
+        assert_eq!(replies[3], "OK 3");
+    }
+}

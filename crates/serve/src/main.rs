@@ -1,0 +1,263 @@
+//! `serve` — the line-protocol serving binary (see `docs/SERVING.md`).
+//!
+//! Three modes:
+//!
+//! * **stdin** (default): read protocol lines from stdin, reply on
+//!   stdout, exit on `QUIT`/EOF. `serve --gen ... | serve --shards 4`
+//!   is the whole serve-smoke pipeline.
+//! * **TCP** (`--tcp ADDR`): accept connections one at a time, serving
+//!   each with the same protocol; engine state persists across
+//!   connections; `QUIT` closes the connection, not the server.
+//! * **generator** (`--gen`): emit a deterministic protocol script on
+//!   stdout (seed inserts + mixed query/mutation stream + shutdown) for
+//!   smoke tests and oracle diffs.
+//!
+//! Ingestion is queue-fed: a reader thread pushes raw lines into a
+//! channel while the execution loop drains up to `--batch-cap` queued
+//! lines at a time and hands each drained slice to
+//! [`udb_serve::Server::execute_batch`], which fuses consecutive
+//! queries into shared [`udb_core::QueryBatch`] passes over the
+//! engine's worker pool. Queueing never reorders: replies always come
+//! back in line order.
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::sync::mpsc;
+
+use udb_core::{env_shards, IdcaConfig, ShardedEngine};
+use udb_serve::{generate_script, Server};
+use udb_workload::{QueryStreamConfig, SyntheticConfig};
+
+const USAGE: &str = "\
+serve — line-protocol front for the sharded uncertain-db engine
+
+USAGE:
+  serve [--shards N] [--batch-cap N] [--dir PATH] [--tcp ADDR]
+  serve --gen [--objects N] [--batches N] [--batch-size N] [--seed N] [--mutating]
+
+OPTIONS:
+  --shards N      shard count (default: $UDB_SHARDS, else 1)
+  --batch-cap N   max consecutive queries fused into one batch
+                  (default: $UDB_SERVE_BATCH_CAP, else 16)
+  --dir PATH      durable mode: per-shard WAL + checkpoints under PATH
+  --tcp ADDR      listen on ADDR (e.g. 127.0.0.1:7878) instead of stdin
+  --gen           emit a deterministic protocol script on stdout
+  --objects N     [gen] seed object count (default 60)
+  --batches N     [gen] stream arrival batches (default 3)
+  --batch-size N  [gen] operations per arrival batch (default 8)
+  --seed N        [gen] stream RNG seed (default 0x57EA)
+  --mutating      [gen] mix inserts/deletes into the stream
+  -h, --help      this text
+";
+
+struct Args {
+    shards: usize,
+    batch_cap: usize,
+    dir: Option<String>,
+    tcp: Option<String>,
+    gen: bool,
+    objects: usize,
+    batches: usize,
+    batch_size: usize,
+    seed: u64,
+    mutating: bool,
+}
+
+fn env_usize(name: &str) -> Option<usize> {
+    std::env::var(name).ok()?.parse().ok()
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        shards: env_shards().unwrap_or(1),
+        batch_cap: env_usize("UDB_SERVE_BATCH_CAP").unwrap_or(16),
+        dir: None,
+        tcp: None,
+        gen: false,
+        objects: 60,
+        batches: 3,
+        batch_size: 8,
+        seed: 0x57EA,
+        mutating: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or_else(|| format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--shards" => {
+                args.shards = value("--shards")?
+                    .parse()
+                    .map_err(|e| format!("--shards: {e}"))?
+            }
+            "--batch-cap" => {
+                args.batch_cap = value("--batch-cap")?
+                    .parse()
+                    .map_err(|e| format!("--batch-cap: {e}"))?;
+            }
+            "--dir" => args.dir = Some(value("--dir")?),
+            "--tcp" => args.tcp = Some(value("--tcp")?),
+            "--gen" => args.gen = true,
+            "--objects" => {
+                args.objects = value("--objects")?
+                    .parse()
+                    .map_err(|e| format!("--objects: {e}"))?
+            }
+            "--batches" => {
+                args.batches = value("--batches")?
+                    .parse()
+                    .map_err(|e| format!("--batches: {e}"))?
+            }
+            "--batch-size" => {
+                args.batch_size = value("--batch-size")?
+                    .parse()
+                    .map_err(|e| format!("--batch-size: {e}"))?;
+            }
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--mutating" => args.mutating = true,
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other:?} (try --help)")),
+        }
+    }
+    if args.shards == 0 {
+        return Err("--shards must be at least 1".to_owned());
+    }
+    if args.batch_cap == 0 {
+        return Err("--batch-cap must be at least 1".to_owned());
+    }
+    Ok(args)
+}
+
+fn build_server(args: &Args) -> Result<Server, String> {
+    let cfg = IdcaConfig::default();
+    let engine = match &args.dir {
+        Some(dir) => ShardedEngine::open(dir, cfg, args.shards)
+            .map_err(|e| format!("cannot open durable engine at {dir}: {e}"))?,
+        None => ShardedEngine::with_config(
+            udb_object::Database::from_objects(Vec::new()),
+            cfg,
+            args.shards,
+        ),
+    };
+    Ok(Server::new(engine, args.batch_cap))
+}
+
+/// Drains the queue into batches of at most `batch_cap` lines and
+/// executes each, writing replies in order. Returns on `QUIT` or when
+/// the reader hangs up (EOF).
+fn pump(
+    server: &mut Server,
+    rx: &mpsc::Receiver<String>,
+    out: &mut impl Write,
+    batch_cap: usize,
+) -> std::io::Result<()> {
+    while let Ok(first) = rx.recv() {
+        let mut lines = vec![first];
+        while lines.len() < batch_cap {
+            match rx.try_recv() {
+                Ok(line) => lines.push(line),
+                Err(_) => break,
+            }
+        }
+        let (replies, quit) = server.execute_batch(&lines);
+        for reply in replies {
+            writeln!(out, "{reply}")?;
+        }
+        out.flush()?;
+        if quit {
+            break;
+        }
+    }
+    Ok(())
+}
+
+fn serve_stdin(server: &mut Server, batch_cap: usize) -> std::io::Result<()> {
+    let (tx, rx) = mpsc::channel::<String>();
+    let reader = std::thread::spawn(move || {
+        for line in std::io::stdin().lock().lines() {
+            let Ok(line) = line else { break };
+            if tx.send(line).is_err() {
+                break;
+            }
+        }
+    });
+    let stdout = std::io::stdout();
+    let mut out = BufWriter::new(stdout.lock());
+    pump(server, &rx, &mut out, batch_cap)?;
+    drop(rx);
+    let _ = reader.join();
+    Ok(())
+}
+
+fn serve_tcp(server: &mut Server, addr: &str, batch_cap: usize) -> std::io::Result<()> {
+    let listener = std::net::TcpListener::bind(addr)?;
+    eprintln!("serve: listening on {}", listener.local_addr()?);
+    for conn in listener.incoming() {
+        let conn = conn?;
+        let reader_half = BufReader::new(conn.try_clone()?);
+        let mut out = BufWriter::new(conn);
+        let (tx, rx) = mpsc::channel::<String>();
+        let reader = std::thread::spawn(move || {
+            for line in reader_half.lines() {
+                let Ok(line) = line else { break };
+                if tx.send(line).is_err() {
+                    break;
+                }
+            }
+        });
+        // engine state persists across connections; QUIT only closes
+        // this connection's stream
+        pump(server, &rx, &mut out, batch_cap)?;
+        drop(rx);
+        let _ = reader.join();
+    }
+    Ok(())
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("serve: {e}");
+            std::process::exit(2);
+        }
+    };
+    if args.gen {
+        let objects = SyntheticConfig {
+            n: args.objects,
+            max_extent: 0.02,
+            ..Default::default()
+        };
+        let stream = QueryStreamConfig {
+            batches: args.batches,
+            batch_size: args.batch_size,
+            k: 3,
+            seed: args.seed,
+            insert_weight: if args.mutating { 0.2 } else { 0.0 },
+            delete_weight: if args.mutating { 0.15 } else { 0.0 },
+            ..Default::default()
+        };
+        print!("{}", generate_script(&objects, &stream));
+        return;
+    }
+    let mut server = match build_server(&args) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("serve: {e}");
+            std::process::exit(2);
+        }
+    };
+    let result = match &args.tcp {
+        Some(addr) => serve_tcp(&mut server, addr, args.batch_cap),
+        None => serve_stdin(&mut server, args.batch_cap),
+    };
+    if let Err(e) = result {
+        eprintln!("serve: io error: {e}");
+        std::process::exit(1);
+    }
+}

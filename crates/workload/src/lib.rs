@@ -26,6 +26,6 @@ pub use iceberg::IcebergConfig;
 pub use query::{target_by_min_dist_rank, QuerySet};
 pub use stream::{
     serve_stream, serve_stream_with_report, MixCounts, QueryStream, QueryStreamConfig, ServeMode,
-    ServeReport, ServeResults, StreamOp, StreamQuery,
+    ServeReport, ServeResults, StreamEngine, StreamOp, StreamQuery,
 };
 pub use synthetic::{PdfKind, SyntheticConfig};

@@ -7,19 +7,22 @@
 //! in between queries) and (realistically) spatial skew: many users ask
 //! about the same hot regions. [`QueryStreamConfig`] generates such a
 //! stream deterministically (same seed ⇒ same stream), and
-//! [`serve_stream`] drives it through an owned [`Engine`] either
+//! [`serve_stream`] drives it through any owned [`StreamEngine`] — a
+//! plain [`Engine`] or a sharded [`ShardedEngine`] — either
 //! query-by-query ([`ServeMode::Sequential`], the per-query entry
 //! points) or batch-by-batch ([`ServeMode::Batched`], the shared-work
 //! [`QueryBatch`] pass). Mutations are applied identically in both
-//! modes, so the two return bit-identical results; the `serve` bench
-//! group records the throughput ratios (batched vs sequential, and
-//! warm vs cold decomposition cache).
+//! modes, so the two return bit-identical results; and the sharded
+//! engine's routing is id-order-preserving, so a sharded serve returns
+//! bit-identical results to a single-engine serve of the same stream
+//! (the `sharded_vs_single` pair in the `serve` bench group records the
+//! throughput ratio).
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
-use udb_core::{Engine, QueryBatch, ThresholdResult};
-use udb_geometry::Point;
+use udb_core::{DurableError, Engine, QueryBatch, ShardedEngine, ThresholdResult};
+use udb_geometry::{Point, Rect};
 use udb_object::UncertainObject;
 
 use crate::synthetic::SyntheticConfig;
@@ -316,6 +319,94 @@ pub enum ServeMode {
     Batched,
 }
 
+/// An owned engine [`serve_stream`] can drive: the mutation, query and
+/// shutdown surface the stream driver needs, implemented by the plain
+/// [`Engine`] and the sharded [`ShardedEngine`]. Both implementations
+/// delegate straight to the engine's own entry points, so serving the
+/// same stream through either returns bit-identical results.
+pub trait StreamEngine {
+    /// Applies an arrival ([`StreamOp::Insert`]).
+    fn stream_insert(&mut self, object: UncertainObject);
+    /// Applies a departure ([`StreamOp::Delete`]): removes the live
+    /// object nearest `probe`, returning whether one existed.
+    fn stream_remove_nearest(&mut self, probe: &Rect) -> bool;
+    /// Probabilistic threshold kNN (the engine's own entry point).
+    fn stream_knn(&self, q: &UncertainObject, k: usize, tau: f64) -> Vec<ThresholdResult>;
+    /// Probabilistic threshold RkNN.
+    fn stream_rknn(&self, q: &UncertainObject, k: usize, tau: f64) -> Vec<ThresholdResult>;
+    /// Top-`m` probable nearest neighbours.
+    fn stream_top_m(&self, q: &UncertainObject, m: usize) -> Vec<ThresholdResult>;
+    /// One shared-work pass over a query batch.
+    fn stream_run_batch(&self, batch: &QueryBatch) -> Vec<Vec<ThresholdResult>>;
+    /// The graceful-shutdown handshake: WAL fsync + final checkpoint.
+    ///
+    /// # Errors
+    /// Fails when a durable engine cannot flush or checkpoint.
+    fn stream_flush(&mut self) -> Result<(), DurableError>;
+}
+
+impl StreamEngine for Engine {
+    fn stream_insert(&mut self, object: UncertainObject) {
+        self.insert(object);
+    }
+    fn stream_remove_nearest(&mut self, probe: &Rect) -> bool {
+        match self.nearest(probe) {
+            Some(id) => {
+                self.remove(id);
+                true
+            }
+            None => false,
+        }
+    }
+    fn stream_knn(&self, q: &UncertainObject, k: usize, tau: f64) -> Vec<ThresholdResult> {
+        self.knn_threshold(q, k, tau)
+    }
+    fn stream_rknn(&self, q: &UncertainObject, k: usize, tau: f64) -> Vec<ThresholdResult> {
+        self.rknn_threshold(q, k, tau)
+    }
+    fn stream_top_m(&self, q: &UncertainObject, m: usize) -> Vec<ThresholdResult> {
+        self.top_probable_nn(q, m)
+    }
+    fn stream_run_batch(&self, batch: &QueryBatch) -> Vec<Vec<ThresholdResult>> {
+        self.run_batch(batch)
+    }
+    fn stream_flush(&mut self) -> Result<(), DurableError> {
+        self.wal_sync()?;
+        self.checkpoint()
+    }
+}
+
+impl StreamEngine for ShardedEngine {
+    fn stream_insert(&mut self, object: UncertainObject) {
+        self.insert(object);
+    }
+    fn stream_remove_nearest(&mut self, probe: &Rect) -> bool {
+        match self.nearest(probe) {
+            Some(id) => {
+                self.remove(id);
+                true
+            }
+            None => false,
+        }
+    }
+    fn stream_knn(&self, q: &UncertainObject, k: usize, tau: f64) -> Vec<ThresholdResult> {
+        self.knn_threshold(q, k, tau)
+    }
+    fn stream_rknn(&self, q: &UncertainObject, k: usize, tau: f64) -> Vec<ThresholdResult> {
+        self.rknn_threshold(q, k, tau)
+    }
+    fn stream_top_m(&self, q: &UncertainObject, m: usize) -> Vec<ThresholdResult> {
+        self.top_probable_nn(q, m)
+    }
+    fn stream_run_batch(&self, batch: &QueryBatch) -> Vec<Vec<ThresholdResult>> {
+        self.run_batch(batch)
+    }
+    fn stream_flush(&mut self) -> Result<(), DurableError> {
+        self.wal_sync()?;
+        self.checkpoint()
+    }
+}
+
 /// Drives a stream through the owned engine, batch by batch, and
 /// returns the per-batch, per-entry results (aligned with the stream;
 /// mutation entries yield an empty result vector).
@@ -331,7 +422,11 @@ pub enum ServeMode {
 /// [`udb_core::IdcaConfig::decomp_cache_entries`] > 0 the engine's
 /// decomposition cache stays warm *across* batches — the serving
 /// default this driver is built to measure.
-pub fn serve_stream(engine: &mut Engine, stream: &QueryStream, mode: ServeMode) -> ServeResults {
+pub fn serve_stream<E: StreamEngine>(
+    engine: &mut E,
+    stream: &QueryStream,
+    mode: ServeMode,
+) -> ServeResults {
     serve_batches(engine, stream, mode, &mut ServeReport::default())
 }
 
@@ -372,21 +467,20 @@ pub struct ServeReport {
 /// Fails when the durable engine cannot flush or checkpoint; results
 /// and counts up to that point are lost to the caller, but the WAL
 /// still holds every mutation that was acknowledged mid-stream.
-pub fn serve_stream_with_report(
-    engine: &mut Engine,
+pub fn serve_stream_with_report<E: StreamEngine>(
+    engine: &mut E,
     stream: &QueryStream,
     mode: ServeMode,
 ) -> Result<(ServeResults, ServeReport), udb_core::DurableError> {
     let mut report = ServeReport::default();
     let results = serve_batches(engine, stream, mode, &mut report);
-    engine.wal_sync()?;
-    engine.checkpoint()?;
+    engine.stream_flush()?;
     report.flushed = true;
     Ok((results, report))
 }
 
-fn serve_batches(
-    engine: &mut Engine,
+fn serve_batches<E: StreamEngine>(
+    engine: &mut E,
     stream: &QueryStream,
     mode: ServeMode,
     report: &mut ServeReport,
@@ -399,14 +493,11 @@ fn serve_batches(
             for entry in batch {
                 match entry.op {
                     StreamOp::Insert => {
-                        engine.insert(entry.object.clone());
+                        engine.stream_insert(entry.object.clone());
                         report.inserts += 1;
                     }
-                    StreamOp::Delete => {
-                        if let Some(id) = engine.nearest(entry.object.mbr()) {
-                            engine.remove(id);
-                            report.removes += 1;
-                        }
+                    StreamOp::Delete if engine.stream_remove_nearest(entry.object.mbr()) => {
+                        report.removes += 1;
                     }
                     _ => {}
                 }
@@ -416,13 +507,9 @@ fn serve_batches(
                 ServeMode::Sequential => batch
                     .iter()
                     .map(|q| match q.op {
-                        StreamOp::KnnThreshold { k, tau } => {
-                            engine.knn_threshold(&q.object, k, tau)
-                        }
-                        StreamOp::RknnThreshold { k, tau } => {
-                            engine.rknn_threshold(&q.object, k, tau)
-                        }
-                        StreamOp::TopProbableNn { m } => engine.top_probable_nn(&q.object, m),
+                        StreamOp::KnnThreshold { k, tau } => engine.stream_knn(&q.object, k, tau),
+                        StreamOp::RknnThreshold { k, tau } => engine.stream_rknn(&q.object, k, tau),
+                        StreamOp::TopProbableNn { m } => engine.stream_top_m(&q.object, m),
                         StreamOp::Insert | StreamOp::Delete => Vec::new(),
                     })
                     .collect(),
@@ -442,7 +529,7 @@ fn serve_batches(
                             StreamOp::Insert | StreamOp::Delete => {}
                         }
                     }
-                    let mut results = engine.run_batch(&qb).into_iter();
+                    let mut results = engine.stream_run_batch(&qb).into_iter();
                     batch
                         .iter()
                         .map(|q| {
@@ -706,5 +793,39 @@ mod tests {
         assert_eq!(seq_engine.db().len(), expected);
         assert_eq!(bat_engine.db().len(), expected);
         seq_engine.tree().check_invariants();
+    }
+
+    #[test]
+    fn sharded_serve_matches_single_engine() {
+        // the ShardedEngine driver: same stream, same mode, sharded 3
+        // ways — results are bit-identical to the single engine because
+        // routing preserves arrival order in the global id space
+        let object_cfg = SyntheticConfig {
+            n: 120,
+            max_extent: 0.02,
+            ..Default::default()
+        };
+        let db = object_cfg.generate();
+        let idca = IdcaConfig {
+            max_iterations: 3,
+            ..Default::default()
+        };
+        let stream = QueryStreamConfig {
+            batches: 3,
+            batch_size: 6,
+            k: 3,
+            insert_weight: 0.25,
+            delete_weight: 0.2,
+            ..Default::default()
+        }
+        .generate(&object_cfg);
+        let mut single = Engine::with_config(db.clone(), idca.clone());
+        let mut sharded = ShardedEngine::with_config(db, idca, 3);
+        for mode in [ServeMode::Sequential, ServeMode::Batched] {
+            let a = serve_stream(&mut single, &stream, mode);
+            let b = serve_stream(&mut sharded, &stream, mode);
+            assert_eq!(a, b);
+        }
+        assert_eq!(single.db().len(), sharded.len());
     }
 }

@@ -74,10 +74,10 @@ fn main() {
     // Cold serving: same engine, cross-batch cache disabled — every
     // batch re-decomposes the hot objects from scratch.
     let mut cold = Engine::with_config(
-        db,
+        db.clone(),
         IdcaConfig {
             decomp_cache_entries: 0,
-            ..cfg
+            ..cfg.clone()
         },
     );
     let t = Instant::now();
@@ -94,6 +94,30 @@ fn main() {
     println!(
         "results bit-identical; warm/cold = {:.2}",
         warm_time.as_secs_f64() / cold_time.as_secs_f64()
+    );
+
+    // Sharded serving: the same stream through a 4-shard engine —
+    // mutations hash-route by global id, queries fan across per-shard
+    // trees and merge under one global pruning bound. Global ids track
+    // arrival order regardless of shard count, so the replies are
+    // bit-identical to the single engine (asserted here, property-
+    // tested in tests/sharded_equivalence.rs).
+    let mut sharded = ShardedEngine::with_config(db, cfg, 4);
+    let t = Instant::now();
+    let sharded_results = serve_stream(&mut sharded, &stream, ServeMode::Batched);
+    let sharded_time = t.elapsed();
+    assert_eq!(
+        warm_results, sharded_results,
+        "shard routing must not move a bit"
+    );
+    println!(
+        "sharded serve (4 shards): {:.1} ms, bit-identical; per-shard live objects {:?}",
+        sharded_time.as_secs_f64() * 1e3,
+        sharded
+            .shards()
+            .iter()
+            .map(|s| s.db().len())
+            .collect::<Vec<_>>(),
     );
 
     // The mutation API, directly: insert / update / remove, no rebuild.

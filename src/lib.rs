@@ -66,10 +66,11 @@ pub use udb_workload as workload;
 /// The commonly used types in one import.
 pub mod prelude {
     pub use udb_core::{
-        par_knn_threshold, refine_lockstep, refine_top_m, DomCountSnapshot, DurableError, Engine,
-        ExpectedRankEntry, IdcaConfig, ObjRef, PoolHandle, Predicate, QueryBatch, QueryEngine,
-        QuerySpec, RankDistribution, RecoveryReport, RefineGoal, RefineStats, Refiner,
-        SharedRefineCtx, ThresholdResult, WalRecord, WorkerPool,
+        env_shards, par_knn_threshold, refine_lockstep, refine_top_m, DomCountSnapshot,
+        DurableError, Engine, ExpectedRankEntry, IdcaConfig, ObjRef, PoolHandle, Predicate,
+        QueryBatch, QueryEngine, QuerySpec, RankDistribution, RecoveryReport, RefineGoal,
+        RefineStats, Refiner, ShardedEngine, SharedRefineCtx, ThresholdResult, WalRecord,
+        WorkerPool,
     };
     pub use udb_domination::{DominationCriterion, PDomBounds};
     pub use udb_genfunc::{CountDistributionBounds, MinMaxCdf, ProbAlgebra, Ugf};
@@ -80,6 +81,7 @@ pub mod prelude {
     pub use udb_pdf::{DiscretePdf, GaussianPdf, HistogramPdf, MixturePdf, Pdf, UniformPdf};
     pub use udb_workload::{
         serve_stream, serve_stream_with_report, IcebergConfig, MixCounts, QuerySet, QueryStream,
-        QueryStreamConfig, ServeMode, ServeReport, StreamOp, StreamQuery, SyntheticConfig,
+        QueryStreamConfig, ServeMode, ServeReport, StreamEngine, StreamOp, StreamQuery,
+        SyntheticConfig,
     };
 }

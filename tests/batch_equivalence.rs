@@ -9,11 +9,18 @@
 //! the sequential entry points to the last bit, for all three query
 //! types at once — with the owned engine's persistent cross-batch
 //! cache on (the serving default) and off.
+//!
+//! The engine under test honors the `UDB_SHARDS` matrix axis (see
+//! `tests/common`): the same oracle must hold when queries route
+//! through a 1-, 2- or 4-shard [`ShardedEngine`].
 
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use uncertain_db::prelude::*;
+
+mod common;
+use common::TestEngine;
 
 /// A random uncertain object: mixed density families, occasional
 /// existential uncertainty (mirrors the early-exit equivalence oracle).
@@ -127,7 +134,8 @@ fn check_mixed_batch(seed: u64, n: usize, queries: usize) {
     }
     for lanes in [1usize, 2, 4] {
         for cache_cap in [0usize, 1024] {
-            let engine = Engine::with_config(
+            // the engine under test rides the UDB_SHARDS matrix axis
+            let engine = TestEngine::with_config(
                 db.clone(),
                 IdcaConfig {
                     decomp_cache_entries: cache_cap,
@@ -152,6 +160,7 @@ fn check_mixed_batch(seed: u64, n: usize, queries: usize) {
                     &format!("warm repeat lanes={lanes} cache={cache_cap} query={qi}"),
                 );
             }
+            engine.assert_routing();
         }
     }
 }
@@ -162,7 +171,7 @@ fn check_mixed_batch(seed: u64, n: usize, queries: usize) {
 fn check_grouped_candidates(seed: u64, n: usize, queries: usize) {
     let mut rng = StdRng::seed_from_u64(seed);
     let db = random_db(&mut rng, n);
-    let engine = Engine::new(db);
+    let engine = TestEngine::new(db);
     let requests: Vec<(Rect, usize)> = (0..queries)
         .map(|_| {
             let q = random_object(&mut rng);
@@ -215,10 +224,11 @@ fn batched_synthetic_workload_matches_sequential() {
     }
     .generate(&object_cfg);
     for lanes in [1usize, 2, 4] {
-        let mut seq_engine = Engine::with_config(db.clone(), config_with_lanes(lanes));
-        let mut bat_engine = Engine::with_config(db.clone(), config_with_lanes(lanes));
+        let mut seq_engine = TestEngine::with_config(db.clone(), config_with_lanes(lanes));
+        let mut bat_engine = TestEngine::with_config(db.clone(), config_with_lanes(lanes));
         let seq = serve_stream(&mut seq_engine, &stream, ServeMode::Sequential);
         let bat = serve_stream(&mut bat_engine, &stream, ServeMode::Batched);
         assert_eq!(seq, bat, "lanes={lanes}");
+        seq_engine.assert_routing();
     }
 }

@@ -4,12 +4,16 @@
 //! classify every object exactly like the scan-based full-refinement
 //! [`QueryEngine`] paths — identical hit/drop/undecided sets *and*
 //! identical probability bounds — for both `knn_threshold` and
-//! `rknn_threshold`.
+//! `rknn_threshold`. The indexed engine under test honors the
+//! `UDB_SHARDS` matrix axis (see `tests/common`).
 
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use uncertain_db::prelude::*;
+
+mod common;
+use common::TestEngine;
 
 /// A random uncertain object: mixed density families, occasional
 /// existential uncertainty (the filter treats those differently).
@@ -116,12 +120,13 @@ proptest! {
             ..Default::default()
         };
         let scan = QueryEngine::with_config(&db, cfg.clone());
-        let indexed = Engine::with_config(db.clone(), cfg);
+        let indexed = TestEngine::with_config(db.clone(), cfg);
         assert_equivalent(
             scan.knn_threshold(&q, k, tau),
             indexed.knn_threshold(&q, k, tau),
             tau,
         );
+        indexed.assert_routing();
     }
 
     #[test]
@@ -141,11 +146,12 @@ proptest! {
             ..Default::default()
         };
         let scan = QueryEngine::with_config(&db, cfg.clone());
-        let indexed = Engine::with_config(db.clone(), cfg);
+        let indexed = TestEngine::with_config(db.clone(), cfg);
         assert_equivalent(
             scan.rknn_threshold(&q, k, tau),
             indexed.rknn_threshold(&q, k, tau),
             tau,
         );
+        indexed.assert_routing();
     }
 }

@@ -11,11 +11,19 @@
 //!   incrementally, caches invalidated per object).
 //! * **Eviction-safe** — tiny cache capacities (constant churn,
 //!   every batch evicting most entries) never change results.
+//!
+//! The engine under test honors the `UDB_SHARDS` matrix axis (see
+//! `tests/common`), so every property above is also a sharded-routing
+//! property: mutations route by global id, queries fan across shards,
+//! and the answers must not move by a bit.
 
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use uncertain_db::prelude::*;
+
+mod common;
+use common::TestEngine;
 
 /// A random uncertain object: mixed density families, occasional
 /// existential uncertainty (mirrors the other equivalence oracles).
@@ -114,7 +122,9 @@ fn check_warm_equals_cold(seed: u64) {
     let db = random_db(&mut rng, 50);
     let hot = random_object(&mut rng);
     let batches: Vec<QueryBatch> = (0..3).map(|_| mixed_batch(&mut rng, &hot, 5)).collect();
-    let warm = Engine::with_config(db.clone(), config(1024));
+    // the warm engine under test rides the UDB_SHARDS matrix axis; the
+    // cold oracle stays a plain single engine
+    let warm = TestEngine::with_config(db.clone(), config(1024));
     let cold = Engine::with_config(db, config(0));
     for (bi, batch) in batches.iter().enumerate() {
         let w = warm.run_batch(batch);
@@ -126,6 +136,7 @@ fn check_warm_equals_cold(seed: u64) {
     }
     assert!(warm.decomp_cache_len() > 0, "cache never filled");
     assert_eq!(cold.decomp_cache_len(), 0, "cold engine must not persist");
+    warm.assert_routing();
 }
 
 /// (b) Any interleaving of mutations and queries equals a freshly built
@@ -134,7 +145,7 @@ fn check_warm_equals_cold(seed: u64) {
 fn check_mutate_then_query(seed: u64) {
     let mut rng = StdRng::seed_from_u64(seed);
     let db = random_db(&mut rng, 30);
-    let mut engine = Engine::with_config(db, config(1024));
+    let mut engine = TestEngine::with_config(db, config(1024));
     let q = random_object(&mut rng);
     // warm the cache so stale decompositions would be observable
     engine.knn_threshold(&q, 2, 0.3);
@@ -158,7 +169,8 @@ fn check_mutate_then_query(seed: u64) {
                 }
             }
         }
-        engine.tree().check_invariants();
+        engine.check_invariants();
+        // fresh single-engine oracle over the id-aligned mirror
         let fresh = Engine::with_config(engine.db().clone(), config(0));
         let qq = if rng.gen_range(0..2) == 0 {
             q.clone()
@@ -196,7 +208,7 @@ fn check_tiny_capacities(seed: u64) {
     let oracles: Vec<Vec<Vec<ThresholdResult>>> =
         batches.iter().map(|b| cold.run_batch(b)).collect();
     for cap in [1usize, 2, 3] {
-        let tiny = Engine::with_config(db.clone(), config(cap));
+        let tiny = TestEngine::with_config(db.clone(), config(cap));
         for (bi, (batch, oracle)) in batches.iter().zip(oracles.iter()).enumerate() {
             let got = tiny.run_batch(batch);
             assert_runs_identical(&got, oracle, &format!("cap={cap} batch={bi}"));
@@ -250,7 +262,7 @@ fn mutating_stream_warm_equals_cold_all_modes() {
     }
     .generate(&object_cfg);
     let mk = |cap: usize| {
-        Engine::with_config(
+        TestEngine::with_config(
             db.clone(),
             IdcaConfig {
                 max_iterations: 4,
@@ -270,7 +282,7 @@ fn mutating_stream_warm_equals_cold_all_modes() {
     .map(|(cap, mode)| {
         let mut engine = mk(cap);
         let out = serve_stream(&mut engine, &stream, mode);
-        engine.tree().check_invariants();
+        engine.check_invariants();
         out
     })
     .collect();
