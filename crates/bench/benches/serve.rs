@@ -25,6 +25,10 @@
 //!   pruning bound) against the single engine: the routing overhead of
 //!   the sharded serving tier on one host, where no shard parallelism
 //!   can hide it.
+//! * **sharded parallel vs sequential** — the same sharded stream with
+//!   `shard_threads = 4` against `shard_threads = 1`: what fanning the
+//!   per-shard work over worker-pool lanes buys (or costs, on a
+//!   single-core host, where the pair records dispatch overhead only).
 //!
 //! All modes return bit-identical results (property-tested in
 //! `tests/batch_equivalence.rs` / `tests/owned_engine.rs` /
@@ -232,6 +236,62 @@ fn serve_sharded_pair(
     g.finish();
 }
 
+/// Benches the shard-parallelism knob: the same mutating batched
+/// stream served by two 4-shard [`ShardedEngine`]s that differ only in
+/// `shard_threads` — 1 (today's sequential per-shard walk) vs 4 (the
+/// per-shard candidate collection, classify rounds, and RkNN veto
+/// probes fanned over worker-pool lanes; every merge stays on the
+/// calling thread, so replies are bit-identical). On a single-core
+/// host the pair records pure fan-out dispatch overhead (ratio ≈ 1);
+/// real scaling needs the multi-core `bench-ci-scale` runner. The gate
+/// is one-sided — only a *regression* of the parallel/sequential ratio
+/// fails — so faster hosts only ever improve it.
+fn serve_sharded_parallel_pair(
+    c: &mut Criterion,
+    group: &str,
+    object_cfg: &SyntheticConfig,
+    max_iterations: usize,
+) {
+    let db = object_cfg.generate();
+    let stream = QueryStreamConfig {
+        insert_weight: 0.15,
+        delete_weight: 0.15,
+        ..stream_config()
+    }
+    .generate(object_cfg);
+    let cfg = IdcaConfig {
+        max_iterations,
+        decomp_cache_entries: 1024,
+        ..Default::default()
+    };
+    let mut sequential = ShardedEngine::with_config(
+        db.clone(),
+        IdcaConfig {
+            shard_threads: 1,
+            ..cfg.clone()
+        },
+        4,
+    );
+    let mut parallel = ShardedEngine::with_config(
+        db,
+        IdcaConfig {
+            shard_threads: 4,
+            ..cfg
+        },
+        4,
+    );
+
+    let mut g = c.benchmark_group(group);
+    g.sample_size(10);
+    g.bench_function("sequential", |bench| {
+        bench.iter(|| black_box(serve_stream(&mut sequential, &stream, ServeMode::Batched)))
+    });
+    g.bench_function("parallel", |bench| {
+        bench.iter(|| black_box(serve_stream(&mut parallel, &stream, ServeMode::Batched)))
+    });
+    g.finish();
+}
+
 fn bench_serve(c: &mut Criterion) {
     let scale = match std::env::var("UDB_BENCH_SCALE").as_deref() {
         Ok("ci") => Scale::ci(),
@@ -252,6 +312,12 @@ fn bench_serve(c: &mut Criterion) {
     serve_sharded_pair(
         c,
         "serve_stream_sharded",
+        &uniform_cfg,
+        scale.max_iterations,
+    );
+    serve_sharded_parallel_pair(
+        c,
+        "serve_stream_sharded_parallel",
         &uniform_cfg,
         scale.max_iterations,
     );

@@ -65,6 +65,24 @@ pub struct IdcaConfig {
     /// default honours the `UDB_BATCH_THREADS` environment variable (CI
     /// shim, mirroring the other two).
     pub batch_threads: usize,
+    /// Parallel lanes for *per-shard* fan-out in the sharded router's
+    /// query plane ([`crate::ShardedEngine`]): candidate collection
+    /// (each shard's best-first stream materialized under its own
+    /// shard-local pruning bound, then k-way merged on the calling
+    /// thread under the single global `tighten_dk` bound), the
+    /// complete-domination classify of refiner construction, and the
+    /// RkNN veto exchange all run as lane-bounded per-shard pool jobs.
+    /// Every merge/decision stays on the calling thread, so results are
+    /// bit-identical at any lane count (`tests/sharded_equivalence.rs`
+    /// proves it at 1/2/4 threads). Composes with the other thread
+    /// knobs on the same pool (nested scopes are deadlock-safe).
+    ///
+    /// `1` (the default) keeps the router's sequential per-shard loops
+    /// — byte-for-byte the pre-knob code path. The default honours the
+    /// `UDB_SHARD_THREADS` environment variable (CI shim, mirroring the
+    /// other thread knobs). Irrelevant at one shard (the plain engine
+    /// path has no per-shard work to fan).
+    pub shard_threads: usize,
     /// Capacity (in objects) of the owned [`crate::Engine`]'s
     /// **persistent** cross-batch decomposition cache: how many objects'
     /// kd-decomposition expansion levels survive between `run_batch` /
@@ -153,6 +171,11 @@ fn default_batch_threads() -> usize {
     env_threads(&THREADS, "UDB_BATCH_THREADS")
 }
 
+fn default_shard_threads() -> usize {
+    static THREADS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    env_threads(&THREADS, "UDB_SHARD_THREADS")
+}
+
 /// Default capacity of the engine-owned decomposition cache; unlike the
 /// thread shims, `0` is a meaningful value (cache off, per-call
 /// semantics), so only unparsable input falls back to the default.
@@ -214,6 +237,7 @@ impl Default for IdcaConfig {
             snapshot_threads: default_snapshot_threads(),
             candidate_threads: default_candidate_threads(),
             batch_threads: default_batch_threads(),
+            shard_threads: default_shard_threads(),
             decomp_cache_entries: default_decomp_cache_entries(),
             prefilter: default_prefilter(),
             wal_sync_every: default_wal_sync_every(),

@@ -41,6 +41,14 @@
 //!   `k`. A shard can veto a candidate, never add one, and
 //!   `Σ_s min(count_s, k) ≥ k ⇔ Σ_s count_s ≥ k`, so the sharded
 //!   prefilter skips exactly the objects the single-engine probe skips.
+//!
+//! Every per-shard unit above — the classify walk, the candidate-stream
+//! materialization, the veto probe — is independent until its merge, so
+//! [`IdcaConfig::shard_threads`] fans them over worker-pool lanes while
+//! every merge and decision (the k-way merge under the global
+//! `tighten_dk` bound, count summing, the influence sort) stays on the
+//! calling thread. Parallelism is work-only: results are bit-identical
+//! at every lane count, and `shard_threads == 1` is the sequential path.
 
 use udb_domination::PairClassifier;
 use udb_geometry::Rect;
@@ -309,6 +317,174 @@ impl<'a> ShardRef<'a> {
     fn global(&self, s: usize, local: ObjectId) -> ObjectId {
         ObjectId(local.0 * self.n() + s as u32)
     }
+
+    /// Per-shard fan-out width ([`IdcaConfig::shard_threads`], clamped
+    /// to the shard count). `1` runs every per-shard loop inline on the
+    /// calling thread — the sequential path.
+    fn shard_lanes(&self) -> usize {
+        self.cfg.shard_threads.min(self.dbs.len())
+    }
+
+    /// One shard's complete-domination classify: walks shard `s`'s tree
+    /// with the pair filter and returns its certain-dominator count plus
+    /// its influence ids (mapped to global ids, unsorted). Per-object
+    /// verdicts are index-shape independent, so per-shard outcomes
+    /// merge by summing counts and concatenating ids — the fan-out unit
+    /// of [`ShardRef::refiner`].
+    fn classify_shard(
+        &self,
+        s: usize,
+        pc: &PairClassifier,
+        excluded: &[Option<ObjectId>; 2],
+    ) -> (usize, Vec<ObjectId>) {
+        let tree = self.trees[s];
+        let db = self.dbs[s];
+        let mut complete = 0usize;
+        let mut influence: Vec<ObjectId> = Vec::new();
+        self.scratch.with_classify(|scratch| {
+            tree.classify_entries_with(scratch, SUBTREE_SCAN_CUTOFF, |mbr| {
+                match pc.classify(mbr).decision {
+                    Some(false) => NodeDecision::DropAll,
+                    Some(true) => NodeDecision::TakeAll,
+                    None => NodeDecision::Descend,
+                }
+            });
+            for &local in &scratch.taken {
+                let gid = self.global(s, local);
+                if excluded.contains(&Some(gid)) {
+                    continue;
+                }
+                if db.get(local).existence() >= 1.0 {
+                    complete += 1;
+                } else {
+                    influence.push(gid);
+                }
+            }
+            influence.extend(
+                scratch
+                    .undecided
+                    .iter()
+                    .map(|&local| self.global(s, local))
+                    .filter(|gid| !excluded.contains(&Some(*gid))),
+            );
+        });
+        (complete, influence)
+    }
+
+    /// Materializes shard `s`'s best-first candidate stream under its
+    /// **shard-local** pruning bound: the stream stops once MinDist
+    /// exceeds the k-th smallest MaxDist over the shard's own certainly
+    /// existing objects. The local bound can only be *looser* than the
+    /// global merge's bound (the global `tighten_dk` sees every shard's
+    /// certain objects, a superset of this shard's), and the k objects
+    /// pinning the local bound are consumed by the merge before anything
+    /// past it, so the materialized prefix always covers what the merged
+    /// stream would have consumed lazily — the fan-out unit of the
+    /// parallel [`ShardRef::knn_candidates`] path.
+    fn collect_shard_candidates(&self, q: &Rect, k: usize, s: usize) -> Vec<(f64, ObjectId)> {
+        let norm = self.cfg.norm;
+        let db = self.dbs[s];
+        let mut entries: Vec<(f64, ObjectId)> = Vec::new();
+        let mut local_kth = f64::INFINITY;
+        let mut k_smallest: Vec<f64> = Vec::with_capacity(k + 1);
+        for n in self.trees[s].knn_iter(q, norm) {
+            if n.dist > local_kth {
+                break;
+            }
+            entries.push((n.dist, n.payload));
+            let obj = db.get(n.payload);
+            if obj.existence() < 1.0 {
+                continue;
+            }
+            let max_d = obj.mbr().max_dist_rect(q, norm);
+            if let Some(d_k) = tighten_dk(&mut k_smallest, k, max_d) {
+                local_kth = d_k;
+            }
+        }
+        entries
+    }
+
+    /// The k-way candidate merge under **one** global pruning bound:
+    /// the head with the smallest MinDist is consumed next (ties break
+    /// to the lowest shard), every certainly existing object tightens
+    /// the same `d_k` the single-engine stream maintains, and the merge
+    /// stops when the smallest head exceeds `d_k`. Identical whether the
+    /// per-shard streams are lazy iterators or pre-materialized vectors
+    /// — the consumption sequence depends only on `(MinDist, shard)`
+    /// order, which both carry.
+    fn merge_shard_streams<I>(&self, q: &Rect, k: usize, streams: Vec<I>) -> Vec<ObjectId>
+    where
+        I: Iterator<Item = (f64, ObjectId)>,
+    {
+        let norm = self.cfg.norm;
+        let mut streams: Vec<_> = streams.into_iter().map(Iterator::peekable).collect();
+        let mut seen: Vec<(ObjectId, f64)> = Vec::new(); // (gid, min_dist)
+        let mut kth_max = f64::INFINITY;
+        let mut k_smallest: Vec<f64> = Vec::with_capacity(k + 1);
+        loop {
+            let mut best: Option<(usize, f64)> = None;
+            for (s, stream) in streams.iter_mut().enumerate() {
+                if let Some(&(dist, _)) = stream.peek() {
+                    if best.is_none_or(|(_, d)| dist < d) {
+                        best = Some((s, dist));
+                    }
+                }
+            }
+            let Some((s, dist)) = best else {
+                break; // every shard stream is exhausted
+            };
+            if dist > kth_max {
+                break; // every further object has MinDist > d_k
+            }
+            let (min_d, local) = streams[s].next().expect("peeked head");
+            let gid = self.global(s, local);
+            let obj = self.dbs[s].get(local);
+            seen.push((gid, min_d));
+            if obj.existence() < 1.0 {
+                continue; // cannot contribute to d_k
+            }
+            let max_d = obj.mbr().max_dist_rect(q, norm);
+            if let Some(d_k) = tighten_dk(&mut k_smallest, k, max_d) {
+                kth_max = d_k;
+            }
+        }
+        seen.into_iter()
+            .filter(|(_, min_d)| *min_d <= kth_max)
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// One shard's certain-dominator probe inside the veto radius,
+    /// stopping early once `cap` dominators are found (`cap` dominators
+    /// from one report already decide the veto) — the fan-out unit of
+    /// [`ShardRef::certain_dominators_reach`].
+    fn count_shard_dominators(
+        &self,
+        s: usize,
+        q: &UncertainObject,
+        b_obj: &UncertainObject,
+        b_id: ObjectId,
+        radius: f64,
+        cap: usize,
+    ) -> usize {
+        let cfg = self.cfg;
+        let db = self.dbs[s];
+        let mut count = 0usize;
+        self.trees[s].for_each_within_distance(b_obj.mbr(), radius, cfg.norm, &mut |&local| {
+            let a = db.get(local);
+            // only certainly existing objects are certain dominators
+            if self.global(s, local) != b_id
+                && a.existence() >= 1.0
+                && cfg
+                    .criterion
+                    .dominates(a.mbr(), q.mbr(), b_obj.mbr(), cfg.norm)
+            {
+                count += 1;
+            }
+            count < cap
+        });
+        count
+    }
 }
 
 impl<'a> QueryPlane<'a> for ShardRef<'a> {
@@ -324,7 +500,10 @@ impl<'a> QueryPlane<'a> for ShardRef<'a> {
     /// classified independently (per-object verdicts are index-shape
     /// independent), certain-dominator counts sum, and influence ids
     /// map to global ids and merge sorted — exactly the single index's
-    /// filter outcome over the union.
+    /// filter outcome over the union. The per-shard classifies fan out
+    /// over [`IdcaConfig::shard_threads`] pool lanes; summed counts are
+    /// order-free and the concatenated ids are sorted after the merge,
+    /// so the outcome is identical at every lane count.
     fn refiner(
         &self,
         target: ObjRef<'a>,
@@ -343,37 +522,20 @@ impl<'a> QueryPlane<'a> for ShardRef<'a> {
             cfg.criterion,
             cfg.norm,
         );
+        let mut tasks: Vec<(usize, usize, Vec<ObjectId>)> =
+            (0..self.trees.len()).map(|s| (s, 0, Vec::new())).collect();
+        self.pool.fan_each(
+            self.shard_lanes(),
+            &mut tasks,
+            |(s, complete, influence)| {
+                (*complete, *influence) = self.classify_shard(*s, &pc, &excluded);
+            },
+        );
         let mut complete = 0usize;
         let mut influence: Vec<ObjectId> = Vec::new();
-        for (s, tree) in self.trees.iter().enumerate() {
-            let db = self.dbs[s];
-            self.scratch.with_classify(|scratch| {
-                tree.classify_entries_with(scratch, SUBTREE_SCAN_CUTOFF, |mbr| {
-                    match pc.classify(mbr).decision {
-                        Some(false) => NodeDecision::DropAll,
-                        Some(true) => NodeDecision::TakeAll,
-                        None => NodeDecision::Descend,
-                    }
-                });
-                for &local in &scratch.taken {
-                    let gid = self.global(s, local);
-                    if excluded.contains(&Some(gid)) {
-                        continue;
-                    }
-                    if db.get(local).existence() >= 1.0 {
-                        complete += 1;
-                    } else {
-                        influence.push(gid);
-                    }
-                }
-                influence.extend(
-                    scratch
-                        .undecided
-                        .iter()
-                        .map(|&local| self.global(s, local))
-                        .filter(|gid| !excluded.contains(&Some(*gid))),
-                );
-            });
+        for (_, shard_complete, shard_influence) in tasks {
+            complete += shard_complete;
+            influence.extend(shard_influence);
         }
         influence.sort_unstable();
         Refiner::with_filter_result_view(
@@ -390,55 +552,38 @@ impl<'a> QueryPlane<'a> for ShardRef<'a> {
     }
 
     /// K-way merge of the per-shard best-first streams under **one**
-    /// global pruning bound: the head with the smallest MinDist is
-    /// consumed next (ties break to the lowest shard — candidate
-    /// membership is visit-order independent, see the module docs), and
-    /// every certainly existing object tightens the same `d_k` the
-    /// single-engine stream maintains. The merged stream stops when the
-    /// smallest head exceeds `d_k`, so far shards stop contributing as
-    /// soon as a near shard has pinned the radius.
+    /// global pruning bound (see [`ShardRef::merge_shard_streams`]), so
+    /// far shards stop contributing as soon as a near shard has pinned
+    /// the radius. At `shard_threads == 1` the merge consumes the lazy
+    /// per-shard iterators directly; above it each shard first
+    /// materializes its stream under its shard-local bound on a pool
+    /// lane ([`ShardRef::collect_shard_candidates`]) — a provable
+    /// superset of what the merge consumes, since the local bound is
+    /// never tighter than the global one — and the calling thread
+    /// replays the identical merge over the vectors. Same consumption
+    /// sequence, same `tighten_dk` call order, same candidate set.
     fn knn_candidates(&self, q: &Rect, k: usize) -> Vec<ObjectId> {
         assert!(k >= 1);
-        let norm = self.cfg.norm;
-        let mut streams: Vec<_> = self
-            .trees
-            .iter()
-            .map(|tree| tree.knn_iter(q, norm).peekable())
-            .collect();
-        let mut seen: Vec<(ObjectId, f64)> = Vec::new(); // (gid, max_dist)
-        let mut kth_max = f64::INFINITY;
-        let mut k_smallest: Vec<f64> = Vec::with_capacity(k + 1);
-        loop {
-            let mut best: Option<(usize, f64)> = None;
-            for (s, stream) in streams.iter_mut().enumerate() {
-                if let Some(head) = stream.peek() {
-                    if best.is_none_or(|(_, d)| head.dist < d) {
-                        best = Some((s, head.dist));
-                    }
-                }
-            }
-            let Some((s, dist)) = best else {
-                break; // every shard stream is exhausted
-            };
-            if dist > kth_max {
-                break; // every further object has MinDist > d_k
-            }
-            let neighbor = streams[s].next().expect("peeked head");
-            let gid = self.global(s, neighbor.payload);
-            let obj = self.dbs[s].get(neighbor.payload);
-            seen.push((gid, neighbor.dist));
-            if obj.existence() < 1.0 {
-                continue; // cannot contribute to d_k
-            }
-            let max_d = obj.mbr().max_dist_rect(q, norm);
-            if let Some(d_k) = tighten_dk(&mut k_smallest, k, max_d) {
-                kth_max = d_k;
-            }
+        let lanes = self.shard_lanes();
+        if lanes <= 1 {
+            let norm = self.cfg.norm;
+            let streams: Vec<_> = self
+                .trees
+                .iter()
+                .map(|tree| tree.knn_iter(q, norm).map(|n| (n.dist, n.payload)))
+                .collect();
+            return self.merge_shard_streams(q, k, streams);
         }
-        seen.into_iter()
-            .filter(|(_, min_d)| *min_d <= kth_max)
-            .map(|(id, _)| id)
-            .collect()
+        let mut tasks: Vec<(usize, Vec<(f64, ObjectId)>)> =
+            (0..self.trees.len()).map(|s| (s, Vec::new())).collect();
+        self.pool.fan_each(lanes, &mut tasks, |(s, entries)| {
+            *entries = self.collect_shard_candidates(q, k, *s);
+        });
+        let streams: Vec<_> = tasks
+            .into_iter()
+            .map(|(_, entries)| entries.into_iter())
+            .collect();
+        self.merge_shard_streams(q, k, streams)
     }
 
     /// Per-request merged streams (no cross-shard grouped descent yet
@@ -476,7 +621,12 @@ impl<'a> QueryPlane<'a> for ShardRef<'a> {
     /// its probe stops early like the single-engine one), the router
     /// sums the reports and vetoes the candidate once the global count
     /// reaches `k`. Capping is lossless for the veto decision:
-    /// `Σ min(count_s, k) ≥ k ⇔ Σ count_s ≥ k`.
+    /// `Σ min(count_s, k) ≥ k ⇔ Σ count_s ≥ k` — which also makes the
+    /// per-shard probes order-free, so above `shard_threads == 1` they
+    /// run as pool lanes (each capped at `k`) and only the sum is taken
+    /// on the calling thread; at one lane the shards probe in order and
+    /// later shards stop at the remaining deficit, exactly the
+    /// sequential exchange.
     fn certain_dominators_reach(
         &self,
         q: &UncertainObject,
@@ -484,33 +634,27 @@ impl<'a> QueryPlane<'a> for ShardRef<'a> {
         b_id: ObjectId,
         k: usize,
     ) -> bool {
-        let cfg = self.cfg;
-        let radius = q.mbr().min_dist_rect(b_obj.mbr(), cfg.norm);
+        let radius = q.mbr().min_dist_rect(b_obj.mbr(), self.cfg.norm);
         if radius <= 0.0 {
             // overlapping MBRs: in some world q is at distance 0 from B,
             // which no object can strictly beat — no shard is probed
             return false;
         }
-        let mut count = 0usize;
-        for (s, tree) in self.trees.iter().enumerate() {
-            if count >= k {
-                break; // the summed reports already veto
-            }
-            let db = self.dbs[s];
-            tree.for_each_within_distance(b_obj.mbr(), radius, cfg.norm, &mut |&local| {
-                let a = db.get(local);
-                // only certainly existing objects are certain dominators
-                if self.global(s, local) != b_id
-                    && a.existence() >= 1.0
-                    && cfg
-                        .criterion
-                        .dominates(a.mbr(), q.mbr(), b_obj.mbr(), cfg.norm)
-                {
-                    count += 1;
+        let lanes = self.shard_lanes();
+        if lanes <= 1 {
+            let mut count = 0usize;
+            for s in 0..self.trees.len() {
+                if count >= k {
+                    break; // the summed reports already veto
                 }
-                count < k
-            });
+                count += self.count_shard_dominators(s, q, b_obj, b_id, radius, k - count);
+            }
+            return count >= k;
         }
-        count >= k
+        let mut counts: Vec<(usize, usize)> = (0..self.trees.len()).map(|s| (s, 0)).collect();
+        self.pool.fan_each(lanes, &mut counts, |(s, count)| {
+            *count = self.count_shard_dominators(*s, q, b_obj, b_id, radius, k);
+        });
+        counts.iter().map(|(_, count)| count).sum::<usize>() >= k
     }
 }

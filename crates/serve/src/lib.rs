@@ -42,6 +42,15 @@ use udb_core::{IdcaConfig, QueryBatch, ShardedEngine, ThresholdResult};
 use udb_object::{ObjectId, UncertainObject};
 use udb_workload::{QueryStreamConfig, StreamOp, SyntheticConfig};
 
+pub mod front;
+
+/// One queued input line of the multi-connection front: the connection
+/// id plus the decoded text — or the reader-side reason the bytes could
+/// not be decoded (invalid UTF-8, a mid-stream read error), which the
+/// executor answers as `ERR <reason>` without touching the engine or
+/// closing the connection.
+pub type TaggedLine = (u64, Result<String, String>);
+
 /// One parsed protocol operation.
 #[derive(Debug, Clone)]
 pub enum Op {
@@ -213,21 +222,54 @@ impl Server {
         &self.engine
     }
 
+    /// The query-run fusion cap this server was built with.
+    pub fn batch_cap(&self) -> usize {
+        self.batch_cap
+    }
+
     /// Executes a slice of protocol lines in order and returns one
     /// reply line per operation line (comments and blanks produce no
     /// reply) plus whether a `QUIT` was executed — lines after a `QUIT`
     /// are dropped unexecuted, like input after a closed stream.
     pub fn execute_batch(&mut self, lines: &[String]) -> (Vec<String>, bool) {
-        let mut replies: Vec<String> = Vec::new();
+        let tagged: Vec<TaggedLine> = lines.iter().map(|l| (0, Ok(l.clone()))).collect();
+        let (replies, quits) = self.execute_tagged(&tagged);
+        let replies = replies.into_iter().map(|(_, reply)| reply).collect();
+        (replies, !quits.is_empty())
+    }
+
+    /// The multi-connection executor step: processes connection-tagged
+    /// lines as **one** protocol sequence (the slice order is the
+    /// arrival order the pump drained, so batch fusion spans
+    /// connections) and returns one tagged reply per operation line, in
+    /// slice order — each connection's replies appear in its own op
+    /// order — plus the connections that executed `QUIT`. A `QUIT`
+    /// closes only its own connection: that connection's later lines in
+    /// the slice are dropped unexecuted, every other connection's lines
+    /// proceed. `Err` lines (reader-side decode failures) reply
+    /// `ERR <reason>` without touching the engine.
+    pub fn execute_tagged(&mut self, lines: &[TaggedLine]) -> (Vec<(u64, String)>, Vec<u64>) {
+        let mut replies: Vec<(u64, String)> = Vec::new();
+        let mut quits: Vec<u64> = Vec::new();
         // reply slots of the current run of consecutive query lines
         let mut pending: Vec<(usize, Op)> = Vec::new();
-        for line in lines {
+        for (conn, line) in lines {
+            if quits.contains(conn) {
+                continue; // this connection closed earlier in the slice
+            }
+            let line = match line {
+                Ok(line) => line,
+                Err(reason) => {
+                    replies.push((*conn, format!("ERR {reason}")));
+                    continue;
+                }
+            };
             match parse_line(line) {
                 Ok(None) => {}
-                Err(e) => replies.push(format!("ERR {e}")),
+                Err(e) => replies.push((*conn, format!("ERR {e}"))),
                 Ok(Some(op)) if op.is_query() => {
                     let slot = replies.len();
-                    replies.push(String::new());
+                    replies.push((*conn, String::new()));
                     pending.push((slot, op));
                     if pending.len() >= self.batch_cap {
                         self.flush_queries(&mut replies, &mut pending);
@@ -238,20 +280,20 @@ impl Server {
                     // against the pre-mutation state first
                     self.flush_queries(&mut replies, &mut pending);
                     let quit = matches!(op, Op::Quit);
-                    replies.push(self.apply(op));
+                    replies.push((*conn, self.apply(op)));
                     if quit {
-                        return (replies, true);
+                        quits.push(*conn);
                     }
                 }
             }
         }
         self.flush_queries(&mut replies, &mut pending);
-        (replies, false)
+        (replies, quits)
     }
 
     /// Runs a queued query run as one [`QueryBatch`] and fills the
     /// reserved reply slots.
-    fn flush_queries(&mut self, replies: &mut [String], pending: &mut Vec<(usize, Op)>) {
+    fn flush_queries(&mut self, replies: &mut [(u64, String)], pending: &mut Vec<(usize, Op)>) {
         if pending.is_empty() {
             return;
         }
@@ -266,7 +308,7 @@ impl Server {
         }
         let results = self.engine.run_batch(&batch);
         for ((slot, _), hits) in pending.drain(..).zip(results) {
-            replies[slot] = format_results(&hits);
+            replies[slot].1 = format_results(&hits);
         }
     }
 

@@ -1,30 +1,33 @@
 //! `serve` — the line-protocol serving binary (see `docs/SERVING.md`).
 //!
-//! Three modes:
+//! Four modes:
 //!
 //! * **stdin** (default): read protocol lines from stdin, reply on
 //!   stdout, exit on `QUIT`/EOF. `serve --gen ... | serve --shards 4`
 //!   is the whole serve-smoke pipeline.
-//! * **TCP** (`--tcp ADDR`): accept connections one at a time, serving
-//!   each with the same protocol; engine state persists across
-//!   connections; `QUIT` closes the connection, not the server.
+//! * **TCP** (`--tcp ADDR`): accept connections concurrently — one
+//!   reader thread per connection feeding the single execution pump
+//!   ([`udb_serve::front`]) — with per-connection reply ordering;
+//!   engine state persists across connections; `QUIT` closes its own
+//!   connection, not the server.
+//! * **client** (`--client ADDR`): connect to a TCP server, forward
+//!   stdin as raw bytes and echo reply lines to stdout until the server
+//!   closes the connection — the scripting client behind the CI
+//!   concurrent-connection smoke.
 //! * **generator** (`--gen`): emit a deterministic protocol script on
 //!   stdout (seed inserts + mixed query/mutation stream + shutdown) for
 //!   smoke tests and oracle diffs.
 //!
-//! Ingestion is queue-fed: a reader thread pushes raw lines into a
-//! channel while the execution loop drains up to `--batch-cap` queued
+//! Ingestion is queue-fed: reader threads push tagged lines into a
+//! channel while the execution pump drains up to `--batch-cap` queued
 //! lines at a time and hands each drained slice to
-//! [`udb_serve::Server::execute_batch`], which fuses consecutive
-//! queries into shared [`udb_core::QueryBatch`] passes over the
-//! engine's worker pool. Queueing never reorders: replies always come
-//! back in line order.
-
-use std::io::{BufRead, BufReader, BufWriter, Write};
-use std::sync::mpsc;
+//! [`udb_serve::Server::execute_tagged`], which fuses consecutive
+//! queries — across connections — into shared [`udb_core::QueryBatch`]
+//! passes over the engine's worker pool. Queueing never reorders: each
+//! connection's replies always come back in its own op order.
 
 use udb_core::{env_shards, IdcaConfig, ShardedEngine};
-use udb_serve::{generate_script, Server};
+use udb_serve::{front, generate_script, Server};
 use udb_workload::{QueryStreamConfig, SyntheticConfig};
 
 const USAGE: &str = "\
@@ -32,6 +35,7 @@ serve — line-protocol front for the sharded uncertain-db engine
 
 USAGE:
   serve [--shards N] [--batch-cap N] [--dir PATH] [--tcp ADDR]
+  serve --client ADDR
   serve --gen [--objects N] [--batches N] [--batch-size N] [--seed N] [--mutating]
 
 OPTIONS:
@@ -39,7 +43,10 @@ OPTIONS:
   --batch-cap N   max consecutive queries fused into one batch
                   (default: $UDB_SERVE_BATCH_CAP, else 16)
   --dir PATH      durable mode: per-shard WAL + checkpoints under PATH
-  --tcp ADDR      listen on ADDR (e.g. 127.0.0.1:7878) instead of stdin
+  --tcp ADDR      listen on ADDR (e.g. 127.0.0.1:7878) instead of stdin;
+                  connections are served concurrently
+  --client ADDR   connect to a serving --tcp instance: forward stdin,
+                  echo replies until the server closes the connection
   --gen           emit a deterministic protocol script on stdout
   --objects N     [gen] seed object count (default 60)
   --batches N     [gen] stream arrival batches (default 3)
@@ -54,6 +61,7 @@ struct Args {
     batch_cap: usize,
     dir: Option<String>,
     tcp: Option<String>,
+    client: Option<String>,
     gen: bool,
     objects: usize,
     batches: usize,
@@ -72,6 +80,7 @@ fn parse_args() -> Result<Args, String> {
         batch_cap: env_usize("UDB_SERVE_BATCH_CAP").unwrap_or(16),
         dir: None,
         tcp: None,
+        client: None,
         gen: false,
         objects: 60,
         batches: 3,
@@ -95,6 +104,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--dir" => args.dir = Some(value("--dir")?),
             "--tcp" => args.tcp = Some(value("--tcp")?),
+            "--client" => args.client = Some(value("--client")?),
             "--gen" => args.gen = true,
             "--objects" => {
                 args.objects = value("--objects")?
@@ -147,78 +157,6 @@ fn build_server(args: &Args) -> Result<Server, String> {
     Ok(Server::new(engine, args.batch_cap))
 }
 
-/// Drains the queue into batches of at most `batch_cap` lines and
-/// executes each, writing replies in order. Returns on `QUIT` or when
-/// the reader hangs up (EOF).
-fn pump(
-    server: &mut Server,
-    rx: &mpsc::Receiver<String>,
-    out: &mut impl Write,
-    batch_cap: usize,
-) -> std::io::Result<()> {
-    while let Ok(first) = rx.recv() {
-        let mut lines = vec![first];
-        while lines.len() < batch_cap {
-            match rx.try_recv() {
-                Ok(line) => lines.push(line),
-                Err(_) => break,
-            }
-        }
-        let (replies, quit) = server.execute_batch(&lines);
-        for reply in replies {
-            writeln!(out, "{reply}")?;
-        }
-        out.flush()?;
-        if quit {
-            break;
-        }
-    }
-    Ok(())
-}
-
-fn serve_stdin(server: &mut Server, batch_cap: usize) -> std::io::Result<()> {
-    let (tx, rx) = mpsc::channel::<String>();
-    let reader = std::thread::spawn(move || {
-        for line in std::io::stdin().lock().lines() {
-            let Ok(line) = line else { break };
-            if tx.send(line).is_err() {
-                break;
-            }
-        }
-    });
-    let stdout = std::io::stdout();
-    let mut out = BufWriter::new(stdout.lock());
-    pump(server, &rx, &mut out, batch_cap)?;
-    drop(rx);
-    let _ = reader.join();
-    Ok(())
-}
-
-fn serve_tcp(server: &mut Server, addr: &str, batch_cap: usize) -> std::io::Result<()> {
-    let listener = std::net::TcpListener::bind(addr)?;
-    eprintln!("serve: listening on {}", listener.local_addr()?);
-    for conn in listener.incoming() {
-        let conn = conn?;
-        let reader_half = BufReader::new(conn.try_clone()?);
-        let mut out = BufWriter::new(conn);
-        let (tx, rx) = mpsc::channel::<String>();
-        let reader = std::thread::spawn(move || {
-            for line in reader_half.lines() {
-                let Ok(line) = line else { break };
-                if tx.send(line).is_err() {
-                    break;
-                }
-            }
-        });
-        // engine state persists across connections; QUIT only closes
-        // this connection's stream
-        pump(server, &rx, &mut out, batch_cap)?;
-        drop(rx);
-        let _ = reader.join();
-    }
-    Ok(())
-}
-
 fn main() {
     let args = match parse_args() {
         Ok(args) => args,
@@ -245,19 +183,40 @@ fn main() {
         print!("{}", generate_script(&objects, &stream));
         return;
     }
-    let mut server = match build_server(&args) {
+    if let Some(addr) = &args.client {
+        if let Err(e) = front::run_client(addr) {
+            eprintln!("serve: client error: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
+    let server = match build_server(&args) {
         Ok(server) => server,
         Err(e) => {
             eprintln!("serve: {e}");
             std::process::exit(2);
         }
     };
-    let result = match &args.tcp {
-        Some(addr) => serve_tcp(&mut server, addr, args.batch_cap),
-        None => serve_stdin(&mut server, args.batch_cap),
-    };
-    if let Err(e) = result {
-        eprintln!("serve: io error: {e}");
-        std::process::exit(1);
+    match &args.tcp {
+        Some(addr) => {
+            let listener = match std::net::TcpListener::bind(addr) {
+                Ok(listener) => listener,
+                Err(e) => {
+                    eprintln!("serve: cannot bind {addr}: {e}");
+                    std::process::exit(1);
+                }
+            };
+            match listener.local_addr() {
+                Ok(local) => eprintln!("serve: listening on {local}"),
+                Err(e) => eprintln!("serve: listening ({e})"),
+            }
+            if let Err(e) = front::serve_listener(server, listener, None) {
+                eprintln!("serve: io error: {e}");
+                std::process::exit(1);
+            }
+        }
+        None => {
+            front::serve_stdin(server);
+        }
     }
 }

@@ -1,0 +1,298 @@
+//! Concurrency contract of the multi-connection front (`udb_serve::front`):
+//! per-connection reply ordering, `QUIT` isolation, decode-error
+//! surfacing, oracle equality for concurrent clients, and
+//! prefix-consistency after a mid-connection disconnect.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::thread::JoinHandle;
+
+use udb_core::IdcaConfig;
+use udb_serve::{empty_server, front, Server, TaggedLine};
+use udb_workload::SyntheticConfig;
+
+fn cfg() -> IdcaConfig {
+    IdcaConfig {
+        max_iterations: 3,
+        ..Default::default()
+    }
+}
+
+/// JSON lines for `n` deterministic synthetic objects.
+fn object_jsons(n: usize, seed_shift: u64) -> Vec<String> {
+    let db = SyntheticConfig {
+        n,
+        max_extent: 0.02,
+        seed: 0x5EED + seed_shift,
+        ..Default::default()
+    }
+    .generate();
+    db.iter()
+        .map(|(_, o)| serde_json::to_string(o).expect("objects serialize"))
+        .collect()
+}
+
+/// Starts a TCP front over a fresh engine; the returned handle joins to
+/// the final [`Server`] once `max_conns` connections have all closed.
+fn spawn_front(
+    shards: usize,
+    batch_cap: usize,
+    max_conns: usize,
+) -> (SocketAddr, JoinHandle<Server>) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr");
+    let server = empty_server(cfg(), shards, batch_cap);
+    let handle = std::thread::spawn(move || {
+        front::serve_listener(server, listener, Some(max_conns)).expect("serve")
+    });
+    (addr, handle)
+}
+
+/// One scripted connection: sends every line, half-closes the write
+/// side, and collects reply lines until the server closes the stream.
+fn run_conn(addr: SocketAddr, lines: &[String]) -> Vec<String> {
+    let conn = TcpStream::connect(addr).expect("connect");
+    let mut write_half = conn.try_clone().expect("clone");
+    for line in lines {
+        writeln!(write_half, "{line}").expect("send");
+    }
+    write_half.flush().expect("flush");
+    let _ = write_half.shutdown(Shutdown::Write);
+    BufReader::new(conn)
+        .lines()
+        .map(|l| l.expect("reply line"))
+        .collect()
+}
+
+#[test]
+fn tagged_execution_preserves_per_connection_order_and_quit_isolation() {
+    let mut server = empty_server(cfg(), 2, 4);
+    let insert = format!("INSERT {}", object_jsons(1, 0)[0]);
+    let ok = |s: &str| Ok(s.to_owned());
+    let lines: Vec<TaggedLine> = vec![
+        (1, ok("STATS")),
+        (2, ok("STATS")),
+        (1, ok("QUIT")),
+        (1, ok("STATS")), // after conn 1's QUIT: dropped unexecuted
+        (3, Err("line is not valid UTF-8".to_owned())),
+        (2, Ok(insert)),
+        (2, ok("STATS")),
+    ];
+    let (replies, quits) = server.execute_tagged(&lines);
+    assert_eq!(quits, vec![1], "only connection 1 quit");
+    assert_eq!(
+        replies,
+        vec![
+            (1, "OK objects=0 mutations=0".to_owned()),
+            (2, "OK objects=0 mutations=0".to_owned()),
+            (1, "OK bye".to_owned()),
+            (3, "ERR line is not valid UTF-8".to_owned()),
+            (2, "OK 0".to_owned()),
+            (2, "OK objects=1 mutations=1".to_owned()),
+        ],
+        "replies must keep slice order, per-connection tags, and drop \
+         only the quitting connection's later lines"
+    );
+}
+
+#[test]
+fn concurrent_clients_match_their_single_connection_oracles() {
+    // seed the engine over one connection, then run three concurrent
+    // query-only clients: with no mutations in flight, each client's
+    // reply stream must be byte-identical to replaying seed + its own
+    // script through a fresh in-process server (the CI serve-smoke
+    // concurrent phase, in-process)
+    let (addr, handle) = spawn_front(2, 8, 4);
+    let seed_lines: Vec<String> = object_jsons(24, 0)
+        .into_iter()
+        .map(|json| format!("INSERT {json}"))
+        .collect();
+    let seed_replies = run_conn(addr, &{
+        let mut with_quit = seed_lines.clone();
+        with_quit.push("QUIT".to_owned());
+        with_quit
+    });
+    assert_eq!(seed_replies.len(), seed_lines.len() + 1);
+
+    let client_scripts: Vec<Vec<String>> = (0..3)
+        .map(|c| {
+            let mut script: Vec<String> = object_jsons(3, 100 + c)
+                .into_iter()
+                .enumerate()
+                .flat_map(|(i, json)| {
+                    vec![
+                        format!("KNN {} 0.25 {json}", 2 + i),
+                        format!("RKNN 2 0.25 {json}"),
+                        format!("TOPM 2 {json}"),
+                    ]
+                })
+                .collect();
+            script.push("STATS".to_owned());
+            script.push("QUIT".to_owned());
+            script
+        })
+        .collect();
+
+    let got: Vec<Vec<String>> = client_scripts
+        .iter()
+        .map(|script| {
+            let script = script.clone();
+            std::thread::spawn(move || run_conn(addr, &script))
+        })
+        .collect::<Vec<_>>()
+        .into_iter()
+        .map(|h| h.join().expect("client thread"))
+        .collect();
+
+    for (c, script) in client_scripts.iter().enumerate() {
+        let mut oracle_input = seed_lines.clone();
+        oracle_input.extend(script.iter().cloned());
+        let (oracle, quit) = empty_server(cfg(), 2, 8).execute_batch(&oracle_input);
+        assert!(quit);
+        let expected: Vec<String> = oracle[seed_lines.len()..].to_vec();
+        assert_eq!(got[c], expected, "client {c} diverged from its oracle");
+    }
+    let server = handle.join().expect("front thread");
+    assert_eq!(server.engine().len(), 24, "queries must not mutate");
+}
+
+#[test]
+fn interleaved_mutating_connections_see_their_own_replies_in_op_order() {
+    // three connections mutate and query concurrently; the engine
+    // history is some interleaving of their scripts, but each
+    // connection must still see one reply per op, in its own op order,
+    // with the reply kind matching the op kind
+    let (addr, handle) = spawn_front(2, 4, 3);
+    let per_conn_inserts = 8usize;
+    let scripts: Vec<Vec<String>> = (0..3)
+        .map(|c| {
+            let mut script = Vec::new();
+            for (i, json) in object_jsons(per_conn_inserts, 200 + c)
+                .into_iter()
+                .enumerate()
+            {
+                script.push(format!("INSERT {json}"));
+                if i % 2 == 0 {
+                    script.push("STATS".to_owned());
+                } else {
+                    script.push(format!("KNN 2 0.25 {json}"));
+                }
+            }
+            script.push("QUIT".to_owned());
+            script
+        })
+        .collect();
+    let got: Vec<Vec<String>> = scripts
+        .iter()
+        .map(|script| {
+            let script = script.clone();
+            std::thread::spawn(move || run_conn(addr, &script))
+        })
+        .collect::<Vec<_>>()
+        .into_iter()
+        .map(|h| h.join().expect("client thread"))
+        .collect();
+
+    let mut inserted_ids: Vec<u32> = Vec::new();
+    for (c, (script, replies)) in scripts.iter().zip(&got).enumerate() {
+        assert_eq!(replies.len(), script.len(), "conn {c}: one reply per op");
+        for (line, reply) in script.iter().zip(replies) {
+            let verb = line.split(' ').next().unwrap();
+            match verb {
+                "INSERT" => {
+                    let id: u32 = reply
+                        .strip_prefix("OK ")
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| panic!("conn {c}: INSERT reply {reply:?}"));
+                    inserted_ids.push(id);
+                }
+                "STATS" => assert!(
+                    reply.starts_with("OK objects="),
+                    "conn {c}: STATS reply {reply:?}"
+                ),
+                "KNN" => assert!(reply.starts_with("RES"), "conn {c}: KNN reply {reply:?}"),
+                "QUIT" => assert_eq!(reply, "OK bye", "conn {c}"),
+                other => panic!("unexpected verb {other}"),
+            }
+        }
+    }
+    // global ids are handed out exactly once across connections
+    let total = 3 * per_conn_inserts;
+    inserted_ids.sort_unstable();
+    inserted_ids.dedup();
+    assert_eq!(inserted_ids.len(), total, "duplicate global ids");
+    let server = handle.join().expect("front thread");
+    assert_eq!(server.engine().len(), total);
+    assert_eq!(server.engine().mutations() as usize, total);
+}
+
+#[test]
+fn mid_connection_disconnect_keeps_exactly_the_acknowledged_prefix() {
+    let (addr, handle) = spawn_front(2, 4, 2);
+    let prefix: Vec<String> = object_jsons(5, 300)
+        .into_iter()
+        .map(|json| format!("INSERT {json}"))
+        .collect();
+
+    // connection A: send the prefix, read its acknowledgements, then
+    // vanish without QUIT (dropping the socket mid-connection)
+    {
+        let conn = TcpStream::connect(addr).expect("connect");
+        let mut write_half = conn.try_clone().expect("clone");
+        for line in &prefix {
+            writeln!(write_half, "{line}").expect("send");
+        }
+        write_half.flush().expect("flush");
+        let mut replies = BufReader::new(&conn);
+        for i in 0..prefix.len() {
+            let mut reply = String::new();
+            replies.read_line(&mut reply).expect("read");
+            assert_eq!(reply.trim_end(), format!("OK {i}"));
+        }
+        // dropped here: no QUIT, no half-close handshake
+    }
+
+    // connection B observes the engine afterwards
+    let probe = format!("KNN 2 0.25 {}", object_jsons(1, 301)[0]);
+    let observed = run_conn(
+        addr,
+        &["STATS".to_owned(), probe.clone(), "QUIT".to_owned()],
+    );
+
+    // the oracle applies exactly the acknowledged prefix
+    let mut oracle_input = prefix.clone();
+    oracle_input.push("STATS".to_owned());
+    oracle_input.push(probe);
+    oracle_input.push("QUIT".to_owned());
+    let (oracle, _) = empty_server(cfg(), 2, 4).execute_batch(&oracle_input);
+    assert_eq!(observed, oracle[prefix.len()..].to_vec());
+
+    let server = handle.join().expect("front thread");
+    assert_eq!(server.engine().len(), prefix.len());
+}
+
+#[test]
+fn undecodable_bytes_reply_err_and_keep_the_connection_serving() {
+    // raw bytes (not run_conn: the payload is deliberately not UTF-8)
+    let (addr, handle) = spawn_front(1, 4, 1);
+    let conn = TcpStream::connect(addr).expect("connect");
+    let mut write_half = conn.try_clone().expect("clone");
+    write_half
+        .write_all(b"STATS\n\xff\xfeBAD\nSTATS\nQUIT\n")
+        .expect("send");
+    write_half.flush().expect("flush");
+    let mut replies = String::new();
+    BufReader::new(conn)
+        .read_to_string(&mut replies)
+        .expect("replies are UTF-8");
+    assert_eq!(
+        replies.lines().collect::<Vec<_>>(),
+        vec![
+            "OK objects=0 mutations=0",
+            "ERR line is not valid UTF-8",
+            "OK objects=0 mutations=0",
+            "OK bye",
+        ]
+    );
+    handle.join().expect("front thread");
+}
