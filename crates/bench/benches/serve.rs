@@ -29,6 +29,14 @@
 //!   `shard_threads = 4` against `shard_threads = 1`: what fanning the
 //!   per-shard work over worker-pool lanes buys (or costs, on a
 //!   single-core host, where the pair records dispatch overhead only).
+//! * **standing maintain vs reanswer** — a churn loop (insert then
+//!   remove the same objects) against an engine holding registered
+//!   standing kNN subscriptions (incremental maintenance after every
+//!   mutation) vs re-running every standing query from scratch after
+//!   every mutation. The maintained results are bit-identical to
+//!   re-answering (property-tested in `tests/standing_equivalence.rs`);
+//!   the ratio is the subsystem's reason to exist and must stay below
+//!   parity.
 //!
 //! All modes return bit-identical results (property-tested in
 //! `tests/batch_equivalence.rs` / `tests/owned_engine.rs` /
@@ -41,7 +49,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use udb_bench::Scale;
-use udb_core::{Engine, IdcaConfig, ShardedEngine};
+use udb_core::{Engine, IdcaConfig, ShardedEngine, StandingSpec};
 use udb_workload::{serve_stream, PdfKind, QueryStreamConfig, ServeMode, SyntheticConfig};
 
 /// The hot-spot stream every serve bench replays: two arrival batches
@@ -57,6 +65,7 @@ fn stream_config() -> QueryStreamConfig {
         top_m_weight: 0.25,
         insert_weight: 0.0,
         delete_weight: 0.0,
+        subscribe_weight: 0.0,
         k: 5,
         tau: 0.3,
         m: 3,
@@ -292,6 +301,88 @@ fn serve_sharded_parallel_pair(
     g.finish();
 }
 
+/// Benches the standing-query subsystem's reason to exist: the same
+/// net-zero churn loop (insert six objects, re-remove them, queries
+/// after every mutation) served two ways. `maintain` holds four
+/// registered standing kNN subscriptions and lets the incremental
+/// maintainer bring their result sets up to date after every mutation
+/// (skipping or partially re-refining whenever the stored decided
+/// bounds prove stability, falling back to a full re-answer only when
+/// they cannot); `reanswer` runs the same four queries from scratch
+/// through `knn_threshold` after every mutation — the oracle the
+/// maintained sets are property-tested bit-identical against
+/// (`tests/standing_equivalence.rs`). Churn is net zero per iteration
+/// (every inserted id is removed again), so neither engine's database
+/// drifts across bench iterations. Gated relative
+/// (`maintain_vs_reanswer`): the pair shares the run's clock, and the
+/// ratio must stay below parity — maintenance that costs as much as
+/// re-answering would defend nothing.
+fn serve_standing_pair(
+    c: &mut Criterion,
+    group: &str,
+    object_cfg: &SyntheticConfig,
+    max_iterations: usize,
+) {
+    let db = object_cfg.generate();
+    let cfg = IdcaConfig {
+        max_iterations,
+        decomp_cache_entries: 1024,
+        ..Default::default()
+    };
+    // standing-query points and churn objects from the same hot-spot
+    // generator the other serve pairs replay (fixed seed)
+    let feed = stream_config().generate(object_cfg);
+    let objects: Vec<_> = feed
+        .batches
+        .iter()
+        .flatten()
+        .map(|entry| entry.object.clone())
+        .collect();
+    let queries = &objects[..4];
+    let churn = &objects[4..10];
+    let (k, tau) = (5, 0.3);
+
+    let mut maintain = Engine::with_config(db.clone(), cfg.clone());
+    for q in queries {
+        maintain.subscribe(q.clone(), StandingSpec::Knn { k, tau });
+    }
+    let mut fresh = Engine::with_config(db, cfg);
+
+    let mut g = c.benchmark_group(group);
+    g.sample_size(10);
+    g.bench_function("reanswer", |bench| {
+        bench.iter(|| {
+            let mut inserted = Vec::new();
+            for obj in churn {
+                inserted.push(fresh.insert(obj.clone()));
+                for q in queries {
+                    black_box(fresh.knn_threshold(q, k, tau));
+                }
+            }
+            for id in inserted {
+                fresh.remove(id);
+                for q in queries {
+                    black_box(fresh.knn_threshold(q, k, tau));
+                }
+            }
+        })
+    });
+    g.bench_function("maintain", |bench| {
+        bench.iter(|| {
+            let mut inserted = Vec::new();
+            for obj in churn {
+                inserted.push(maintain.insert(obj.clone()));
+                black_box(maintain.take_standing_deltas());
+            }
+            for id in inserted {
+                maintain.remove(id);
+                black_box(maintain.take_standing_deltas());
+            }
+        })
+    });
+    g.finish();
+}
+
 fn bench_serve(c: &mut Criterion) {
     let scale = match std::env::var("UDB_BENCH_SCALE").as_deref() {
         Ok("ci") => Scale::ci(),
@@ -318,6 +409,12 @@ fn bench_serve(c: &mut Criterion) {
     serve_sharded_parallel_pair(
         c,
         "serve_stream_sharded_parallel",
+        &uniform_cfg,
+        scale.max_iterations,
+    );
+    serve_standing_pair(
+        c,
+        "serve_stream_standing",
         &uniform_cfg,
         scale.max_iterations,
     );

@@ -49,6 +49,9 @@ use crate::parallel::PoolHandle;
 use crate::queries::ThresholdResult;
 use crate::refiner::{RefineStats, Refiner, ScratchPool};
 use crate::router::QueryPlane;
+use crate::standing::{
+    self, validate_spec, ResultDelta, StandingRegistry, StandingSpec, StandingStats,
+};
 use crate::wal::{DurableIo, FileIo, WalRecord};
 
 /// The batch-sharing state a query pipeline may run under: the batch's
@@ -194,6 +197,11 @@ impl<'a> QueryPlane<'a> for EngineRef<'a> {
         )
         .with_pool(self.pool.clone())
         .with_stats(Arc::clone(self.stats))
+    }
+
+    /// Database slot lookup.
+    fn object(&self, id: ObjectId) -> &'a UncertainObject {
+        self.db.get(id)
     }
 
     /// Index-driven spatial kNN candidate set: all objects that are *not*
@@ -395,6 +403,9 @@ pub struct Engine {
     mutations: u64,
     /// What recovery found, when this engine came from [`Engine::open`].
     recovery: Option<RecoveryReport>,
+    /// Registered standing queries and their queued result deltas.
+    /// In-memory only — subscriptions do not survive a durable reopen.
+    standing: StandingRegistry,
 }
 
 impl std::fmt::Debug for Engine {
@@ -472,6 +483,7 @@ impl Engine {
             durable: None,
             mutations: 0,
             recovery: None,
+            standing: StandingRegistry::default(),
         }
     }
 
@@ -675,6 +687,14 @@ impl Engine {
         let id = self.db.insert(object);
         self.tree.insert(self.db.get(id).mbr().clone(), id);
         self.after_mutation()?;
+        if !self.standing.is_empty() {
+            let m = standing::Mutation {
+                id,
+                old: None,
+                new: Some(self.db.get(id).mbr().clone()),
+            };
+            self.maintain_standing(&m);
+        }
         Ok(id)
     }
 
@@ -709,6 +729,14 @@ impl Engine {
         assert!(removed, "index entry missing for {id:?}");
         self.decomps.invalidate(id);
         self.after_mutation()?;
+        if !self.standing.is_empty() {
+            let m = standing::Mutation {
+                id,
+                old: Some(object.mbr().clone()),
+                new: None,
+            };
+            self.maintain_standing(&m);
+        }
         Ok(object)
     }
 
@@ -760,6 +788,14 @@ impl Engine {
         self.tree.insert(self.db.get(id).mbr().clone(), id);
         self.decomps.invalidate(id);
         self.after_mutation()?;
+        if !self.standing.is_empty() {
+            let m = standing::Mutation {
+                id,
+                old: Some(old.mbr().clone()),
+                new: Some(self.db.get(id).mbr().clone()),
+            };
+            self.maintain_standing(&m);
+        }
         Ok(old)
     }
 
@@ -816,6 +852,71 @@ impl Engine {
             Some(d) => d.sync(),
             None => Ok(()),
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Standing queries
+    // ------------------------------------------------------------------
+
+    /// Registers a standing query: answers it once (bit-identical to the
+    /// matching one-shot entry point) and keeps the result set
+    /// incrementally maintained across every subsequent mutation (see
+    /// [`crate::standing`]). Returns the subscription id and the
+    /// initial results; changes arrive as [`ResultDelta`]s through
+    /// [`Engine::take_standing_deltas`]. Subscriptions are in-memory
+    /// only — they do not survive a durable reopen.
+    ///
+    /// # Panics
+    /// Panics on invalid parameters (`k`/`m` must be positive, `tau`
+    /// in `[0, 1)`), like the one-shot entry points.
+    pub fn subscribe(
+        &mut self,
+        q: UncertainObject,
+        spec: StandingSpec,
+    ) -> (u64, Vec<ThresholdResult>) {
+        validate_spec(&spec);
+        let mut reg = std::mem::take(&mut self.standing);
+        let out = {
+            let ctx = self.ctx();
+            standing::subscribe_registry(&mut reg, self.parts(), &ctx, q, spec)
+        };
+        self.trim_cache();
+        self.standing = reg;
+        out
+    }
+
+    /// Drops a subscription; `false` when the id is unknown.
+    pub fn unsubscribe(&mut self, id: u64) -> bool {
+        self.standing.unsubscribe(id)
+    }
+
+    /// The standing-query maintenance counters.
+    pub fn standing_stats(&self) -> StandingStats {
+        self.standing.stats()
+    }
+
+    /// Drains the result deltas queued by maintenance since the last
+    /// call (in mutation, then registration order).
+    pub fn take_standing_deltas(&mut self) -> Vec<ResultDelta> {
+        self.standing.take_deltas()
+    }
+
+    /// The registered standing queries.
+    pub fn standing_queries(&self) -> &[standing::StandingQuery] {
+        self.standing.subscriptions()
+    }
+
+    /// The post-apply maintenance pass (see [`crate::standing`]): the
+    /// registry is taken out of the engine while the plane borrows it,
+    /// exactly like a query run, then put back with its queued deltas.
+    fn maintain_standing(&mut self, m: &standing::Mutation) {
+        let mut reg = std::mem::take(&mut self.standing);
+        {
+            let ctx = self.ctx();
+            standing::maintain_registry(&mut reg, self.parts(), &ctx, m);
+        }
+        self.trim_cache();
+        self.standing = reg;
     }
 
     // ------------------------------------------------------------------

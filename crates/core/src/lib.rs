@@ -32,6 +32,7 @@ pub mod queries;
 pub mod refiner;
 pub(crate) mod router;
 pub mod shard;
+pub mod standing;
 pub mod wal;
 
 pub use batch::{DecompCache, QueryBatch, QuerySpec, SharedDecomp, SharedRefineCtx};
@@ -44,6 +45,7 @@ pub use refiner::{
     refine_lockstep, refine_top_m, DbView, DomCountSnapshot, RefineStats, Refiner, ScratchPool,
 };
 pub use shard::{env_shards, ShardedEngine};
+pub use standing::{ResultDelta, StandingQuery, StandingSpec, StandingStats};
 pub use wal::{
     read_wal_bytes, CrashPoint, DurableIo, FaultIo, FaultMode, FileIo, WalDefect, WalRecord,
 };

@@ -94,6 +94,12 @@ pub(crate) trait QueryPlane<'a>: Copy + Sync {
         predicate: Predicate,
     ) -> Refiner<'a>;
 
+    /// The live object behind an id (global id on a sharded plane).
+    ///
+    /// # Panics
+    /// Panics if `id` is dead or out of range.
+    fn object(&self, id: ObjectId) -> &'a UncertainObject;
+
     /// Index-driven spatial kNN candidate set: all objects not certainly
     /// dominated by at least `k` others w.r.t. `q` under the
     /// MinDist/MaxDist filter. Unsorted (discovery order).
@@ -551,6 +557,12 @@ impl<'a> QueryPlane<'a> for ShardRef<'a> {
         .with_stats(Arc::clone(self.stats))
     }
 
+    /// Global-id lookup: shard `id mod n`, local slot `id div n`.
+    fn object(&self, id: ObjectId) -> &'a UncertainObject {
+        let n = self.n();
+        self.dbs[(id.0 % n) as usize].get(ObjectId(id.0 / n))
+    }
+
     /// K-way merge of the per-shard best-first streams under **one**
     /// global pruning bound (see [`ShardRef::merge_shard_streams`]), so
     /// far shards stop contributing as soon as a near shard has pinned
@@ -562,10 +574,21 @@ impl<'a> QueryPlane<'a> for ShardRef<'a> {
     /// never tighter than the global one — and the calling thread
     /// replays the identical merge over the vectors. Same consumption
     /// sequence, same `tighten_dk` call order, same candidate set.
+    ///
+    /// Materialization only pays for its buffers when shards are large
+    /// enough to keep a lane busy: when every shard holds fewer than
+    /// [`IdcaConfig::shard_materialize_min`] objects the lazy merged
+    /// path runs even under `shard_threads` fan-out (both paths produce
+    /// the identical candidate set, so the threshold is purely a cost
+    /// knob).
     fn knn_candidates(&self, q: &Rect, k: usize) -> Vec<ObjectId> {
         assert!(k >= 1);
         let lanes = self.shard_lanes();
-        if lanes <= 1 {
+        let worth_materializing = self
+            .dbs
+            .iter()
+            .any(|db| db.len() >= self.cfg.shard_materialize_min);
+        if lanes <= 1 || !worth_materializing {
             let norm = self.cfg.norm;
             let streams: Vec<_> = self
                 .trees

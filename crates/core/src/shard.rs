@@ -65,6 +65,9 @@ use crate::parallel::PoolHandle;
 use crate::queries::ThresholdResult;
 use crate::refiner::{RefineStats, ScratchPool};
 use crate::router::{QueryPlane, ShardRef};
+use crate::standing::{
+    self, validate_spec, ResultDelta, StandingRegistry, StandingSpec, StandingStats,
+};
 use crate::wal::{DurableIo, FileIo};
 
 /// The `UDB_SHARDS` environment knob: how many shards test suites,
@@ -114,6 +117,11 @@ pub struct ShardedEngine {
     /// queries delegate to a single shard — the 1-shard plain-path
     /// assertion the equivalence suite checks.
     stats: Arc<RefineStats>,
+    /// Router-level standing-query registry: subscriptions span all
+    /// shards, so they register here and maintain against the
+    /// cross-shard plane. A one-shard engine delegates to the shard's
+    /// own registry instead (the plain path), leaving this one empty.
+    standing: StandingRegistry,
 }
 
 impl std::fmt::Debug for ShardedEngine {
@@ -227,6 +235,7 @@ impl ShardedEngine {
             scratch: Arc::new(ScratchPool::new()),
             stats: Arc::new(RefineStats::default()),
             cfg,
+            standing: StandingRegistry::default(),
         }
     }
 
@@ -368,7 +377,16 @@ impl ShardedEngine {
         let local = self.shards[s].try_insert(object)?;
         debug_assert_eq!(self.global_id(s, local), ObjectId(gid));
         // fresh global ids are never reused, so no cache invalidation
-        Ok(ObjectId(gid))
+        let id = ObjectId(gid);
+        if !self.standing.is_empty() {
+            let m = standing::Mutation {
+                id,
+                old: None,
+                new: Some(self.get(id).mbr().clone()),
+            };
+            self.maintain_standing(&m);
+        }
+        Ok(id)
     }
 
     /// Removes the object behind a global id, returning it. The id is
@@ -395,6 +413,14 @@ impl ShardedEngine {
         // the router cache is keyed by global id; the shard engine only
         // invalidated its own (local-id-keyed, idle above 1 shard) cache
         self.decomps.invalidate(id);
+        if !self.standing.is_empty() {
+            let m = standing::Mutation {
+                id,
+                old: Some(object.mbr().clone()),
+                new: None,
+            };
+            self.maintain_standing(&m);
+        }
         Ok(object)
     }
 
@@ -424,6 +450,14 @@ impl ShardedEngine {
         let local = self.local_id(id);
         let old = self.shards[shard].try_update(local, object)?;
         self.decomps.invalidate(id);
+        if !self.standing.is_empty() {
+            let m = standing::Mutation {
+                id,
+                old: Some(old.mbr().clone()),
+                new: Some(self.get(id).mbr().clone()),
+            };
+            self.maintain_standing(&m);
+        }
         Ok(old)
     }
 
@@ -450,6 +484,91 @@ impl ShardedEngine {
             shard.wal_sync()?;
         }
         Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Standing queries
+    // ------------------------------------------------------------------
+
+    /// Registers a standing query over the union of all shards (see
+    /// [`Engine::subscribe`]): the initial answer and every maintained
+    /// state are bit-identical to the single-engine subscription at any
+    /// shard count. One shard delegates to the shard's own registry —
+    /// the plain path — so subscription ids line up across shard counts
+    /// (both counters assign 1, 2, … in registration order).
+    ///
+    /// # Panics
+    /// Panics on invalid parameters, like the one-shot entry points.
+    pub fn subscribe(
+        &mut self,
+        q: UncertainObject,
+        spec: StandingSpec,
+    ) -> (u64, Vec<ThresholdResult>) {
+        validate_spec(&spec);
+        if self.shards.len() == 1 {
+            return self.shards[0].subscribe(q, spec);
+        }
+        let mut reg = std::mem::take(&mut self.standing);
+        let out = {
+            let dbs: Vec<&Database> = self.shards.iter().map(Engine::db).collect();
+            let trees: Vec<&RTree<ObjectId>> = self.shards.iter().map(Engine::tree).collect();
+            let ctx = self.ctx();
+            standing::subscribe_registry(&mut reg, self.plane(&dbs, &trees), &ctx, q, spec)
+        };
+        self.trim_cache();
+        self.standing = reg;
+        out
+    }
+
+    /// Drops a subscription; `false` when the id is unknown.
+    pub fn unsubscribe(&mut self, id: u64) -> bool {
+        if self.shards.len() == 1 {
+            return self.shards[0].unsubscribe(id);
+        }
+        self.standing.unsubscribe(id)
+    }
+
+    /// The standing-query maintenance counters. Every counter is
+    /// shard-count-invariant: the tier decisions are purely geometric.
+    pub fn standing_stats(&self) -> StandingStats {
+        if self.shards.len() == 1 {
+            return self.shards[0].standing_stats();
+        }
+        self.standing.stats()
+    }
+
+    /// Drains the result deltas queued by maintenance since the last
+    /// call (in mutation, then registration order).
+    pub fn take_standing_deltas(&mut self) -> Vec<ResultDelta> {
+        if self.shards.len() == 1 {
+            return self.shards[0].take_standing_deltas();
+        }
+        self.standing.take_deltas()
+    }
+
+    /// The live subscriptions, in registration order.
+    pub fn standing_queries(&self) -> &[standing::StandingQuery] {
+        if self.shards.len() == 1 {
+            return self.shards[0].standing_queries();
+        }
+        self.standing.subscriptions()
+    }
+
+    /// The router-level post-apply maintenance pass: the mutation was
+    /// routed to exactly one shard, but registered bounds span shards,
+    /// so the guards test against the cross-shard plane and any
+    /// re-refinement runs the same merged pipeline queries run.
+    fn maintain_standing(&mut self, m: &standing::Mutation) {
+        debug_assert!(self.shards.len() > 1, "one shard maintains in the shard");
+        let mut reg = std::mem::take(&mut self.standing);
+        {
+            let dbs: Vec<&Database> = self.shards.iter().map(Engine::db).collect();
+            let trees: Vec<&RTree<ObjectId>> = self.shards.iter().map(Engine::tree).collect();
+            let ctx = self.ctx();
+            standing::maintain_registry(&mut reg, self.plane(&dbs, &trees), &ctx, m);
+        }
+        self.trim_cache();
+        self.standing = reg;
     }
 
     // ------------------------------------------------------------------

@@ -146,6 +146,10 @@ pub fn run_pump(mut server: Server, rx: Receiver<Event>, exit_when_conns_drain: 
                 Event::Closed(conn) => {
                     execute(&mut server, &mut conns, &mut lines);
                     conns.remove(&conn);
+                    // a dropped socket ends its subscriptions: sweep
+                    // them so later mutations stop maintaining (and
+                    // never push to) a connection that is gone
+                    server.drop_connection(conn);
                 }
             }
         }
@@ -191,6 +195,9 @@ fn execute(server: &mut Server, conns: &mut HashMap<u64, Conn>, lines: &mut Vec<
         }
     }
     for conn_id in failed.into_iter().chain(quits) {
+        // `QUIT` already swept its subscriptions inside execute_tagged;
+        // write-failure drops sweep here (idempotent either way)
+        server.drop_connection(conn_id);
         if let Some(conn) = conns.remove(&conn_id) {
             if let Some(socket) = conn.socket {
                 let _ = socket.shutdown(Shutdown::Both);

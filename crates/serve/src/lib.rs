@@ -17,15 +17,31 @@
 //! | `KNN <k> <tau> <json>` | `RES id:lo:hi:iters;...` (`RES -` when empty) |
 //! | `RKNN <k> <tau> <json>` | likewise |
 //! | `TOPM <m> <json>` | likewise |
+//! | `SUB KNN <k> <tau> <json>` | `SUB <sid> RES ...` (the id + initial result) |
+//! | `SUB RKNN <k> <tau> <json>` | likewise |
+//! | `SUB TOPM <m> <json>` | likewise |
+//! | `UNSUB <sid>` | `OK unsub <sid>` (`ERR` when unknown) |
 //! | `FLUSH` | `OK flushed` (WAL fsync + checkpoint) |
-//! | `STATS` | `OK objects=<n> mutations=<m>` |
+//! | `STATS` | `OK objects=<n> mutations=<m> subs=<s> maintained=<c> reanswered=<r> notified=<d>` |
 //! | `QUIT` | `OK bye`, then the stream closes |
+//!
+//! A `SUB` registers a **standing query** (see [`udb_core::standing`]):
+//! after every mutation whose maintenance changes a subscription's
+//! result set, the server pushes an unsolicited
+//! `NOTIFY <sid> ADD <body> DEL <ids> CHG <body>` line to the
+//! subscribing connection (result bodies in `RES` member format, `-`
+//! when a section is empty), immediately after the mutation's own reply
+//! — so notification positions in the stream are deterministic.
+//! Subscriptions die with their connection: `QUIT` or a dropped socket
+//! unregisters every subscription the connection owned.
 //!
 //! Anything unparsable replies `ERR <reason>` without touching the
 //! engine. Floats print with Rust's shortest-round-trip `Display`, so
 //! two engines returning bit-identical results produce byte-identical
 //! reply streams — the serve-smoke CI job diffs a sharded server's
-//! output against the one-shard oracle's, byte for byte.
+//! output against the one-shard oracle's, byte for byte (standing
+//! maintenance is bit-identical to re-answering, so `NOTIFY` lines
+//! diff clean too).
 //!
 //! # Batching
 //!
@@ -38,7 +54,9 @@
 //! (the batch-equivalence suite), so batching never changes replies —
 //! only throughput.
 
-use udb_core::{IdcaConfig, QueryBatch, ShardedEngine, ThresholdResult};
+use std::collections::HashMap;
+
+use udb_core::{IdcaConfig, QueryBatch, ResultDelta, ShardedEngine, StandingSpec, ThresholdResult};
 use udb_object::{ObjectId, UncertainObject};
 use udb_workload::{QueryStreamConfig, StreamOp, SyntheticConfig};
 
@@ -87,6 +105,17 @@ pub enum Op {
         /// Result-set size.
         m: usize,
     },
+    /// `SUB KNN|RKNN|TOPM ...`: register a standing query; reply its
+    /// subscription id + initial result, then push `NOTIFY` lines as
+    /// mutations change the result.
+    Sub {
+        /// The query object.
+        q: UncertainObject,
+        /// What to keep answered.
+        spec: StandingSpec,
+    },
+    /// `UNSUB <sid>`: drop a standing query.
+    Unsub(u64),
     /// `FLUSH`: WAL fsync + checkpoint on every shard.
     Flush,
     /// `STATS`: object/mutation counters (shard-count-free, so a
@@ -172,6 +201,59 @@ pub fn parse_line(line: &str) -> Result<Option<Op>, String> {
                 m,
             }
         }
+        "SUB" => {
+            let (what, rest) = rest
+                .trim_start()
+                .split_once(' ')
+                .ok_or("SUB needs KNN|RKNN|TOPM ...")?;
+            match what {
+                "KNN" | "RKNN" => {
+                    let mut parts = rest.trim_start().splitn(3, ' ');
+                    let k: usize = parts
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&k| k >= 1)
+                        .ok_or_else(|| format!("SUB {what} needs a positive <k>"))?;
+                    let tau: f64 = parts
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .filter(|t| (0.0..1.0).contains(t))
+                        .ok_or_else(|| format!("SUB {what} needs <tau> in [0, 1)"))?;
+                    let q = parse_object(
+                        parts
+                            .next()
+                            .ok_or_else(|| format!("SUB {what} needs <json>"))?,
+                    )?;
+                    let spec = if what == "KNN" {
+                        StandingSpec::Knn { k, tau }
+                    } else {
+                        StandingSpec::Rknn { k, tau }
+                    };
+                    Op::Sub { q, spec }
+                }
+                "TOPM" => {
+                    let (m, json) = rest
+                        .trim_start()
+                        .split_once(' ')
+                        .ok_or("SUB TOPM needs <m> <json>")?;
+                    let m: usize = m
+                        .parse()
+                        .ok()
+                        .filter(|&m| m >= 1)
+                        .ok_or("SUB TOPM needs a positive <m>")?;
+                    Op::Sub {
+                        q: parse_object(json)?,
+                        spec: StandingSpec::TopM { m },
+                    }
+                }
+                other => return Err(format!("SUB needs KNN|RKNN|TOPM, got {other:?}")),
+            }
+        }
+        "UNSUB" => Op::Unsub(
+            rest.trim()
+                .parse::<u64>()
+                .map_err(|_| format!("bad subscription id {:?}", rest.trim()))?,
+        ),
         "FLUSH" => Op::Flush,
         "STATS" => Op::Stats,
         "QUIT" => Op::Quit,
@@ -180,12 +262,13 @@ pub fn parse_line(line: &str) -> Result<Option<Op>, String> {
     Ok(Some(op))
 }
 
-/// The `RES` reply line for a query result set: `id:lo:hi:iters`
-/// triples joined by `;`, floats in shortest-round-trip form (so
-/// bit-identical results format byte-identically); `RES -` when empty.
-pub fn format_results(hits: &[ThresholdResult]) -> String {
+/// The member body of a result set: `id:lo:hi:iters` joined by `;`,
+/// floats in shortest-round-trip form (so bit-identical results format
+/// byte-identically); `-` when empty. Shared by `RES` replies and
+/// `NOTIFY` sections so the two streams use identical float digits.
+pub fn results_body(hits: &[ThresholdResult]) -> String {
     if hits.is_empty() {
-        return "RES -".to_owned();
+        return "-".to_owned();
     }
     let body: Vec<String> = hits
         .iter()
@@ -196,7 +279,32 @@ pub fn format_results(hits: &[ThresholdResult]) -> String {
             )
         })
         .collect();
-    format!("RES {}", body.join(";"))
+    body.join(";")
+}
+
+/// The `RES` reply line for a query result set (see [`results_body`]).
+pub fn format_results(hits: &[ThresholdResult]) -> String {
+    format!("RES {}", results_body(hits))
+}
+
+/// The pushed notification line for one standing-query delta:
+/// `NOTIFY <sid> ADD <body> DEL <ids> CHG <body>` — freshly qualified
+/// members, ids (joined by `;`) that dropped out, and surviving members
+/// whose probability bounds changed bits.
+pub fn format_notify(delta: &ResultDelta) -> String {
+    let del = if delta.removed.is_empty() {
+        "-".to_owned()
+    } else {
+        let ids: Vec<String> = delta.removed.iter().map(|id| id.0.to_string()).collect();
+        ids.join(";")
+    };
+    format!(
+        "NOTIFY {} ADD {} DEL {} CHG {}",
+        delta.sub,
+        results_body(&delta.added),
+        del,
+        results_body(&delta.changed)
+    )
 }
 
 /// The protocol executor: an owned [`ShardedEngine`] plus the cap on
@@ -204,6 +312,10 @@ pub fn format_results(hits: &[ThresholdResult]) -> String {
 pub struct Server {
     engine: ShardedEngine,
     batch_cap: usize,
+    /// Subscription ownership: standing-query id → connection id, so
+    /// `NOTIFY` lines route to the subscribing connection and a closed
+    /// connection's subscriptions can be swept.
+    subs: HashMap<u64, u64>,
 }
 
 impl Server {
@@ -214,7 +326,11 @@ impl Server {
     /// Panics if `batch_cap == 0`.
     pub fn new(engine: ShardedEngine, batch_cap: usize) -> Self {
         assert!(batch_cap >= 1, "batch cap must be positive");
-        Server { engine, batch_cap }
+        Server {
+            engine,
+            batch_cap,
+            subs: HashMap::new(),
+        }
     }
 
     /// The served engine.
@@ -280,15 +396,43 @@ impl Server {
                     // against the pre-mutation state first
                     self.flush_queries(&mut replies, &mut pending);
                     let quit = matches!(op, Op::Quit);
-                    replies.push((*conn, self.apply(op)));
+                    replies.push((*conn, self.apply(*conn, op)));
+                    // push standing-query deltas right behind the
+                    // mutation's own reply — deterministic positions
+                    for delta in self.engine.take_standing_deltas() {
+                        if let Some(&owner) = self.subs.get(&delta.sub) {
+                            replies.push((owner, format_notify(&delta)));
+                        }
+                    }
                     if quit {
                         quits.push(*conn);
+                        // the stream is closing: its subscriptions die
+                        // with it, before any later line in the slice
+                        self.drop_connection(*conn);
                     }
                 }
             }
         }
         self.flush_queries(&mut replies, &mut pending);
         (replies, quits)
+    }
+
+    /// Sweeps every subscription a closed connection owned (the fronts
+    /// call this for dropped sockets; `QUIT` sweeps inline). Sub ids
+    /// unregister in ascending order so engine state stays
+    /// deterministic.
+    pub fn drop_connection(&mut self, conn: u64) {
+        let mut owned: Vec<u64> = self
+            .subs
+            .iter()
+            .filter(|&(_, &c)| c == conn)
+            .map(|(&sid, _)| sid)
+            .collect();
+        owned.sort_unstable();
+        for sid in owned {
+            self.engine.unsubscribe(sid);
+            self.subs.remove(&sid);
+        }
     }
 
     /// Runs a queued query run as one [`QueryBatch`] and fills the
@@ -312,8 +456,9 @@ impl Server {
         }
     }
 
-    /// Applies one non-query operation and formats its reply.
-    fn apply(&mut self, op: Op) -> String {
+    /// Applies one non-query operation and formats its reply. `conn`
+    /// tags subscription ownership.
+    fn apply(&mut self, conn: u64, op: Op) -> String {
         match op {
             Op::Insert(obj) => match self.engine.try_insert(obj) {
                 Ok(id) => format!("OK {}", id.0),
@@ -344,6 +489,19 @@ impl Server {
                     Err(e) => format!("ERR update failed: {e}"),
                 }
             }
+            Op::Sub { q, spec } => {
+                let (sid, hits) = self.engine.subscribe(q, spec);
+                self.subs.insert(sid, conn);
+                format!("SUB {sid} {}", format_results(&hits))
+            }
+            Op::Unsub(sid) => {
+                if self.engine.unsubscribe(sid) {
+                    self.subs.remove(&sid);
+                    format!("OK unsub {sid}")
+                } else {
+                    format!("ERR no subscription {sid}")
+                }
+            }
             Op::Flush => match self
                 .engine
                 .wal_sync()
@@ -352,11 +510,18 @@ impl Server {
                 Ok(()) => "OK flushed".to_owned(),
                 Err(e) => format!("ERR flush failed: {e}"),
             },
-            Op::Stats => format!(
-                "OK objects={} mutations={}",
-                self.engine.len(),
-                self.engine.mutations()
-            ),
+            Op::Stats => {
+                let s = self.engine.standing_stats();
+                format!(
+                    "OK objects={} mutations={} subs={} maintained={} reanswered={} notified={}",
+                    self.engine.len(),
+                    self.engine.mutations(),
+                    s.registered,
+                    s.maintained,
+                    s.reanswered,
+                    s.deltas,
+                )
+            }
             Op::Quit => "OK bye".to_owned(),
             Op::Knn { .. } | Op::Rknn { .. } | Op::TopM { .. } => {
                 unreachable!("queries go through flush_queries")
@@ -393,6 +558,7 @@ pub fn generate_script(objects: &SyntheticConfig, stream: &QueryStreamConfig) ->
                 StreamOp::TopProbableNn { m } => format!("TOPM {m} {json}"),
                 StreamOp::Insert => format!("INSERT {json}"),
                 StreamOp::Delete => format!("DELNEAR {json}"),
+                StreamOp::Subscribe { k, tau } => format!("SUB KNN {k} {tau} {json}"),
             };
             out.push_str(&line);
             out.push('\n');
@@ -427,6 +593,7 @@ mod tests {
             k: 3,
             insert_weight: 0.2,
             delete_weight: 0.15,
+            subscribe_weight: 0.15,
             ..Default::default()
         };
         generate_script(&objects, &stream)
@@ -455,7 +622,10 @@ mod tests {
         assert!(!quit);
         assert_eq!(replies.len(), 5);
         assert!(replies[..4].iter().all(|r| r.starts_with("ERR ")));
-        assert_eq!(replies[4], "OK objects=0 mutations=0");
+        assert_eq!(
+            replies[4],
+            "OK objects=0 mutations=0 subs=0 maintained=0 reanswered=0 notified=0"
+        );
     }
 
     #[test]
@@ -464,7 +634,13 @@ mod tests {
         let (replies, quit) =
             server.execute_batch(&["STATS".to_owned(), "QUIT".to_owned(), "STATS".to_owned()]);
         assert!(quit);
-        assert_eq!(replies, vec!["OK objects=0 mutations=0", "OK bye"]);
+        assert_eq!(
+            replies,
+            vec![
+                "OK objects=0 mutations=0 subs=0 maintained=0 reanswered=0 notified=0",
+                "OK bye"
+            ]
+        );
     }
 
     #[test]

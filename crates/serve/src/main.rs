@@ -36,7 +36,7 @@ serve — line-protocol front for the sharded uncertain-db engine
 USAGE:
   serve [--shards N] [--batch-cap N] [--dir PATH] [--tcp ADDR]
   serve --client ADDR
-  serve --gen [--objects N] [--batches N] [--batch-size N] [--seed N] [--mutating]
+  serve --gen [--objects N] [--batches N] [--batch-size N] [--seed N] [--mutating] [--subs]
 
 OPTIONS:
   --shards N      shard count (default: $UDB_SHARDS, else 1)
@@ -53,6 +53,8 @@ OPTIONS:
   --batch-size N  [gen] operations per arrival batch (default 8)
   --seed N        [gen] stream RNG seed (default 0x57EA)
   --mutating      [gen] mix inserts/deletes into the stream
+  --subs          [gen] mix standing-query subscriptions (SUB KNN) into
+                  the stream, so mutations push NOTIFY lines
   -h, --help      this text
 ";
 
@@ -68,6 +70,7 @@ struct Args {
     batch_size: usize,
     seed: u64,
     mutating: bool,
+    subs: bool,
 }
 
 fn env_usize(name: &str) -> Option<usize> {
@@ -87,6 +90,7 @@ fn parse_args() -> Result<Args, String> {
         batch_size: 8,
         seed: 0x57EA,
         mutating: false,
+        subs: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -127,6 +131,7 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("--seed: {e}"))?
             }
             "--mutating" => args.mutating = true,
+            "--subs" => args.subs = true,
             "-h" | "--help" => {
                 print!("{USAGE}");
                 std::process::exit(0);
@@ -178,6 +183,7 @@ fn main() {
             seed: args.seed,
             insert_weight: if args.mutating { 0.2 } else { 0.0 },
             delete_weight: if args.mutating { 0.15 } else { 0.0 },
+            subscribe_weight: if args.subs { 0.2 } else { 0.0 },
             ..Default::default()
         };
         print!("{}", generate_script(&objects, &stream));

@@ -80,15 +80,19 @@ fn tagged_execution_preserves_per_connection_order_and_quit_isolation() {
     ];
     let (replies, quits) = server.execute_tagged(&lines);
     assert_eq!(quits, vec![1], "only connection 1 quit");
+    let empty_stats = "OK objects=0 mutations=0 subs=0 maintained=0 reanswered=0 notified=0";
     assert_eq!(
         replies,
         vec![
-            (1, "OK objects=0 mutations=0".to_owned()),
-            (2, "OK objects=0 mutations=0".to_owned()),
+            (1, empty_stats.to_owned()),
+            (2, empty_stats.to_owned()),
             (1, "OK bye".to_owned()),
             (3, "ERR line is not valid UTF-8".to_owned()),
             (2, "OK 0".to_owned()),
-            (2, "OK objects=1 mutations=1".to_owned()),
+            (
+                2,
+                "OK objects=1 mutations=1 subs=0 maintained=0 reanswered=0 notified=0".to_owned()
+            ),
         ],
         "replies must keep slice order, per-connection tags, and drop \
          only the quitting connection's later lines"
@@ -285,14 +289,106 @@ fn undecodable_bytes_reply_err_and_keep_the_connection_serving() {
     BufReader::new(conn)
         .read_to_string(&mut replies)
         .expect("replies are UTF-8");
+    let empty_stats = "OK objects=0 mutations=0 subs=0 maintained=0 reanswered=0 notified=0";
     assert_eq!(
         replies.lines().collect::<Vec<_>>(),
         vec![
-            "OK objects=0 mutations=0",
+            empty_stats,
             "ERR line is not valid UTF-8",
-            "OK objects=0 mutations=0",
+            empty_stats,
             "OK bye",
         ]
     );
     handle.join().expect("front thread");
+}
+
+#[test]
+fn subscriptions_push_notify_to_their_owner_and_unsub_stops_them() {
+    let mut server = empty_server(cfg(), 2, 4);
+    let jsons = object_jsons(2, 400);
+    let lines: Vec<TaggedLine> = vec![
+        (1, Ok(format!("SUB KNN 2 0.25 {}", jsons[0]))),
+        (2, Ok(format!("INSERT {}", jsons[1]))),
+    ];
+    let (replies, _) = server.execute_tagged(&lines);
+    assert!(replies[0].1.starts_with("SUB 1 RES"), "{:?}", replies[0]);
+    assert_eq!(replies[1], (2, "OK 0".to_owned()));
+    assert_eq!(replies.len(), 3, "the insert pushed exactly one NOTIFY");
+    assert_eq!(replies[2].0, 1, "NOTIFY routes to the subscriber");
+    assert!(
+        replies[2].1.starts_with("NOTIFY 1 ADD 0:"),
+        "{:?}",
+        replies[2].1
+    );
+    let (replies, _) = server.execute_tagged(&[
+        (1, Ok("UNSUB 1".to_owned())),
+        (2, Ok(format!("INSERT {}", jsons[0]))),
+        (1, Ok("UNSUB 1".to_owned())),
+    ]);
+    assert_eq!(replies[0], (1, "OK unsub 1".to_owned()));
+    assert_eq!(replies[1], (2, "OK 1".to_owned()));
+    assert_eq!(replies[2], (1, "ERR no subscription 1".to_owned()));
+    assert_eq!(replies.len(), 3, "no NOTIFY after UNSUB");
+}
+
+#[test]
+fn quit_unsubscribes_the_connections_standing_queries() {
+    // one shard: the delegation path, where the shard's own registry
+    // holds the subscription
+    let mut server = empty_server(cfg(), 1, 4);
+    let jsons = object_jsons(2, 500);
+    let (replies, quits) = server.execute_tagged(&[
+        (1, Ok(format!("SUB KNN 2 0.25 {}", jsons[0]))),
+        (1, Ok("QUIT".to_owned())),
+        (2, Ok(format!("INSERT {}", jsons[1]))),
+        (2, Ok("STATS".to_owned())),
+    ]);
+    assert_eq!(quits, vec![1]);
+    assert_eq!(replies.len(), 4, "the insert after QUIT pushed no NOTIFY");
+    assert_eq!(
+        replies[3].1, "OK objects=1 mutations=1 subs=0 maintained=0 reanswered=0 notified=0",
+        "the quitting connection's subscription was swept before the insert"
+    );
+}
+
+#[test]
+fn disconnect_without_quit_unsubscribes() {
+    let (addr, handle) = spawn_front(2, 4, 2);
+    // connection A subscribes, reads its SUB acknowledgement, then
+    // vanishes without QUIT (dropping the socket mid-connection)
+    {
+        let conn = TcpStream::connect(addr).expect("connect");
+        let mut write_half = conn.try_clone().expect("clone");
+        writeln!(write_half, "SUB KNN 2 0.25 {}", object_jsons(1, 600)[0]).expect("send");
+        write_half.flush().expect("flush");
+        let mut reply = String::new();
+        BufReader::new(&conn).read_line(&mut reply).expect("read");
+        assert!(reply.starts_with("SUB 1 RES"), "{reply:?}");
+        // dropped here: no QUIT, no half-close handshake
+    }
+    // give A's reader thread time to hand the pump its Closed event —
+    // the event order between A's close and B's lines is what the
+    // sweep-on-close contract makes irrelevant for correctness, but
+    // this test pins the swept outcome
+    std::thread::sleep(std::time::Duration::from_millis(300));
+    // connection B mutates: no maintenance runs, no NOTIFY is pushed,
+    // and STATS shows the subscription gone
+    let observed = run_conn(
+        addr,
+        &[
+            format!("INSERT {}", object_jsons(1, 601)[0]),
+            "STATS".to_owned(),
+            "QUIT".to_owned(),
+        ],
+    );
+    assert_eq!(
+        observed,
+        vec![
+            "OK 0".to_owned(),
+            "OK objects=1 mutations=1 subs=0 maintained=0 reanswered=0 notified=0".to_owned(),
+            "OK bye".to_owned(),
+        ]
+    );
+    let server = handle.join().expect("front thread");
+    assert_eq!(server.engine().standing_stats().registered, 0);
 }

@@ -21,7 +21,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
-use udb_core::{DurableError, Engine, QueryBatch, ShardedEngine, ThresholdResult};
+use udb_core::{DurableError, Engine, QueryBatch, ShardedEngine, StandingSpec, ThresholdResult};
 use udb_geometry::{Point, Rect};
 use udb_object::UncertainObject;
 
@@ -56,6 +56,16 @@ pub enum StreamOp {
     /// objects — including hot-spot skew — so deletions target the hot
     /// working set exactly like the queries hammering it.
     Delete,
+    /// Register a standing kNN query ([`udb_core::standing`]): the
+    /// entry's object becomes a subscription whose result set the
+    /// engine maintains incrementally as later mutations land. The
+    /// entry's own result is the subscription's initial answer.
+    Subscribe {
+        /// The `k` of the standing query.
+        k: usize,
+        /// The probability threshold `τ`.
+        tau: f64,
+    },
 }
 
 impl StreamOp {
@@ -98,6 +108,10 @@ pub struct QueryStreamConfig {
     /// Relative weight of object deletions (hot-spot-skewed targets);
     /// `0` (the default) keeps the stream read-only.
     pub delete_weight: f64,
+    /// Relative weight of standing-query registrations
+    /// ([`StreamOp::Subscribe`], always kNN with the stream's `k`/`tau`);
+    /// `0` (the default) keeps the stream subscription-free.
+    pub subscribe_weight: f64,
     /// The `k` of generated kNN/RkNN queries.
     pub k: usize,
     /// The `τ` of generated threshold queries.
@@ -126,6 +140,7 @@ impl Default for QueryStreamConfig {
             top_m_weight: 0.25,
             insert_weight: 0.0,
             delete_weight: 0.0,
+            subscribe_weight: 0.0,
             k: 5,
             tau: 0.3,
             m: 3,
@@ -151,12 +166,14 @@ pub struct MixCounts {
     pub insert: usize,
     /// Delete mutations.
     pub delete: usize,
+    /// Standing-query registrations.
+    pub subscribe: usize,
 }
 
 impl MixCounts {
     /// Total operations counted.
     pub fn total(&self) -> usize {
-        self.knn + self.rknn + self.top_m + self.insert + self.delete
+        self.knn + self.rknn + self.top_m + self.insert + self.delete + self.subscribe
     }
 
     /// Query operations only (everything but mutations).
@@ -204,6 +221,7 @@ impl QueryStream {
                 StreamOp::TopProbableNn { .. } => counts.top_m += 1,
                 StreamOp::Insert => counts.insert += 1,
                 StreamOp::Delete => counts.delete += 1,
+                StreamOp::Subscribe { .. } => counts.subscribe += 1,
             }
         }
         counts
@@ -228,14 +246,16 @@ impl QueryStreamConfig {
                 && self.rknn_weight >= 0.0
                 && self.top_m_weight >= 0.0
                 && self.insert_weight >= 0.0
-                && self.delete_weight >= 0.0,
+                && self.delete_weight >= 0.0
+                && self.subscribe_weight >= 0.0,
             "mix weights must be non-negative"
         );
         let total = self.knn_weight
             + self.rknn_weight
             + self.top_m_weight
             + self.insert_weight
-            + self.delete_weight;
+            + self.delete_weight
+            + self.subscribe_weight;
         assert!(total > 0.0, "at least one mix weight must be positive");
         let mut rng = StdRng::seed_from_u64(self.seed);
         let dims = object_config.dims;
@@ -280,8 +300,19 @@ impl QueryStreamConfig {
                                 + self.insert_weight
                         {
                             StreamOp::Insert
-                        } else {
+                        } else if pick
+                            < self.knn_weight
+                                + self.rknn_weight
+                                + self.top_m_weight
+                                + self.insert_weight
+                                + self.delete_weight
+                        {
                             StreamOp::Delete
+                        } else {
+                            StreamOp::Subscribe {
+                                k: self.k,
+                                tau: self.tau,
+                            }
                         };
                         StreamQuery { object, op }
                     })
@@ -336,6 +367,11 @@ pub trait StreamEngine {
     fn stream_rknn(&self, q: &UncertainObject, k: usize, tau: f64) -> Vec<ThresholdResult>;
     /// Top-`m` probable nearest neighbours.
     fn stream_top_m(&self, q: &UncertainObject, m: usize) -> Vec<ThresholdResult>;
+    /// Registers a standing kNN query ([`StreamOp::Subscribe`]),
+    /// returning its initial result set. Maintenance deltas queue in
+    /// the engine (drain with its `take_standing_deltas`).
+    fn stream_subscribe(&mut self, q: &UncertainObject, k: usize, tau: f64)
+        -> Vec<ThresholdResult>;
     /// One shared-work pass over a query batch.
     fn stream_run_batch(&self, batch: &QueryBatch) -> Vec<Vec<ThresholdResult>>;
     /// The graceful-shutdown handshake: WAL fsync + final checkpoint.
@@ -367,6 +403,14 @@ impl StreamEngine for Engine {
     fn stream_top_m(&self, q: &UncertainObject, m: usize) -> Vec<ThresholdResult> {
         self.top_probable_nn(q, m)
     }
+    fn stream_subscribe(
+        &mut self,
+        q: &UncertainObject,
+        k: usize,
+        tau: f64,
+    ) -> Vec<ThresholdResult> {
+        self.subscribe(q.clone(), StandingSpec::Knn { k, tau }).1
+    }
     fn stream_run_batch(&self, batch: &QueryBatch) -> Vec<Vec<ThresholdResult>> {
         self.run_batch(batch)
     }
@@ -397,6 +441,14 @@ impl StreamEngine for ShardedEngine {
     }
     fn stream_top_m(&self, q: &UncertainObject, m: usize) -> Vec<ThresholdResult> {
         self.top_probable_nn(q, m)
+    }
+    fn stream_subscribe(
+        &mut self,
+        q: &UncertainObject,
+        k: usize,
+        tau: f64,
+    ) -> Vec<ThresholdResult> {
+        self.subscribe(q.clone(), StandingSpec::Knn { k, tau }).1
     }
     fn stream_run_batch(&self, batch: &QueryBatch) -> Vec<Vec<ThresholdResult>> {
         self.run_batch(batch)
@@ -489,8 +541,13 @@ fn serve_batches<E: StreamEngine>(
         .batches
         .iter()
         .map(|batch| {
-            // mutations settle first (identically in both modes)
-            for entry in batch {
+            // mutations settle first (identically in both modes);
+            // subscriptions register here too — their initial answer is
+            // computed against the settled state, in both modes, and
+            // slots into the entry's result position below
+            let mut sub_results: std::collections::HashMap<usize, Vec<ThresholdResult>> =
+                std::collections::HashMap::new();
+            for (i, entry) in batch.iter().enumerate() {
                 match entry.op {
                     StreamOp::Insert => {
                         engine.stream_insert(entry.object.clone());
@@ -499,6 +556,9 @@ fn serve_batches<E: StreamEngine>(
                     StreamOp::Delete if engine.stream_remove_nearest(entry.object.mbr()) => {
                         report.removes += 1;
                     }
+                    StreamOp::Subscribe { k, tau } => {
+                        sub_results.insert(i, engine.stream_subscribe(&entry.object, k, tau));
+                    }
                     _ => {}
                 }
             }
@@ -506,10 +566,12 @@ fn serve_batches<E: StreamEngine>(
             match mode {
                 ServeMode::Sequential => batch
                     .iter()
-                    .map(|q| match q.op {
+                    .enumerate()
+                    .map(|(i, q)| match q.op {
                         StreamOp::KnnThreshold { k, tau } => engine.stream_knn(&q.object, k, tau),
                         StreamOp::RknnThreshold { k, tau } => engine.stream_rknn(&q.object, k, tau),
                         StreamOp::TopProbableNn { m } => engine.stream_top_m(&q.object, m),
+                        StreamOp::Subscribe { .. } => sub_results.remove(&i).unwrap_or_default(),
                         StreamOp::Insert | StreamOp::Delete => Vec::new(),
                     })
                     .collect(),
@@ -526,18 +588,19 @@ fn serve_batches<E: StreamEngine>(
                             StreamOp::TopProbableNn { m } => {
                                 qb.top_probable_nn(q.object.clone(), m);
                             }
-                            StreamOp::Insert | StreamOp::Delete => {}
+                            StreamOp::Insert | StreamOp::Delete | StreamOp::Subscribe { .. } => {}
                         }
                     }
                     let mut results = engine.stream_run_batch(&qb).into_iter();
                     batch
                         .iter()
-                        .map(|q| {
-                            if q.op.is_mutation() {
-                                Vec::new()
-                            } else {
-                                results.next().expect("one result set per query")
+                        .enumerate()
+                        .map(|(i, q)| match q.op {
+                            StreamOp::Insert | StreamOp::Delete => Vec::new(),
+                            StreamOp::Subscribe { .. } => {
+                                sub_results.remove(&i).unwrap_or_default()
                             }
+                            _ => results.next().expect("one result set per query"),
                         })
                         .collect()
                 }

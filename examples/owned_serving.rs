@@ -30,6 +30,7 @@ fn main() {
         top_m_weight: 0.15,
         insert_weight: 0.1,
         delete_weight: 0.1,
+        subscribe_weight: 0.0,
         k: 4,
         tau: 0.3,
         m: 3,

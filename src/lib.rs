@@ -69,8 +69,8 @@ pub mod prelude {
         env_shards, par_knn_threshold, refine_lockstep, refine_top_m, DomCountSnapshot,
         DurableError, Engine, ExpectedRankEntry, IdcaConfig, ObjRef, PoolHandle, Predicate,
         QueryBatch, QueryEngine, QuerySpec, RankDistribution, RecoveryReport, RefineGoal,
-        RefineStats, Refiner, ShardedEngine, SharedRefineCtx, ThresholdResult, WalRecord,
-        WorkerPool,
+        RefineStats, Refiner, ResultDelta, ShardedEngine, SharedRefineCtx, StandingQuery,
+        StandingSpec, StandingStats, ThresholdResult, WalRecord, WorkerPool,
     };
     pub use udb_domination::{DominationCriterion, PDomBounds};
     pub use udb_genfunc::{CountDistributionBounds, MinMaxCdf, ProbAlgebra, Ugf};

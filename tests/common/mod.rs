@@ -168,6 +168,16 @@ impl StreamEngine for TestEngine {
     fn stream_run_batch(&self, batch: &QueryBatch) -> Vec<Vec<ThresholdResult>> {
         self.run_batch(batch)
     }
+    fn stream_subscribe(
+        &mut self,
+        q: &UncertainObject,
+        k: usize,
+        tau: f64,
+    ) -> Vec<ThresholdResult> {
+        self.engine
+            .subscribe(q.clone(), StandingSpec::Knn { k, tau })
+            .1
+    }
     fn stream_flush(&mut self) -> Result<(), DurableError> {
         self.engine.wal_sync()?;
         self.engine.checkpoint()
